@@ -1,0 +1,251 @@
+//! End-to-end latency analysis (paper §3.4).
+//!
+//! Without a system model, holistic analysis must assume every message and
+//! task is potentially independent, so every higher-priority task can
+//! preempt every step of an end-to-end path — "extremely pessimistic"
+//! (paper §1, citing Tindell & Clark). A learned dependency function
+//! proves some of those preemptions impossible: if `d(t, t') = ←` then
+//! whenever `t` runs, `t'` has already *completed* in that period (the
+//! firing rule delivers `t'`'s output before `t` starts), so `t'` cannot
+//! preempt `t`. Likewise if `d(t', t) = ←` then `t'` cannot start until
+//! `t` has finished. The paper's example: the critical path through task
+//! `Q` no longer pays for preemption by the higher-priority infrastructure
+//! task `O` once `d(Q, O) = ←` is learned.
+
+use bbmg_lattice::{DependencyFunction, TaskId};
+
+/// Timing parameters of one task for the latency analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskTiming {
+    /// Worst-case execution time.
+    pub wcet: u64,
+    /// Fixed priority; lower number = higher priority.
+    pub priority: u32,
+}
+
+/// A latency analysis over a fixed task set.
+#[derive(Debug, Clone)]
+pub struct LatencyAnalysis {
+    timings: Vec<TaskTiming>,
+    /// Worst-case bus transmission time of one message frame.
+    pub frame_time: u64,
+}
+
+/// The result of analysing one end-to-end path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathLatency {
+    /// Bound assuming all tasks are potentially independent.
+    pub pessimistic: u64,
+    /// Bound using the learned dependency function to exclude impossible
+    /// preemptions. Always `<= pessimistic`.
+    pub informed: u64,
+}
+
+impl PathLatency {
+    /// The relative improvement `1 - informed / pessimistic` (0 when the
+    /// pessimistic bound is zero).
+    #[must_use]
+    pub fn improvement(&self) -> f64 {
+        if self.pessimistic == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                1.0 - self.informed as f64 / self.pessimistic as f64
+            }
+        }
+    }
+}
+
+impl LatencyAnalysis {
+    /// Creates an analysis over `timings` (indexed by task id) with the
+    /// given per-message frame time.
+    #[must_use]
+    pub fn new(timings: Vec<TaskTiming>, frame_time: u64) -> Self {
+        LatencyAnalysis {
+            timings,
+            frame_time,
+        }
+    }
+
+    /// Number of tasks.
+    #[must_use]
+    pub fn task_count(&self) -> usize {
+        self.timings.len()
+    }
+
+    /// The timing entry for `task`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range.
+    #[must_use]
+    pub fn timing(&self, task: TaskId) -> TaskTiming {
+        self.timings[task.index()]
+    }
+
+    /// The set of tasks that can preempt `task` when nothing is known:
+    /// all distinct tasks with strictly higher priority (lower number).
+    #[must_use]
+    pub fn pessimistic_interference(&self, task: TaskId) -> Vec<TaskId> {
+        let own = self.timings[task.index()].priority;
+        (0..self.timings.len())
+            .map(TaskId::from_index)
+            .filter(|&other| other != task && self.timings[other.index()].priority < own)
+            .collect()
+    }
+
+    /// The interference set pruned by a learned dependency function:
+    /// higher-priority tasks proven serialized with `task` are excluded.
+    ///
+    /// `t'` is serialized with `t` when the learned model proves one
+    /// always completes before the other starts within a period:
+    /// `d(t, t') = ←` (`t` fires only after `t'`'s output arrived) or
+    /// `d(t', t) = ←` (`t'` fires only after `t` finished).
+    #[must_use]
+    pub fn informed_interference(
+        &self,
+        task: TaskId,
+        d: &DependencyFunction,
+    ) -> Vec<TaskId> {
+        self.pessimistic_interference(task)
+            .into_iter()
+            .filter(|&other| {
+                !(d.value(task, other).is_must_backward()
+                    || d.value(other, task).is_must_backward())
+            })
+            .collect()
+    }
+
+    /// Worst-case response time of one task given an interference set:
+    /// its WCET plus one preemption by each interfering task per period
+    /// (each task executes at most once per period, so the classic
+    /// response-time recurrence collapses to a single sum).
+    fn response_time(&self, task: TaskId, interference: &[TaskId]) -> u64 {
+        self.timings[task.index()].wcet
+            + interference
+                .iter()
+                .map(|t| self.timings[t.index()].wcet)
+                .sum::<u64>()
+    }
+
+    /// End-to-end latency of a path of tasks connected by bus messages.
+    ///
+    /// The bound is the sum of per-task worst-case response times plus one
+    /// frame transmission per hop. `informed` uses `d` to prune each
+    /// task's interference set; `pessimistic` assumes full interference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` is empty or contains an out-of-range task.
+    #[must_use]
+    pub fn end_to_end(&self, path: &[TaskId], d: &DependencyFunction) -> PathLatency {
+        assert!(!path.is_empty(), "path must contain at least one task");
+        let hops = (path.len() - 1) as u64 * self.frame_time;
+        let pessimistic = path
+            .iter()
+            .map(|&t| self.response_time(t, &self.pessimistic_interference(t)))
+            .sum::<u64>()
+            + hops;
+        let informed = path
+            .iter()
+            .map(|&t| self.response_time(t, &self.informed_interference(t, d)))
+            .sum::<u64>()
+            + hops;
+        PathLatency {
+            pessimistic,
+            informed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use bbmg_lattice::DependencyValue;
+
+    use super::*;
+
+    fn t(i: usize) -> TaskId {
+        TaskId::from_index(i)
+    }
+
+    /// Three tasks: O (priority 0, wcet 10), Q (priority 2, wcet 20),
+    /// X (priority 1, wcet 5).
+    fn analysis() -> LatencyAnalysis {
+        LatencyAnalysis::new(
+            vec![
+                TaskTiming { wcet: 10, priority: 0 }, // O
+                TaskTiming { wcet: 20, priority: 2 }, // Q
+                TaskTiming { wcet: 5, priority: 1 },  // X
+            ],
+            2,
+        )
+    }
+
+    #[test]
+    fn pessimistic_interference_is_all_higher_priority() {
+        let a = analysis();
+        assert_eq!(a.pessimistic_interference(t(1)), vec![t(0), t(2)]);
+        assert!(a.pessimistic_interference(t(0)).is_empty());
+    }
+
+    #[test]
+    fn learned_dependency_excludes_preemption() {
+        // The paper's Q/O case: d(Q, O) = <- proves O completed before Q
+        // starts, so O never preempts Q.
+        let a = analysis();
+        let mut d = DependencyFunction::bottom(3);
+        d.set(t(1), t(0), DependencyValue::DependsOn);
+        let informed = a.informed_interference(t(1), &d);
+        assert_eq!(informed, vec![t(2)], "O excluded, X still interferes");
+    }
+
+    #[test]
+    fn reverse_direction_also_excludes() {
+        // If X depends on Q (X fires after Q ends), X cannot preempt Q.
+        let a = analysis();
+        let mut d = DependencyFunction::bottom(3);
+        d.set(t(2), t(1), DependencyValue::DependsOn);
+        let informed = a.informed_interference(t(1), &d);
+        assert_eq!(informed, vec![t(0)]);
+    }
+
+    #[test]
+    fn may_dependencies_do_not_exclude() {
+        let a = analysis();
+        let mut d = DependencyFunction::bottom(3);
+        d.set(t(1), t(0), DependencyValue::MayDependOn);
+        assert_eq!(a.informed_interference(t(1), &d).len(), 2);
+    }
+
+    #[test]
+    fn end_to_end_improves_with_knowledge() {
+        let a = analysis();
+        let mut d = DependencyFunction::bottom(3);
+        d.set(t(1), t(0), DependencyValue::DependsOn);
+        let path = [t(0), t(1)];
+        let result = a.end_to_end(&path, &d);
+        // Pessimistic: O=10, Q=20+10+5=35, hop=2 => 47.
+        assert_eq!(result.pessimistic, 47);
+        // Informed: Q no longer pays O's 10 => 37.
+        assert_eq!(result.informed, 37);
+        assert!(result.informed <= result.pessimistic);
+        assert!(result.improvement() > 0.2);
+    }
+
+    #[test]
+    fn bottom_function_gives_equal_bounds() {
+        let a = analysis();
+        let d = DependencyFunction::bottom(3);
+        let r = a.end_to_end(&[t(0), t(2), t(1)], &d);
+        assert_eq!(r.pessimistic, r.informed);
+        assert_eq!(r.improvement(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "path must contain")]
+    fn empty_path_panics() {
+        let a = analysis();
+        let _ = a.end_to_end(&[], &DependencyFunction::bottom(3));
+    }
+}

@@ -1,0 +1,177 @@
+//! Operation-mode analysis (paper §3.4: the learned graph was used to
+//! prove "dependencies and operation mode of tasks").
+//!
+//! A disjunction node chooses execution paths; each distinct choice is an
+//! *operation mode*. Given the learned dependency function (which
+//! identifies the disjunction node and its conditional followers) and the
+//! trace (which shows which follower combinations actually occur), this
+//! module enumerates the observed modes of each disjunction node — e.g.
+//! for the worked example's `t1`: mode `{t2}`, mode `{t3}` and mode
+//! `{t2, t3}`.
+
+use std::collections::BTreeSet;
+
+use bbmg_lattice::{DependencyFunction, DependencyValue, TaskId, TaskSet};
+use bbmg_trace::Trace;
+
+/// The observed operation modes of one disjunction node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModeReport {
+    /// The mode-choosing (disjunction) task.
+    pub chooser: TaskId,
+    /// Its conditional followers (`d(chooser, x) = →?`), ascending.
+    pub conditional_followers: Vec<TaskId>,
+    /// Every distinct follower combination observed in a period where the
+    /// chooser executed, ascending lexicographically.
+    pub modes: Vec<TaskSet>,
+    /// Number of periods in which the chooser executed.
+    pub observations: usize,
+}
+
+impl ModeReport {
+    /// Whether every nonempty subset of followers was observed (the
+    /// "or-both" semantics of paper Figure 1 fully exercised).
+    #[must_use]
+    pub fn saturated(&self) -> bool {
+        let k = self.conditional_followers.len();
+        // 2^k - 1 nonempty subsets.
+        k > 0 && self.modes.len() == (1usize << k) - 1
+    }
+}
+
+/// The conditional followers of `task` under `d`: tasks it may or may not
+/// determine (`→?`).
+#[must_use]
+pub fn conditional_followers(d: &DependencyFunction, task: TaskId) -> Vec<TaskId> {
+    (0..d.task_count())
+        .map(TaskId::from_index)
+        .filter(|&other| {
+            other != task && d.value(task, other) == DependencyValue::MayDetermine
+        })
+        .collect()
+}
+
+/// Enumerates the observed operation modes of `chooser` over `trace`,
+/// using `d` to identify its conditional followers.
+///
+/// # Panics
+///
+/// Panics if `d`'s task count differs from the trace universe.
+#[must_use]
+pub fn observed_modes(trace: &Trace, d: &DependencyFunction, chooser: TaskId) -> ModeReport {
+    assert_eq!(
+        d.task_count(),
+        trace.task_count(),
+        "universe mismatch between function and trace"
+    );
+    let followers = conditional_followers(d, chooser);
+    let mut modes: BTreeSet<TaskSet> = BTreeSet::new();
+    let mut observations = 0;
+    for period in trace.periods() {
+        if !period.executed_tasks().contains(chooser) {
+            continue;
+        }
+        observations += 1;
+        let mode = TaskSet::from_ids(
+            trace.task_count(),
+            followers
+                .iter()
+                .copied()
+                .filter(|&f| period.executed_tasks().contains(f)),
+        );
+        modes.insert(mode);
+    }
+    ModeReport {
+        chooser,
+        conditional_followers: followers,
+        modes: modes.into_iter().collect(),
+        observations,
+    }
+}
+
+/// Mode reports for every disjunction node the learned model identifies.
+#[must_use]
+pub fn all_mode_reports(trace: &Trace, d: &DependencyFunction) -> Vec<ModeReport> {
+    (0..d.task_count())
+        .map(TaskId::from_index)
+        .filter(|&t| crate::properties::is_disjunction_node(d, t))
+        .map(|t| observed_modes(trace, d, t))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbmg_lattice::TaskUniverse;
+    use bbmg_trace::{Timestamp, TraceBuilder};
+
+    fn t(i: usize) -> TaskId {
+        TaskId::from_index(i)
+    }
+
+    /// The worked example's d_LUB and Figure 2 trace shape.
+    fn dlub() -> DependencyFunction {
+        DependencyFunction::from_rows(&[
+            &["||", "->?", "->?", "->"],
+            &["<-", "||", "||", "->"],
+            &["<-", "||", "||", "->"],
+            &["<-", "<-?", "<-?", "||"],
+        ])
+        .unwrap()
+    }
+
+    fn figure_2_like_trace() -> Trace {
+        let u = TaskUniverse::from_names(["t1", "t2", "t3", "t4"]);
+        let mut b = TraceBuilder::new(u);
+        let mut clock = 0u64;
+        // Period executions: {t1,t2,t4}, {t1,t3,t4}, {t1,t2,t3,t4}.
+        for executed in [vec![0usize, 1, 3], vec![0, 2, 3], vec![0, 2, 1, 3]] {
+            b.begin_period();
+            for task in executed {
+                b.task(t(task), Timestamp::new(clock), Timestamp::new(clock + 5))
+                    .unwrap();
+                clock += 10;
+            }
+            b.end_period().unwrap();
+            clock += 10;
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn worked_example_has_three_modes() {
+        let trace = figure_2_like_trace();
+        let report = observed_modes(&trace, &dlub(), t(0));
+        assert_eq!(report.conditional_followers, vec![t(1), t(2)]);
+        assert_eq!(report.observations, 3);
+        assert_eq!(report.modes.len(), 3);
+        assert!(report.saturated(), "all three nonempty subsets observed");
+    }
+
+    #[test]
+    fn unsaturated_when_a_mode_is_never_seen() {
+        let trace = figure_2_like_trace().truncated(2);
+        let report = observed_modes(&trace, &dlub(), t(0));
+        assert_eq!(report.modes.len(), 2);
+        assert!(!report.saturated());
+    }
+
+    #[test]
+    fn non_disjunction_nodes_are_skipped_in_the_overview() {
+        let trace = figure_2_like_trace();
+        let reports = all_mode_reports(&trace, &dlub());
+        assert_eq!(reports.len(), 1, "only t1 is a disjunction node");
+        assert_eq!(reports[0].chooser, t(0));
+    }
+
+    #[test]
+    fn chooser_without_conditional_followers_has_one_empty_mode() {
+        let trace = figure_2_like_trace();
+        // t2 has no ->? successors in d_LUB.
+        let report = observed_modes(&trace, &dlub(), t(1));
+        assert!(report.conditional_followers.is_empty());
+        assert_eq!(report.modes.len(), 1);
+        assert!(report.modes[0].is_empty());
+        assert!(!report.saturated());
+    }
+}

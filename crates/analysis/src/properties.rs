@@ -1,0 +1,222 @@
+//! Property proving over learned dependency functions (paper §3.4:
+//! "We used this dependency graph to prove properties (e.g., dependencies
+//! and operation mode of tasks) of the system").
+//!
+//! All proofs assume the trace was exhaustive, i.e. it exhibits all
+//! allowable behaviour of the model in its execution environment — the same
+//! assumption the paper makes.
+
+use bbmg_lattice::{DependencyFunction, DependencyValue, TaskId};
+
+/// Whether the learned model proves that whenever `t1` executes, `t2` also
+/// executes in the same period (`d(t1, t2) = →` or `↔`) — the form of the
+/// paper's "no matter which mode task A chooses, task L must execute".
+#[must_use]
+pub fn proves_always_executes(d: &DependencyFunction, t1: TaskId, t2: TaskId) -> bool {
+    d.value(t1, t2).is_must_forward()
+}
+
+/// Whether the learned model proves `t1` *conditionally* determines some
+/// task, i.e. `t1` behaves as a **disjunction node**: it chooses execution
+/// paths, so at least one of its forward dependencies is conditional
+/// (`→?`) while it still has forward influence.
+#[must_use]
+pub fn is_disjunction_node(d: &DependencyFunction, t: TaskId) -> bool {
+    let n = d.task_count();
+    (0..n).any(|j| {
+        let other = TaskId::from_index(j);
+        other != t && d.value(t, other) == DependencyValue::MayDetermine
+    })
+}
+
+/// Whether the learned model shows `t` as a **conjunction node**: it
+/// passively depends on two or more other tasks (`←` or `←?` toward at
+/// least two distinct tasks).
+#[must_use]
+pub fn is_conjunction_node(d: &DependencyFunction, t: TaskId) -> bool {
+    let n = d.task_count();
+    let dependencies = (0..n)
+        .filter(|&j| {
+            let other = TaskId::from_index(j);
+            other != t
+                && matches!(
+                    d.value(t, other),
+                    DependencyValue::DependsOn | DependencyValue::MayDependOn
+                )
+        })
+        .count();
+    dependencies >= 2
+}
+
+/// Tasks whose execution is proven unconditional consequences of `t`
+/// executing: the forward must-closure of `t` (reflexive part excluded).
+#[must_use]
+#[allow(clippy::needless_range_loop)] // index loops mirror the matrix math
+pub fn must_followers(d: &DependencyFunction, t: TaskId) -> Vec<TaskId> {
+    let n = d.task_count();
+    // `→` is transitive on executions: if t forces u and u forces v, t
+    // forces v. Compute the closure over must-forward edges.
+    let mut reached = vec![false; n];
+    let mut stack = vec![t];
+    while let Some(cur) = stack.pop() {
+        for j in 0..n {
+            let next = TaskId::from_index(j);
+            if next != cur
+                && !reached[j]
+                && d.value(cur, next).is_must_forward()
+            {
+                reached[j] = true;
+                stack.push(next);
+            }
+        }
+    }
+    reached[t.index()] = false;
+    (0..n)
+        .map(TaskId::from_index)
+        .filter(|x| reached[x.index()])
+        .collect()
+}
+
+/// How a learned value relates to the ground-truth value for the same pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PairAccuracy {
+    /// Learned exactly the true value.
+    Exact,
+    /// Learned a strictly more general (weaker but sound) value.
+    Generalized,
+    /// Learned a strictly more specific value — sound only if the trace
+    /// did not exhibit all behaviour (a scheduler-masked dependency, the
+    /// paper's footnote 3).
+    Specialized,
+    /// Learned a value incomparable with the truth.
+    Incomparable,
+}
+
+/// Summary of a learned function's accuracy against ground truth.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Accuracy {
+    /// Count of off-diagonal pairs per category.
+    pub exact: usize,
+    /// Strictly more general than truth.
+    pub generalized: usize,
+    /// Strictly more specific than truth.
+    pub specialized: usize,
+    /// Incomparable with truth.
+    pub incomparable: usize,
+}
+
+impl Accuracy {
+    /// Fraction of pairs learned exactly (0 when there are no pairs).
+    #[must_use]
+    pub fn exact_fraction(&self) -> f64 {
+        let total = self.exact + self.generalized + self.specialized + self.incomparable;
+        if total == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.exact as f64 / total as f64
+            }
+        }
+    }
+}
+
+/// Compares a learned function against ground truth pair by pair.
+///
+/// # Panics
+///
+/// Panics if the functions have different task counts.
+#[must_use]
+pub fn compare(learned: &DependencyFunction, truth: &DependencyFunction) -> Accuracy {
+    assert_eq!(learned.task_count(), truth.task_count(), "universe mismatch");
+    let mut acc = Accuracy::default();
+    for (t1, t2, v) in learned.ordered_pairs() {
+        if t1 == t2 {
+            continue;
+        }
+        let tv = truth.value(t1, t2);
+        if v == tv {
+            acc.exact += 1;
+        } else if tv.leq(v) {
+            acc.generalized += 1;
+        } else if v.leq(tv) {
+            acc.specialized += 1;
+        } else {
+            acc.incomparable += 1;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: usize) -> TaskId {
+        TaskId::from_index(i)
+    }
+
+    /// The worked example's d_LUB.
+    fn dlub() -> DependencyFunction {
+        DependencyFunction::from_rows(&[
+            &["||", "->?", "->?", "->"],
+            &["<-", "||", "||", "->"],
+            &["<-", "||", "||", "->"],
+            &["<-", "<-?", "<-?", "||"],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn worked_example_properties() {
+        let d = dlub();
+        // t1 always determines t4 (the paper's highlighted conclusion).
+        assert!(proves_always_executes(&d, t(0), t(3)));
+        assert!(!proves_always_executes(&d, t(0), t(1)));
+        // t1 is a disjunction node; t4 is a conjunction node.
+        assert!(is_disjunction_node(&d, t(0)));
+        assert!(!is_disjunction_node(&d, t(1)));
+        assert!(is_conjunction_node(&d, t(3)));
+        assert!(!is_conjunction_node(&d, t(1)));
+    }
+
+    #[test]
+    fn must_followers_are_transitive() {
+        // a -> b -> c chain of musts.
+        let mut d = DependencyFunction::bottom(3);
+        d.set(t(0), t(1), DependencyValue::Determines);
+        d.set(t(1), t(2), DependencyValue::Determines);
+        let followers = must_followers(&d, t(0));
+        assert_eq!(followers, vec![t(1), t(2)]);
+        assert!(must_followers(&d, t(2)).is_empty());
+    }
+
+    #[test]
+    fn compare_classifies_pairs() {
+        let truth = dlub();
+        let mut learned = truth.clone();
+        // Make one pair more general and one incomparable.
+        learned.set(t(0), t(3), DependencyValue::MayDetermine); // -> became ->?
+        learned.set(t(1), t(3), DependencyValue::DependsOn); // -> became <-
+        let acc = compare(&learned, &truth);
+        assert_eq!(acc.generalized, 1);
+        assert_eq!(acc.incomparable, 1);
+        assert_eq!(acc.specialized, 0);
+        assert_eq!(acc.exact, 10);
+        assert!(acc.exact_fraction() > 0.8);
+    }
+
+    #[test]
+    fn specialized_detected() {
+        let truth = dlub();
+        let mut learned = truth.clone();
+        learned.set(t(0), t(1), DependencyValue::Determines); // ->? became ->
+        let acc = compare(&learned, &truth);
+        assert_eq!(acc.specialized, 1);
+    }
+
+    #[test]
+    fn empty_accuracy_fraction_is_zero() {
+        assert_eq!(Accuracy::default().exact_fraction(), 0.0);
+    }
+}

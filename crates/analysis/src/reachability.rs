@@ -1,0 +1,161 @@
+//! Explicit-state reachability with and without learned dependencies
+//! (paper §3.4: "The additional dependencies discovered from the execution
+//! trace help to reduce the state space that needs to be analyzed with
+//! other methods. One such method could be model checking by means of
+//! reachability analysis.").
+//!
+//! The state of a period is the set of tasks that have completed so far.
+//! With no model, any task may execute at any point, so every subset of
+//! tasks is a reachable state (`2^n`). A learned must-dependency
+//! `d(t, t') = ←` proves `t` never completes before `t'`, pruning every
+//! state that contains `t` but not `t'`. The reachable states under the
+//! learned constraints are exactly the downward-closed sets of the
+//! precedence order.
+
+use bbmg_lattice::{DependencyFunction, TaskId};
+use std::collections::HashSet;
+
+/// The result of a state-space measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateSpace {
+    /// Number of tasks.
+    pub tasks: usize,
+    /// States reachable with no model: `2^n`.
+    pub unconstrained: u128,
+    /// States reachable under the learned must-dependencies.
+    pub constrained: u64,
+}
+
+impl StateSpace {
+    /// Reduction factor `unconstrained / constrained` (≥ 1).
+    #[must_use]
+    pub fn reduction_factor(&self) -> f64 {
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.unconstrained as f64 / self.constrained as f64
+        }
+    }
+}
+
+/// The precedence relation extracted from a learned function: `(before,
+/// after)` pairs where the model proves `after` never completes until
+/// `before` has executed (`d(after, before) = ←` or `↔`).
+#[must_use]
+pub fn precedence_edges(d: &DependencyFunction) -> Vec<(TaskId, TaskId)> {
+    d.ordered_pairs()
+        .filter(|&(a, b, v)| a != b && v.is_must_backward())
+        .map(|(after, before, _)| (before, after))
+        .collect()
+}
+
+/// Counts reachable per-period completion states with and without the
+/// learned dependency function's must-constraints.
+///
+/// # Panics
+///
+/// Panics if `d` has more than 64 tasks (bitmask state representation).
+#[must_use]
+#[allow(clippy::needless_range_loop)] // index loops mirror the matrix math
+pub fn measure_state_space(d: &DependencyFunction) -> StateSpace {
+    let n = d.task_count();
+    assert!(n <= 64, "state bitmask supports at most 64 tasks");
+    let edges = precedence_edges(d);
+    // preds[t] = bitmask of tasks that must complete before t.
+    let mut preds = vec![0u64; n];
+    for (before, after) in &edges {
+        preds[after.index()] |= 1 << before.index();
+    }
+    // BFS over downward-closed completion sets.
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut stack = vec![0u64];
+    seen.insert(0);
+    while let Some(state) = stack.pop() {
+        for task in 0..n {
+            let bit = 1u64 << task;
+            if state & bit != 0 {
+                continue;
+            }
+            if preds[task] & !state != 0 {
+                continue; // A predecessor has not completed yet.
+            }
+            let next = state | bit;
+            if seen.insert(next) {
+                stack.push(next);
+            }
+        }
+    }
+    StateSpace {
+        tasks: n,
+        unconstrained: 1u128 << n,
+        constrained: seen.len() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use bbmg_lattice::DependencyValue;
+
+    use super::*;
+
+    fn t(i: usize) -> TaskId {
+        TaskId::from_index(i)
+    }
+
+    #[test]
+    fn no_knowledge_means_full_space() {
+        let d = DependencyFunction::bottom(4);
+        let s = measure_state_space(&d);
+        assert_eq!(s.unconstrained, 16);
+        assert_eq!(s.constrained, 16);
+        assert_eq!(s.reduction_factor(), 1.0);
+    }
+
+    #[test]
+    fn chain_collapses_to_linear() {
+        // 0 before 1 before 2 before 3: states are prefixes, n + 1 of them.
+        let mut d = DependencyFunction::bottom(4);
+        for i in 1..4 {
+            d.set(t(i), t(i - 1), DependencyValue::DependsOn);
+        }
+        let s = measure_state_space(&d);
+        assert_eq!(s.constrained, 5);
+        assert!(s.reduction_factor() > 3.0);
+    }
+
+    #[test]
+    fn diamond_counts_downsets() {
+        // 0 before {1, 2} before 3: downsets are {}, {0}, {0,1}, {0,2},
+        // {0,1,2}, {0,1,2,3} = 6.
+        let mut d = DependencyFunction::bottom(4);
+        d.set(t(1), t(0), DependencyValue::DependsOn);
+        d.set(t(2), t(0), DependencyValue::DependsOn);
+        d.set(t(3), t(1), DependencyValue::DependsOn);
+        d.set(t(3), t(2), DependencyValue::DependsOn);
+        assert_eq!(measure_state_space(&d).constrained, 6);
+    }
+
+    #[test]
+    fn precedence_edges_read_backward_values() {
+        let mut d = DependencyFunction::bottom(3);
+        d.set(t(2), t(0), DependencyValue::DependsOn);
+        d.set(t(1), t(0), DependencyValue::MayDependOn); // may: no edge
+        assert_eq!(precedence_edges(&d), vec![(t(0), t(2))]);
+    }
+
+    #[test]
+    fn worked_example_reduces_states() {
+        // The paper's d_LUB: t2, t3, t4 all depend on t1; t4's other
+        // dependencies are conditional.
+        let d = DependencyFunction::from_rows(&[
+            &["||", "->?", "->?", "->"],
+            &["<-", "||", "||", "->"],
+            &["<-", "||", "||", "->"],
+            &["<-", "<-?", "<-?", "||"],
+        ])
+        .unwrap();
+        let s = measure_state_space(&d);
+        assert!(s.constrained < 16, "learned musts prune the space");
+        // t1 first: states without t1 but with others are pruned.
+        assert_eq!(s.constrained, 9);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the analyses.
+
+use bbmg_analysis::latency::{LatencyAnalysis, TaskTiming};
+use bbmg_analysis::reachability::{measure_state_space, precedence_edges};
+use bbmg_lattice::{DependencyFunction, DependencyValue, TaskId, ALL_VALUES};
+use proptest::prelude::*;
+
+fn value_strategy() -> impl Strategy<Value = DependencyValue> {
+    prop::sample::select(ALL_VALUES.to_vec())
+}
+
+fn function_strategy(n: usize) -> impl Strategy<Value = DependencyFunction> {
+    prop::collection::vec(value_strategy(), n * n).prop_map(move |values| {
+        let mut d = DependencyFunction::bottom(n);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    d.set(
+                        TaskId::from_index(i),
+                        TaskId::from_index(j),
+                        values[i * n + j],
+                    );
+                }
+            }
+        }
+        d
+    })
+}
+
+fn timing_strategy(n: usize) -> impl Strategy<Value = Vec<TaskTiming>> {
+    prop::collection::vec((1u64..50, 0u32..8), n).prop_map(|entries| {
+        entries
+            .into_iter()
+            .map(|(wcet, priority)| TaskTiming { wcet, priority })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn informed_latency_never_exceeds_pessimistic(
+        d in function_strategy(6),
+        timings in timing_strategy(6),
+        path_raw in prop::collection::vec(0usize..6, 1..6),
+    ) {
+        let analysis = LatencyAnalysis::new(timings, 2);
+        let path: Vec<TaskId> = path_raw.into_iter().map(TaskId::from_index).collect();
+        let bound = analysis.end_to_end(&path, &d);
+        prop_assert!(bound.informed <= bound.pessimistic);
+        // And the informed bound still covers the raw demand of the path.
+        let raw: u64 = path.iter().map(|&t| analysis.timing(t).wcet).sum();
+        prop_assert!(bound.informed >= raw);
+        prop_assert!((0.0..=1.0).contains(&bound.improvement()));
+    }
+
+    #[test]
+    fn interference_sets_shrink_with_knowledge(
+        d in function_strategy(6),
+        timings in timing_strategy(6),
+        task_raw in 0usize..6,
+    ) {
+        let analysis = LatencyAnalysis::new(timings, 2);
+        let task = TaskId::from_index(task_raw);
+        let pessimistic = analysis.pessimistic_interference(task);
+        let informed = analysis.informed_interference(task, &d);
+        prop_assert!(informed.len() <= pessimistic.len());
+        for t in &informed {
+            prop_assert!(pessimistic.contains(t));
+        }
+    }
+
+    #[test]
+    fn state_space_is_bounded_and_contains_extremes(d in function_strategy(8)) {
+        let space = measure_state_space(&d);
+        prop_assert_eq!(space.unconstrained, 1u128 << 8);
+        prop_assert!(u128::from(space.constrained) <= space.unconstrained);
+        // The empty state is always reachable.
+        prop_assert!(space.constrained >= 1);
+        prop_assert!(space.reduction_factor() >= 1.0);
+    }
+
+    #[test]
+    fn more_precedences_never_grow_the_space(d in function_strategy(6)) {
+        let base = measure_state_space(&DependencyFunction::bottom(6)).constrained;
+        let constrained = measure_state_space(&d).constrained;
+        prop_assert!(constrained <= base);
+        // Edge count sanity.
+        let edges = precedence_edges(&d);
+        for (before, after) in edges {
+            prop_assert!(before != after);
+            prop_assert!(d.value(after, before).is_must_backward());
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Ablation benches for the reconstruction decisions documented in
+//! DESIGN.md §4: the assumption-merge policy (intersection, the default,
+//! vs union) and the timing-based candidate filter (on, the paper's rule,
+//! vs off).
+
+use bbmg_bench::case_study_trace;
+use bbmg_core::{learn, LearnOptions, MergeAssumptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn merge_policy(c: &mut Criterion) {
+    let trace = case_study_trace();
+    let mut group = c.benchmark_group("ablation/merge_policy");
+    group.sample_size(10);
+    group.bench_function("intersection", |b| {
+        b.iter(|| {
+            black_box(
+                learn(
+                    black_box(&trace),
+                    LearnOptions::bounded(32)
+                        .with_merge_assumptions(MergeAssumptions::Intersection),
+                )
+                .unwrap(),
+            )
+        });
+    });
+    // Union can abort with an empty hypothesis set on busy periods (the
+    // reason it is not the default); measure it where it survives, and
+    // count failures otherwise.
+    group.bench_function("union_or_failure", |b| {
+        b.iter(|| {
+            black_box(
+                learn(
+                    black_box(&trace),
+                    LearnOptions::bounded(32).with_merge_assumptions(MergeAssumptions::Union),
+                )
+                .is_ok(),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn timing_filter(c: &mut Criterion) {
+    let trace = case_study_trace().truncated(9);
+    let mut group = c.benchmark_group("ablation/timing_filter");
+    group.sample_size(10);
+    group.bench_function("on", |b| {
+        b.iter(|| {
+            black_box(
+                learn(black_box(&trace), LearnOptions::bounded(16).with_timing_filter(true))
+                    .unwrap(),
+            )
+        });
+    });
+    group.bench_function("off", |b| {
+        b.iter(|| {
+            black_box(
+                learn(black_box(&trace), LearnOptions::bounded(16).with_timing_filter(false))
+                    .unwrap(),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn history_awareness(c: &mut Criterion) {
+    let trace = case_study_trace().truncated(9);
+    let mut group = c.benchmark_group("ablation/history_aware");
+    group.sample_size(10);
+    group.bench_function("on", |b| {
+        b.iter(|| {
+            black_box(
+                learn(black_box(&trace), LearnOptions::bounded(16).with_history_aware(true))
+                    .unwrap(),
+            )
+        });
+    });
+    group.bench_function("off_naive", |b| {
+        b.iter(|| {
+            black_box(
+                learn(black_box(&trace), LearnOptions::bounded(16).with_history_aware(false))
+                    .unwrap(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, merge_policy, timing_filter, history_awareness);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Experiment E4: the paper's §3.4 runtime table — heuristic learning time
+//! as a function of the bound, on the 27-period case-study trace.
+//!
+//! Paper reference (Pentium M 1.7 GHz): 0.220 s at bound 1 rising to
+//! 19.048 s at bound 150. Absolute numbers differ on modern hardware; the
+//! reproduced shape is the superlinear growth with the bound.
+
+use bbmg_bench::{case_study_trace, PAPER_BOUNDS};
+use bbmg_core::{learn, LearnOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bound_sweep(c: &mut Criterion) {
+    let trace = case_study_trace();
+    let mut group = c.benchmark_group("bound_sweep");
+    group.sample_size(10);
+    for &bound in &PAPER_BOUNDS {
+        group.bench_with_input(BenchmarkId::from_parameter(bound), &bound, |b, &bound| {
+            b.iter(|| {
+                let result = learn(black_box(&trace), LearnOptions::bounded(bound)).unwrap();
+                black_box(result.hypotheses().len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bound_sweep);
+criterion_main!(benches);

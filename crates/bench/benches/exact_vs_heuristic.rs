@@ -1,0 +1,43 @@
+//! Experiment E5: exact exponential algorithm vs the bounded heuristic
+//! (paper §3.4: 630.997 s exact vs ≤ 19 s heuristic).
+//!
+//! The exact algorithm explodes on the full 18-task trace (the paper
+//! already measured 630.997 s; our wider bus windows make it worse), so
+//! the comparison runs on the paper's 4-task worked example and on a
+//! 7-task random workload where the exponential-vs-polynomial gap is
+//! already decisive.
+
+use bbmg_bench::exact_tractable_trace;
+use bbmg_core::{learn, LearnOptions};
+use bbmg_workloads::simple;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn exact_vs_heuristic(c: &mut Criterion) {
+    let worked = simple::figure_2_trace();
+    let mut group = c.benchmark_group("exact_vs_heuristic/worked_example");
+    group.bench_function("exact", |b| {
+        b.iter(|| black_box(learn(black_box(&worked), LearnOptions::exact()).unwrap()))
+    });
+    group.bench_function("bounded_16", |b| {
+        b.iter(|| black_box(learn(black_box(&worked), LearnOptions::bounded(16)).unwrap()))
+    });
+    group.bench_function("bounded_1", |b| {
+        b.iter(|| black_box(learn(black_box(&worked), LearnOptions::bounded(1)).unwrap()))
+    });
+    group.finish();
+
+    let prefix = exact_tractable_trace();
+    let mut group = c.benchmark_group("exact_vs_heuristic/random_7_tasks");
+    group.sample_size(10);
+    group.bench_function("exact", |b| {
+        b.iter(|| black_box(learn(black_box(&prefix), LearnOptions::exact()).unwrap()))
+    });
+    group.bench_function("bounded_32", |b| {
+        b.iter(|| black_box(learn(black_box(&prefix), LearnOptions::bounded(32)).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, exact_vs_heuristic);
+criterion_main!(benches);

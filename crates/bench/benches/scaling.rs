@@ -1,0 +1,71 @@
+//! Experiment E9: the heuristic's complexity claim `O(m b^2 + m b t^2)` —
+//! scaling sweeps in the number of messages `m` (via periods), the bound
+//! `b`, and the number of tasks `t`.
+
+use bbmg_bench::case_study_trace;
+use bbmg_core::{learn, LearnOptions};
+use bbmg_sim::{SimConfig, Simulator};
+use bbmg_workloads::random::{random_model, RandomModelConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn scaling_in_messages(c: &mut Criterion) {
+    let trace = case_study_trace();
+    let mut group = c.benchmark_group("scaling/messages");
+    group.sample_size(10);
+    for periods in [3usize, 9, 27] {
+        let prefix = trace.truncated(periods);
+        let messages = prefix.stats().messages;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(messages),
+            &prefix,
+            |b, prefix| {
+                b.iter(|| black_box(learn(black_box(prefix), LearnOptions::bounded(16)).unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn scaling_in_bound(c: &mut Criterion) {
+    let trace = case_study_trace().truncated(9);
+    let mut group = c.benchmark_group("scaling/bound");
+    group.sample_size(10);
+    for bound in [2usize, 8, 32, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(bound), &bound, |b, &bound| {
+            b.iter(|| black_box(learn(black_box(&trace), LearnOptions::bounded(bound)).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn scaling_in_tasks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/tasks");
+    group.sample_size(10);
+    for tasks in [6usize, 12, 18, 24] {
+        let model = random_model(&RandomModelConfig {
+            tasks,
+            seed: 7,
+            ..RandomModelConfig::default()
+        });
+        let trace = Simulator::new(
+            &model,
+            SimConfig {
+                periods: 10,
+                period_length: 100_000,
+                seed: 1,
+                ..SimConfig::default()
+            },
+        )
+        .run()
+        .expect("simulation succeeds")
+        .trace;
+        group.bench_with_input(BenchmarkId::from_parameter(tasks), &trace, |b, trace| {
+            b.iter(|| black_box(learn(black_box(trace), LearnOptions::bounded(16)).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scaling_in_messages, scaling_in_bound, scaling_in_tasks);
+criterion_main!(benches);

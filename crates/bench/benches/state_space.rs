@@ -1,0 +1,33 @@
+//! Experiment E7: cost and effect of the reachability state-space
+//! measurement with and without learned dependencies.
+
+use bbmg_analysis::reachability::measure_state_space;
+use bbmg_bench::case_study_trace;
+use bbmg_core::{learn, LearnOptions};
+use bbmg_lattice::DependencyFunction;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn state_space(c: &mut Criterion) {
+    let trace = case_study_trace();
+    let learned = learn(&trace, LearnOptions::bounded(64))
+        .unwrap()
+        .lub()
+        .unwrap();
+    let unconstrained = DependencyFunction::bottom(18);
+
+    let mut group = c.benchmark_group("state_space");
+    group.sample_size(10);
+    group.bench_function("constrained_18_tasks", |b| {
+        b.iter(|| black_box(measure_state_space(black_box(&learned))));
+    });
+    // The unconstrained measurement enumerates all 2^18 subsets; it is the
+    // baseline cost a model checker pays without the learned model.
+    group.bench_function("unconstrained_18_tasks", |b| {
+        b.iter(|| black_box(measure_state_space(black_box(&unconstrained))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, state_space);
+criterion_main!(benches);

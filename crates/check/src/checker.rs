@@ -1,0 +1,203 @@
+//! The two checking backends: white-box (design behaviours) and black-box
+//! (learned abstraction).
+
+use bbmg_analysis::reachability::precedence_edges;
+use bbmg_lattice::{DependencyFunction, TaskId, TaskSet};
+use bbmg_moc::{Behavior, DesignModel};
+
+use crate::prop::Prop;
+
+/// Verdict of a white-box check against enumerated behaviours.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Verdict {
+    /// Whether the property holds for every behaviour.
+    pub holds: bool,
+    /// A violating behaviour, if any.
+    pub counterexample: Option<Behavior>,
+    /// Number of behaviours examined.
+    pub examined: usize,
+}
+
+/// Verdict of a black-box check against the learned-abstraction states.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateVerdict {
+    /// Whether the invariant holds in every reachable completion state.
+    pub holds: bool,
+    /// A violating state, if any.
+    pub counterexample: Option<TaskSet>,
+    /// Number of states examined.
+    pub examined: usize,
+}
+
+/// Checks an end-of-period property against every enumerated behaviour of
+/// `model` (white-box reference).
+///
+/// # Panics
+///
+/// Panics if behaviour enumeration exceeds the default limit.
+#[must_use]
+pub fn check_design(model: &DesignModel, prop: &Prop) -> Verdict {
+    let behaviors = model.enumerate_behaviors();
+    let examined = behaviors.len();
+    for behavior in behaviors {
+        let executed = behavior.executed_set(model.task_count());
+        if !prop.eval(&executed) {
+            return Verdict {
+                holds: false,
+                counterexample: Some(behavior),
+                examined,
+            };
+        }
+    }
+    Verdict {
+        holds: true,
+        counterexample: None,
+        examined,
+    }
+}
+
+/// Checks an invariant against every reachable *completion state* of the
+/// abstraction induced by a learned dependency function: starting from the
+/// empty state, any task may complete next unless a learned
+/// must-precedence orders it after a task that has not completed yet.
+///
+/// With `d = d⊥` (nothing learned) every subset of tasks is reachable, so
+/// any order-sensitive invariant fails — the paper's *false alarm*. Learned
+/// precedences prune those states; see the crate-level example.
+///
+/// # Panics
+///
+/// Panics if `d` has more than 64 tasks.
+#[must_use]
+pub fn check_states(d: &DependencyFunction, prop: &Prop) -> StateVerdict {
+    let n = d.task_count();
+    assert!(n <= 64, "state bitmask supports at most 64 tasks");
+    let mut preds = vec![0u64; n];
+    for (before, after) in precedence_edges(d) {
+        preds[after.index()] |= 1 << before.index();
+    }
+    let mut seen = std::collections::HashSet::new();
+    let mut stack = vec![0u64];
+    seen.insert(0u64);
+    let mut examined = 0usize;
+    while let Some(state) = stack.pop() {
+        examined += 1;
+        let executed = TaskSet::from_ids(
+            n,
+            (0..n)
+                .filter(|&i| state & (1 << i) != 0)
+                .map(TaskId::from_index),
+        );
+        if !prop.eval(&executed) {
+            return StateVerdict {
+                holds: false,
+                counterexample: Some(executed),
+                examined,
+            };
+        }
+        for task in 0..n {
+            let bit = 1u64 << task;
+            if state & bit != 0 || preds[task] & !state != 0 {
+                continue;
+            }
+            let next = state | bit;
+            if seen.insert(next) {
+                stack.push(next);
+            }
+        }
+    }
+    StateVerdict {
+        holds: true,
+        counterexample: None,
+        examined,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use bbmg_lattice::{DependencyValue, TaskUniverse};
+
+    use super::*;
+
+    fn figure_1() -> DesignModel {
+        let u = TaskUniverse::from_names(["t1", "t2", "t3", "t4"]);
+        let t = |i: usize| TaskId::from_index(i);
+        DesignModel::builder(u)
+            .edge(t(0), t(1))
+            .edge(t(0), t(2))
+            .edge(t(1), t(3))
+            .edge(t(2), t(3))
+            .disjunction(t(0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn design_check_confirms_and_refutes() {
+        let model = figure_1();
+        let u = model.universe();
+        // Every behaviour executes t4 (the paper's t1 -> t4 conclusion).
+        let holds = check_design(&model, &Prop::parse("t1 -> t4", u).unwrap());
+        assert!(holds.holds);
+        assert_eq!(holds.examined, 3);
+        // t2 does not always execute.
+        let fails = check_design(&model, &Prop::parse("t2", u).unwrap());
+        assert!(!fails.holds);
+        let cex = fails.counterexample.unwrap();
+        assert!(!cex.executes(TaskId::from_index(1)));
+    }
+
+    #[test]
+    fn state_check_false_alarm_without_knowledge() {
+        // Property: whenever t4 has completed, t1 has completed.
+        let u = TaskUniverse::from_names(["t1", "t2", "t3", "t4"]);
+        let prop = Prop::parse("t4 -> t1", &u).unwrap();
+        let nothing = DependencyFunction::bottom(4);
+        let verdict = check_states(&nothing, &prop);
+        assert!(!verdict.holds, "false alarm: t4-before-t1 state reachable");
+        let cex = verdict.counterexample.unwrap();
+        assert!(cex.contains(TaskId::from_index(3)));
+        assert!(!cex.contains(TaskId::from_index(0)));
+    }
+
+    #[test]
+    fn state_check_passes_with_learned_dependency() {
+        let u = TaskUniverse::from_names(["t1", "t2", "t3", "t4"]);
+        let prop = Prop::parse("t4 -> t1", &u).unwrap();
+        // The worked example's learned d(t4, t1) = <-.
+        let mut d = DependencyFunction::bottom(4);
+        d.set(
+            TaskId::from_index(3),
+            TaskId::from_index(0),
+            DependencyValue::DependsOn,
+        );
+        let verdict = check_states(&d, &prop);
+        assert!(verdict.holds);
+        // The pruned space is half the full one.
+        assert_eq!(verdict.examined, 12);
+    }
+
+    #[test]
+    fn may_values_do_not_prune() {
+        let u = TaskUniverse::from_names(["a", "b"]);
+        let prop = Prop::parse("b -> a", &u).unwrap();
+        let mut d = DependencyFunction::bottom(2);
+        d.set(
+            TaskId::from_index(1),
+            TaskId::from_index(0),
+            DependencyValue::MayDependOn,
+        );
+        assert!(!check_states(&d, &prop).holds, "may-values prove nothing");
+    }
+
+    #[test]
+    fn trivial_properties() {
+        let d = DependencyFunction::bottom(3);
+        let u = TaskUniverse::from_names(["a", "b", "c"]);
+        assert!(check_states(&d, &Prop::parse("true", &u).unwrap()).holds);
+        let verdict = check_states(&d, &Prop::parse("false", &u).unwrap());
+        assert!(!verdict.holds);
+        // The empty state is already a counterexample.
+        assert_eq!(verdict.examined, 1);
+    }
+}

@@ -1,0 +1,56 @@
+//! Safety-property checking over design models and learned dependency
+//! abstractions.
+//!
+//! The paper motivates learned dependency models with verification: "the
+//! additional dependencies discovered from the execution trace help to
+//! reduce the state space that needs to be analyzed … Reduced state space
+//! results in more efficient model checking, and less false alarms
+//! produced" (§3.4). This crate makes that concrete:
+//!
+//! * [`Prop`] — a small boolean property language over task executions,
+//!   parsed from strings like `"Q -> O"` ("whenever Q has executed, O has
+//!   executed") or `"!(C & D) | H"`.
+//! * [`check_design`] — checks an end-of-period property against every
+//!   enumerated behaviour of a known [`DesignModel`] (the white-box
+//!   reference verdict).
+//! * [`check_states`] — checks an invariant against every *reachable
+//!   completion state* of the black-box abstraction induced by a learned
+//!   dependency function: any execution order consistent with the learned
+//!   must-precedences. With no model every interleaving is possible and
+//!   many properties raise **false alarms**; learned precedences prune
+//!   exactly those.
+//!
+//! # Example — the paper's Q/O property
+//!
+//! ```
+//! use bbmg_check::{check_states, Prop};
+//! use bbmg_lattice::{DependencyFunction, DependencyValue, TaskUniverse};
+//!
+//! let universe = TaskUniverse::from_names(["O", "Q"]);
+//! let prop = Prop::parse("Q -> O", &universe)?;
+//!
+//! // Black box, nothing learned: Q may complete before O — false alarm.
+//! let nothing = DependencyFunction::bottom(2);
+//! assert!(!check_states(&nothing, &prop).holds);
+//!
+//! // After learning d(Q, O) = `<-`, the violating orders are pruned.
+//! let mut learned = DependencyFunction::bottom(2);
+//! learned.set(
+//!     universe.lookup("Q").unwrap(),
+//!     universe.lookup("O").unwrap(),
+//!     DependencyValue::DependsOn,
+//! );
+//! assert!(check_states(&learned, &prop).holds);
+//! # Ok::<(), bbmg_check::ParsePropError>(())
+//! ```
+//!
+//! [`DesignModel`]: bbmg_moc::DesignModel
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod checker;
+mod prop;
+
+pub use checker::{check_design, check_states, StateVerdict, Verdict};
+pub use prop::{ParsePropError, Prop};

@@ -1,0 +1,339 @@
+//! The boolean property language over task executions.
+
+use std::fmt;
+
+use bbmg_lattice::{TaskId, TaskSet, TaskUniverse};
+
+/// A boolean property over "task X has executed" atoms.
+///
+/// Concrete syntax (see [`Prop::parse`]), in decreasing binding strength:
+///
+/// ```text
+/// atom  ::= task-name | 'true' | 'false' | '(' prop ')' | '!' atom
+/// conj  ::= atom ('&' atom)*
+/// disj  ::= conj ('|' conj)*
+/// prop  ::= disj ('->' prop)?        (implication, right-associative)
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Prop {
+    /// Constant truth value.
+    Const(bool),
+    /// "The task has executed."
+    Executed(TaskId),
+    /// Negation.
+    Not(Box<Prop>),
+    /// Conjunction.
+    And(Box<Prop>, Box<Prop>),
+    /// Disjunction.
+    Or(Box<Prop>, Box<Prop>),
+    /// Implication.
+    Implies(Box<Prop>, Box<Prop>),
+}
+
+/// Error produced by [`Prop::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePropError {
+    /// Byte offset of the error in the input.
+    pub offset: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for ParsePropError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "property parse error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParsePropError {}
+
+struct Parser<'a> {
+    input: &'a str,
+    position: usize,
+    universe: &'a TaskUniverse,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl Into<String>) -> ParsePropError {
+        ParsePropError {
+            offset: self.position,
+            message: message.into(),
+        }
+    }
+
+    fn skip_spaces(&mut self) {
+        while self.rest().starts_with(char::is_whitespace) {
+            self.position += 1;
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.position..]
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_spaces();
+        if self.rest().starts_with(token) {
+            self.position += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn atom(&mut self) -> Result<Prop, ParsePropError> {
+        self.skip_spaces();
+        if self.eat("!") {
+            return Ok(Prop::Not(Box::new(self.atom()?)));
+        }
+        if self.eat("(") {
+            let inner = self.prop()?;
+            if !self.eat(")") {
+                return Err(self.error("expected `)`"));
+            }
+            return Ok(inner);
+        }
+        let rest = self.rest();
+        let end = rest
+            .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+            .unwrap_or(rest.len());
+        if end == 0 {
+            return Err(self.error("expected a task name, `true`, `false`, `!` or `(`"));
+        }
+        let word = &rest[..end];
+        self.position += end;
+        match word {
+            "true" => Ok(Prop::Const(true)),
+            "false" => Ok(Prop::Const(false)),
+            name => self
+                .universe
+                .lookup(name)
+                .map(Prop::Executed)
+                .ok_or_else(|| self.error(format!("unknown task `{name}`"))),
+        }
+    }
+
+    fn conjunction(&mut self) -> Result<Prop, ParsePropError> {
+        let mut left = self.atom()?;
+        while {
+            self.skip_spaces();
+            // `&` but not `&&` ambiguity: accept both spellings.
+            self.eat("&&") || self.eat("&")
+        } {
+            let right = self.atom()?;
+            left = Prop::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn disjunction(&mut self) -> Result<Prop, ParsePropError> {
+        let mut left = self.conjunction()?;
+        loop {
+            self.skip_spaces();
+            // Careful: `|` must not consume the `|` of nothing else here.
+            if self.eat("||") || self.eat("|") {
+                let right = self.conjunction()?;
+                left = Prop::Or(Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn prop(&mut self) -> Result<Prop, ParsePropError> {
+        let left = self.disjunction()?;
+        self.skip_spaces();
+        if self.eat("->") {
+            let right = self.prop()?;
+            Ok(Prop::Implies(Box::new(left), Box::new(right)))
+        } else {
+            Ok(left)
+        }
+    }
+}
+
+impl Prop {
+    /// Parses a property over task names from `universe`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParsePropError`] for syntax errors and unknown task names.
+    pub fn parse(input: &str, universe: &TaskUniverse) -> Result<Prop, ParsePropError> {
+        let mut parser = Parser {
+            input,
+            position: 0,
+            universe,
+        };
+        let prop = parser.prop()?;
+        parser.skip_spaces();
+        if parser.position != input.len() {
+            return Err(parser.error("trailing input"));
+        }
+        Ok(prop)
+    }
+
+    /// Evaluates the property over an execution set.
+    #[must_use]
+    pub fn eval(&self, executed: &TaskSet) -> bool {
+        match self {
+            Prop::Const(value) => *value,
+            Prop::Executed(task) => executed.contains(*task),
+            Prop::Not(inner) => !inner.eval(executed),
+            Prop::And(a, b) => a.eval(executed) && b.eval(executed),
+            Prop::Or(a, b) => a.eval(executed) || b.eval(executed),
+            Prop::Implies(a, b) => !a.eval(executed) || b.eval(executed),
+        }
+    }
+
+    /// The tasks mentioned by the property.
+    #[must_use]
+    pub fn atoms(&self) -> Vec<TaskId> {
+        let mut out = Vec::new();
+        fn walk(prop: &Prop, out: &mut Vec<TaskId>) {
+            match prop {
+                Prop::Const(_) => {}
+                Prop::Executed(t) => {
+                    if !out.contains(t) {
+                        out.push(*t);
+                    }
+                }
+                Prop::Not(inner) => walk(inner, out),
+                Prop::And(a, b) | Prop::Or(a, b) | Prop::Implies(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+}
+
+impl Prop {
+    /// Renders the property with task *names* from `universe` instead of
+    /// raw ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an atom's task id is outside `universe`.
+    #[must_use]
+    pub fn to_string_with(&self, universe: &TaskUniverse) -> String {
+        match self {
+            Prop::Const(value) => value.to_string(),
+            Prop::Executed(task) => universe.name(*task).to_owned(),
+            Prop::Not(inner) => format!("!({})", inner.to_string_with(universe)),
+            Prop::And(a, b) => format!(
+                "({} & {})",
+                a.to_string_with(universe),
+                b.to_string_with(universe)
+            ),
+            Prop::Or(a, b) => format!(
+                "({} | {})",
+                a.to_string_with(universe),
+                b.to_string_with(universe)
+            ),
+            Prop::Implies(a, b) => format!(
+                "({} -> {})",
+                a.to_string_with(universe),
+                b.to_string_with(universe)
+            ),
+        }
+    }
+}
+
+impl fmt::Display for Prop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Prop::Const(value) => write!(f, "{value}"),
+            Prop::Executed(task) => write!(f, "{task}"),
+            Prop::Not(inner) => write!(f, "!({inner})"),
+            Prop::And(a, b) => write!(f, "({a} & {b})"),
+            Prop::Or(a, b) => write!(f, "({a} | {b})"),
+            Prop::Implies(a, b) => write!(f, "({a} -> {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn universe() -> TaskUniverse {
+        TaskUniverse::from_names(["A", "B", "C"])
+    }
+
+    fn set(universe: &TaskUniverse, names: &[&str]) -> TaskSet {
+        TaskSet::from_ids(
+            universe.len(),
+            names.iter().map(|n| universe.lookup(n).unwrap()),
+        )
+    }
+
+    #[test]
+    fn parse_and_eval_basics() {
+        let u = universe();
+        let p = Prop::parse("A -> B", &u).unwrap();
+        assert!(p.eval(&set(&u, &["A", "B"])));
+        assert!(!p.eval(&set(&u, &["A"])));
+        assert!(p.eval(&set(&u, &[])));
+        assert!(p.eval(&set(&u, &["B"])));
+    }
+
+    #[test]
+    fn precedence_and_parentheses() {
+        let u = universe();
+        // & binds tighter than |, both tighter than ->.
+        let p = Prop::parse("A & B | C -> B", &u).unwrap();
+        assert_eq!(p.to_string(), "(((t0 & t1) | t2) -> t1)");
+        assert_eq!(p.to_string_with(&u), "(((A & B) | C) -> B)");
+        let q = Prop::parse("A & (B | C)", &u).unwrap();
+        assert!(q.eval(&set(&u, &["A", "C"])));
+        assert!(!q.eval(&set(&u, &["A"])));
+    }
+
+    #[test]
+    fn implication_is_right_associative() {
+        let u = universe();
+        let p = Prop::parse("A -> B -> C", &u).unwrap();
+        assert_eq!(p.to_string_with(&u), "(A -> (B -> C))");
+        // A=true, B=false makes the inner antecedent false: holds.
+        assert!(p.eval(&set(&u, &["A"])));
+        assert!(!p.eval(&set(&u, &["A", "B"])));
+    }
+
+    #[test]
+    fn negation_and_constants() {
+        let u = universe();
+        let p = Prop::parse("!(A & B) | false", &u).unwrap();
+        assert!(p.eval(&set(&u, &["A"])));
+        assert!(!p.eval(&set(&u, &["A", "B"])));
+        assert!(Prop::parse("true", &u).unwrap().eval(&set(&u, &[])));
+        assert!(!Prop::parse("false", &u).unwrap().eval(&set(&u, &["A"])));
+    }
+
+    #[test]
+    fn double_spellings_accepted() {
+        let u = universe();
+        let a = Prop::parse("A && B || C", &u).unwrap();
+        let b = Prop::parse("A & B | C", &u).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let u = universe();
+        let err = Prop::parse("A -> Z", &u).unwrap_err();
+        assert!(err.message.contains("unknown task `Z`"));
+        assert!(err.offset >= 5);
+        assert!(Prop::parse("(A", &u).is_err());
+        assert!(Prop::parse("A B", &u).is_err());
+        assert!(Prop::parse("", &u).is_err());
+    }
+
+    #[test]
+    fn atoms_are_deduplicated() {
+        let u = universe();
+        let p = Prop::parse("A & (A -> B)", &u).unwrap();
+        assert_eq!(p.atoms().len(), 2);
+    }
+}

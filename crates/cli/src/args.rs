@@ -1,0 +1,582 @@
+//! Hand-rolled argument parsing for the `bbmg` binary.
+
+use std::fmt;
+
+/// Usage text printed by `bbmg help`.
+pub const USAGE: &str = "\
+bbmg — automatic model generation for black box real-time systems
+
+USAGE:
+  bbmg simulate --workload <gm|simple|random:tasks=N[,edges=P]> \\
+                [--periods N] [--seed S] [-o FILE]
+  bbmg stats   <TRACE>
+  bbmg learn   <TRACE> [--bound B | --exact] [--set-limit N] [--table] [--hypotheses]
+  bbmg analyze <TRACE> [--bound B | --exact] [--set-limit N]
+  bbmg dot     <TRACE> [--bound B | --exact] [--set-limit N] [--name NAME]
+  bbmg check   <TRACE> --prop \"Q -> O\" [--bound B | --exact] [--set-limit N]
+  bbmg explain <TRACE> --pair SENDER,RECEIVER [--bound B | --exact] [--set-limit N]
+  bbmg help
+
+Traces use the line-oriented text format written by `bbmg simulate`
+(see bbmg-trace docs). Learning defaults to the bounded heuristic with
+bound 64; `--exact` runs the exponential algorithm (consider --set-limit).
+";
+
+/// Which workload `bbmg simulate` builds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Workload {
+    /// The paper's 18-task GM-style case study.
+    Gm,
+    /// The paper's 4-task worked example (fixed 3-period trace; `--periods`
+    /// and `--seed` are ignored).
+    Simple,
+    /// A random layered model with the given task count and edge
+    /// probability.
+    Random {
+        /// Number of tasks.
+        tasks: usize,
+        /// Edge probability (default 0.3).
+        edges: f64,
+    },
+}
+
+/// Options for `bbmg simulate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulateOptions {
+    /// The workload to execute.
+    pub workload: Workload,
+    /// Number of periods (ignored for `simple`).
+    pub periods: usize,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Output path; `None` writes the trace to stdout.
+    pub output: Option<String>,
+}
+
+/// How the learner is configured from the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LearnerChoice {
+    /// `None` = exact algorithm, `Some(b)` = bounded heuristic.
+    pub bound: Option<usize>,
+    /// Resource guard for the exact algorithm.
+    pub set_limit: Option<usize>,
+}
+
+impl Default for LearnerChoice {
+    fn default() -> Self {
+        LearnerChoice {
+            bound: Some(64),
+            set_limit: None,
+        }
+    }
+}
+
+/// Options for `bbmg stats`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsOptions {
+    /// Trace file path.
+    pub trace: String,
+}
+
+/// Options for `bbmg learn`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LearnCmdOptions {
+    /// Trace file path.
+    pub trace: String,
+    /// Learner configuration.
+    pub learner: LearnerChoice,
+    /// Print the LUB as a table (default when nothing else is selected).
+    pub table: bool,
+    /// Print every most-specific hypothesis.
+    pub hypotheses: bool,
+}
+
+/// Options for `bbmg analyze`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalyzeOptions {
+    /// Trace file path.
+    pub trace: String,
+    /// Learner configuration.
+    pub learner: LearnerChoice,
+}
+
+/// Options for `bbmg check`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckOptions {
+    /// Trace file path.
+    pub trace: String,
+    /// Learner configuration.
+    pub learner: LearnerChoice,
+    /// The property source text.
+    pub prop: String,
+}
+
+/// Options for `bbmg explain`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExplainOptions {
+    /// Trace file path.
+    pub trace: String,
+    /// Learner configuration.
+    pub learner: LearnerChoice,
+    /// Sender task name.
+    pub sender: String,
+    /// Receiver task name.
+    pub receiver: String,
+}
+
+/// Options for `bbmg dot`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DotOptions {
+    /// Trace file path.
+    pub trace: String,
+    /// Learner configuration.
+    pub learner: LearnerChoice,
+    /// Graph name in the DOT output.
+    pub name: String,
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `bbmg simulate`.
+    Simulate(SimulateOptions),
+    /// `bbmg stats`.
+    Stats(StatsOptions),
+    /// `bbmg learn`.
+    Learn(LearnCmdOptions),
+    /// `bbmg analyze`.
+    Analyze(AnalyzeOptions),
+    /// `bbmg dot`.
+    Dot(DotOptions),
+    /// `bbmg check`.
+    Check(CheckOptions),
+    /// `bbmg explain`.
+    Explain(ExplainOptions),
+    /// `bbmg help`.
+    Help,
+}
+
+/// Error produced by parsing or executing a command.
+#[derive(Debug)]
+pub enum CliError {
+    /// The command line could not be understood.
+    Usage(String),
+    /// Reading or writing a file failed.
+    Io(std::io::Error),
+    /// A trace file failed to parse.
+    Parse(bbmg_trace::ParseTraceError),
+    /// The learner failed.
+    Learn(bbmg_core::LearnError),
+    /// A property failed to parse.
+    Prop(bbmg_check::ParsePropError),
+    /// The simulator failed.
+    Sim(bbmg_sim::SimError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}\n\n{USAGE}"),
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::Parse(e) => write!(f, "trace parse error: {e}"),
+            CliError::Learn(e) => write!(f, "learning failed: {e}"),
+            CliError::Prop(e) => write!(f, "{e}"),
+            CliError::Sim(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+impl From<bbmg_trace::ParseTraceError> for CliError {
+    fn from(e: bbmg_trace::ParseTraceError) -> Self {
+        CliError::Parse(e)
+    }
+}
+impl From<bbmg_core::LearnError> for CliError {
+    fn from(e: bbmg_core::LearnError) -> Self {
+        CliError::Learn(e)
+    }
+}
+impl From<bbmg_check::ParsePropError> for CliError {
+    fn from(e: bbmg_check::ParsePropError) -> Self {
+        CliError::Prop(e)
+    }
+}
+impl From<bbmg_sim::SimError> for CliError {
+    fn from(e: bbmg_sim::SimError) -> Self {
+        CliError::Sim(e)
+    }
+}
+
+fn usage(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
+/// Splits `--key value` / `--key=value` style options and positionals.
+struct Args {
+    positional: Vec<String>,
+    options: Vec<(String, Option<String>)>,
+}
+
+fn lex<I, S>(argv: I) -> Args
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    let raw: Vec<String> = argv.into_iter().map(Into::into).collect();
+    let mut positional = Vec::new();
+    let mut options = Vec::new();
+    let mut iter = raw.into_iter().peekable();
+    while let Some(word) = iter.next() {
+        if let Some(rest) = word.strip_prefix("--") {
+            if let Some((key, value)) = rest.split_once('=') {
+                options.push((key.to_owned(), Some(value.to_owned())));
+            } else {
+                // Flags that take a value grab the next word unless it
+                // looks like another option.
+                let value = match iter.peek() {
+                    Some(next) if !next.starts_with('-') => Some(
+                        iter.next().expect("peeked"),
+                    ),
+                    _ => None,
+                };
+                options.push((rest.to_owned(), value));
+            }
+        } else if word == "-o" {
+            let value = iter.next();
+            options.push(("output".to_owned(), value));
+        } else {
+            positional.push(word);
+        }
+    }
+    Args {
+        positional,
+        options,
+    }
+}
+
+impl Args {
+    fn take(&mut self, key: &str) -> Option<Option<String>> {
+        let index = self.options.iter().position(|(k, _)| k == key)?;
+        Some(self.options.remove(index).1)
+    }
+
+    fn take_value<T: std::str::FromStr>(&mut self, key: &str) -> Result<Option<T>, CliError> {
+        match self.take(key) {
+            None => Ok(None),
+            Some(None) => Err(usage(format!("--{key} requires a value"))),
+            Some(Some(v)) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| usage(format!("bad value for --{key}: `{v}`"))),
+        }
+    }
+
+    fn take_flag(&mut self, key: &str) -> Result<bool, CliError> {
+        match self.take(key) {
+            None => Ok(false),
+            Some(None) => Ok(true),
+            Some(Some(v)) => Err(usage(format!("--{key} takes no value, got `{v}`"))),
+        }
+    }
+
+    fn finish(self, command: &str) -> Result<(), CliError> {
+        if let Some((key, _)) = self.options.first() {
+            return Err(usage(format!("unknown option --{key} for `{command}`")));
+        }
+        if let Some(extra) = self.positional.first() {
+            return Err(usage(format!("unexpected argument `{extra}` for `{command}`")));
+        }
+        Ok(())
+    }
+
+    fn learner(&mut self) -> Result<LearnerChoice, CliError> {
+        let exact = self.take_flag("exact")?;
+        let bound: Option<usize> = self.take_value("bound")?;
+        let set_limit: Option<usize> = self.take_value("set-limit")?;
+        if exact && bound.is_some() {
+            return Err(usage("--exact and --bound are mutually exclusive"));
+        }
+        Ok(LearnerChoice {
+            bound: if exact { None } else { bound.or(Some(64)) },
+            set_limit,
+        })
+    }
+
+    fn trace_path(&mut self, command: &str) -> Result<String, CliError> {
+        if self.positional.is_empty() {
+            return Err(usage(format!("`{command}` needs a trace file argument")));
+        }
+        Ok(self.positional.remove(0))
+    }
+}
+
+fn parse_workload(spec: &str) -> Result<Workload, CliError> {
+    match spec {
+        "gm" => Ok(Workload::Gm),
+        "simple" => Ok(Workload::Simple),
+        other => {
+            let Some(params) = other.strip_prefix("random:") else {
+                return Err(usage(format!("unknown workload `{other}`")));
+            };
+            let mut tasks = None;
+            let mut edges = 0.3;
+            for part in params.split(',') {
+                match part.split_once('=') {
+                    Some(("tasks", v)) => {
+                        tasks = Some(v.parse().map_err(|_| {
+                            usage(format!("bad task count `{v}`"))
+                        })?);
+                    }
+                    Some(("edges", v)) => {
+                        edges = v.parse().map_err(|_| {
+                            usage(format!("bad edge probability `{v}`"))
+                        })?;
+                    }
+                    _ => return Err(usage(format!("bad random parameter `{part}`"))),
+                }
+            }
+            let tasks = tasks.ok_or_else(|| usage("random workload needs tasks=N"))?;
+            Ok(Workload::Random { tasks, edges })
+        }
+    }
+}
+
+/// Parses a command line (without the program name).
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for unknown commands, unknown options, and
+/// malformed values.
+pub fn parse_args<I, S>(argv: I) -> Result<Command, CliError>
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    let mut args = lex(argv);
+    if args.positional.is_empty() {
+        return Ok(Command::Help);
+    }
+    let command = args.positional.remove(0);
+    match command.as_str() {
+        "help" | "-h" => Ok(Command::Help),
+        "simulate" => {
+            let workload_spec: String = args
+                .take_value("workload")?
+                .ok_or_else(|| usage("simulate needs --workload"))?;
+            let workload = parse_workload(&workload_spec)?;
+            let periods = args.take_value("periods")?.unwrap_or(27);
+            let seed = args.take_value("seed")?.unwrap_or(0);
+            let output = args.take("output").flatten();
+            args.finish("simulate")?;
+            Ok(Command::Simulate(SimulateOptions {
+                workload,
+                periods,
+                seed,
+                output,
+            }))
+        }
+        "stats" => {
+            let trace = args.trace_path("stats")?;
+            args.finish("stats")?;
+            Ok(Command::Stats(StatsOptions { trace }))
+        }
+        "learn" => {
+            let trace = args.trace_path("learn")?;
+            let learner = args.learner()?;
+            let table = args.take_flag("table")?;
+            let hypotheses = args.take_flag("hypotheses")?;
+            args.finish("learn")?;
+            Ok(Command::Learn(LearnCmdOptions {
+                trace,
+                learner,
+                // Default to the table when nothing was selected.
+                table: table || !hypotheses,
+                hypotheses,
+            }))
+        }
+        "analyze" => {
+            let trace = args.trace_path("analyze")?;
+            let learner = args.learner()?;
+            args.finish("analyze")?;
+            Ok(Command::Analyze(AnalyzeOptions { trace, learner }))
+        }
+        "check" => {
+            let trace = args.trace_path("check")?;
+            let learner = args.learner()?;
+            let prop: String = args
+                .take_value("prop")?
+                .ok_or_else(|| usage("check needs --prop \"...\""))?;
+            args.finish("check")?;
+            Ok(Command::Check(CheckOptions {
+                trace,
+                learner,
+                prop,
+            }))
+        }
+        "explain" => {
+            let trace = args.trace_path("explain")?;
+            let learner = args.learner()?;
+            let pair: String = args
+                .take_value("pair")?
+                .ok_or_else(|| usage("explain needs --pair SENDER,RECEIVER"))?;
+            let Some((sender, receiver)) = pair.split_once(',') else {
+                return Err(usage(format!("bad --pair `{pair}`; expected SENDER,RECEIVER")));
+            };
+            args.finish("explain")?;
+            Ok(Command::Explain(ExplainOptions {
+                trace,
+                learner,
+                sender: sender.trim().to_owned(),
+                receiver: receiver.trim().to_owned(),
+            }))
+        }
+        "dot" => {
+            let trace = args.trace_path("dot")?;
+            let learner = args.learner()?;
+            let name = args
+                .take_value("name")?
+                .unwrap_or_else(|| "learned".to_owned());
+            args.finish("dot")?;
+            Ok(Command::Dot(DotOptions {
+                trace,
+                learner,
+                name,
+            }))
+        }
+        other => Err(usage(format!("unknown command `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_argv_is_help() {
+        assert_eq!(parse_args(Vec::<String>::new()).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn simulate_parses_workloads() {
+        let cmd = parse_args(["simulate", "--workload", "gm", "--seed", "7", "-o", "x.txt"])
+            .unwrap();
+        let Command::Simulate(o) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(o.workload, Workload::Gm);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.output.as_deref(), Some("x.txt"));
+        assert_eq!(o.periods, 27);
+    }
+
+    #[test]
+    fn random_workload_spec() {
+        let cmd =
+            parse_args(["simulate", "--workload", "random:tasks=9,edges=0.5"]).unwrap();
+        let Command::Simulate(o) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(
+            o.workload,
+            Workload::Random {
+                tasks: 9,
+                edges: 0.5
+            }
+        );
+    }
+
+    #[test]
+    fn learn_defaults_to_bounded_table() {
+        let cmd = parse_args(["learn", "trace.txt"]).unwrap();
+        let Command::Learn(o) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(o.learner.bound, Some(64));
+        assert!(o.table);
+        assert!(!o.hypotheses);
+    }
+
+    #[test]
+    fn learn_exact_with_limit() {
+        let cmd = parse_args(["learn", "t.txt", "--exact", "--set-limit=1000"]).unwrap();
+        let Command::Learn(o) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(o.learner.bound, None);
+        assert_eq!(o.learner.set_limit, Some(1000));
+    }
+
+    #[test]
+    fn exact_and_bound_conflict() {
+        let err = parse_args(["learn", "t.txt", "--exact", "--bound", "4"]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn unknown_command_and_option_are_rejected() {
+        assert!(matches!(
+            parse_args(["frobnicate"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["stats", "t.txt", "--wat"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn key_equals_value_form() {
+        let cmd = parse_args(["learn", "t.txt", "--bound=32"]).unwrap();
+        let Command::Learn(o) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(o.learner.bound, Some(32));
+    }
+
+    #[test]
+    fn check_and_explain_parse() {
+        let cmd = parse_args(["check", "t.txt", "--prop", "Q -> O"]).unwrap();
+        let Command::Check(o) = cmd else { panic!("wrong command") };
+        assert_eq!(o.prop, "Q -> O");
+        let cmd = parse_args(["explain", "t.txt", "--pair", "Q,O", "--bound", "8"]).unwrap();
+        let Command::Explain(o) = cmd else { panic!("wrong command") };
+        assert_eq!((o.sender.as_str(), o.receiver.as_str()), ("Q", "O"));
+        assert_eq!(o.learner.bound, Some(8));
+        assert!(matches!(
+            parse_args(["check", "t.txt"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["explain", "t.txt", "--pair", "QO"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn missing_trace_is_usage_error() {
+        assert!(matches!(parse_args(["stats"]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn bad_workload_is_usage_error() {
+        assert!(matches!(
+            parse_args(["simulate", "--workload", "random:bananas=2"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["simulate", "--workload", "random:tasks=x"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["simulate", "--workload", "exotic"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+}

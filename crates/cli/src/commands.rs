@@ -1,0 +1,393 @@
+//! Command implementations.
+
+use std::io::Write;
+
+use bbmg_core::{learn, LearnOptions, LearnResult};
+use bbmg_trace::{parse_trace, Trace};
+
+use crate::args::{CliError, LearnerChoice};
+
+/// Reads and parses the trace at `path`.
+pub(crate) fn load_trace(path: &str) -> Result<Trace, CliError> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(parse_trace(&text)?)
+}
+
+/// Runs the learner per the command-line choice.
+pub(crate) fn run_learner(
+    trace: &Trace,
+    choice: LearnerChoice,
+) -> Result<LearnResult, CliError> {
+    let mut options = match choice.bound {
+        Some(bound) => LearnOptions::bounded(bound),
+        None => LearnOptions::exact(),
+    };
+    if let Some(limit) = choice.set_limit {
+        options = options.with_set_limit(limit);
+    }
+    Ok(learn(trace, options)?)
+}
+
+pub(crate) mod simulate {
+    use bbmg_sim::{SimConfig, Simulator};
+    use bbmg_trace::write_trace;
+    use bbmg_workloads::{gm, random, simple};
+
+    use super::{CliError, Write};
+    use crate::args::{SimulateOptions, Workload};
+
+    pub(crate) fn run(options: &SimulateOptions, out: &mut dyn Write) -> Result<(), CliError> {
+        let trace = match &options.workload {
+            Workload::Simple => simple::figure_2_trace(),
+            Workload::Gm => {
+                let mut config = gm::gm_config(options.seed);
+                config.periods = options.periods;
+                let model = gm::gm_model();
+                Simulator::new(&model, config).run()?.trace
+            }
+            Workload::Random { tasks, edges } => {
+                let model = random::random_model(&random::RandomModelConfig {
+                    tasks: *tasks,
+                    edge_probability: *edges,
+                    seed: options.seed,
+                    ..random::RandomModelConfig::default()
+                });
+                let config = SimConfig {
+                    periods: options.periods,
+                    period_length: 100_000,
+                    seed: options.seed,
+                    ..SimConfig::default()
+                };
+                Simulator::new(&model, config).run()?.trace
+            }
+        };
+        let text = write_trace(&trace);
+        match &options.output {
+            Some(path) => {
+                std::fs::write(path, text)?;
+                writeln!(out, "wrote {} ({})", path, trace.stats())?;
+            }
+            None => out.write_all(text.as_bytes())?,
+        }
+        Ok(())
+    }
+}
+
+pub(crate) mod stats {
+    use super::{load_trace, CliError, Write};
+    use crate::args::StatsOptions;
+
+    pub(crate) fn run(options: &StatsOptions, out: &mut dyn Write) -> Result<(), CliError> {
+        let trace = load_trace(&options.trace)?;
+        let stats = trace.stats();
+        writeln!(out, "{stats}")?;
+        writeln!(out, "tasks:")?;
+        for (_, name) in trace.universe().iter() {
+            writeln!(out, "  {name}")?;
+        }
+        for period in trace.periods() {
+            writeln!(
+                out,
+                "period {}: {} tasks executed, {} messages",
+                period.index(),
+                period.executed_tasks().len(),
+                period.messages().len()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+pub(crate) mod learn {
+    use super::{load_trace, run_learner, CliError, Write};
+    use crate::args::LearnCmdOptions;
+
+    pub(crate) fn run(options: &LearnCmdOptions, out: &mut dyn Write) -> Result<(), CliError> {
+        let trace = load_trace(&options.trace)?;
+        let result = run_learner(&trace, options.learner)?;
+        writeln!(
+            out,
+            "{} most-specific hypothesis(es); converged: {}; {}",
+            result.hypotheses().len(),
+            result.converged(),
+            result.stats()
+        )?;
+        if options.hypotheses {
+            for (i, d) in result.hypotheses().iter().enumerate() {
+                writeln!(out, "\nhypothesis {} (weight {}):", i + 1, d.weight())?;
+                out.write_all(d.to_table(trace.universe()).as_bytes())?;
+            }
+        }
+        if options.table {
+            let lub = result.lub().expect("nonempty");
+            writeln!(out, "\nleast upper bound:")?;
+            out.write_all(lub.to_table(trace.universe()).as_bytes())?;
+        }
+        Ok(())
+    }
+}
+
+pub(crate) mod analyze {
+    use bbmg_analysis::{modes, properties, reachability};
+    use bbmg_lattice::TaskId;
+
+    use super::{load_trace, run_learner, CliError, Write};
+    use crate::args::AnalyzeOptions;
+
+    pub(crate) fn run(options: &AnalyzeOptions, out: &mut dyn Write) -> Result<(), CliError> {
+        let trace = load_trace(&options.trace)?;
+        let result = run_learner(&trace, options.learner)?;
+        let d = result.lub().expect("nonempty");
+        let universe = trace.universe();
+
+        writeln!(out, "node kinds (learned):")?;
+        for (task, name) in universe.iter() {
+            let mut kinds = Vec::new();
+            if properties::is_disjunction_node(&d, task) {
+                kinds.push("disjunction");
+            }
+            if properties::is_conjunction_node(&d, task) {
+                kinds.push("conjunction");
+            }
+            if !kinds.is_empty() {
+                writeln!(out, "  {name}: {}", kinds.join(" + "))?;
+            }
+        }
+
+        writeln!(out, "unconditional dependencies (must-followers):")?;
+        for (task, name) in universe.iter() {
+            let followers = properties::must_followers(&d, task);
+            if !followers.is_empty() {
+                let names: Vec<&str> = followers
+                    .iter()
+                    .map(|&t: &TaskId| universe.name(t))
+                    .collect();
+                writeln!(out, "  {name} -> {}", names.join(", "))?;
+            }
+        }
+
+        writeln!(out, "operation modes (per disjunction node):")?;
+        for report in modes::all_mode_reports(&trace, &d) {
+            let chooser = universe.name(report.chooser);
+            let rendered: Vec<String> = report
+                .modes
+                .iter()
+                .map(|mode| {
+                    let names: Vec<&str> =
+                        mode.iter().map(|t| universe.name(t)).collect();
+                    format!("{{{}}}", names.join(","))
+                })
+                .collect();
+            writeln!(
+                out,
+                "  {chooser}: {} ({} observations{})",
+                rendered.join(" "),
+                report.observations,
+                if report.saturated() { ", saturated" } else { "" }
+            )?;
+        }
+
+        let space = reachability::measure_state_space(&d);
+        writeln!(
+            out,
+            "state space: {} unconstrained, {} constrained ({:.1}x reduction)",
+            space.unconstrained,
+            space.constrained,
+            space.reduction_factor()
+        )?;
+        Ok(())
+    }
+}
+
+pub(crate) mod dot {
+    use bbmg_analysis::depgraph;
+
+    use super::{load_trace, run_learner, CliError, Write};
+    use crate::args::DotOptions;
+
+    pub(crate) fn run(options: &DotOptions, out: &mut dyn Write) -> Result<(), CliError> {
+        let trace = load_trace(&options.trace)?;
+        let result = run_learner(&trace, options.learner)?;
+        let d = result.lub().expect("nonempty");
+        let rendered = depgraph::to_dot(&d, trace.universe(), &options.name);
+        out.write_all(rendered.as_bytes())?;
+        Ok(())
+    }
+}
+
+pub(crate) mod check {
+    use bbmg_check::{check_states, Prop};
+    use bbmg_lattice::DependencyFunction;
+
+    use super::{load_trace, run_learner, CliError, Write};
+    use crate::args::CheckOptions;
+
+    pub(crate) fn run(options: &CheckOptions, out: &mut dyn Write) -> Result<(), CliError> {
+        let trace = load_trace(&options.trace)?;
+        let prop = Prop::parse(&options.prop, trace.universe())?;
+        let result = run_learner(&trace, options.learner)?;
+        let d = result.lub().expect("nonempty");
+
+        let blind = check_states(&DependencyFunction::bottom(trace.task_count()), &prop);
+        let informed = check_states(&d, &prop);
+        let show = |holds: bool| if holds { "holds" } else { "VIOLATED" };
+        writeln!(out, "property: {}", prop.to_string_with(trace.universe()))?;
+        writeln!(
+            out,
+            "without a model: {} ({} states)",
+            show(blind.holds),
+            blind.examined
+        )?;
+        writeln!(
+            out,
+            "with the learned model: {} ({} states)",
+            show(informed.holds),
+            informed.examined
+        )?;
+        if let Some(cex) = &informed.counterexample {
+            let names: Vec<&str> = cex.iter().map(|t| trace.universe().name(t)).collect();
+            writeln!(out, "counterexample state: {{{}}}", names.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+pub(crate) mod explain {
+    use bbmg_core::explain_pair;
+
+    use super::{load_trace, run_learner, CliError, Write};
+    use crate::args::ExplainOptions;
+
+    pub(crate) fn run(options: &ExplainOptions, out: &mut dyn Write) -> Result<(), CliError> {
+        let trace = load_trace(&options.trace)?;
+        let universe = trace.universe();
+        let lookup = |name: &str| {
+            universe.lookup(name).ok_or_else(|| {
+                CliError::Usage(format!("unknown task `{name}` in --pair"))
+            })
+        };
+        let sender = lookup(&options.sender)?;
+        let receiver = lookup(&options.receiver)?;
+        let result = run_learner(&trace, options.learner)?;
+        let d = result.lub().expect("nonempty");
+        writeln!(
+            out,
+            "learned d({}, {}) = {}   |   d({}, {}) = {}",
+            options.sender,
+            options.receiver,
+            d.value(sender, receiver),
+            options.receiver,
+            options.sender,
+            d.value(receiver, sender),
+        )?;
+        let (forced, supporting) = explain_pair(&d, &trace, sender, receiver);
+        writeln!(
+            out,
+            "evidence for {} -> {}: {} forced attribution(s), {} supporting",
+            options.sender,
+            options.receiver,
+            forced.len(),
+            supporting.len()
+        )?;
+        for a in forced.iter().take(10) {
+            writeln!(out, "  forced: message {}", a.message)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::args::parse_args;
+    use crate::{execute, run};
+
+    fn run_to_string(argv: &[&str]) -> String {
+        let mut out = Vec::new();
+        run(argv.iter().copied(), &mut out).expect("command succeeds");
+        String::from_utf8(out).expect("utf8 output")
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let text = run_to_string(&["help"]);
+        assert!(text.contains("USAGE"));
+        assert!(text.contains("simulate"));
+    }
+
+    #[test]
+    fn simulate_stats_learn_pipeline() {
+        let dir = std::env::temp_dir().join("bbmg_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("simple.txt");
+        let trace_str = trace_path.to_str().unwrap();
+
+        let text = run_to_string(&[
+            "simulate",
+            "--workload",
+            "simple",
+            "-o",
+            trace_str,
+        ]);
+        assert!(text.contains("wrote"));
+
+        let stats = run_to_string(&["stats", trace_str]);
+        assert!(stats.contains("3 periods"));
+        assert!(stats.contains("period 2: 4 tasks executed"));
+
+        let learned = run_to_string(&["learn", trace_str, "--exact", "--hypotheses", "--table"]);
+        assert!(learned.contains("5 most-specific hypothesis(es)"));
+        assert!(learned.contains("least upper bound"));
+
+        let analyzed = run_to_string(&["analyze", trace_str, "--exact"]);
+        assert!(analyzed.contains("disjunction"));
+        assert!(analyzed.contains("state space"));
+
+        let dot = run_to_string(&["dot", trace_str, "--exact", "--name", "fig4"]);
+        assert!(dot.starts_with("digraph fig4"));
+        assert!(dot.contains("style=dashed"));
+    }
+
+    #[test]
+    fn check_and_explain_commands() {
+        let dir = std::env::temp_dir().join("bbmg_cli_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("simple.txt");
+        let trace_str = trace_path.to_str().unwrap();
+        let _ = run_to_string(&["simulate", "--workload", "simple", "-o", trace_str]);
+
+        let checked = run_to_string(&[
+            "check", trace_str, "--exact", "--prop", "t4 -> t1",
+        ]);
+        assert!(checked.contains("without a model: VIOLATED"));
+        assert!(checked.contains("with the learned model: holds"));
+
+        let explained = run_to_string(&[
+            "explain", trace_str, "--exact", "--pair", "t1,t4",
+        ]);
+        assert!(explained.contains("learned d(t1, t4) = ->"));
+        assert!(explained.contains("evidence for t1 -> t4"));
+    }
+
+    #[test]
+    fn random_simulation_to_stdout() {
+        let text = run_to_string(&[
+            "simulate",
+            "--workload",
+            "random:tasks=5",
+            "--periods",
+            "4",
+            "--seed",
+            "3",
+        ]);
+        assert!(text.starts_with("# bbmg trace v1"));
+        assert_eq!(text.matches("period\n").count(), 4);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let command = parse_args(["stats", "/nonexistent/bbmg.txt"]).unwrap();
+        let mut out = Vec::new();
+        let err = execute(&command, &mut out).unwrap_err();
+        assert!(matches!(err, crate::CliError::Io(_)));
+    }
+}

@@ -1,0 +1,62 @@
+//! Command-line tool for black-box real-time model generation.
+//!
+//! The `bbmg` binary wraps the workspace crates into a pipeline a systems
+//! engineer can drive from a shell:
+//!
+//! ```text
+//! bbmg simulate --workload gm --seed 2007 -o trace.txt   # or: simple, random:tasks=8
+//! bbmg stats trace.txt                                   # period/message counts
+//! bbmg learn trace.txt --bound 64 --table                # learned dependency function
+//! bbmg analyze trace.txt --bound 64                      # node kinds, musts, state space
+//! bbmg dot trace.txt --bound 64 > model.dot              # Figure-4/5 style graph
+//! ```
+//!
+//! Argument parsing is hand-rolled (the approved dependency set contains no
+//! CLI parser); [`run`] is the testable entry point, taking arguments and a
+//! writer, so the whole surface is unit-tested without spawning processes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+
+pub use args::{parse_args, CliError, Command};
+
+use std::io::Write;
+
+/// Executes a parsed [`Command`], writing human-readable output to `out`.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for I/O problems, malformed traces, or learner
+/// failures; the binary maps it to a nonzero exit status.
+pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
+    match command {
+        Command::Simulate(options) => commands::simulate::run(options, out),
+        Command::Stats(options) => commands::stats::run(options, out),
+        Command::Learn(options) => commands::learn::run(options, out),
+        Command::Analyze(options) => commands::analyze::run(options, out),
+        Command::Dot(options) => commands::dot::run(options, out),
+        Command::Check(options) => commands::check::run(options, out),
+        Command::Explain(options) => commands::explain::run(options, out),
+        Command::Help => {
+            out.write_all(args::USAGE.as_bytes())?;
+            Ok(())
+        }
+    }
+}
+
+/// Parses `argv` (without the program name) and executes the command.
+///
+/// # Errors
+///
+/// See [`execute`] and [`parse_args`].
+pub fn run<I, S>(argv: I, out: &mut dyn Write) -> Result<(), CliError>
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    let command = parse_args(argv)?;
+    execute(&command, out)
+}

@@ -1,0 +1,14 @@
+//! The `bbmg` binary entry point.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut stdout = std::io::stdout().lock();
+    match bbmg_cli::run(std::env::args().skip(1), &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(error) => {
+            eprintln!("bbmg: {error}");
+            ExitCode::FAILURE
+        }
+    }
+}

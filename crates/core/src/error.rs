@@ -1,0 +1,87 @@
+//! Learner errors.
+
+use std::fmt;
+
+use bbmg_trace::MessageId;
+
+/// Error produced by the learner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LearnError {
+    /// The hypothesis set became empty: either the trace contains errors
+    /// (violating the model-of-computation assumptions) or the hypothesis
+    /// language cannot express the observed behaviour (paper §3.1).
+    Inconsistent {
+        /// Zero-based index of the period being processed.
+        period: usize,
+        /// The message whose candidate set eliminated every hypothesis,
+        /// if the failure happened while explaining a message.
+        message: Option<MessageId>,
+    },
+    /// The exact algorithm's working set exceeded the configured
+    /// [`crate::LearnOptions::set_limit`] resource guard. Re-run with a
+    /// larger limit, or switch to the bounded heuristic.
+    SetLimitExceeded {
+        /// Zero-based index of the period being processed.
+        period: usize,
+        /// The configured limit that was exceeded.
+        limit: usize,
+    },
+    /// A period's task universe did not match the learner's.
+    UniverseMismatch {
+        /// Task count the learner was built with.
+        expected: usize,
+        /// Task count of the offending period.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for LearnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LearnError::Inconsistent { period, message } => match message {
+                Some(m) => write!(
+                    f,
+                    "hypothesis set became empty while explaining message {m} in period {period}: \
+                     trace errors or inexpressible property"
+                ),
+                None => write!(
+                    f,
+                    "hypothesis set became empty in period {period}: \
+                     trace errors or inexpressible property"
+                ),
+            },
+            LearnError::SetLimitExceeded { period, limit } => write!(
+                f,
+                "hypothesis set exceeded the resource guard of {limit} in period {period}: \
+                 the exact algorithm is exponential; raise the limit or use a bound"
+            ),
+            LearnError::UniverseMismatch { expected, actual } => write!(
+                f,
+                "period has {actual} tasks but learner was built for {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LearnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_period() {
+        let e = LearnError::Inconsistent {
+            period: 3,
+            message: Some(MessageId::from_index(9)),
+        };
+        let s = e.to_string();
+        assert!(s.contains("m9") && s.contains("period 3"));
+        let e = LearnError::UniverseMismatch {
+            expected: 4,
+            actual: 5,
+        };
+        assert!(e.to_string().contains('4') && e.to_string().contains('5'));
+    }
+}

@@ -1,0 +1,116 @@
+//! Execution history across periods.
+//!
+//! The version-space invariant requires every maintained hypothesis to
+//! match *all* instances seen so far, not just the current one. When a
+//! message `s → r` is assumed in the current period, the minimal admissible
+//! generalization of `d(s, r)` is `→` only if no earlier period saw `s`
+//! execute without `r`; otherwise the unconditional claim would contradict
+//! that earlier instance and the minimal admissible value is `→?` directly.
+//! (This is visible in the paper's worked example: `d85(t1, t3) = →?` even
+//! though the `t1 → t3` message is first assumable in period 2 and `t3`
+//! executes in every later period — period 1, where `t3` was absent,
+//! already rules the unconditional `→` out.)
+//!
+//! [`ExecutionHistory`] tracks exactly this "ever ran without" relation.
+
+use bbmg_lattice::{DependencyValue, TaskId, TaskSet};
+
+/// For each ordered pair `(a, b)`: has some fully observed period executed
+/// `a` but not `b`?
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ExecutionHistory {
+    tasks: usize,
+    ran_without: Vec<bool>,
+}
+
+impl ExecutionHistory {
+    pub(crate) fn new(tasks: usize) -> Self {
+        ExecutionHistory {
+            tasks,
+            ran_without: vec![false; tasks * tasks],
+        }
+    }
+
+    /// Folds one period's execution set into the history.
+    pub(crate) fn observe(&mut self, executed: &TaskSet) {
+        for i in 0..self.tasks {
+            if !executed.contains(TaskId::from_index(i)) {
+                continue;
+            }
+            for j in 0..self.tasks {
+                if i != j && !executed.contains(TaskId::from_index(j)) {
+                    self.ran_without[i * self.tasks + j] = true;
+                }
+            }
+        }
+    }
+
+    /// Whether some observed period executed `a` without `b`.
+    pub(crate) fn ran_without(&self, a: TaskId, b: TaskId) -> bool {
+        self.ran_without[a.index() * self.tasks + b.index()]
+    }
+
+    /// The minimal admissible forward value for assuming a message
+    /// `sender → receiver`: `→`, or `→?` if history already contradicts the
+    /// unconditional claim.
+    pub(crate) fn forward_value(&self, sender: TaskId, receiver: TaskId) -> DependencyValue {
+        if self.ran_without(sender, receiver) {
+            DependencyValue::MayDetermine
+        } else {
+            DependencyValue::Determines
+        }
+    }
+
+    /// The minimal admissible backward value for the receiver's side of a
+    /// message `sender → receiver`: `←`, or `←?` if contradicted.
+    pub(crate) fn backward_value(&self, sender: TaskId, receiver: TaskId) -> DependencyValue {
+        if self.ran_without(receiver, sender) {
+            DependencyValue::MayDependOn
+        } else {
+            DependencyValue::DependsOn
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: usize) -> TaskId {
+        TaskId::from_index(i)
+    }
+
+    #[test]
+    fn fresh_history_allows_unconditional_values() {
+        let h = ExecutionHistory::new(3);
+        assert_eq!(h.forward_value(t(0), t(1)), DependencyValue::Determines);
+        assert_eq!(h.backward_value(t(0), t(1)), DependencyValue::DependsOn);
+    }
+
+    #[test]
+    fn observing_absence_weakens_joins() {
+        let mut h = ExecutionHistory::new(3);
+        // Period ran {0, 2}: 0 ran without 1, 2 ran without 1.
+        h.observe(&TaskSet::from_ids(3, [t(0), t(2)]));
+        assert!(h.ran_without(t(0), t(1)));
+        assert!(!h.ran_without(t(0), t(2)));
+        assert!(!h.ran_without(t(1), t(0)));
+        assert_eq!(h.forward_value(t(0), t(1)), DependencyValue::MayDetermine);
+        // Receiver side: 1 never ran without 0, so backward stays <- for a
+        // message 0 -> 1 …
+        assert_eq!(h.backward_value(t(0), t(1)), DependencyValue::DependsOn);
+        // … which is the paper's d85 asymmetry: (t1,t3)=->? but (t3,t1)=<-.
+    }
+
+    #[test]
+    fn history_accumulates() {
+        let mut h = ExecutionHistory::new(2);
+        h.observe(&TaskSet::from_ids(2, [t(0), t(1)]));
+        assert!(!h.ran_without(t(0), t(1)));
+        h.observe(&TaskSet::from_ids(2, [t(0)]));
+        assert!(h.ran_without(t(0), t(1)));
+        // Flags are sticky.
+        h.observe(&TaskSet::from_ids(2, [t(0), t(1)]));
+        assert!(h.ran_without(t(0), t(1)));
+    }
+}

@@ -1,0 +1,234 @@
+//! Assumption-annotated hypotheses.
+
+use std::collections::BTreeSet;
+
+use bbmg_lattice::{DependencyFunction, DependencyValue, TaskId, TaskSet};
+
+/// A hypothesis under consideration within a period: a dependency function
+/// plus the sender/receiver assumptions made for the messages of the
+/// *current* period.
+///
+/// Assumptions enforce the paper's rule that between any sender/receiver
+/// pair there is at most one message per period: a hypothesis that already
+/// assumed `(s, r)` for an earlier message of the period cannot assume it
+/// again for a later one. Post-processing strips assumptions at every
+/// period boundary.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Hypothesis {
+    function: DependencyFunction,
+    assumptions: BTreeSet<(TaskId, TaskId)>,
+}
+
+impl Hypothesis {
+    /// Wraps a dependency function with an empty assumption set.
+    #[must_use]
+    pub fn new(function: DependencyFunction) -> Self {
+        Hypothesis {
+            function,
+            assumptions: BTreeSet::new(),
+        }
+    }
+
+    /// The globally most specific hypothesis `d⊥` over `tasks` tasks.
+    #[must_use]
+    pub fn bottom(tasks: usize) -> Self {
+        Self::new(DependencyFunction::bottom(tasks))
+    }
+
+    /// The dependency function.
+    #[must_use]
+    pub fn function(&self) -> &DependencyFunction {
+        &self.function
+    }
+
+    /// Consumes the hypothesis, returning the bare dependency function
+    /// (this is what post-processing's "remove the assumptions" does).
+    #[must_use]
+    pub fn into_function(self) -> DependencyFunction {
+        self.function
+    }
+
+    /// The sender/receiver pairs assumed so far in the current period.
+    #[must_use]
+    pub fn assumptions(&self) -> &BTreeSet<(TaskId, TaskId)> {
+        &self.assumptions
+    }
+
+    /// Whether `(sender, receiver)` was already assumed this period.
+    #[must_use]
+    pub fn assumes(&self, sender: TaskId, receiver: TaskId) -> bool {
+        self.assumptions.contains(&(sender, receiver))
+    }
+
+    /// The hypothesis weight (paper Definition 8).
+    #[must_use]
+    pub fn weight(&self) -> u64 {
+        self.function.weight()
+    }
+
+    /// Minimal generalization explaining a message assumed to travel
+    /// `sender → receiver`, with the assumption recorded.
+    ///
+    /// This is the step that builds `d1jk` from `d1j` in §3.1: the new
+    /// hypothesis has all the parent's assumptions plus the new pair, and
+    /// its function is the parent's joined with `forward` at
+    /// `(sender, receiver)` and `backward` at `(receiver, sender)`. The
+    /// caller (the [`crate::Learner`]) picks `forward`/`backward` as the
+    /// minimal values consistent with *all* instances seen so far: `→`/`←`
+    /// normally, pre-weakened `→?`/`←?` when execution history already
+    /// contradicts the unconditional claim.
+    #[must_use]
+    pub fn assume_message(
+        &self,
+        sender: TaskId,
+        receiver: TaskId,
+        forward: DependencyValue,
+        backward: DependencyValue,
+    ) -> Hypothesis {
+        let mut next = self.clone();
+        next.function.join_value(sender, receiver, forward);
+        next.function.join_value(receiver, sender, backward);
+        next.assumptions.insert((sender, receiver));
+        next
+    }
+
+    /// Minimal generalization restoring execution consistency with a
+    /// period in which exactly the tasks of `executed` ran: any
+    /// unconditional claim about a non-executing task made by an executing
+    /// task is weakened one step (`→` to `→?`, `←` to `←?`, `↔` to `↔?`).
+    pub fn weaken_for_execution(&mut self, executed: &TaskSet) {
+        let n = self.function.task_count();
+        for i in 0..n {
+            let t1 = TaskId::from_index(i);
+            if !executed.contains(t1) {
+                continue;
+            }
+            for j in 0..n {
+                let t2 = TaskId::from_index(j);
+                if i == j || executed.contains(t2) {
+                    continue;
+                }
+                let weakened = match self.function.value(t1, t2) {
+                    DependencyValue::Determines => DependencyValue::MayDetermine,
+                    DependencyValue::DependsOn => DependencyValue::MayDependOn,
+                    DependencyValue::Mutual => DependencyValue::MayMutual,
+                    other => other,
+                };
+                self.function.set(t1, t2, weakened);
+            }
+        }
+    }
+
+    /// Merges with `other` for the bounded heuristic: the functions'
+    /// least upper bound, with assumptions combined per `union`.
+    #[must_use]
+    pub fn merge(&self, other: &Hypothesis, union: bool) -> Hypothesis {
+        let function = self.function.join(&other.function);
+        let assumptions = if union {
+            self.assumptions.union(&other.assumptions).copied().collect()
+        } else {
+            self.assumptions
+                .intersection(&other.assumptions)
+                .copied()
+                .collect()
+        };
+        Hypothesis {
+            function,
+            assumptions,
+        }
+    }
+
+    /// Drops the per-period assumptions, keeping the function.
+    pub fn clear_assumptions(&mut self) {
+        self.assumptions.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbmg_lattice::DependencyValue as V;
+
+    fn t(i: usize) -> TaskId {
+        TaskId::from_index(i)
+    }
+
+    #[test]
+    fn bottom_has_no_assumptions() {
+        let h = Hypothesis::bottom(3);
+        assert!(h.function().is_bottom());
+        assert!(h.assumptions().is_empty());
+        assert_eq!(h.weight(), 0);
+    }
+
+    #[test]
+    fn assume_message_generalizes_and_records() {
+        let h = Hypothesis::bottom(3).assume_message(t(0), t(1), V::Determines, V::DependsOn);
+        assert_eq!(h.function().value(t(0), t(1)), V::Determines);
+        assert_eq!(h.function().value(t(1), t(0)), V::DependsOn);
+        assert!(h.assumes(t(0), t(1)));
+        assert!(!h.assumes(t(1), t(0)));
+        // Chaining keeps the parent's assumptions (paper's d1jk rule).
+        let h2 = h.assume_message(t(1), t(2), V::Determines, V::DependsOn);
+        assert!(h2.assumes(t(0), t(1)) && h2.assumes(t(1), t(2)));
+        assert_eq!(h2.assumptions().len(), 2);
+    }
+
+    #[test]
+    fn weakening_matches_paper_d21_to_period_2() {
+        // d21 after period 1: t1->t2, t1->t4 (plus converse <- entries).
+        let mut h = Hypothesis::bottom(4)
+            .assume_message(t(0), t(1), V::Determines, V::DependsOn)
+            .assume_message(t(0), t(3), V::Determines, V::DependsOn);
+        h.clear_assumptions();
+        // Period 2 executes {t1, t3, t4}; t2 is absent.
+        let executed = TaskSet::from_ids(4, [t(0), t(2), t(3)]);
+        h.weaken_for_execution(&executed);
+        // t1 executed, t2 didn't: -> weakens to ->?.
+        assert_eq!(h.function().value(t(0), t(1)), V::MayDetermine);
+        // t2 didn't execute, so its own <- claim about t1 is untouched
+        // (this is the paper's d81 asymmetry).
+        assert_eq!(h.function().value(t(1), t(0)), V::DependsOn);
+        // t1 -> t4 untouched: both executed.
+        assert_eq!(h.function().value(t(0), t(3)), V::Determines);
+    }
+
+    #[test]
+    fn weaken_handles_depends_and_mutual() {
+        let mut h = Hypothesis::bottom(2);
+        let mut f = h.function().clone();
+        f.set(t(0), t(1), V::DependsOn);
+        h = Hypothesis::new(f);
+        let executed = TaskSet::from_ids(2, [t(0)]);
+        h.weaken_for_execution(&executed);
+        assert_eq!(h.function().value(t(0), t(1)), V::MayDependOn);
+
+        let mut f = DependencyFunction::bottom(2);
+        f.set(t(0), t(1), V::Mutual);
+        let mut h = Hypothesis::new(f);
+        h.weaken_for_execution(&TaskSet::from_ids(2, [t(0)]));
+        assert_eq!(h.function().value(t(0), t(1)), V::MayMutual);
+    }
+
+    #[test]
+    fn weaken_ignores_non_executing_rows() {
+        let mut h = Hypothesis::bottom(2).assume_message(t(0), t(1), V::Determines, V::DependsOn);
+        // Neither task executed: nothing changes.
+        h.weaken_for_execution(&TaskSet::empty(2));
+        assert_eq!(h.function().value(t(0), t(1)), V::Determines);
+    }
+
+    #[test]
+    fn merge_union_and_intersection() {
+        let a = Hypothesis::bottom(3).assume_message(t(0), t(1), V::Determines, V::DependsOn);
+        let b = Hypothesis::bottom(3).assume_message(t(1), t(2), V::Determines, V::DependsOn);
+        let u = a.merge(&b, true);
+        assert_eq!(u.assumptions().len(), 2);
+        assert_eq!(u.function().value(t(0), t(1)), V::Determines);
+        assert_eq!(u.function().value(t(1), t(2)), V::Determines);
+        let i = a.merge(&b, false);
+        assert!(i.assumptions().is_empty());
+        // Functions always join.
+        assert_eq!(i.function(), u.function());
+    }
+}

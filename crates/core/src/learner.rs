@@ -1,0 +1,656 @@
+//! The incremental generalization engine (paper §3.1–§3.2).
+
+use std::collections::HashSet;
+
+use bbmg_lattice::{DependencyFunction, DependencyValue, TaskId};
+use bbmg_trace::{Period, Trace};
+
+use crate::error::LearnError;
+use crate::history::ExecutionHistory;
+use crate::hypothesis::Hypothesis;
+use crate::options::{LearnOptions, MergeAssumptions};
+use crate::stats::LearnStats;
+
+/// The incremental learner: feed it periods with [`observe`], read the
+/// current most-specific hypothesis set at any time.
+///
+/// Starts from `D0 = {d⊥}` and, per period:
+///
+/// 1. *weakens* every hypothesis to stay consistent with the period's
+///    execution set (`→` claims about absent tasks become `→?`, …);
+/// 2. for each message in timestamp order, *branches* every hypothesis over
+///    the message's timing-feasible sender/receiver pairs not yet assumed
+///    this period, generalizing minimally (`d1jk` construction, §3.1) — in
+///    bounded mode, overflow beyond the bound merges the two lowest-weight
+///    hypotheses into their least upper bound (§3.2);
+/// 3. *post-processes*: strips assumptions, unifies equal hypotheses and
+///    deletes redundant (dominated) ones.
+///
+/// [`observe`]: Learner::observe
+#[derive(Debug, Clone)]
+pub struct Learner {
+    options: LearnOptions,
+    tasks: usize,
+    hypotheses: Vec<Hypothesis>,
+    history: ExecutionHistory,
+    stats: LearnStats,
+}
+
+impl Learner {
+    /// Creates a learner over a universe of `tasks` tasks.
+    #[must_use]
+    pub fn new(tasks: usize, options: LearnOptions) -> Self {
+        Learner {
+            options,
+            tasks,
+            hypotheses: vec![Hypothesis::bottom(tasks)],
+            history: ExecutionHistory::new(tasks),
+            stats: LearnStats::default(),
+        }
+    }
+
+    /// The options the learner was built with.
+    #[must_use]
+    pub fn options(&self) -> &LearnOptions {
+        &self.options
+    }
+
+    /// The current hypothesis set (assumption-free between periods),
+    /// ordered by ascending weight.
+    #[must_use]
+    pub fn hypotheses(&self) -> Vec<&DependencyFunction> {
+        self.hypotheses.iter().map(Hypothesis::function).collect()
+    }
+
+    /// Number of hypotheses currently maintained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.hypotheses.len()
+    }
+
+    /// Whether the hypothesis set is empty (only after an error).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.hypotheses.is_empty()
+    }
+
+    /// Whether the learner has converged to a unique most-specific
+    /// solution (paper §3.1: "If only one hypothesis is left …").
+    #[must_use]
+    pub fn converged(&self) -> bool {
+        self.hypotheses.len() == 1
+    }
+
+    /// Statistics accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> &LearnStats {
+        &self.stats
+    }
+
+    /// Processes one period.
+    ///
+    /// # Errors
+    ///
+    /// [`LearnError::UniverseMismatch`] if the period was built over a
+    /// different task count; [`LearnError::Inconsistent`] if the hypothesis
+    /// set becomes empty (trace errors or inexpressible behaviour, §3.1).
+    /// After an `Inconsistent` error the learner is empty and further
+    /// observations keep failing.
+    pub fn observe(&mut self, period: &Period) -> Result<(), LearnError> {
+        if period.universe() != self.tasks {
+            return Err(LearnError::UniverseMismatch {
+                expected: self.tasks,
+                actual: period.universe(),
+            });
+        }
+        if self.hypotheses.is_empty() {
+            return Err(LearnError::Inconsistent {
+                period: period.index(),
+                message: None,
+            });
+        }
+
+        // Step 1: execution-consistency weakening of claims introduced in
+        // earlier periods, and history bookkeeping for claims introduced
+        // later (the version-space invariant: hypotheses must keep matching
+        // *all* instances, so a message join below may have to start at
+        // `→?` when an earlier period already contradicts `→`).
+        let executed = period.executed_tasks();
+        self.history.observe(executed);
+        for h in &mut self.hypotheses {
+            h.weaken_for_execution(executed);
+        }
+
+        // Step 2: message-guided generalization.
+        for message in period.messages() {
+            let candidates: Vec<(TaskId, TaskId)> = if self.options.timing_filter {
+                period.candidate_pairs(message)
+            } else {
+                all_executed_pairs(period)
+            };
+            self.stats.candidate_pairs_total += candidates.len();
+            self.stats.messages += 1;
+
+            let mut next: Vec<Hypothesis> = Vec::new();
+            let mut seen: HashSet<Hypothesis> = HashSet::new();
+            let union = self.options.merge_assumptions == MergeAssumptions::Union;
+            for h in &self.hypotheses {
+                for &(s, r) in &candidates {
+                    if h.assumes(s, r) {
+                        // At most one message per sender/receiver pair per
+                        // period: this pair is spoken for.
+                        continue;
+                    }
+                    let (forward, backward) = if self.options.history_aware {
+                        (
+                            self.history.forward_value(s, r),
+                            self.history.backward_value(s, r),
+                        )
+                    } else {
+                        // Ablation: the naive join that only respects the
+                        // current instance (violates the version-space
+                        // invariant; see LearnOptions::history_aware).
+                        (DependencyValue::Determines, DependencyValue::DependsOn)
+                    };
+                    let child = h.assume_message(s, r, forward, backward);
+                    if !seen.insert(child.clone()) {
+                        continue;
+                    }
+                    self.stats.hypotheses_generated += 1;
+                    if self.options.bound.is_some() {
+                        // The heuristic keeps the working list weight-
+                        // ordered so overflow can merge the two most
+                        // specific entries.
+                        insert_by_weight(&mut next, child);
+                    } else {
+                        // The exact algorithm needs no order; sorted
+                        // insertion would cost O(n^2) across a blow-up.
+                        next.push(child);
+                    }
+                    if let Some(limit) = self.options.set_limit {
+                        if self.options.bound.is_none() && next.len() > limit.get() {
+                            self.hypotheses.clear();
+                            return Err(LearnError::SetLimitExceeded {
+                                period: period.index(),
+                                limit: limit.get(),
+                            });
+                        }
+                    }
+                    if let Some(bound) = self.options.bound {
+                        if next.len() > bound.get() {
+                            // Replace the two lowest-weight hypotheses by
+                            // their least upper bound (§3.2).
+                            let a = next.remove(0);
+                            let b = next.remove(0);
+                            insert_by_weight(&mut next, a.merge(&b, union));
+                            self.stats.merges += 1;
+                        }
+                    }
+                }
+            }
+            self.stats.observe_set_size(next.len());
+            if next.is_empty() {
+                self.hypotheses.clear();
+                return Err(LearnError::Inconsistent {
+                    period: period.index(),
+                    message: Some(message.id),
+                });
+            }
+            self.hypotheses = next;
+        }
+
+        // Step 3: post-processing — strip assumptions, unify, delete
+        // redundant hypotheses.
+        for h in &mut self.hypotheses {
+            h.clear_assumptions();
+        }
+        self.remove_redundant();
+        self.stats.periods += 1;
+        self.stats.set_sizes_per_period.push(self.hypotheses.len());
+        Ok(())
+    }
+
+    /// Processes a *negative* instance: a period known to be infeasible
+    /// (e.g. observed during a fault injection, or ruled out by a
+    /// specification). Every current hypothesis that *matches* the
+    /// negative period is eliminated — the candidate-elimination step the
+    /// paper's conclusion sketches ("It could also be extended by version
+    /// space techniques provided negative examples in the execution
+    /// traces").
+    ///
+    /// Only the most-specific (S) boundary is maintained, which is also
+    /// all the paper's model-generation output consists of; tracking the
+    /// most-general (G) boundary is not needed to answer "what is the most
+    /// specific model consistent with the observations".
+    ///
+    /// Returns the number of eliminated hypotheses.
+    ///
+    /// # Errors
+    ///
+    /// [`LearnError::UniverseMismatch`] on task-count mismatch;
+    /// [`LearnError::Inconsistent`] if every hypothesis matched the
+    /// negative period (the positive and negative observations cannot be
+    /// reconciled within the hypothesis language).
+    pub fn observe_negative(&mut self, period: &Period) -> Result<usize, LearnError> {
+        if period.universe() != self.tasks {
+            return Err(LearnError::UniverseMismatch {
+                expected: self.tasks,
+                actual: period.universe(),
+            });
+        }
+        let before = self.hypotheses.len();
+        self.hypotheses
+            .retain(|h| !crate::matching::matches_period(h.function(), period));
+        if self.hypotheses.is_empty() {
+            return Err(LearnError::Inconsistent {
+                period: period.index(),
+                message: None,
+            });
+        }
+        Ok(before - self.hypotheses.len())
+    }
+
+    /// Unifies equal hypotheses and removes dominated ones: `d` is
+    /// redundant iff some other kept `d'` satisfies `d' ⊑ d`.
+    fn remove_redundant(&mut self) {
+        let mut unique: Vec<Hypothesis> = Vec::new();
+        for h in self.hypotheses.drain(..) {
+            if !unique.contains(&h) {
+                unique.push(h);
+            }
+        }
+        let keep: Vec<bool> = unique
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                !unique.iter().enumerate().any(|(j, other)| {
+                    j != i
+                        && other.function().leq(h.function())
+                        && other.function() != h.function()
+                })
+            })
+            .collect();
+        let mut kept: Vec<Hypothesis> = unique
+            .into_iter()
+            .zip(keep)
+            .filter_map(|(h, k)| k.then_some(h))
+            .collect();
+        kept.sort_by_key(Hypothesis::weight);
+        self.hypotheses = kept;
+    }
+
+    /// Finishes the run, producing a [`LearnResult`].
+    #[must_use]
+    pub fn into_result(self) -> LearnResult {
+        LearnResult {
+            hypotheses: self
+                .hypotheses
+                .into_iter()
+                .map(Hypothesis::into_function)
+                .collect(),
+            stats: self.stats,
+        }
+    }
+}
+
+/// All ordered pairs of distinct tasks that executed in `period` (the
+/// unfiltered candidate set used by the timing-filter ablation).
+fn all_executed_pairs(period: &Period) -> Vec<(TaskId, TaskId)> {
+    let executed: Vec<TaskId> = period.executed_tasks().iter().collect();
+    let mut pairs = Vec::with_capacity(executed.len() * executed.len());
+    for &s in &executed {
+        for &r in &executed {
+            if s != r {
+                pairs.push((s, r));
+            }
+        }
+    }
+    pairs
+}
+
+/// Inserts `h` keeping `list` sorted by ascending weight (stable: equal
+/// weights keep insertion order).
+fn insert_by_weight(list: &mut Vec<Hypothesis>, h: Hypothesis) {
+    let w = h.weight();
+    let pos = list.partition_point(|x| x.weight() <= w);
+    list.insert(pos, h);
+}
+
+/// The outcome of a completed learner run.
+#[derive(Debug, Clone)]
+pub struct LearnResult {
+    hypotheses: Vec<DependencyFunction>,
+    stats: LearnStats,
+}
+
+impl LearnResult {
+    /// The most-specific hypothesis set, ordered by ascending weight.
+    #[must_use]
+    pub fn hypotheses(&self) -> &[DependencyFunction] {
+        &self.hypotheses
+    }
+
+    /// Whether the run converged to a unique hypothesis.
+    #[must_use]
+    pub fn converged(&self) -> bool {
+        self.hypotheses.len() == 1
+    }
+
+    /// The least upper bound of all remaining hypotheses — the paper's
+    /// `d_LUB` summary (§3.3), and by Theorem 4 the exact value the bound-1
+    /// heuristic converges to. `None` if the set is empty.
+    #[must_use]
+    pub fn lub(&self) -> Option<DependencyFunction> {
+        let mut iter = self.hypotheses.iter();
+        let first = iter.next()?.clone();
+        Some(iter.fold(first, |acc, d| acc.join(d)))
+    }
+
+    /// Run statistics.
+    #[must_use]
+    pub fn stats(&self) -> &LearnStats {
+        &self.stats
+    }
+}
+
+/// Runs the learner over every period of `trace`.
+///
+/// # Errors
+///
+/// Propagates the first [`LearnError`] (see [`Learner::observe`]).
+///
+/// # Example
+///
+/// See the [crate-level example](crate).
+pub fn learn(trace: &Trace, options: LearnOptions) -> Result<LearnResult, LearnError> {
+    let mut learner = Learner::new(trace.task_count(), options);
+    for period in trace.periods() {
+        learner.observe(period)?;
+    }
+    Ok(learner.into_result())
+}
+
+#[cfg(test)]
+mod tests {
+    use bbmg_lattice::{DependencyValue as V, TaskUniverse};
+    use bbmg_trace::{Timestamp, Trace, TraceBuilder};
+
+    use super::*;
+    use crate::matching::matches_trace;
+
+    fn t(i: usize) -> TaskId {
+        TaskId::from_index(i)
+    }
+
+    /// Period 1 of the paper's Figure 2: t1 [m1] t2 [m2] t4 over a 4-task
+    /// universe.
+    fn figure_2_period_1() -> Trace {
+        let u = TaskUniverse::from_names(["t1", "t2", "t3", "t4"]);
+        let mut b = TraceBuilder::new(u);
+        b.begin_period();
+        b.task(t(0), Timestamp::new(0), Timestamp::new(10)).unwrap();
+        b.message(Timestamp::new(12), Timestamp::new(14)).unwrap();
+        b.task(t(1), Timestamp::new(20), Timestamp::new(30)).unwrap();
+        b.message(Timestamp::new(32), Timestamp::new(34)).unwrap();
+        b.task(t(3), Timestamp::new(40), Timestamp::new(50)).unwrap();
+        b.end_period().unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn first_message_yields_d11_and_d12() {
+        // Process only m1 by truncating the trace to a period with m1 only.
+        let u = TaskUniverse::from_names(["t1", "t2", "t3", "t4"]);
+        let mut b = TraceBuilder::new(u);
+        b.begin_period();
+        b.task(t(0), Timestamp::new(0), Timestamp::new(10)).unwrap();
+        b.message(Timestamp::new(12), Timestamp::new(14)).unwrap();
+        b.task(t(1), Timestamp::new(20), Timestamp::new(30)).unwrap();
+        b.task(t(3), Timestamp::new(40), Timestamp::new(50)).unwrap();
+        b.end_period().unwrap();
+        let trace = b.finish();
+
+        let result = learn(&trace, LearnOptions::exact()).unwrap();
+        let d11 = DependencyFunction::from_rows(&[
+            &["||", "->", "||", "||"],
+            &["<-", "||", "||", "||"],
+            &["||", "||", "||", "||"],
+            &["||", "||", "||", "||"],
+        ])
+        .unwrap();
+        let d12 = DependencyFunction::from_rows(&[
+            &["||", "||", "||", "->"],
+            &["||", "||", "||", "||"],
+            &["||", "||", "||", "||"],
+            &["<-", "||", "||", "||"],
+        ])
+        .unwrap();
+        assert_eq!(result.hypotheses().len(), 2);
+        assert!(result.hypotheses().contains(&d11));
+        assert!(result.hypotheses().contains(&d12));
+    }
+
+    #[test]
+    fn period_1_yields_d21_d22_d23() {
+        let trace = figure_2_period_1();
+        let result = learn(&trace, LearnOptions::exact()).unwrap();
+        let d21 = DependencyFunction::from_rows(&[
+            &["||", "->", "||", "->"],
+            &["<-", "||", "||", "||"],
+            &["||", "||", "||", "||"],
+            &["<-", "||", "||", "||"],
+        ])
+        .unwrap();
+        let d22 = DependencyFunction::from_rows(&[
+            &["||", "->", "||", "||"],
+            &["<-", "||", "||", "->"],
+            &["||", "||", "||", "||"],
+            &["||", "<-", "||", "||"],
+        ])
+        .unwrap();
+        let d23 = DependencyFunction::from_rows(&[
+            &["||", "||", "||", "->"],
+            &["||", "||", "||", "->"],
+            &["||", "||", "||", "||"],
+            &["<-", "<-", "||", "||"],
+        ])
+        .unwrap();
+        assert_eq!(result.hypotheses().len(), 3);
+        for d in [&d21, &d22, &d23] {
+            assert!(result.hypotheses().contains(d), "missing\n{d:?}");
+        }
+    }
+
+    #[test]
+    fn every_returned_hypothesis_matches_the_trace() {
+        // Theorem 2 instance check.
+        let trace = figure_2_period_1();
+        for options in [LearnOptions::exact(), LearnOptions::bounded(2)] {
+            let result = learn(&trace, options).unwrap();
+            for d in result.hypotheses() {
+                assert!(matches_trace(d, &trace));
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_run_respects_bound_and_merges() {
+        let trace = figure_2_period_1();
+        let result = learn(&trace, LearnOptions::bounded(1)).unwrap();
+        assert!(result.converged());
+        assert!(result.stats().merges > 0);
+        // Theorem 4 / lemma shape: bound-1 result equals LUB of exact set.
+        let exact = learn(&trace, LearnOptions::exact()).unwrap();
+        assert_eq!(result.hypotheses()[0], exact.lub().unwrap());
+    }
+
+    #[test]
+    fn inconsistent_trace_reports_error() {
+        // One message but only one executed task: no candidate pairs.
+        let u = TaskUniverse::from_names(["a", "b"]);
+        let mut b = TraceBuilder::new(u);
+        b.begin_period();
+        b.task(t(0), Timestamp::new(0), Timestamp::new(10)).unwrap();
+        b.message(Timestamp::new(12), Timestamp::new(14)).unwrap();
+        b.end_period().unwrap();
+        let trace = b.finish();
+        let err = learn(&trace, LearnOptions::exact()).unwrap_err();
+        assert!(matches!(err, LearnError::Inconsistent { period: 0, .. }));
+    }
+
+    #[test]
+    fn universe_mismatch_reports_error() {
+        let trace = figure_2_period_1();
+        let mut learner = Learner::new(3, LearnOptions::exact());
+        let err = learner.observe(&trace.periods()[0]).unwrap_err();
+        assert!(matches!(
+            err,
+            LearnError::UniverseMismatch {
+                expected: 3,
+                actual: 4
+            }
+        ));
+    }
+
+    #[test]
+    fn empty_trace_converges_to_bottom() {
+        let learner = Learner::new(4, LearnOptions::exact());
+        assert!(learner.converged());
+        let result = learner.into_result();
+        assert!(result.hypotheses()[0].is_bottom());
+        assert_eq!(result.lub().unwrap(), DependencyFunction::bottom(4));
+    }
+
+    #[test]
+    fn timing_filter_off_is_more_general() {
+        let trace = figure_2_period_1();
+        let with = learn(&trace, LearnOptions::exact()).unwrap();
+        let without = learn(
+            &trace,
+            LearnOptions::exact().with_timing_filter(false),
+        )
+        .unwrap();
+        // Every timing-filtered hypothesis is dominated by (or equal to)
+        // some unfiltered hypothesis: the unfiltered set explores a
+        // superset of assignments.
+        for d in with.hypotheses() {
+            assert!(
+                without.hypotheses().iter().any(|u| u.leq(d)),
+                "filtered hypothesis not covered"
+            );
+        }
+        assert!(without.hypotheses().len() >= with.hypotheses().len());
+    }
+
+    #[test]
+    fn negative_example_eliminates_matching_hypotheses() {
+        // After period 1 of the worked example the set is {d21, d22, d23}.
+        // A negative period shaped exactly like period 1 whose messages
+        // could only be (t1,t2) and (t1,t4) eliminates d21 (which matches
+        // it) but keeps d22/d23 (which need a (t2,t4) message).
+        let trace = figure_2_period_1();
+        let mut learner = Learner::new(4, LearnOptions::exact());
+        learner.observe(&trace.periods()[0]).unwrap();
+        assert_eq!(learner.len(), 3);
+
+        // Negative instance declared infeasible by the spec: t1, t2, t4
+        // execute and *two* messages transmit before t2 starts, so both
+        // must come from t1 (to t2 and to t4). Only d21 holds both the
+        // t1 -> t2 and t1 -> t4 dependencies, so only d21 matches and is
+        // eliminated; d22 and d23 each admit just one of the pairs and
+        // survive.
+        let u = TaskUniverse::from_names(["t1", "t2", "t3", "t4"]);
+        let mut b = TraceBuilder::new(u);
+        b.begin_period();
+        b.task(t(0), Timestamp::new(0), Timestamp::new(10)).unwrap();
+        b.message(Timestamp::new(12), Timestamp::new(14)).unwrap();
+        b.message(Timestamp::new(15), Timestamp::new(17)).unwrap();
+        b.task(t(1), Timestamp::new(20), Timestamp::new(30)).unwrap();
+        b.task(t(3), Timestamp::new(40), Timestamp::new(50)).unwrap();
+        b.end_period().unwrap();
+        let negative = b.finish();
+
+        let eliminated = learner.observe_negative(&negative.periods()[0]).unwrap();
+        assert_eq!(eliminated, 1);
+        assert_eq!(learner.len(), 2);
+        // No survivor holds both t1->t2 and t1->t4.
+        for d in learner.hypotheses() {
+            let both = d.value(t(0), t(1)) == V::Determines
+                && d.value(t(0), t(3)) == V::Determines;
+            assert!(!both, "d21 should have been eliminated");
+        }
+    }
+
+    #[test]
+    fn negative_example_matching_everything_errors() {
+        let trace = figure_2_period_1();
+        let mut learner = Learner::new(4, LearnOptions::exact());
+        learner.observe(&trace.periods()[0]).unwrap();
+        // A negative period with no events matches every hypothesis
+        // (vacuously), so the version space collapses.
+        let u = TaskUniverse::from_names(["t1", "t2", "t3", "t4"]);
+        let mut b = TraceBuilder::new(u);
+        b.begin_period();
+        b.end_period().unwrap();
+        let empty = b.finish();
+        let err = learner.observe_negative(&empty.periods()[0]).unwrap_err();
+        assert!(matches!(err, LearnError::Inconsistent { .. }));
+    }
+
+    #[test]
+    fn negative_example_universe_mismatch_errors() {
+        let trace = figure_2_period_1();
+        let mut learner = Learner::new(3, LearnOptions::exact());
+        let err = learner.observe_negative(&trace.periods()[0]).unwrap_err();
+        assert!(matches!(err, LearnError::UniverseMismatch { .. }));
+    }
+
+    #[test]
+    fn history_ablation_breaks_cross_period_correctness() {
+        // Period 1: only t1 runs. Period 2: t1 [m] t3 run. History-aware
+        // joins give d(t1,t3) = ->? (period 1 already refutes ->); the
+        // naive ablation emits -> and the result fails to match period 1.
+        let u = TaskUniverse::from_names(["t1", "t2", "t3", "t4"]);
+        let mut b = TraceBuilder::new(u);
+        b.begin_period();
+        b.task(t(0), Timestamp::new(0), Timestamp::new(10)).unwrap();
+        b.end_period().unwrap();
+        b.begin_period();
+        b.task(t(0), Timestamp::new(100), Timestamp::new(110)).unwrap();
+        b.message(Timestamp::new(112), Timestamp::new(114)).unwrap();
+        b.task(t(2), Timestamp::new(120), Timestamp::new(130)).unwrap();
+        b.end_period().unwrap();
+        let trace = b.finish();
+
+        let aware = learn(&trace, LearnOptions::exact()).unwrap();
+        for d in aware.hypotheses() {
+            assert!(crate::matching::matches_trace(d, &trace));
+            assert_eq!(d.value(t(0), t(2)), V::MayDetermine);
+        }
+
+        let naive = learn(
+            &trace,
+            LearnOptions::exact().with_history_aware(false),
+        )
+        .unwrap();
+        assert!(
+            naive
+                .hypotheses()
+                .iter()
+                .any(|d| !crate::matching::matches_trace(d, &trace)),
+            "the ablation should exhibit the cross-period violation"
+        );
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let trace = figure_2_period_1();
+        let result = learn(&trace, LearnOptions::exact()).unwrap();
+        let stats = result.stats();
+        assert_eq!(stats.periods, 1);
+        assert_eq!(stats.messages, 2);
+        assert_eq!(stats.set_sizes_per_period, vec![3]);
+        assert!(stats.hypotheses_generated >= 5);
+        assert!(stats.candidate_pairs_total >= 4);
+    }
+}

@@ -1,0 +1,171 @@
+//! Learner configuration.
+
+use std::num::NonZeroUsize;
+
+/// How merged hypotheses combine their per-period assumption sets.
+///
+/// The paper's heuristic replaces the two lowest-weight hypotheses by their
+/// least upper bound but does not state what happens to their message
+/// assumptions. The default is [`Intersection`]: the merged hypothesis
+/// keeps only the assumptions common to both parents. This is the policy
+/// under which the paper's reported behaviour is reproducible — with
+/// [`Union`], a small bound accumulates *every* branching alternative's
+/// pair into one assumption set, and a later message in a busy period can
+/// find all its candidates already "spoken for", aborting the run (the
+/// paper's bound-1 run demonstrably succeeds, so union cannot be what the
+/// authors did). [`Union`] is kept for the ablation benchmark (DESIGN.md
+/// §4–5); both policies are sound, since joining dependency functions only
+/// ever generalizes.
+///
+/// [`Union`]: MergeAssumptions::Union
+/// [`Intersection`]: MergeAssumptions::Intersection
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MergeAssumptions {
+    /// Merged hypothesis assumes every pair either parent assumed.
+    Union,
+    /// Merged hypothesis assumes only pairs both parents assumed
+    /// (default).
+    #[default]
+    Intersection,
+}
+
+/// Options controlling [`crate::learn`] and [`crate::Learner`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LearnOptions {
+    /// Maximum number of concurrent hypotheses. `None` runs the exact
+    /// (exponential) algorithm; `Some(b)` runs the paper's bounded
+    /// heuristic with bound `b`.
+    pub bound: Option<NonZeroUsize>,
+    /// Assumption-merging policy for the bounded heuristic.
+    pub merge_assumptions: MergeAssumptions,
+    /// Whether candidate sender/receiver pairs are filtered by message
+    /// timing (`true`, the paper's rule) or drawn from all ordered pairs of
+    /// tasks executed in the period (`false`; ablation only — strictly more
+    /// branching, same soundness).
+    pub timing_filter: bool,
+    /// Whether message joins consult execution history so the minimal
+    /// generalization respects *all* instances seen so far (`true`, the
+    /// version-space invariant required to reproduce the paper's tables —
+    /// see DESIGN.md §4). `false` joins the naive `→`/`←` values and can
+    /// emit hypotheses contradicting earlier periods; kept as an ablation
+    /// of the reconstruction decision.
+    pub history_aware: bool,
+    /// Resource guard for the exact algorithm: if the working hypothesis
+    /// set ever exceeds this size, learning aborts with
+    /// [`crate::LearnError::SetLimitExceeded`] instead of consuming
+    /// unbounded time and memory (the problem is NP-hard, paper
+    /// Theorem 1). Ignored in bounded mode, where the bound caps the set.
+    pub set_limit: Option<NonZeroUsize>,
+}
+
+impl Default for LearnOptions {
+    /// Defaults to the exact algorithm with timing filtering.
+    fn default() -> Self {
+        LearnOptions {
+            bound: None,
+            merge_assumptions: MergeAssumptions::default(),
+            timing_filter: true,
+            history_aware: true,
+            set_limit: None,
+        }
+    }
+}
+
+impl LearnOptions {
+    /// The exact (unbounded) algorithm.
+    #[must_use]
+    pub fn exact() -> Self {
+        Self::default()
+    }
+
+    /// The bounded heuristic with bound `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b == 0`.
+    #[must_use]
+    pub fn bounded(b: usize) -> Self {
+        LearnOptions {
+            bound: Some(NonZeroUsize::new(b).expect("bound must be nonzero")),
+            ..Self::default()
+        }
+    }
+
+    /// Returns `self` with the given assumption-merge policy.
+    #[must_use]
+    pub fn with_merge_assumptions(mut self, policy: MergeAssumptions) -> Self {
+        self.merge_assumptions = policy;
+        self
+    }
+
+    /// Returns `self` with timing-based candidate filtering switched
+    /// on/off.
+    #[must_use]
+    pub fn with_timing_filter(mut self, enabled: bool) -> Self {
+        self.timing_filter = enabled;
+        self
+    }
+
+    /// Returns `self` with history-aware generalization switched on/off
+    /// (ablation; see [`LearnOptions::history_aware`]).
+    #[must_use]
+    pub fn with_history_aware(mut self, enabled: bool) -> Self {
+        self.history_aware = enabled;
+        self
+    }
+
+    /// Returns `self` with a working-set resource guard (see
+    /// [`LearnOptions::set_limit`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit == 0`.
+    #[must_use]
+    pub fn with_set_limit(mut self, limit: usize) -> Self {
+        self.set_limit = Some(NonZeroUsize::new(limit).expect("limit must be nonzero"));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_has_no_bound() {
+        assert_eq!(LearnOptions::exact().bound, None);
+        assert!(LearnOptions::exact().timing_filter);
+    }
+
+    #[test]
+    fn bounded_sets_bound() {
+        assert_eq!(LearnOptions::bounded(16).bound.unwrap().get(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be nonzero")]
+    fn zero_bound_panics() {
+        let _ = LearnOptions::bounded(0);
+    }
+
+    #[test]
+    fn builder_style_setters() {
+        let o = LearnOptions::bounded(4)
+            .with_merge_assumptions(MergeAssumptions::Intersection)
+            .with_timing_filter(false);
+        assert_eq!(o.merge_assumptions, MergeAssumptions::Intersection);
+        assert!(!o.timing_filter);
+    }
+}
+
+#[cfg(test)]
+mod set_limit_tests {
+    use super::*;
+
+    #[test]
+    fn with_set_limit_sets_guard() {
+        let o = LearnOptions::exact().with_set_limit(1000);
+        assert_eq!(o.set_limit.unwrap().get(), 1000);
+        assert_eq!(LearnOptions::exact().set_limit, None);
+    }
+}

@@ -1,0 +1,54 @@
+//! Learner run statistics.
+
+use std::fmt;
+
+/// Counters describing a learner run; useful for the scaling benchmarks and
+/// for diagnosing hypothesis-set blowup in the exact algorithm.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LearnStats {
+    /// Periods processed.
+    pub periods: usize,
+    /// Messages processed.
+    pub messages: usize,
+    /// Hypotheses generated across all message branchings.
+    pub hypotheses_generated: usize,
+    /// Heuristic merges performed (bounded mode only).
+    pub merges: usize,
+    /// Largest hypothesis-set size observed at any point.
+    pub peak_set_size: usize,
+    /// Hypothesis-set size after post-processing each period.
+    pub set_sizes_per_period: Vec<usize>,
+    /// Sum over messages of the candidate-pair count `|A_m|`.
+    pub candidate_pairs_total: usize,
+}
+
+impl LearnStats {
+    /// Records a new set size, updating the peak.
+    pub(crate) fn observe_set_size(&mut self, size: usize) {
+        self.peak_set_size = self.peak_set_size.max(size);
+    }
+}
+
+impl fmt::Display for LearnStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} periods, {} messages, {} hypotheses generated, {} merges, peak set {}",
+            self.periods, self.messages, self.hypotheses_generated, self.merges, self.peak_set_size
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_tracks_maximum() {
+        let mut s = LearnStats::default();
+        s.observe_set_size(3);
+        s.observe_set_size(1);
+        assert_eq!(s.peak_set_size, 3);
+        assert!(s.to_string().contains("peak set 3"));
+    }
+}

@@ -1,0 +1,97 @@
+//! Graphviz DOT export, used to render learned dependency graphs like the
+//! paper's Figures 4 and 5.
+
+use std::fmt::Write as _;
+
+use crate::digraph::DiGraph;
+
+/// Options controlling [`DiGraph::to_dot`] output.
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// The graph name emitted after `digraph`.
+    pub name: String,
+    /// `rankdir` attribute (`"TB"`, `"LR"`, …).
+    pub rankdir: String,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            name: "g".to_owned(),
+            rankdir: "TB".to_owned(),
+        }
+    }
+}
+
+impl<N, E> DiGraph<N, E> {
+    /// Renders the graph in Graphviz DOT syntax. `node_label` and
+    /// `edge_attrs` supply the label of each node and the raw attribute
+    /// string of each edge (e.g. `"style=dashed"`; empty for none).
+    pub fn to_dot<FN, FE>(&self, options: &DotOptions, node_label: FN, edge_attrs: FE) -> String
+    where
+        FN: Fn(&N) -> String,
+        FE: Fn(&E) -> String,
+    {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph {} {{", options.name);
+        let _ = writeln!(out, "  rankdir={};", options.rankdir);
+        for ix in self.node_indices() {
+            let _ = writeln!(
+                out,
+                "  n{} [label=\"{}\"];",
+                ix.0,
+                escape(&node_label(self.node(ix)))
+            );
+        }
+        for e in self.edge_indices() {
+            let (from, to) = self.endpoints(e);
+            let attrs = edge_attrs(self.edge(e));
+            if attrs.is_empty() {
+                let _ = writeln!(out, "  n{} -> n{};", from.0, to.0);
+            } else {
+                let _ = writeln!(out, "  n{} -> n{} [{}];", from.0, to.0, attrs);
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let mut g: DiGraph<&str, &str> = DiGraph::new();
+        let a = g.add_node("alpha");
+        let b = g.add_node("beta");
+        g.add_edge(a, b, "style=dashed");
+        let dot = g.to_dot(&DotOptions::default(), |n| (*n).to_owned(), |e| (*e).to_owned());
+        assert!(dot.starts_with("digraph g {"));
+        assert!(dot.contains("n0 [label=\"alpha\"]"));
+        assert!(dot.contains("n0 -> n1 [style=dashed];"));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let mut g: DiGraph<&str, ()> = DiGraph::new();
+        g.add_node("say \"hi\"");
+        let dot = g.to_dot(&DotOptions::default(), |n| (*n).to_owned(), |_| String::new());
+        assert!(dot.contains("say \\\"hi\\\""));
+    }
+
+    #[test]
+    fn empty_edge_attrs_render_bare() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ());
+        let dot = g.to_dot(&DotOptions::default(), |_| "x".into(), |_| String::new());
+        assert!(dot.contains("n0 -> n1;"));
+    }
+}

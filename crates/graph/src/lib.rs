@@ -1,0 +1,32 @@
+//! Minimal directed-graph utilities.
+//!
+//! This crate provides the small slice of graph functionality the rest of
+//! the workspace needs — adjacency storage, topological sorting, cycle
+//! detection, reachability, transitive closure/reduction and Graphviz DOT
+//! export — without pulling in an external graph dependency (see DESIGN.md
+//! §3 for the petgraph substitution rationale).
+//!
+//! # Example
+//!
+//! ```
+//! use bbmg_graph::DiGraph;
+//!
+//! let mut g: DiGraph<&str, ()> = DiGraph::new();
+//! let a = g.add_node("a");
+//! let b = g.add_node("b");
+//! let c = g.add_node("c");
+//! g.add_edge(a, b, ());
+//! g.add_edge(b, c, ());
+//! assert!(g.topo_sort().is_some());
+//! assert!(g.reachable_from(a).contains(&c));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod digraph;
+mod dot;
+mod ops;
+
+pub use digraph::{DiGraph, EdgeIx, NodeIx};
+pub use dot::DotOptions;

@@ -1,0 +1,486 @@
+//! Dependency functions `d : T × T → V` (paper Definition 5) and the
+//! pointwise lattice `⟨D, ⊑_D⟩` over them.
+
+use std::fmt;
+
+use crate::task::{TaskId, TaskUniverse};
+use crate::value::{DependencyValue, ValueParseError};
+
+/// One hypothesis: a total dependency function over a fixed task universe,
+/// stored as a dense `n × n` matrix of [`DependencyValue`]s.
+///
+/// # Invariants
+///
+/// * The diagonal is always `‖` (a task has no dependency with itself).
+///
+/// The two directions of a pair are *independent* assertions: `d(t1, t2)`
+/// constrains what must happen in a period where `t1` executes, and
+/// `d(t2, t1)` constrains periods where `t2` executes. The paper's table
+/// `d81` shows e.g. `d(t1, t2) = →?` alongside `d(t2, t1) = ←`: when `t2`
+/// runs it always depends on `t1`, yet `t1` running only *may* determine
+/// `t2`. Observing a message `s → r` therefore joins `→` into `d(s, r)`
+/// **and** `←` into `d(r, s)` (see [`record_message`]), after which the
+/// entries evolve separately under weakening.
+///
+/// [`record_message`]: DependencyFunction::record_message
+///
+/// # Example
+///
+/// ```
+/// use bbmg_lattice::{DependencyFunction, DependencyValue as V, TaskId};
+///
+/// let t0 = TaskId::from_index(0);
+/// let t1 = TaskId::from_index(1);
+/// let mut d = DependencyFunction::bottom(2);
+/// d.record_message(t0, t1);
+/// assert_eq!(d.value(t0, t1), V::Determines);
+/// assert_eq!(d.value(t1, t0), V::DependsOn);
+/// assert_eq!(d.weight(), 2); // 1 for ->, 1 for <-
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct DependencyFunction {
+    tasks: usize,
+    values: Vec<DependencyValue>,
+}
+
+impl DependencyFunction {
+    /// The globally most specific hypothesis `d⊥`: all pairs `‖`.
+    #[must_use]
+    pub fn bottom(tasks: usize) -> Self {
+        DependencyFunction {
+            tasks,
+            values: vec![DependencyValue::Parallel; tasks * tasks],
+        }
+    }
+
+    /// The least specific hypothesis `d⊤`: all off-diagonal pairs `↔?`.
+    #[must_use]
+    pub fn top(tasks: usize) -> Self {
+        let mut d = Self::bottom(tasks);
+        for i in 0..tasks {
+            for j in 0..tasks {
+                if i != j {
+                    d.values[i * tasks + j] = DependencyValue::MayMutual;
+                }
+            }
+        }
+        d
+    }
+
+    /// Builds a function from rows of ASCII/Unicode symbols, as printed in
+    /// the paper's hypothesis tables. Row `i`, column `j` gives
+    /// `d(t_i, t_j)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a symbol fails to parse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows do not form a square matrix with `‖` on the
+    /// diagonal.
+    ///
+    /// ```
+    /// use bbmg_lattice::DependencyFunction;
+    ///
+    /// // Paper hypothesis d11 (4 tasks): t1 -> t2.
+    /// let d = DependencyFunction::from_rows(&[
+    ///     &["||", "->", "||", "||"],
+    ///     &["<-", "||", "||", "||"],
+    ///     &["||", "||", "||", "||"],
+    ///     &["||", "||", "||", "||"],
+    /// ]).unwrap();
+    /// assert_eq!(d.weight(), 2);
+    /// ```
+    pub fn from_rows(rows: &[&[&str]]) -> Result<Self, ValueParseError> {
+        let n = rows.len();
+        let mut d = Self::bottom(n);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), n, "row {i} has wrong length");
+            for (j, sym) in row.iter().enumerate() {
+                let v: DependencyValue = sym.parse()?;
+                if i == j {
+                    assert_eq!(
+                        v,
+                        DependencyValue::Parallel,
+                        "diagonal entry ({i},{j}) must be `||`"
+                    );
+                }
+                d.values[i * n + j] = v;
+            }
+        }
+        Ok(d)
+    }
+
+    /// Number of tasks `|T|` this function is defined over.
+    #[must_use]
+    pub fn task_count(&self) -> usize {
+        self.tasks
+    }
+
+    /// The value `d(t1, t2)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either task index is out of range.
+    #[must_use]
+    pub fn value(&self, t1: TaskId, t2: TaskId) -> DependencyValue {
+        self.values[t1.index() * self.tasks + t2.index()]
+    }
+
+    /// Sets the single entry `d(t1, t2) = v`. The converse entry
+    /// `d(t2, t1)` is *not* touched — the two directions are independent
+    /// assertions (see the type-level docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t1 == t2` and `v != ‖`, or if an index is out of range.
+    pub fn set(&mut self, t1: TaskId, t2: TaskId, v: DependencyValue) {
+        if t1 == t2 {
+            assert_eq!(v, DependencyValue::Parallel, "diagonal must stay `||`");
+            return;
+        }
+        self.values[t1.index() * self.tasks + t2.index()] = v;
+    }
+
+    /// Joins `v` into the single entry `d(t1, t2)`: the minimal
+    /// generalization making `d(t1, t2) ⊒ v`.
+    ///
+    /// Returns `true` if the entry changed.
+    pub fn join_value(&mut self, t1: TaskId, t2: TaskId, v: DependencyValue) -> bool {
+        let old = self.value(t1, t2);
+        let new = old.join(v);
+        if new == old {
+            false
+        } else {
+            self.set(t1, t2, new);
+            true
+        }
+    }
+
+    /// Records an observed/assumed message `sender → receiver`: the minimal
+    /// generalization admitting it, joining `→` into `d(sender, receiver)`
+    /// and `←` into `d(receiver, sender)` (paper §3.1's construction of
+    /// `d1i` from `d⊥`).
+    ///
+    /// Returns `true` if either entry changed.
+    pub fn record_message(&mut self, sender: TaskId, receiver: TaskId) -> bool {
+        let a = self.join_value(sender, receiver, DependencyValue::Determines);
+        let b = self.join_value(receiver, sender, DependencyValue::DependsOn);
+        a || b
+    }
+
+    /// Pointwise order: `self ⊑_D other` iff every entry of `self` is below
+    /// or equal to the corresponding entry of `other` (paper §2.3).
+    #[must_use]
+    pub fn leq(&self, other: &DependencyFunction) -> bool {
+        assert_eq!(self.tasks, other.tasks, "mismatched task universes");
+        self.values
+            .iter()
+            .zip(&other.values)
+            .all(|(a, b)| a.leq(*b))
+    }
+
+    /// Pointwise least upper bound `self ⊔ other` (used by the heuristic
+    /// merge and by the `d_LUB` summary of §3.3).
+    #[must_use]
+    pub fn join(&self, other: &DependencyFunction) -> DependencyFunction {
+        assert_eq!(self.tasks, other.tasks, "mismatched task universes");
+        DependencyFunction {
+            tasks: self.tasks,
+            values: self
+                .values
+                .iter()
+                .zip(&other.values)
+                .map(|(a, b)| a.join(*b))
+                .collect(),
+        }
+    }
+
+    /// Pointwise greatest lower bound `self ⊓ other`.
+    #[must_use]
+    pub fn meet(&self, other: &DependencyFunction) -> DependencyFunction {
+        assert_eq!(self.tasks, other.tasks, "mismatched task universes");
+        DependencyFunction {
+            tasks: self.tasks,
+            values: self
+                .values
+                .iter()
+                .zip(&other.values)
+                .map(|(a, b)| a.meet(*b))
+                .collect(),
+        }
+    }
+
+    /// The weight `Σ distance(d(t1,t2))` over all ordered pairs (paper
+    /// Definition 8). Lower weight means more specific.
+    #[must_use]
+    pub fn weight(&self) -> u64 {
+        self.values.iter().map(|v| v.distance()).sum()
+    }
+
+    /// Whether this is the bottom hypothesis `d⊥` (all `‖`).
+    #[must_use]
+    pub fn is_bottom(&self) -> bool {
+        self.values.iter().all(|&v| v == DependencyValue::Parallel)
+    }
+
+    /// Whether this is the top hypothesis `d⊤`.
+    #[must_use]
+    pub fn is_top(&self) -> bool {
+        self.ordered_pairs()
+            .all(|(t1, t2, v)| t1 == t2 || v == DependencyValue::MayMutual)
+    }
+
+    /// Iterates over all ordered pairs `(t1, t2, d(t1, t2))`, including the
+    /// diagonal.
+    #[must_use]
+    pub fn ordered_pairs(&self) -> PairIter<'_> {
+        PairIter {
+            function: self,
+            next: 0,
+        }
+    }
+
+    /// Iterates over off-diagonal entries that differ from `‖`.
+    pub fn nontrivial_pairs(
+        &self,
+    ) -> impl Iterator<Item = (TaskId, TaskId, DependencyValue)> + '_ {
+        self.ordered_pairs()
+            .filter(|&(a, b, v)| a != b && v != DependencyValue::Parallel)
+    }
+
+    /// Renders the function as the paper's table format, with task names
+    /// from `universe` labelling rows and columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `universe` has a different task count.
+    #[must_use]
+    pub fn to_table(&self, universe: &TaskUniverse) -> String {
+        assert_eq!(universe.len(), self.tasks, "mismatched task universe");
+        let names: Vec<&str> = universe.iter().map(|(_, n)| n).collect();
+        let width = names
+            .iter()
+            .map(|n| n.len())
+            .chain(std::iter::once(4))
+            .max()
+            .unwrap_or(4)
+            + 1;
+        let mut out = String::new();
+        out.push_str(&" ".repeat(width));
+        for n in &names {
+            out.push_str(&format!("{n:>width$}"));
+        }
+        out.push('\n');
+        for (i, n) in names.iter().enumerate() {
+            out.push_str(&format!("{n:>width$}"));
+            for j in 0..self.tasks {
+                let v = self.values[i * self.tasks + j];
+                out.push_str(&format!("{:>width$}", v.symbol()));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Debug for DependencyFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DependencyFunction({} tasks)", self.tasks)?;
+        for i in 0..self.tasks {
+            for j in 0..self.tasks {
+                write!(f, "{:>6}", self.values[i * self.tasks + j].symbol())?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Iterator over the ordered pairs of a [`DependencyFunction`], created by
+/// [`DependencyFunction::ordered_pairs`].
+#[derive(Debug)]
+pub struct PairIter<'a> {
+    function: &'a DependencyFunction,
+    next: usize,
+}
+
+impl Iterator for PairIter<'_> {
+    type Item = (TaskId, TaskId, DependencyValue);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let n = self.function.tasks;
+        if self.next >= n * n {
+            return None;
+        }
+        let i = self.next / n;
+        let j = self.next % n;
+        let v = self.function.values[self.next];
+        self.next += 1;
+        Some((TaskId::from_index(i), TaskId::from_index(j), v))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.function.tasks * self.function.tasks - self.next;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for PairIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DependencyValue as V;
+
+    fn t(i: usize) -> TaskId {
+        TaskId::from_index(i)
+    }
+
+    #[test]
+    fn bottom_is_bottom() {
+        let d = DependencyFunction::bottom(3);
+        assert!(d.is_bottom());
+        assert!(!d.is_top());
+        assert_eq!(d.weight(), 0);
+        for (_, _, v) in d.ordered_pairs() {
+            assert_eq!(v, V::Parallel);
+        }
+    }
+
+    #[test]
+    fn top_is_top_and_everything_is_between() {
+        let bot = DependencyFunction::bottom(4);
+        let top = DependencyFunction::top(4);
+        assert!(top.is_top());
+        assert!(bot.leq(&top));
+        let mut mid = DependencyFunction::bottom(4);
+        mid.record_message(t(0), t(1));
+        assert!(bot.leq(&mid) && mid.leq(&top));
+        assert_eq!(top.weight(), 9 * 12);
+    }
+
+    #[test]
+    fn set_touches_only_one_direction() {
+        let mut d = DependencyFunction::bottom(3);
+        d.set(t(0), t(2), V::MayDetermine);
+        assert_eq!(d.value(t(0), t(2)), V::MayDetermine);
+        assert_eq!(d.value(t(2), t(0)), V::Parallel);
+    }
+
+    #[test]
+    fn join_value_reports_change() {
+        let mut d = DependencyFunction::bottom(2);
+        assert!(d.join_value(t(0), t(1), V::Determines));
+        assert!(!d.join_value(t(0), t(1), V::Determines));
+        assert!(d.join_value(t(0), t(1), V::DependsOn)); // joins to Mutual
+        assert_eq!(d.value(t(0), t(1)), V::Mutual);
+        assert_eq!(d.value(t(1), t(0)), V::Parallel);
+    }
+
+    #[test]
+    fn record_message_sets_both_directions() {
+        let mut d = DependencyFunction::bottom(2);
+        assert!(d.record_message(t(0), t(1)));
+        assert_eq!(d.value(t(0), t(1)), V::Determines);
+        assert_eq!(d.value(t(1), t(0)), V::DependsOn);
+        assert!(!d.record_message(t(0), t(1)));
+        // The paper's d81 shape is representable: ->? one way, <- the other.
+        d.set(t(0), t(1), V::MayDetermine);
+        assert_eq!(d.value(t(0), t(1)), V::MayDetermine);
+        assert_eq!(d.value(t(1), t(0)), V::DependsOn);
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal must stay")]
+    fn diagonal_cannot_be_set() {
+        let mut d = DependencyFunction::bottom(2);
+        d.set(t(1), t(1), V::Determines);
+    }
+
+    #[test]
+    fn pointwise_join_is_lub() {
+        let mut a = DependencyFunction::bottom(3);
+        a.record_message(t(0), t(1));
+        let mut b = DependencyFunction::bottom(3);
+        b.record_message(t(1), t(2));
+        let j = a.join(&b);
+        assert!(a.leq(&j) && b.leq(&j));
+        assert_eq!(j.value(t(0), t(1)), V::Determines);
+        assert_eq!(j.value(t(1), t(2)), V::Determines);
+        assert_eq!(j.value(t(2), t(1)), V::DependsOn);
+    }
+
+    #[test]
+    fn pointwise_meet_is_glb() {
+        let mut a = DependencyFunction::bottom(2);
+        a.join_value(t(0), t(1), V::MayDetermine);
+        let mut b = DependencyFunction::bottom(2);
+        b.join_value(t(0), t(1), V::Mutual);
+        let m = a.meet(&b);
+        assert_eq!(m.value(t(0), t(1)), V::Determines);
+        assert!(m.leq(&a) && m.leq(&b));
+    }
+
+    #[test]
+    fn weight_counts_both_directions() {
+        let mut d = DependencyFunction::bottom(4);
+        d.record_message(t(0), t(1)); // 1 + 1
+        d.join_value(t(2), t(3), V::MayDetermine); // 4
+        d.join_value(t(3), t(2), V::MayDependOn); // 4
+        assert_eq!(d.weight(), 10);
+    }
+
+    #[test]
+    fn from_rows_round_trips_paper_table() {
+        // Paper hypothesis d21.
+        let d = DependencyFunction::from_rows(&[
+            &["||", "->", "||", "->"],
+            &["<-", "||", "||", "||"],
+            &["||", "||", "||", "||"],
+            &["<-", "||", "||", "||"],
+        ])
+        .unwrap();
+        assert_eq!(d.value(t(0), t(1)), V::Determines);
+        assert_eq!(d.value(t(0), t(3)), V::Determines);
+        assert_eq!(d.value(t(3), t(0)), V::DependsOn);
+        assert_eq!(d.weight(), 4);
+    }
+
+    #[test]
+    fn from_rows_accepts_asymmetric_tables() {
+        // d81-style asymmetry: ->? forward, <- backward.
+        let d =
+            DependencyFunction::from_rows(&[&["||", "->?"], &["<-", "||"]]).unwrap();
+        assert_eq!(d.value(t(0), t(1)), V::MayDetermine);
+        assert_eq!(d.value(t(1), t(0)), V::DependsOn);
+    }
+
+    #[test]
+    fn nontrivial_pairs_skips_parallel_and_diagonal() {
+        let mut d = DependencyFunction::bottom(3);
+        d.record_message(t(0), t(2));
+        let pairs: Vec<_> = d.nontrivial_pairs().collect();
+        assert_eq!(pairs.len(), 2); // (0,2,->) and (2,0,<-)
+    }
+
+    #[test]
+    fn table_rendering_contains_names_and_symbols() {
+        let u = TaskUniverse::from_names(["t1", "t2"]);
+        let mut d = DependencyFunction::bottom(2);
+        d.record_message(t(0), t(1));
+        let table = d.to_table(&u);
+        assert!(table.contains("t1"));
+        assert!(table.contains("->"));
+        assert!(table.contains("<-"));
+    }
+
+    #[test]
+    fn pair_iter_is_exact_size() {
+        let d = DependencyFunction::bottom(3);
+        let it = d.ordered_pairs();
+        assert_eq!(it.len(), 9);
+        assert_eq!(it.count(), 9);
+    }
+}

@@ -1,0 +1,201 @@
+//! Task identifiers and the task universe interner.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A compact identifier for a task in a fixed [`TaskUniverse`].
+///
+/// `TaskId` is an index into the universe that created it; dependency
+/// functions, design models and traces all use these indices so matrices
+/// stay dense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(u32);
+
+impl TaskId {
+    /// Creates a task id from a raw index.
+    ///
+    /// Prefer [`TaskUniverse::intern`]; this constructor exists for tests
+    /// and for code that builds dense structures directly.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        TaskId(u32::try_from(index).expect("task index fits in u32"))
+    }
+
+    /// The raw index of this task within its universe.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// The set of predefined tasks `T` of a system, interning task names to
+/// dense [`TaskId`]s.
+///
+/// # Example
+///
+/// ```
+/// use bbmg_lattice::TaskUniverse;
+///
+/// let mut universe = TaskUniverse::new();
+/// let a = universe.intern("A");
+/// let b = universe.intern("B");
+/// assert_ne!(a, b);
+/// assert_eq!(universe.intern("A"), a); // idempotent
+/// assert_eq!(universe.name(a), "A");
+/// assert_eq!(universe.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TaskUniverse {
+    names: Vec<String>,
+    by_name: HashMap<String, TaskId>,
+}
+
+impl TaskUniverse {
+    /// Creates an empty universe.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a universe containing `names` in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names` contains duplicates.
+    #[must_use]
+    pub fn from_names<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut universe = Self::new();
+        for name in names {
+            let name = name.into();
+            assert!(
+                universe.lookup(&name).is_none(),
+                "duplicate task name `{name}`"
+            );
+            universe.intern(name);
+        }
+        universe
+    }
+
+    /// Interns `name`, returning its id (existing or fresh).
+    pub fn intern(&mut self, name: impl Into<String>) -> TaskId {
+        let name = name.into();
+        if let Some(&id) = self.by_name.get(&name) {
+            return id;
+        }
+        let id = TaskId::from_index(self.names.len());
+        self.names.push(name.clone());
+        self.by_name.insert(name, id);
+        id
+    }
+
+    /// Looks up a task id by name without interning.
+    #[must_use]
+    pub fn lookup(&self, name: &str) -> Option<TaskId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not created by this universe.
+    #[must_use]
+    pub fn name(&self, id: TaskId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of tasks in the universe.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the universe is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all task ids in index order.
+    pub fn ids(&self) -> impl Iterator<Item = TaskId> + '_ {
+        (0..self.names.len()).map(TaskId::from_index)
+    }
+
+    /// Iterates over `(id, name)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (TaskId, &str)> + '_ {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (TaskId::from_index(i), n.as_str()))
+    }
+}
+
+impl<S: Into<String>> FromIterator<S> for TaskUniverse {
+    fn from_iter<I: IntoIterator<Item = S>>(iter: I) -> Self {
+        Self::from_names(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut u = TaskUniverse::new();
+        let a = u.intern("A");
+        assert_eq!(u.intern("A"), a);
+        assert_eq!(u.len(), 1);
+    }
+
+    #[test]
+    fn lookup_and_name() {
+        let u = TaskUniverse::from_names(["x", "y", "z"]);
+        let y = u.lookup("y").unwrap();
+        assert_eq!(u.name(y), "y");
+        assert_eq!(y.index(), 1);
+        assert!(u.lookup("w").is_none());
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let u = TaskUniverse::from_names(["a", "b", "c"]);
+        let ids: Vec<usize> = u.ids().map(TaskId::index).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate task name")]
+    fn from_names_rejects_duplicates() {
+        let _ = TaskUniverse::from_names(["a", "a"]);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let u: TaskUniverse = ["p", "q"].into_iter().collect();
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.name(TaskId::from_index(0)), "p");
+    }
+
+    #[test]
+    fn display_of_task_id() {
+        assert_eq!(TaskId::from_index(7).to_string(), "t7");
+    }
+
+    #[test]
+    fn empty_universe() {
+        let u = TaskUniverse::new();
+        assert!(u.is_empty());
+        assert_eq!(u.ids().count(), 0);
+    }
+}

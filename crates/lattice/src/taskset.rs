@@ -1,0 +1,242 @@
+//! A compact set of [`TaskId`]s backed by a bit vector.
+
+use std::fmt;
+
+use crate::task::TaskId;
+
+/// A set of tasks drawn from a universe of fixed size, stored as a bitset.
+///
+/// Used for "which tasks executed in this period" queries, reachability
+/// state vectors, and interference sets in the latency analysis.
+///
+/// # Example
+///
+/// ```
+/// use bbmg_lattice::{TaskId, TaskSet};
+///
+/// let mut set = TaskSet::empty(8);
+/// set.insert(TaskId::from_index(3));
+/// assert!(set.contains(TaskId::from_index(3)));
+/// assert_eq!(set.len(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskSet {
+    universe: usize,
+    words: Vec<u64>,
+}
+
+impl TaskSet {
+    /// The empty set over a universe of `universe` tasks.
+    #[must_use]
+    pub fn empty(universe: usize) -> Self {
+        TaskSet {
+            universe,
+            words: vec![0; universe.div_ceil(64)],
+        }
+    }
+
+    /// The full set over a universe of `universe` tasks.
+    #[must_use]
+    pub fn full(universe: usize) -> Self {
+        let mut set = Self::empty(universe);
+        for i in 0..universe {
+            set.insert(TaskId::from_index(i));
+        }
+        set
+    }
+
+    /// Builds a set from an iterator of task ids.
+    #[must_use]
+    pub fn from_ids<I: IntoIterator<Item = TaskId>>(universe: usize, ids: I) -> Self {
+        let mut set = Self::empty(universe);
+        for id in ids {
+            set.insert(id);
+        }
+        set
+    }
+
+    /// The universe size this set was created with.
+    #[must_use]
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Inserts `task`; returns `true` if it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is outside the universe.
+    pub fn insert(&mut self, task: TaskId) -> bool {
+        assert!(task.index() < self.universe, "task outside universe");
+        let (w, b) = (task.index() / 64, task.index() % 64);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !was
+    }
+
+    /// Removes `task`; returns `true` if it was present.
+    pub fn remove(&mut self, task: TaskId) -> bool {
+        if task.index() >= self.universe {
+            return false;
+        }
+        let (w, b) = (task.index() / 64, task.index() % 64);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        was
+    }
+
+    /// Whether `task` is in the set.
+    #[must_use]
+    pub fn contains(&self, task: TaskId) -> bool {
+        task.index() < self.universe && {
+            let (w, b) = (task.index() / 64, task.index() % 64);
+            self.words[w] & (1 << b) != 0
+        }
+    }
+
+    /// Number of tasks in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Whether `self` is a subset of `other`.
+    #[must_use]
+    pub fn is_subset(&self, other: &TaskSet) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(&self, other: &TaskSet) -> TaskSet {
+        assert_eq!(self.universe, other.universe, "mismatched universes");
+        TaskSet {
+            universe: self.universe,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a | b)
+                .collect(),
+        }
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub fn intersection(&self, other: &TaskSet) -> TaskSet {
+        assert_eq!(self.universe, other.universe, "mismatched universes");
+        TaskSet {
+            universe: self.universe,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+        }
+    }
+
+    /// Set difference `self \ other`.
+    #[must_use]
+    pub fn difference(&self, other: &TaskSet) -> TaskSet {
+        assert_eq!(self.universe, other.universe, "mismatched universes");
+        TaskSet {
+            universe: self.universe,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & !b)
+                .collect(),
+        }
+    }
+
+    /// Iterates over members in ascending index order.
+    pub fn iter(&self) -> impl Iterator<Item = TaskId> + '_ {
+        (0..self.universe)
+            .map(TaskId::from_index)
+            .filter(move |&t| self.contains(t))
+    }
+}
+
+impl fmt::Debug for TaskSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl Extend<TaskId> for TaskSet {
+    fn extend<I: IntoIterator<Item = TaskId>>(&mut self, iter: I) {
+        for id in iter {
+            self.insert(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: usize) -> TaskId {
+        TaskId::from_index(i)
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = TaskSet::empty(100);
+        assert!(s.insert(t(70)));
+        assert!(!s.insert(t(70)));
+        assert!(s.contains(t(70)));
+        assert!(!s.contains(t(71)));
+        assert!(s.remove(t(70)));
+        assert!(!s.remove(t(70)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn full_and_len() {
+        let s = TaskSet::full(65);
+        assert_eq!(s.len(), 65);
+        assert!(s.contains(t(64)));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = TaskSet::from_ids(10, [t(1), t(2), t(3)]);
+        let b = TaskSet::from_ids(10, [t(3), t(4)]);
+        assert_eq!(a.union(&b).len(), 4);
+        assert_eq!(a.intersection(&b).len(), 1);
+        assert_eq!(a.difference(&b).len(), 2);
+        assert!(a.intersection(&b).is_subset(&a));
+        assert!(a.is_subset(&a.union(&b)));
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let s = TaskSet::from_ids(10, [t(5), t(1), t(9)]);
+        let v: Vec<usize> = s.iter().map(TaskId::index).collect();
+        assert_eq!(v, vec![1, 5, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "task outside universe")]
+    fn insert_out_of_universe_panics() {
+        let mut s = TaskSet::empty(4);
+        s.insert(t(4));
+    }
+
+    #[test]
+    fn debug_renders_members() {
+        let s = TaskSet::from_ids(4, [t(2)]);
+        assert_eq!(format!("{s:?}"), "{TaskId(2)}");
+    }
+}

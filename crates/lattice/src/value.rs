@@ -1,0 +1,534 @@
+//! The seven-value dependency lattice `V` (paper Definition 5, Figure 3).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A dependency value relating an ordered pair of tasks `(t1, t2)` within a
+/// period (paper Definition 5).
+///
+/// The variants map to the paper's symbols:
+///
+/// | Variant | Symbol | Meaning |
+/// |---------|--------|---------|
+/// | [`Parallel`] | `‖` | `t1` always executes in parallel with (independently of) `t2` |
+/// | [`Determines`] | `→` | if `t1` executes it always determines the execution of `t2` |
+/// | [`DependsOn`] | `←` | if `t1` executes it always depends on the execution of `t2` |
+/// | [`Mutual`] | `↔` | `t1` and `t2` depend on each other (never observed; lattice completion) |
+/// | [`MayDetermine`] | `→?` | if `t1` executes it may or may not determine `t2` |
+/// | [`MayDependOn`] | `←?` | if `t1` executes it may or may not depend on `t2` |
+/// | [`MayMutual`] | `↔?` | `t1` and `t2` may or may not determine/depend on each other |
+///
+/// The partial order (Figure 3) has `‖` at the bottom, `↔?` at the top, and
+/// the Hasse diagram
+///
+/// ```text
+///            ↔?
+///          / |  \
+///        →?  ↔  ←?
+///        | \/ \/ |
+///        | /\ /\ |
+///        →        ←
+///          \    /
+///            ‖
+/// ```
+///
+/// i.e. `‖ < → < {→?, ↔} < ↔?` and `‖ < ← < {←?, ↔} < ↔?`.
+///
+/// [`Parallel`]: DependencyValue::Parallel
+/// [`Determines`]: DependencyValue::Determines
+/// [`DependsOn`]: DependencyValue::DependsOn
+/// [`Mutual`]: DependencyValue::Mutual
+/// [`MayDetermine`]: DependencyValue::MayDetermine
+/// [`MayDependOn`]: DependencyValue::MayDependOn
+/// [`MayMutual`]: DependencyValue::MayMutual
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(u8)]
+pub enum DependencyValue {
+    /// `‖` — always parallel (the lattice bottom).
+    #[default]
+    Parallel = 0,
+    /// `→` — always determines.
+    Determines = 1,
+    /// `←` — always depends on.
+    DependsOn = 2,
+    /// `↔` — mutual dependency (lattice completion; never occurs in traces).
+    Mutual = 3,
+    /// `→?` — may determine.
+    MayDetermine = 4,
+    /// `←?` — may depend on.
+    MayDependOn = 5,
+    /// `↔?` — may mutually depend (the lattice top).
+    MayMutual = 6,
+}
+
+/// All seven lattice values, in ascending `distance` order.
+pub const ALL_VALUES: [DependencyValue; 7] = [
+    DependencyValue::Parallel,
+    DependencyValue::Determines,
+    DependencyValue::DependsOn,
+    DependencyValue::Mutual,
+    DependencyValue::MayDetermine,
+    DependencyValue::MayDependOn,
+    DependencyValue::MayMutual,
+];
+
+impl DependencyValue {
+    /// Returns `true` if `self` is below or equal to `other` in the lattice
+    /// (`self ⊑ other`, i.e. `self` is *more specific than* `other` in the
+    /// sense of paper Definition 4).
+    ///
+    /// ```
+    /// use bbmg_lattice::DependencyValue as V;
+    /// assert!(V::Parallel.leq(V::Determines));
+    /// assert!(V::Determines.leq(V::MayDetermine));
+    /// assert!(!V::Determines.leq(V::MayDependOn));
+    /// ```
+    #[must_use]
+    pub fn leq(self, other: DependencyValue) -> bool {
+        self == other || UPPERS[self as usize] & (1 << other as u8) != 0
+    }
+
+    /// Least upper bound (`⊔`) of two values: the most specific value at
+    /// least as general as both.
+    ///
+    /// ```
+    /// use bbmg_lattice::DependencyValue as V;
+    /// assert_eq!(V::Determines.join(V::DependsOn), V::Mutual);
+    /// assert_eq!(V::MayDetermine.join(V::MayDependOn), V::MayMutual);
+    /// assert_eq!(V::Determines.join(V::Parallel), V::Determines);
+    /// ```
+    #[must_use]
+    pub fn join(self, other: DependencyValue) -> DependencyValue {
+        JOIN[self as usize][other as usize]
+    }
+
+    /// Greatest lower bound (`⊓`) of two values.
+    ///
+    /// ```
+    /// use bbmg_lattice::DependencyValue as V;
+    /// assert_eq!(V::MayDetermine.meet(V::Mutual), V::Determines);
+    /// assert_eq!(V::Determines.meet(V::DependsOn), V::Parallel);
+    /// ```
+    #[must_use]
+    pub fn meet(self, other: DependencyValue) -> DependencyValue {
+        MEET[self as usize][other as usize]
+    }
+
+    /// The square distance from the lattice bottom `‖` (paper Definition 7):
+    /// `0` for `‖`, `1` for `→`/`←`, `4` for `→?`/`↔`/`←?`, `9` for `↔?`.
+    ///
+    /// ```
+    /// use bbmg_lattice::DependencyValue as V;
+    /// assert_eq!(V::Parallel.distance(), 0);
+    /// assert_eq!(V::MayMutual.distance(), 9);
+    /// ```
+    #[must_use]
+    pub fn distance(self) -> u64 {
+        match self {
+            DependencyValue::Parallel => 0,
+            DependencyValue::Determines | DependencyValue::DependsOn => 1,
+            DependencyValue::MayDetermine
+            | DependencyValue::Mutual
+            | DependencyValue::MayDependOn => 4,
+            DependencyValue::MayMutual => 9,
+        }
+    }
+
+    /// The value relating `(t2, t1)` when `self` relates `(t1, t2)`.
+    ///
+    /// A dependency function must be *converse-consistent*:
+    /// `d(t2, t1) = d(t1, t2).converse()`.
+    ///
+    /// ```
+    /// use bbmg_lattice::DependencyValue as V;
+    /// assert_eq!(V::Determines.converse(), V::DependsOn);
+    /// assert_eq!(V::MayMutual.converse(), V::MayMutual);
+    /// ```
+    #[must_use]
+    pub fn converse(self) -> DependencyValue {
+        match self {
+            DependencyValue::Determines => DependencyValue::DependsOn,
+            DependencyValue::DependsOn => DependencyValue::Determines,
+            DependencyValue::MayDetermine => DependencyValue::MayDependOn,
+            DependencyValue::MayDependOn => DependencyValue::MayDetermine,
+            v => v,
+        }
+    }
+
+    /// Whether this value asserts an *unconditional* forward dependency:
+    /// whenever `t1` runs, `t2` must run. True for `→` and `↔`.
+    #[must_use]
+    pub fn is_must_forward(self) -> bool {
+        matches!(self, DependencyValue::Determines | DependencyValue::Mutual)
+    }
+
+    /// Whether this value asserts an *unconditional* backward dependency:
+    /// whenever `t1` runs, `t2` must have run. True for `←` and `↔`.
+    #[must_use]
+    pub fn is_must_backward(self) -> bool {
+        matches!(self, DependencyValue::DependsOn | DependencyValue::Mutual)
+    }
+
+    /// Whether this value *admits* a forward message `t1 → t2` without
+    /// further generalization (i.e. `→ ⊑ self`).
+    #[must_use]
+    pub fn admits_forward(self) -> bool {
+        DependencyValue::Determines.leq(self)
+    }
+
+    /// The paper's ASCII rendering of the symbol, used by [`fmt::Display`]
+    /// and [`FromStr`].
+    #[must_use]
+    pub fn symbol(self) -> &'static str {
+        match self {
+            DependencyValue::Parallel => "||",
+            DependencyValue::Determines => "->",
+            DependencyValue::DependsOn => "<-",
+            DependencyValue::Mutual => "<->",
+            DependencyValue::MayDetermine => "->?",
+            DependencyValue::MayDependOn => "<-?",
+            DependencyValue::MayMutual => "<->?",
+        }
+    }
+}
+
+impl fmt::Display for DependencyValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+impl PartialOrd for DependencyValue {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        use std::cmp::Ordering;
+        if self == other {
+            Some(Ordering::Equal)
+        } else if self.leq(*other) {
+            Some(Ordering::Less)
+        } else if other.leq(*self) {
+            Some(Ordering::Greater)
+        } else {
+            None
+        }
+    }
+}
+
+/// Error returned when parsing a [`DependencyValue`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueParseError {
+    input: String,
+}
+
+impl fmt::Display for ValueParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unrecognized dependency value `{}`", self.input)
+    }
+}
+
+impl std::error::Error for ValueParseError {}
+
+impl FromStr for DependencyValue {
+    type Err = ValueParseError;
+
+    /// Parses the ASCII symbols produced by [`DependencyValue::symbol`] as
+    /// well as the Unicode arrows used in the paper.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(match s.trim() {
+            "||" | "‖" | "par" => DependencyValue::Parallel,
+            "->" | "→" => DependencyValue::Determines,
+            "<-" | "←" => DependencyValue::DependsOn,
+            "<->" | "↔" => DependencyValue::Mutual,
+            "->?" | "→?" => DependencyValue::MayDetermine,
+            "<-?" | "←?" => DependencyValue::MayDependOn,
+            "<->?" | "↔?" => DependencyValue::MayMutual,
+            other => {
+                return Err(ValueParseError {
+                    input: other.to_owned(),
+                })
+            }
+        })
+    }
+}
+
+/// Strict-upper-set bitmasks: `UPPERS[v]` has bit `u` set iff `v < u`.
+///
+/// Derived from the Hasse diagram in the [`DependencyValue`] docs.
+const UPPERS: [u8; 7] = {
+    const P: u8 = 1 << DependencyValue::Parallel as u8;
+    const D: u8 = 1 << DependencyValue::Determines as u8;
+    const B: u8 = 1 << DependencyValue::DependsOn as u8;
+    const M: u8 = 1 << DependencyValue::Mutual as u8;
+    const DQ: u8 = 1 << DependencyValue::MayDetermine as u8;
+    const BQ: u8 = 1 << DependencyValue::MayDependOn as u8;
+    const MQ: u8 = 1 << DependencyValue::MayMutual as u8;
+    let _ = P;
+    [
+        // Parallel is below everything else.
+        D | B | M | DQ | BQ | MQ,
+        // Determines is below MayDetermine, Mutual, MayMutual.
+        DQ | M | MQ,
+        // DependsOn is below MayDependOn, Mutual, MayMutual.
+        BQ | M | MQ,
+        // Mutual is below MayMutual only.
+        MQ,
+        // MayDetermine is below MayMutual only.
+        MQ,
+        // MayDependOn is below MayMutual only.
+        MQ,
+        // MayMutual is the top.
+        0,
+    ]
+};
+
+/// `JOIN[a][b]` = least upper bound; computed at compile time from `UPPERS`.
+const JOIN: [[DependencyValue; 7]; 7] = build_table(true);
+/// `MEET[a][b]` = greatest lower bound.
+const MEET: [[DependencyValue; 7]; 7] = build_table(false);
+
+const fn le_const(a: usize, b: usize) -> bool {
+    a == b || UPPERS[a] & (1 << b) != 0
+}
+
+const fn from_index(i: usize) -> DependencyValue {
+    match i {
+        0 => DependencyValue::Parallel,
+        1 => DependencyValue::Determines,
+        2 => DependencyValue::DependsOn,
+        3 => DependencyValue::Mutual,
+        4 => DependencyValue::MayDetermine,
+        5 => DependencyValue::MayDependOn,
+        _ => DependencyValue::MayMutual,
+    }
+}
+
+const fn build_table(join: bool) -> [[DependencyValue; 7]; 7] {
+    let mut table = [[DependencyValue::Parallel; 7]; 7];
+    let mut a = 0;
+    while a < 7 {
+        let mut b = 0;
+        while b < 7 {
+            // Scan all candidates; pick the least upper bound (resp.
+            // greatest lower bound). The lattice is small enough that a
+            // quadratic scan at compile time is fine.
+            let mut best: Option<usize> = None;
+            let mut c = 0;
+            while c < 7 {
+                let bound_ok = if join {
+                    le_const(a, c) && le_const(b, c)
+                } else {
+                    le_const(c, a) && le_const(c, b)
+                };
+                if bound_ok {
+                    best = match best {
+                        None => Some(c),
+                        Some(prev) => {
+                            let better = if join {
+                                le_const(c, prev)
+                            } else {
+                                le_const(prev, c)
+                            };
+                            if better {
+                                Some(c)
+                            } else {
+                                Some(prev)
+                            }
+                        }
+                    };
+                }
+                c += 1;
+            }
+            // The lattice is complete, so `best` is always Some.
+            table[a][b] = from_index(match best {
+                Some(x) => x,
+                None => 0,
+            });
+            b += 1;
+        }
+        a += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::DependencyValue as V;
+    use super::*;
+
+    #[test]
+    fn bottom_and_top() {
+        for v in ALL_VALUES {
+            assert!(V::Parallel.leq(v), "bottom below {v}");
+            assert!(v.leq(V::MayMutual), "{v} below top");
+        }
+    }
+
+    #[test]
+    fn order_is_reflexive_and_antisymmetric() {
+        for a in ALL_VALUES {
+            assert!(a.leq(a));
+            for b in ALL_VALUES {
+                if a.leq(b) && b.leq(a) {
+                    assert_eq!(a, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn order_is_transitive() {
+        for a in ALL_VALUES {
+            for b in ALL_VALUES {
+                for c in ALL_VALUES {
+                    if a.leq(b) && b.leq(c) {
+                        assert!(a.leq(c), "{a} <= {b} <= {c}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn join_is_least_upper_bound() {
+        for a in ALL_VALUES {
+            for b in ALL_VALUES {
+                let j = a.join(b);
+                assert!(a.leq(j) && b.leq(j), "join({a},{b})={j} is an upper bound");
+                for c in ALL_VALUES {
+                    if a.leq(c) && b.leq(c) {
+                        assert!(j.leq(c), "join({a},{b})={j} least vs {c}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn meet_is_greatest_lower_bound() {
+        for a in ALL_VALUES {
+            for b in ALL_VALUES {
+                let m = a.meet(b);
+                assert!(m.leq(a) && m.leq(b));
+                for c in ALL_VALUES {
+                    if c.leq(a) && c.leq(b) {
+                        assert!(c.leq(m));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn join_and_meet_are_commutative_and_idempotent() {
+        for a in ALL_VALUES {
+            assert_eq!(a.join(a), a);
+            assert_eq!(a.meet(a), a);
+            for b in ALL_VALUES {
+                assert_eq!(a.join(b), b.join(a));
+                assert_eq!(a.meet(b), b.meet(a));
+            }
+        }
+    }
+
+    #[test]
+    fn absorption_laws() {
+        for a in ALL_VALUES {
+            for b in ALL_VALUES {
+                assert_eq!(a.join(a.meet(b)), a);
+                assert_eq!(a.meet(a.join(b)), a);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_specific_joins() {
+        // The values used in the paper's worked example.
+        assert_eq!(V::Determines.join(V::DependsOn), V::Mutual);
+        assert_eq!(V::Parallel.join(V::Determines), V::Determines);
+        assert_eq!(V::Determines.join(V::MayDetermine), V::MayDetermine);
+        assert_eq!(V::Determines.join(V::MayDependOn), V::MayMutual);
+        assert_eq!(V::MayDetermine.join(V::Mutual), V::MayMutual);
+    }
+
+    #[test]
+    fn distance_matches_definition_7() {
+        assert_eq!(V::Parallel.distance(), 0);
+        assert_eq!(V::Determines.distance(), 1);
+        assert_eq!(V::DependsOn.distance(), 1);
+        assert_eq!(V::MayDetermine.distance(), 4);
+        assert_eq!(V::Mutual.distance(), 4);
+        assert_eq!(V::MayDependOn.distance(), 4);
+        assert_eq!(V::MayMutual.distance(), 9);
+    }
+
+    #[test]
+    fn distance_is_monotone_in_the_order() {
+        for a in ALL_VALUES {
+            for b in ALL_VALUES {
+                if a.leq(b) && a != b {
+                    assert!(a.distance() < b.distance(), "{a} < {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn converse_is_an_involution_and_order_isomorphism() {
+        for a in ALL_VALUES {
+            assert_eq!(a.converse().converse(), a);
+            for b in ALL_VALUES {
+                assert_eq!(a.leq(b), a.converse().leq(b.converse()));
+                assert_eq!(a.join(b).converse(), a.converse().join(b.converse()));
+            }
+        }
+    }
+
+    #[test]
+    fn display_round_trips_through_from_str() {
+        for v in ALL_VALUES {
+            let s = v.to_string();
+            assert_eq!(s.parse::<V>().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn unicode_symbols_parse() {
+        assert_eq!("→".parse::<V>().unwrap(), V::Determines);
+        assert_eq!("←?".parse::<V>().unwrap(), V::MayDependOn);
+        assert_eq!("‖".parse::<V>().unwrap(), V::Parallel);
+        assert_eq!("↔?".parse::<V>().unwrap(), V::MayMutual);
+    }
+
+    #[test]
+    fn parse_error_is_reported() {
+        let err = "=>".parse::<V>().unwrap_err();
+        assert!(err.to_string().contains("=>"));
+    }
+
+    #[test]
+    fn partial_ord_agrees_with_le() {
+        for a in ALL_VALUES {
+            for b in ALL_VALUES {
+                match a.partial_cmp(&b) {
+                    Some(std::cmp::Ordering::Less) => assert!(a.leq(b) && a != b),
+                    Some(std::cmp::Ordering::Equal) => assert_eq!(a, b),
+                    Some(std::cmp::Ordering::Greater) => assert!(b.leq(a) && a != b),
+                    None => assert!(!a.leq(b) && !b.leq(a)),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn must_and_may_predicates() {
+        assert!(V::Determines.is_must_forward());
+        assert!(V::Mutual.is_must_forward());
+        assert!(!V::MayDetermine.is_must_forward());
+        assert!(V::DependsOn.is_must_backward());
+        assert!(V::Determines.admits_forward());
+        assert!(V::MayDetermine.admits_forward());
+        assert!(V::Mutual.admits_forward());
+        assert!(V::MayMutual.admits_forward());
+        assert!(!V::Parallel.admits_forward());
+        assert!(!V::DependsOn.admits_forward());
+    }
+}

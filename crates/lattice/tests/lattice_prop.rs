@@ -1,0 +1,108 @@
+//! Property-based tests for the dependency lattice and functions.
+
+use bbmg_lattice::{DependencyFunction, DependencyValue, TaskId, TaskSet, ALL_VALUES};
+use proptest::prelude::*;
+
+fn value_strategy() -> impl Strategy<Value = DependencyValue> {
+    prop::sample::select(ALL_VALUES.to_vec())
+}
+
+/// A random dependency function over `n` tasks.
+fn function_strategy(n: usize) -> impl Strategy<Value = DependencyFunction> {
+    prop::collection::vec(value_strategy(), n * n).prop_map(move |values| {
+        let mut d = DependencyFunction::bottom(n);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    d.set(
+                        TaskId::from_index(i),
+                        TaskId::from_index(j),
+                        values[i * n + j],
+                    );
+                }
+            }
+        }
+        d
+    })
+}
+
+proptest! {
+    #[test]
+    fn value_join_is_associative(a in value_strategy(), b in value_strategy(), c in value_strategy()) {
+        prop_assert_eq!(a.join(b).join(c), a.join(b.join(c)));
+        prop_assert_eq!(a.meet(b).meet(c), a.meet(b.meet(c)));
+    }
+
+    #[test]
+    fn function_join_is_lub(a in function_strategy(4), b in function_strategy(4)) {
+        let j = a.join(&b);
+        prop_assert!(a.leq(&j));
+        prop_assert!(b.leq(&j));
+        // Least: meet of join with any common upper bound stays the join.
+        let top = DependencyFunction::top(4);
+        prop_assert!(j.leq(&top));
+        prop_assert_eq!(a.join(&b), b.join(&a));
+    }
+
+    #[test]
+    fn function_meet_join_absorption(a in function_strategy(3), b in function_strategy(3)) {
+        prop_assert_eq!(a.join(&a.meet(&b)), a.clone());
+        prop_assert_eq!(a.meet(&a.join(&b)), a.clone());
+    }
+
+    #[test]
+    fn weight_is_monotone(a in function_strategy(4), b in function_strategy(4)) {
+        if a.leq(&b) {
+            prop_assert!(a.weight() <= b.weight());
+        }
+        // And strictly monotone for strict order.
+        if a.leq(&b) && a != b {
+            prop_assert!(a.weight() < b.weight());
+        }
+    }
+
+    #[test]
+    fn leq_is_a_partial_order(
+        a in function_strategy(3),
+        b in function_strategy(3),
+        c in function_strategy(3),
+    ) {
+        prop_assert!(a.leq(&a));
+        if a.leq(&b) && b.leq(&a) {
+            prop_assert_eq!(a.clone(), b.clone());
+        }
+        if a.leq(&b) && b.leq(&c) {
+            prop_assert!(a.leq(&c));
+        }
+    }
+
+    #[test]
+    fn taskset_algebra_laws(
+        xs in prop::collection::vec(0usize..32, 0..20),
+        ys in prop::collection::vec(0usize..32, 0..20),
+    ) {
+        let a = TaskSet::from_ids(32, xs.iter().map(|&i| TaskId::from_index(i)));
+        let b = TaskSet::from_ids(32, ys.iter().map(|&i| TaskId::from_index(i)));
+        let union = a.union(&b);
+        let inter = a.intersection(&b);
+        prop_assert!(inter.is_subset(&a) && inter.is_subset(&b));
+        prop_assert!(a.is_subset(&union) && b.is_subset(&union));
+        prop_assert_eq!(union.len() + inter.len(), a.len() + b.len());
+        prop_assert_eq!(a.difference(&b).len(), a.len() - inter.len());
+    }
+
+    #[test]
+    fn table_round_trips_through_from_rows(d in function_strategy(4)) {
+        // Render to symbols and rebuild.
+        let rows: Vec<Vec<&str>> = (0..4)
+            .map(|i| {
+                (0..4)
+                    .map(|j| d.value(TaskId::from_index(i), TaskId::from_index(j)).symbol())
+                    .collect()
+            })
+            .collect();
+        let slices: Vec<&[&str]> = rows.iter().map(Vec::as_slice).collect();
+        let rebuilt = DependencyFunction::from_rows(&slices).unwrap();
+        prop_assert_eq!(rebuilt, d);
+    }
+}

@@ -1,0 +1,331 @@
+//! Per-period behaviours of a design model and their enumeration.
+
+use std::collections::BTreeSet;
+
+use bbmg_lattice::{TaskId, TaskSet};
+
+use crate::model::{ChannelId, DesignModel};
+
+/// One possible behaviour of a model within a single period: which tasks
+/// executed and which channels carried a message.
+///
+/// Behaviours are the semantic objects that the paper's trace periods are
+/// observations of. Different periods of an execution conform to the same
+/// model but may exhibit different behaviours (paper §2.1).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Behavior {
+    executed: Vec<TaskId>,
+    activated: Vec<ChannelId>,
+}
+
+impl Behavior {
+    /// Builds a behaviour from raw parts (sorted and deduplicated). Used by
+    /// simulators that choose disjunction decisions themselves.
+    #[must_use]
+    pub fn new(mut executed: Vec<TaskId>, mut activated: Vec<ChannelId>) -> Self {
+        executed.sort_unstable();
+        executed.dedup();
+        activated.sort_unstable();
+        activated.dedup();
+        Behavior { executed, activated }
+    }
+
+    /// The tasks that executed, in ascending id order.
+    #[must_use]
+    pub fn executed(&self) -> &[TaskId] {
+        &self.executed
+    }
+
+    /// The channels that carried a message, in ascending id order.
+    #[must_use]
+    pub fn activated(&self) -> &[ChannelId] {
+        &self.activated
+    }
+
+    /// The executed tasks as a [`TaskSet`] over `universe` tasks.
+    #[must_use]
+    pub fn executed_set(&self, universe: usize) -> TaskSet {
+        TaskSet::from_ids(universe, self.executed.iter().copied())
+    }
+
+    /// Whether `task` executed in this behaviour.
+    #[must_use]
+    pub fn executes(&self, task: TaskId) -> bool {
+        self.executed.binary_search(&task).is_ok()
+    }
+}
+
+/// Guard against exponential behaviour explosion during enumeration.
+///
+/// [`DesignModel::enumerate_behaviors`] panics past this limit;
+/// [`DesignModel::enumerate_behaviors_bounded`] returns the truncation flag
+/// instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BehaviorEnumerationLimit(pub usize);
+
+impl Default for BehaviorEnumerationLimit {
+    fn default() -> Self {
+        BehaviorEnumerationLimit(1 << 20)
+    }
+}
+
+impl DesignModel {
+    /// Enumerates every distinct per-period behaviour of the model.
+    ///
+    /// Semantics (paper §2.1): source tasks fire at the start of each
+    /// period; a task with inputs fires iff at least one incoming channel
+    /// is activated; when a non-disjunction task fires it activates all its
+    /// outgoing channels; when a disjunction task fires it activates one
+    /// chosen *nonempty* subset of them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of raw decision combinations exceeds the
+    /// default [`BehaviorEnumerationLimit`].
+    #[must_use]
+    pub fn enumerate_behaviors(&self) -> Vec<Behavior> {
+        let (behaviors, truncated) =
+            self.enumerate_behaviors_bounded(BehaviorEnumerationLimit::default());
+        assert!(!truncated, "behaviour enumeration exceeded the default limit");
+        behaviors
+    }
+
+    /// Like [`enumerate_behaviors`](Self::enumerate_behaviors) but stops
+    /// after `limit` behaviours, returning whether truncation occurred.
+    #[must_use]
+    pub fn enumerate_behaviors_bounded(
+        &self,
+        limit: BehaviorEnumerationLimit,
+    ) -> (Vec<Behavior>, bool) {
+        let order = self.topo_order();
+        let mut seen: BTreeSet<Behavior> = BTreeSet::new();
+        let mut truncated = false;
+
+        // Depth-first over tasks in topological order; the frontier carries
+        // the activation state decided so far.
+        struct Frame {
+            position: usize,
+            executed: Vec<bool>,
+            activated: Vec<bool>,
+        }
+        let mut stack = vec![Frame {
+            position: 0,
+            executed: vec![false; self.task_count()],
+            activated: vec![false; self.channels().len()],
+        }];
+
+        while let Some(frame) = stack.pop() {
+            if seen.len() >= limit.0 {
+                truncated = true;
+                break;
+            }
+            if frame.position == order.len() {
+                let executed = (0..self.task_count())
+                    .map(TaskId::from_index)
+                    .filter(|t| frame.executed[t.index()])
+                    .collect();
+                let activated = (0..self.channels().len())
+                    .map(ChannelId)
+                    .filter(|c| frame.activated[c.0])
+                    .collect();
+                seen.insert(Behavior { executed, activated });
+                continue;
+            }
+            let task = order[frame.position];
+            let fires = self.in_channels(task).is_empty()
+                || self
+                    .in_channels(task)
+                    .iter()
+                    .any(|c| frame.activated[c.0]);
+            if !fires {
+                stack.push(Frame {
+                    position: frame.position + 1,
+                    executed: frame.executed,
+                    activated: frame.activated,
+                });
+                continue;
+            }
+            let outs = self.out_channels(task).to_vec();
+            let mut executed = frame.executed;
+            executed[task.index()] = true;
+            if !self.is_disjunction(task) || outs.is_empty() {
+                let mut activated = frame.activated;
+                for c in &outs {
+                    activated[c.0] = true;
+                }
+                stack.push(Frame {
+                    position: frame.position + 1,
+                    executed,
+                    activated,
+                });
+            } else {
+                // Branch over every nonempty subset of outgoing channels.
+                for mask in 1u64..(1u64 << outs.len()) {
+                    let mut activated = frame.activated.clone();
+                    for (bit, c) in outs.iter().enumerate() {
+                        if mask & (1 << bit) != 0 {
+                            activated[c.0] = true;
+                        }
+                    }
+                    stack.push(Frame {
+                        position: frame.position + 1,
+                        executed: executed.clone(),
+                        activated,
+                    });
+                }
+            }
+        }
+        (seen.into_iter().collect(), truncated)
+    }
+
+    /// The execution-implication ground truth: `implies[a][b]` is `true`
+    /// iff in *every* enumerated behaviour where task `a` executes, task
+    /// `b` also executes (and `a ≠ b`).
+    ///
+    /// This is the semantic content of the learner's `→` values: the
+    /// paper's observation that `d(t1, t4) = →` holds for Figure 1 even
+    /// though the design has no direct `t1 → t4` message is exactly this
+    /// relation.
+    #[must_use]
+    pub fn execution_implications(&self) -> Vec<Vec<bool>> {
+        let behaviors = self.enumerate_behaviors();
+        let n = self.task_count();
+        let mut implies = vec![vec![true; n]; n];
+        for (a, row) in implies.iter_mut().enumerate() {
+            for (b, cell) in row.iter_mut().enumerate() {
+                if a == b {
+                    *cell = false;
+                    continue;
+                }
+                let ta = TaskId::from_index(a);
+                let tb = TaskId::from_index(b);
+                *cell = behaviors
+                    .iter()
+                    .filter(|bh| bh.executes(ta))
+                    .all(|bh| bh.executes(tb));
+            }
+        }
+        implies
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use bbmg_lattice::TaskUniverse;
+
+    use super::*;
+    use crate::model::DesignModel;
+
+    fn figure_1() -> DesignModel {
+        let mut u = TaskUniverse::new();
+        let t1 = u.intern("t1");
+        let t2 = u.intern("t2");
+        let t3 = u.intern("t3");
+        let t4 = u.intern("t4");
+        DesignModel::builder(u)
+            .edge(t1, t2)
+            .edge(t1, t3)
+            .edge(t2, t4)
+            .edge(t3, t4)
+            .disjunction(t1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn figure_1_has_three_behaviors() {
+        let behaviors = figure_1().enumerate_behaviors();
+        assert_eq!(behaviors.len(), 3);
+        let t = |i| TaskId::from_index(i);
+        // Every behaviour executes t1 and t4.
+        for b in &behaviors {
+            assert!(b.executes(t(0)));
+            assert!(b.executes(t(3)));
+        }
+        // Exactly one behaviour executes all four tasks.
+        assert_eq!(
+            behaviors.iter().filter(|b| b.executed().len() == 4).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn chain_has_one_behavior() {
+        let mut u = TaskUniverse::new();
+        let a = u.intern("a");
+        let b = u.intern("b");
+        let c = u.intern("c");
+        let m = DesignModel::builder(u).edge(a, b).edge(b, c).build().unwrap();
+        let behaviors = m.enumerate_behaviors();
+        assert_eq!(behaviors.len(), 1);
+        assert_eq!(behaviors[0].executed().len(), 3);
+        assert_eq!(behaviors[0].activated().len(), 2);
+    }
+
+    #[test]
+    fn downstream_of_unchosen_branch_does_not_run() {
+        let mut u = TaskUniverse::new();
+        let a = u.intern("a");
+        let b = u.intern("b");
+        let c = u.intern("c");
+        let m = DesignModel::builder(u)
+            .edge(a, b)
+            .edge(a, c)
+            .disjunction(a)
+            .build()
+            .unwrap();
+        let behaviors = m.enumerate_behaviors();
+        assert_eq!(behaviors.len(), 3);
+        assert!(behaviors.iter().any(|x| x.executes(b) && !x.executes(c)));
+        assert!(behaviors.iter().any(|x| !x.executes(b) && x.executes(c)));
+    }
+
+    #[test]
+    fn implications_of_figure_1_match_paper() {
+        // Paper §3.3: t1 always determines t4 even without a direct message.
+        let implies = figure_1().execution_implications();
+        assert!(implies[0][3], "t1 implies t4");
+        assert!(implies[3][0], "t4 implies t1");
+        assert!(!implies[0][1], "t1 does not imply t2 (disjunction)");
+        assert!(implies[1][0], "t2 implies t1");
+        assert!(implies[1][3], "t2 implies t4");
+        assert!(!implies[3][1], "t4 does not imply t2");
+    }
+
+    #[test]
+    fn bounded_enumeration_truncates() {
+        // A model with 3 disjunction nodes fanning out to 3 sinks each has
+        // 7^3 = 343 raw combinations; bound it at 5.
+        let mut u = TaskUniverse::new();
+        let sources: Vec<_> = (0..3).map(|i| u.intern(format!("s{i}"))).collect();
+        let sinks: Vec<_> = (0..9).map(|i| u.intern(format!("k{i}"))).collect();
+        let mut b = DesignModel::builder(u);
+        for (i, &s) in sources.iter().enumerate() {
+            for j in 0..3 {
+                b = b.edge(s, sinks[i * 3 + j]);
+            }
+            b = b.disjunction(s);
+        }
+        let m = b.build().unwrap();
+        let (behaviors, truncated) =
+            m.enumerate_behaviors_bounded(BehaviorEnumerationLimit(5));
+        assert!(truncated);
+        assert_eq!(behaviors.len(), 5);
+        let (all, truncated) =
+            m.enumerate_behaviors_bounded(BehaviorEnumerationLimit(10_000));
+        assert!(!truncated);
+        assert_eq!(all.len(), 343);
+    }
+
+    #[test]
+    fn executed_set_round_trip() {
+        let behaviors = figure_1().enumerate_behaviors();
+        for b in &behaviors {
+            let set = b.executed_set(4);
+            assert_eq!(set.len(), b.executed().len());
+            for &t in b.executed() {
+                assert!(set.contains(t));
+            }
+        }
+    }
+}

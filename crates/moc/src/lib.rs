@@ -1,0 +1,49 @@
+//! The control-flow model of computation (paper §2.1).
+//!
+//! A *design model* is a graph whose nodes are tasks and whose edges are
+//! message channels. Tasks execute in a data-driven manner: a task fires on
+//! the arrival of all its required inputs; source tasks fire at the start
+//! of each period. A *disjunction node* conditionally sends messages to a
+//! chosen nonempty subset of its successors; every other node sends on all
+//! of its outgoing channels when it executes.
+//!
+//! This crate captures design models (the hidden ground truth that the
+//! learner tries to recover), enumerates their possible per-period
+//! behaviours, and emits canonical sequential trace periods. The richer
+//! scheduler/bus execution lives in `bbmg-sim`.
+//!
+//! # Example — the paper's Figure 1 model
+//!
+//! ```
+//! use bbmg_lattice::TaskUniverse;
+//! use bbmg_moc::DesignModel;
+//!
+//! let mut universe = TaskUniverse::new();
+//! let t1 = universe.intern("t1");
+//! let t2 = universe.intern("t2");
+//! let t3 = universe.intern("t3");
+//! let t4 = universe.intern("t4");
+//!
+//! let model = DesignModel::builder(universe)
+//!     .edge(t1, t2)
+//!     .edge(t1, t3)
+//!     .edge(t2, t4)
+//!     .edge(t3, t4)
+//!     .disjunction(t1)
+//!     .build()?;
+//!
+//! // t1 chooses {t2}, {t3} or {t2, t3}: three behaviours.
+//! assert_eq!(model.enumerate_behaviors().len(), 3);
+//! # Ok::<(), bbmg_moc::ModelError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod behavior;
+mod model;
+mod schedule;
+
+pub use behavior::{Behavior, BehaviorEnumerationLimit};
+pub use model::{ChannelId, DesignModel, DesignModelBuilder, ModelError, NodeKind};
+pub use schedule::{append_canonical_period, CanonicalTiming};

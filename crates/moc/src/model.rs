@@ -1,0 +1,388 @@
+//! Design models: the hidden system structure.
+
+use std::fmt;
+
+use bbmg_graph::{DiGraph, DotOptions, NodeIx};
+use bbmg_lattice::{TaskId, TaskUniverse};
+
+/// Identifier of a message channel (a design-model edge `sender → receiver`).
+///
+/// A channel may carry at most one message per period (paper §2.1: data for
+/// the same receiver is grouped and sent in one message).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChannelId(pub usize);
+
+/// How a task participates in control flow, derived from model structure
+/// plus the designer's disjunction markings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// No incoming channels: fires at the start of every period.
+    Source,
+    /// Marked as conditionally choosing which successors to message.
+    Disjunction,
+    /// Two or more incoming channels, passively waiting on senders'
+    /// decisions.
+    Conjunction,
+    /// Any other interior node (single input, unconditional output).
+    Plain,
+}
+
+/// Error produced while building or validating a [`DesignModel`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// The channel graph has a directed cycle; periods could not terminate.
+    Cyclic,
+    /// A channel connects a task to itself.
+    SelfLoop {
+        /// The offending task.
+        task: TaskId,
+    },
+    /// The same sender/receiver channel was declared twice (at most one
+    /// message per pair per period).
+    DuplicateChannel {
+        /// Sender.
+        sender: TaskId,
+        /// Receiver.
+        receiver: TaskId,
+    },
+    /// A disjunction mark was placed on a task without outgoing channels.
+    DisjunctionWithoutChoices {
+        /// The offending task.
+        task: TaskId,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Cyclic => write!(f, "design model contains a cycle"),
+            ModelError::SelfLoop { task } => write!(f, "self-loop on task {task}"),
+            ModelError::DuplicateChannel { sender, receiver } => {
+                write!(f, "duplicate channel {sender} -> {receiver}")
+            }
+            ModelError::DisjunctionWithoutChoices { task } => {
+                write!(f, "disjunction mark on {task} which has no outgoing channels")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// A validated design model: task universe, message channels, and
+/// disjunction markings.
+///
+/// This is the structure the paper assumes exists inside the black box;
+/// the learner never sees it, but tests and accuracy experiments compare
+/// learned dependency functions against behaviour enumerated from it.
+#[derive(Debug, Clone)]
+pub struct DesignModel {
+    universe: TaskUniverse,
+    channels: Vec<(TaskId, TaskId)>,
+    out: Vec<Vec<ChannelId>>,
+    inc: Vec<Vec<ChannelId>>,
+    disjunction: Vec<bool>,
+}
+
+impl DesignModel {
+    /// Starts building a model over `universe`.
+    #[must_use]
+    pub fn builder(universe: TaskUniverse) -> DesignModelBuilder {
+        DesignModelBuilder {
+            universe,
+            channels: Vec::new(),
+            disjunction: Vec::new(),
+        }
+    }
+
+    /// The task universe.
+    #[must_use]
+    pub fn universe(&self) -> &TaskUniverse {
+        &self.universe
+    }
+
+    /// Number of tasks.
+    #[must_use]
+    pub fn task_count(&self) -> usize {
+        self.universe.len()
+    }
+
+    /// All channels as `(sender, receiver)` pairs, indexed by [`ChannelId`].
+    #[must_use]
+    pub fn channels(&self) -> &[(TaskId, TaskId)] {
+        &self.channels
+    }
+
+    /// The `(sender, receiver)` endpoints of `channel`.
+    #[must_use]
+    pub fn channel(&self, channel: ChannelId) -> (TaskId, TaskId) {
+        self.channels[channel.0]
+    }
+
+    /// Outgoing channels of `task`.
+    #[must_use]
+    pub fn out_channels(&self, task: TaskId) -> &[ChannelId] {
+        &self.out[task.index()]
+    }
+
+    /// Incoming channels of `task`.
+    #[must_use]
+    pub fn in_channels(&self, task: TaskId) -> &[ChannelId] {
+        &self.inc[task.index()]
+    }
+
+    /// Whether `task` is marked as a disjunction node.
+    #[must_use]
+    pub fn is_disjunction(&self, task: TaskId) -> bool {
+        self.disjunction[task.index()]
+    }
+
+    /// The [`NodeKind`] of `task`.
+    #[must_use]
+    pub fn node_kind(&self, task: TaskId) -> NodeKind {
+        if self.disjunction[task.index()] {
+            NodeKind::Disjunction
+        } else if self.inc[task.index()].is_empty() {
+            NodeKind::Source
+        } else if self.inc[task.index()].len() >= 2 {
+            NodeKind::Conjunction
+        } else {
+            NodeKind::Plain
+        }
+    }
+
+    /// Tasks in a fixed topological order of the channel graph.
+    #[must_use]
+    pub fn topo_order(&self) -> Vec<TaskId> {
+        self.as_digraph()
+            .topo_sort()
+            .expect("validated model is acyclic")
+            .into_iter()
+            .map(|n| TaskId::from_index(n.0))
+            .collect()
+    }
+
+    /// A copy of the channel structure as a [`DiGraph`] (node weight =
+    /// task id, edge weight = channel id).
+    #[must_use]
+    pub fn as_digraph(&self) -> DiGraph<TaskId, ChannelId> {
+        let mut g = DiGraph::new();
+        for id in self.universe.ids() {
+            g.add_node(id);
+        }
+        for (i, &(s, r)) in self.channels.iter().enumerate() {
+            g.add_edge(NodeIx(s.index()), NodeIx(r.index()), ChannelId(i));
+        }
+        g
+    }
+
+    /// Renders the design model in Graphviz DOT (solid edges, disjunction
+    /// nodes drawn as diamonds) — the Figure 1 style.
+    #[must_use]
+    pub fn to_dot(&self) -> String {
+        let g = self.as_digraph();
+        let options = DotOptions {
+            name: "design".to_owned(),
+            ..DotOptions::default()
+        };
+        // Nodes carry the task id; label with name plus a kind marker.
+        g.to_dot(
+            &options,
+            |&task| {
+                let name = self.universe.name(task);
+                match self.node_kind(task) {
+                    NodeKind::Disjunction => format!("{name} (or)"),
+                    NodeKind::Conjunction => format!("{name} (and)"),
+                    _ => name.to_owned(),
+                }
+            },
+            |_| String::new(),
+        )
+    }
+}
+
+/// Incremental builder for [`DesignModel`] (see [`DesignModel::builder`]).
+#[derive(Debug, Clone)]
+pub struct DesignModelBuilder {
+    universe: TaskUniverse,
+    channels: Vec<(TaskId, TaskId)>,
+    disjunction: Vec<TaskId>,
+}
+
+impl DesignModelBuilder {
+    /// Declares a message channel `sender → receiver`.
+    #[must_use]
+    pub fn edge(mut self, sender: TaskId, receiver: TaskId) -> Self {
+        self.channels.push((sender, receiver));
+        self
+    }
+
+    /// Marks `task` as a disjunction node: when it executes it sends to a
+    /// chosen *nonempty* subset of its successors.
+    #[must_use]
+    pub fn disjunction(mut self, task: TaskId) -> Self {
+        self.disjunction.push(task);
+        self
+    }
+
+    /// Validates and builds the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelError`] for cyclic channel graphs, self-loops,
+    /// duplicate channels, or disjunction marks on tasks without outgoing
+    /// channels.
+    pub fn build(self) -> Result<DesignModel, ModelError> {
+        let n = self.universe.len();
+        let mut out = vec![Vec::new(); n];
+        let mut inc = vec![Vec::new(); n];
+        for (i, &(s, r)) in self.channels.iter().enumerate() {
+            if s == r {
+                return Err(ModelError::SelfLoop { task: s });
+            }
+            if self.channels[..i].contains(&(s, r)) {
+                return Err(ModelError::DuplicateChannel {
+                    sender: s,
+                    receiver: r,
+                });
+            }
+            out[s.index()].push(ChannelId(i));
+            inc[r.index()].push(ChannelId(i));
+        }
+        let mut disjunction = vec![false; n];
+        for task in &self.disjunction {
+            if out[task.index()].is_empty() {
+                return Err(ModelError::DisjunctionWithoutChoices { task: *task });
+            }
+            disjunction[task.index()] = true;
+        }
+        let model = DesignModel {
+            universe: self.universe,
+            channels: self.channels,
+            out,
+            inc,
+            disjunction,
+        };
+        if model.as_digraph().is_cyclic() {
+            return Err(ModelError::Cyclic);
+        }
+        Ok(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure_1() -> DesignModel {
+        let mut u = TaskUniverse::new();
+        let t1 = u.intern("t1");
+        let t2 = u.intern("t2");
+        let t3 = u.intern("t3");
+        let t4 = u.intern("t4");
+        DesignModel::builder(u)
+            .edge(t1, t2)
+            .edge(t1, t3)
+            .edge(t2, t4)
+            .edge(t3, t4)
+            .disjunction(t1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn node_kinds_of_figure_1() {
+        let m = figure_1();
+        let t = |i| TaskId::from_index(i);
+        assert_eq!(m.node_kind(t(0)), NodeKind::Disjunction);
+        assert_eq!(m.node_kind(t(1)), NodeKind::Plain);
+        assert_eq!(m.node_kind(t(3)), NodeKind::Conjunction);
+        assert!(m.is_disjunction(t(0)));
+        assert!(!m.is_disjunction(t(3)));
+    }
+
+    #[test]
+    fn source_kind_wins() {
+        let m = figure_1();
+        assert_eq!(m.node_kind(TaskId::from_index(0)), NodeKind::Disjunction);
+        // t1 has no inputs but is marked disjunction; an unmarked sourceless
+        // node would be Source:
+        let mut u = TaskUniverse::new();
+        let a = u.intern("a");
+        let b = u.intern("b");
+        let m2 = DesignModel::builder(u).edge(a, b).build().unwrap();
+        assert_eq!(m2.node_kind(a), NodeKind::Source);
+        assert_eq!(m2.node_kind(b), NodeKind::Plain);
+    }
+
+    #[test]
+    fn channels_and_adjacency() {
+        let m = figure_1();
+        let t = |i| TaskId::from_index(i);
+        assert_eq!(m.channels().len(), 4);
+        assert_eq!(m.out_channels(t(0)).len(), 2);
+        assert_eq!(m.in_channels(t(3)).len(), 2);
+        assert_eq!(m.channel(ChannelId(2)), (t(1), t(3)));
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let m = figure_1();
+        let order = m.topo_order();
+        let pos = |t: TaskId| order.iter().position(|&x| x == t).unwrap();
+        for &(s, r) in m.channels() {
+            assert!(pos(s) < pos(r));
+        }
+    }
+
+    #[test]
+    fn cyclic_model_rejected() {
+        let mut u = TaskUniverse::new();
+        let a = u.intern("a");
+        let b = u.intern("b");
+        let err = DesignModel::builder(u).edge(a, b).edge(b, a).build().unwrap_err();
+        assert_eq!(err, ModelError::Cyclic);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut u = TaskUniverse::new();
+        let a = u.intern("a");
+        let err = DesignModel::builder(u).edge(a, a).build().unwrap_err();
+        assert!(matches!(err, ModelError::SelfLoop { .. }));
+    }
+
+    #[test]
+    fn duplicate_channel_rejected() {
+        let mut u = TaskUniverse::new();
+        let a = u.intern("a");
+        let b = u.intern("b");
+        let err = DesignModel::builder(u)
+            .edge(a, b)
+            .edge(a, b)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::DuplicateChannel { .. }));
+    }
+
+    #[test]
+    fn disjunction_without_outputs_rejected() {
+        let mut u = TaskUniverse::new();
+        let a = u.intern("a");
+        let b = u.intern("b");
+        let err = DesignModel::builder(u)
+            .edge(a, b)
+            .disjunction(b)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::DisjunctionWithoutChoices { .. }));
+    }
+
+    #[test]
+    fn dot_marks_node_kinds() {
+        let dot = figure_1().to_dot();
+        assert!(dot.contains("t1 (or)"));
+        assert!(dot.contains("t4 (and)"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests: behaviour enumeration respects the firing rules.
+
+use bbmg_lattice::{TaskId, TaskUniverse};
+use bbmg_moc::{append_canonical_period, CanonicalTiming, DesignModel};
+use bbmg_trace::{Timestamp, TraceBuilder};
+use proptest::prelude::*;
+
+/// A random acyclic model: edges only go from lower to higher task index.
+fn arbitrary_model() -> impl Strategy<Value = DesignModel> {
+    let tasks = 3usize..7;
+    tasks.prop_flat_map(|n| {
+        let edges = prop::collection::vec((0usize..n, 0usize..n), 0..n * 2);
+        let disjunction_mask = prop::collection::vec(any::<bool>(), n);
+        (Just(n), edges, disjunction_mask).prop_map(|(n, edges, mask)| {
+            let universe: TaskUniverse = (0..n).map(|i| format!("t{i}")).collect();
+            let mut builder = DesignModel::builder(universe);
+            let mut seen = std::collections::BTreeSet::new();
+            let mut out_degree = vec![0usize; n];
+            for (a, b) in edges {
+                let (lo, hi) = (a.min(b), a.max(b));
+                if lo != hi && seen.insert((lo, hi)) {
+                    builder = builder.edge(TaskId::from_index(lo), TaskId::from_index(hi));
+                    out_degree[lo] += 1;
+                }
+            }
+            for (task, &enabled) in mask.iter().enumerate() {
+                if enabled && out_degree[task] >= 1 {
+                    builder = builder.disjunction(TaskId::from_index(task));
+                }
+            }
+            builder.build().expect("ordered edges are acyclic")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn behaviors_respect_firing_rules(model in arbitrary_model()) {
+        for behavior in model.enumerate_behaviors() {
+            for task in model.universe().ids() {
+                let has_inputs = !model.in_channels(task).is_empty();
+                let activated_input = model
+                    .in_channels(task)
+                    .iter()
+                    .any(|c| behavior.activated().contains(c));
+                if behavior.executes(task) {
+                    // A firing task is a source or received at least one input.
+                    prop_assert!(!has_inputs || activated_input);
+                    if !model.is_disjunction(task) {
+                        // Non-disjunction tasks activate all out channels.
+                        for c in model.out_channels(task) {
+                            prop_assert!(behavior.activated().contains(c));
+                        }
+                    } else {
+                        // Disjunctions activate a nonempty subset.
+                        let any_out = model
+                            .out_channels(task)
+                            .iter()
+                            .any(|c| behavior.activated().contains(c));
+                        prop_assert!(model.out_channels(task).is_empty() || any_out);
+                    }
+                } else {
+                    // A silent task is a non-source with no activated input,
+                    // and none of its out channels carry messages.
+                    prop_assert!(has_inputs && !activated_input);
+                    for c in model.out_channels(task) {
+                        prop_assert!(!behavior.activated().contains(c));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn behaviors_are_distinct(model in arbitrary_model()) {
+        let behaviors = model.enumerate_behaviors();
+        for (i, a) in behaviors.iter().enumerate() {
+            for b in behaviors.iter().skip(i + 1) {
+                prop_assert!(a != b);
+            }
+        }
+        // Sources always execute: at least one behaviour exists.
+        prop_assert!(!behaviors.is_empty());
+    }
+
+    #[test]
+    fn canonical_periods_are_always_valid(model in arbitrary_model()) {
+        let mut builder = TraceBuilder::new(model.universe().clone());
+        let mut clock = Timestamp::ZERO;
+        for behavior in model.enumerate_behaviors().into_iter().take(16) {
+            builder.begin_period();
+            clock = append_canonical_period(
+                &model,
+                &behavior,
+                CanonicalTiming::default(),
+                &mut builder,
+                clock,
+            )
+            .expect("canonical scheduling is valid");
+            builder.end_period().expect("period balances");
+            clock = clock + 5;
+        }
+        let trace = builder.finish();
+        // Every emitted message admits at least one candidate pair.
+        for period in trace.periods() {
+            for w in period.messages() {
+                prop_assert!(!period.candidate_pairs(w).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn implications_hold_on_every_behavior(model in arbitrary_model()) {
+        let implies = model.execution_implications();
+        for behavior in model.enumerate_behaviors() {
+            for a in model.universe().ids() {
+                for b in model.universe().ids() {
+                    if a != b && implies[a.index()][b.index()] && behavior.executes(a) {
+                        prop_assert!(behavior.executes(b));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Simulation configuration.
+
+use bbmg_lattice::TaskId;
+
+/// Per-task execution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskParams {
+    /// Best-case execution time (CPU time units).
+    pub bcet: u64,
+    /// Worst-case execution time (CPU time units). Actual execution time is
+    /// drawn uniformly from `bcet..=wcet` each period.
+    pub wcet: u64,
+    /// Fixed scheduling priority; **lower number = higher priority**
+    /// (OSEK-style ceiling numbering is inverted here for simplicity).
+    pub priority: u32,
+}
+
+impl TaskParams {
+    /// Constant execution time `c` at priority `priority`.
+    #[must_use]
+    pub fn fixed(c: u64, priority: u32) -> Self {
+        TaskParams {
+            bcet: c,
+            wcet: c,
+            priority,
+        }
+    }
+}
+
+impl Default for TaskParams {
+    fn default() -> Self {
+        TaskParams {
+            bcet: 5,
+            wcet: 10,
+            priority: 100,
+        }
+    }
+}
+
+/// Configuration of a [`crate::Simulator`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Number of periods to simulate.
+    pub periods: usize,
+    /// Length of one period in time units; every period `p` starts at
+    /// `p * period_length`. The simulation fails with
+    /// [`crate::SimError::PeriodOverrun`] if a period's activity does not
+    /// finish in time (no message may cross the period boundary).
+    pub period_length: u64,
+    /// Bus transmission time of one message frame.
+    pub frame_time: u64,
+    /// Maximum release jitter: each source task becomes ready at a seeded
+    /// uniform offset in `0..=release_jitter` after the period start.
+    pub release_jitter: u64,
+    /// PRNG seed for jitter, execution times and disjunction decisions.
+    pub seed: u64,
+    /// Per-task parameter overrides; tasks without an entry use
+    /// [`TaskParams::default`].
+    pub task_params: Vec<(TaskId, TaskParams)>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            periods: 10,
+            period_length: 10_000,
+            frame_time: 2,
+            release_jitter: 3,
+            seed: 0,
+            task_params: Vec::new(),
+        }
+    }
+}
+
+impl SimConfig {
+    /// The parameters for `task`.
+    #[must_use]
+    pub fn params(&self, task: TaskId) -> TaskParams {
+        self.task_params
+            .iter()
+            .find(|(t, _)| *t == task)
+            .map(|&(_, p)| p)
+            .unwrap_or_default()
+    }
+
+    /// Sets the parameters of `task` (builder style).
+    #[must_use]
+    pub fn with_task(mut self, task: TaskId, params: TaskParams) -> Self {
+        self.task_params.retain(|(t, _)| *t != task);
+        self.task_params.push((task, params));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_lookup_falls_back_to_default() {
+        let t0 = TaskId::from_index(0);
+        let t1 = TaskId::from_index(1);
+        let config = SimConfig::default().with_task(t0, TaskParams::fixed(7, 1));
+        assert_eq!(config.params(t0), TaskParams::fixed(7, 1));
+        assert_eq!(config.params(t1), TaskParams::default());
+    }
+
+    #[test]
+    fn with_task_replaces_existing() {
+        let t0 = TaskId::from_index(0);
+        let config = SimConfig::default()
+            .with_task(t0, TaskParams::fixed(1, 1))
+            .with_task(t0, TaskParams::fixed(2, 2));
+        assert_eq!(config.params(t0).wcet, 2);
+        assert_eq!(config.task_params.len(), 1);
+    }
+
+    #[test]
+    fn fixed_params_have_equal_bounds() {
+        let p = TaskParams::fixed(9, 3);
+        assert_eq!(p.bcet, p.wcet);
+        assert_eq!(p.priority, 3);
+    }
+}

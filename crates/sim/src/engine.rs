@@ -1,0 +1,504 @@
+//! The discrete-event simulation engine.
+
+use std::fmt;
+
+use bbmg_lattice::TaskId;
+use bbmg_moc::{Behavior, ChannelId, DesignModel};
+use bbmg_trace::{EventKind, MessageId, Timestamp, Trace, TraceBuilder, TraceError};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::bus::{CanBus, Frame};
+use crate::config::SimConfig;
+use crate::cpu::CpuScheduler;
+
+/// Error produced by a simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A period's activity did not finish before the next period started;
+    /// the model of computation forbids messages and tasks crossing the
+    /// period boundary.
+    PeriodOverrun {
+        /// The offending period index.
+        period: usize,
+        /// When the period's last event happened.
+        finished_at: u64,
+        /// The period deadline it missed.
+        deadline: u64,
+    },
+    /// The produced events violated trace validity (indicates an engine
+    /// bug; surfaced rather than panicking).
+    Trace(TraceError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::PeriodOverrun {
+                period,
+                finished_at,
+                deadline,
+            } => write!(
+                f,
+                "period {period} finished at {finished_at}, past its deadline {deadline}"
+            ),
+            SimError::Trace(e) => write!(f, "trace construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Trace(e) => Some(e),
+            SimError::PeriodOverrun { .. } => None,
+        }
+    }
+}
+
+impl From<TraceError> for SimError {
+    fn from(e: TraceError) -> Self {
+        SimError::Trace(e)
+    }
+}
+
+/// The outcome of a simulation: the bus-logger trace plus, for evaluation
+/// purposes only, the hidden behaviours that produced each period (the
+/// learner never sees these).
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// The observable trace, as the paper's logging device records it.
+    pub trace: Trace,
+    /// Period-by-period ground-truth behaviours.
+    pub behaviors: Vec<Behavior>,
+}
+
+/// Discrete-event simulator executing a [`DesignModel`] under a
+/// fixed-priority preemptive scheduler and a CAN-style bus.
+#[derive(Debug)]
+pub struct Simulator<'m> {
+    model: &'m DesignModel,
+    config: SimConfig,
+}
+
+impl<'m> Simulator<'m> {
+    /// Creates a simulator for `model` with `config`.
+    #[must_use]
+    pub fn new(model: &'m DesignModel, config: SimConfig) -> Self {
+        Simulator { model, config }
+    }
+
+    /// Runs the configured number of periods.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::PeriodOverrun`] if a period misses its deadline;
+    /// [`SimError::Trace`] if event emission violates trace validity.
+    pub fn run(&self) -> Result<SimReport, SimError> {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let mut builder = TraceBuilder::new(self.model.universe().clone());
+        let mut behaviors = Vec::with_capacity(self.config.periods);
+        let mut next_message = 0usize;
+        for period in 0..self.config.periods {
+            let base = period as u64 * self.config.period_length;
+            let behavior = self.choose_behavior(&mut rng);
+            builder.begin_period();
+            let finished_at = self.run_period(
+                period,
+                base,
+                &behavior,
+                &mut rng,
+                &mut builder,
+                &mut next_message,
+            )?;
+            let deadline = base + self.config.period_length;
+            if finished_at > deadline {
+                return Err(SimError::PeriodOverrun {
+                    period,
+                    finished_at,
+                    deadline,
+                });
+            }
+            builder.end_period()?;
+            behaviors.push(behavior);
+        }
+        Ok(SimReport {
+            trace: builder.finish(),
+            behaviors,
+        })
+    }
+
+    /// Randomly resolves every disjunction decision, yielding one
+    /// behaviour (the data-driven firing semantics of §2.1).
+    fn choose_behavior(&self, rng: &mut ChaCha8Rng) -> Behavior {
+        let mut executed = Vec::new();
+        let mut activated: Vec<bool> = vec![false; self.model.channels().len()];
+        for task in self.model.topo_order() {
+            let fires = self.model.in_channels(task).is_empty()
+                || self.model.in_channels(task).iter().any(|c| activated[c.0]);
+            if !fires {
+                continue;
+            }
+            executed.push(task);
+            let outs = self.model.out_channels(task);
+            if outs.is_empty() {
+                continue;
+            }
+            if self.model.is_disjunction(task) {
+                // A uniformly random nonempty subset of outgoing channels.
+                let mask = rng.gen_range(1u64..(1u64 << outs.len()));
+                for (bit, c) in outs.iter().enumerate() {
+                    if mask & (1 << bit) != 0 {
+                        activated[c.0] = true;
+                    }
+                }
+            } else {
+                for c in outs {
+                    activated[c.0] = true;
+                }
+            }
+        }
+        let channels = (0..activated.len())
+            .filter(|&i| activated[i])
+            .map(ChannelId)
+            .collect();
+        Behavior::new(executed, channels)
+    }
+
+    /// Simulates one period, emitting events into `builder`. Returns the
+    /// time of the period's last event.
+    #[allow(clippy::too_many_lines)]
+    fn run_period(
+        &self,
+        _period: usize,
+        base: u64,
+        behavior: &Behavior,
+        rng: &mut ChaCha8Rng,
+        builder: &mut TraceBuilder,
+        next_message: &mut usize,
+    ) -> Result<u64, SimError> {
+        let n = self.model.task_count();
+        let mut cpu = CpuScheduler::new();
+        let mut bus = CanBus::new();
+
+        // Per-task plan for this period.
+        let mut exec_time = vec![0u64; n];
+        let mut needed_inputs = vec![0usize; n];
+        let mut received_inputs = vec![0usize; n];
+        let mut pending_releases: Vec<(u64, TaskId)> = Vec::new();
+        for &task in behavior.executed() {
+            let params = self.config.params(task);
+            exec_time[task.index()] = rng.gen_range(params.bcet..=params.wcet);
+            let inputs = self
+                .model
+                .in_channels(task)
+                .iter()
+                .filter(|c| behavior.activated().contains(c))
+                .count();
+            needed_inputs[task.index()] = inputs;
+            if inputs == 0 {
+                let jitter = if self.config.release_jitter == 0 {
+                    0
+                } else {
+                    rng.gen_range(0..=self.config.release_jitter)
+                };
+                pending_releases.push((base + jitter, task));
+            }
+        }
+        pending_releases.sort_unstable();
+
+        // The message id of the frame currently on the bus.
+        let mut on_bus: Option<MessageId> = None;
+        let mut now = base;
+        let mut last_event = base;
+        let mut release_cursor = 0usize;
+
+        loop {
+            // Admit releases due now.
+            while release_cursor < pending_releases.len()
+                && pending_releases[release_cursor].0 <= now
+            {
+                let (_, task) = pending_releases[release_cursor];
+                cpu.release(task, self.config.params(task).priority, exec_time[task.index()]);
+                release_cursor += 1;
+            }
+            // Start the bus if idle with pending frames.
+            if let Some((_frame, _fall)) = bus.try_start(now, self.config.frame_time) {
+                let id = MessageId::from_index(*next_message);
+                *next_message += 1;
+                builder.event(Timestamp::new(now), EventKind::MessageRise(id))?;
+                on_bus = Some(id);
+                last_event = last_event.max(now);
+            }
+            // Log the start of a newly dispatched job.
+            if cpu.current_started() == Some(false) {
+                let task = cpu.current().expect("current exists");
+                builder.event(Timestamp::new(now), EventKind::TaskStart(task))?;
+                cpu.mark_started();
+                last_event = last_event.max(now);
+            }
+
+            // Find the next event time.
+            let mut next: Option<u64> = None;
+            let mut consider = |t: Option<u64>| {
+                if let Some(t) = t {
+                    next = Some(next.map_or(t, |n: u64| n.min(t)));
+                }
+            };
+            consider(
+                pending_releases
+                    .get(release_cursor)
+                    .map(|&(time, _)| time),
+            );
+            consider(cpu.current_remaining().map(|r| now + r));
+            consider(bus.busy_until());
+            let Some(next_time) = next else {
+                break; // Quiescent: period complete.
+            };
+
+            // Advance the CPU to `next_time`.
+            let elapsed = next_time - now;
+            if cpu.current().is_some() && elapsed > 0 {
+                let charge = elapsed.min(cpu.current_remaining().expect("running"));
+                if let Some(done) = cpu.charge(charge) {
+                    let end = now + charge;
+                    builder.event(Timestamp::new(end), EventKind::TaskEnd(done))?;
+                    last_event = last_event.max(end);
+                    // Queue this task's activated outgoing frames.
+                    for c in self.model.out_channels(done) {
+                        if behavior.activated().contains(c) {
+                            bus.queue(Frame {
+                                channel: *c,
+                                can_id: u32::try_from(c.0).unwrap_or(u32::MAX),
+                                queued_at: end,
+                            });
+                        }
+                    }
+                }
+            }
+            now = next_time;
+
+            // Complete a bus frame falling now.
+            if bus.busy_until() == Some(now) {
+                let frame = bus.finish();
+                let id = on_bus.take().expect("a frame was on the bus");
+                builder.event(Timestamp::new(now), EventKind::MessageFall(id))?;
+                last_event = last_event.max(now);
+                let (_, receiver) = self.model.channel(frame.channel);
+                received_inputs[receiver.index()] += 1;
+                if behavior.executes(receiver)
+                    && received_inputs[receiver.index()] == needed_inputs[receiver.index()]
+                    && needed_inputs[receiver.index()] > 0
+                {
+                    cpu.release(
+                        receiver,
+                        self.config.params(receiver).priority,
+                        exec_time[receiver.index()],
+                    );
+                }
+            }
+        }
+        Ok(last_event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use bbmg_lattice::TaskUniverse;
+
+    use super::*;
+    use crate::config::TaskParams;
+
+    fn figure_1() -> DesignModel {
+        let mut u = TaskUniverse::new();
+        let t1 = u.intern("t1");
+        let t2 = u.intern("t2");
+        let t3 = u.intern("t3");
+        let t4 = u.intern("t4");
+        DesignModel::builder(u)
+            .edge(t1, t2)
+            .edge(t1, t3)
+            .edge(t2, t4)
+            .edge(t3, t4)
+            .disjunction(t1)
+            .build()
+            .unwrap()
+    }
+
+    fn t(i: usize) -> TaskId {
+        TaskId::from_index(i)
+    }
+
+    #[test]
+    fn simulation_is_deterministic_per_seed() {
+        let model = figure_1();
+        let config = SimConfig {
+            periods: 20,
+            seed: 42,
+            ..SimConfig::default()
+        };
+        let a = Simulator::new(&model, config.clone()).run().unwrap();
+        let b = Simulator::new(&model, config).run().unwrap();
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.behaviors, b.behaviors);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let model = figure_1();
+        let mk = |seed| {
+            Simulator::new(
+                &model,
+                SimConfig {
+                    periods: 30,
+                    seed,
+                    ..SimConfig::default()
+                },
+            )
+            .run()
+            .unwrap()
+        };
+        assert_ne!(mk(1).trace, mk(2).trace);
+    }
+
+    #[test]
+    fn trace_matches_reported_behaviors() {
+        let model = figure_1();
+        let report = Simulator::new(
+            &model,
+            SimConfig {
+                periods: 25,
+                seed: 3,
+                ..SimConfig::default()
+            },
+        )
+        .run()
+        .unwrap();
+        for (period, behavior) in report.trace.periods().iter().zip(&report.behaviors) {
+            assert_eq!(period.executed_tasks().len(), behavior.executed().len());
+            for &task in behavior.executed() {
+                assert!(period.executed_tasks().contains(task));
+            }
+            assert_eq!(period.messages().len(), behavior.activated().len());
+        }
+    }
+
+    #[test]
+    fn messages_are_timing_feasible_for_their_true_channels() {
+        // Every message's true (sender, receiver) must be among the
+        // learner's timing candidates — otherwise the substrate would break
+        // the learnability assumption of the paper.
+        let model = figure_1();
+        let report = Simulator::new(
+            &model,
+            SimConfig {
+                periods: 40,
+                seed: 11,
+                ..SimConfig::default()
+            },
+        )
+        .run()
+        .unwrap();
+        for period in report.trace.periods() {
+            for window in period.messages() {
+                assert!(
+                    !period.candidate_pairs(window).is_empty(),
+                    "message with no candidates in period {}",
+                    period.index()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_behaviors_eventually_observed() {
+        let model = figure_1();
+        let report = Simulator::new(
+            &model,
+            SimConfig {
+                periods: 100,
+                seed: 5,
+                ..SimConfig::default()
+            },
+        )
+        .run()
+        .unwrap();
+        let distinct: std::collections::BTreeSet<_> = report.behaviors.iter().collect();
+        assert_eq!(distinct.len(), 3, "all three Figure-1 behaviours seen");
+    }
+
+    #[test]
+    fn preemption_produces_overlapping_windows() {
+        // Two independent sources, one long low-priority and one short
+        // high-priority released later via jitter: with priorities inverted
+        // the short one preempts.
+        let mut u = TaskUniverse::new();
+        let slow = u.intern("slow");
+        let fast = u.intern("fast");
+        let model = DesignModel::builder(u).build().unwrap();
+        let config = SimConfig {
+            periods: 1,
+            release_jitter: 3,
+            seed: 1,
+            ..SimConfig::default()
+        }
+        .with_task(slow, TaskParams::fixed(50, 10))
+        .with_task(fast, TaskParams::fixed(5, 1));
+        let report = Simulator::new(&model, config).run().unwrap();
+        let period = &report.trace.periods()[0];
+        let (slow_start, slow_end) = period.task_window(slow).unwrap();
+        let (fast_start, fast_end) = period.task_window(fast).unwrap();
+        // fast runs inside slow's window (or before it), never the reverse.
+        assert!(fast_end - fast_start == 5, "fast runs uninterrupted");
+        assert!(slow_end - slow_start >= 50, "slow accumulates preemption");
+        assert!(t(0) == slow && t(1) == fast);
+    }
+
+    #[test]
+    fn period_overrun_is_reported() {
+        let mut u = TaskUniverse::new();
+        let a = u.intern("a");
+        let model = DesignModel::builder(u).build().unwrap();
+        let config = SimConfig {
+            periods: 1,
+            period_length: 10,
+            ..SimConfig::default()
+        }
+        .with_task(a, TaskParams::fixed(50, 1));
+        let err = Simulator::new(&model, config).run().unwrap_err();
+        assert!(matches!(err, SimError::PeriodOverrun { period: 0, .. }));
+    }
+
+    #[test]
+    fn bus_serializes_concurrent_sends() {
+        // Fan-out: one source sending to three sinks; three frames must be
+        // transmitted back-to-back, never overlapping.
+        let mut u = TaskUniverse::new();
+        let src = u.intern("src");
+        let sinks: Vec<_> = (0..3).map(|i| u.intern(format!("sink{i}"))).collect();
+        let mut b = DesignModel::builder(u);
+        for &s in &sinks {
+            b = b.edge(src, s);
+        }
+        let model = b.build().unwrap();
+        let report = Simulator::new(
+            &model,
+            SimConfig {
+                periods: 1,
+                frame_time: 4,
+                seed: 0,
+                ..SimConfig::default()
+            },
+        )
+        .run()
+        .unwrap();
+        let period = &report.trace.periods()[0];
+        let windows = period.messages();
+        assert_eq!(windows.len(), 3);
+        for pair in windows.windows(2) {
+            assert!(pair[0].fall <= pair[1].rise, "frames do not overlap");
+        }
+    }
+}

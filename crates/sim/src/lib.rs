@@ -1,0 +1,50 @@
+//! Real-time execution substrate: fixed-priority preemptive scheduler,
+//! CAN-style shared bus, and a bus logger producing [`bbmg_trace::Trace`]s.
+//!
+//! The paper's traces come from a logging device attached to the CAN bus of
+//! a proprietary GM controller running on an OSEK OS. This crate is the
+//! synthetic stand-in (DESIGN.md §2): a discrete-event simulator that
+//! executes a [`bbmg_moc::DesignModel`] period by period with
+//!
+//! * a single-CPU **fixed-priority preemptive scheduler** (OSEK-like),
+//! * seeded **release jitter** and seeded **disjunction decisions** (the
+//!   reproducible analogue of OS/environment nondeterminism),
+//! * a **CAN bus** with identifier-based non-preemptive arbitration and
+//!   per-frame transmission time, and
+//! * a logger that records exactly what the paper's device sees: task
+//!   start/end and anonymous message rising/falling edges.
+//!
+//! # Example
+//!
+//! ```
+//! use bbmg_lattice::TaskUniverse;
+//! use bbmg_moc::DesignModel;
+//! use bbmg_sim::{SimConfig, Simulator};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut universe = TaskUniverse::new();
+//! let a = universe.intern("a");
+//! let b = universe.intern("b");
+//! let model = DesignModel::builder(universe).edge(a, b).build()?;
+//!
+//! let config = SimConfig { periods: 5, seed: 7, ..SimConfig::default() };
+//! let report = Simulator::new(&model, config).run()?;
+//! assert_eq!(report.trace.periods().len(), 5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bus;
+mod config;
+mod cpu;
+mod engine;
+mod stats;
+
+pub use bus::CanBus;
+pub use config::{SimConfig, TaskParams};
+pub use cpu::CpuScheduler;
+pub use engine::{SimError, SimReport, Simulator};
+pub use stats::{ExecutionStats, TaskResponse};

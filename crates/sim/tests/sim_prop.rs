@@ -1,0 +1,120 @@
+//! Property-based tests: the execution substrate always produces valid,
+//! learnable traces.
+
+use bbmg_lattice::{TaskId, TaskUniverse};
+use bbmg_moc::DesignModel;
+use bbmg_sim::{SimConfig, Simulator, TaskParams};
+use proptest::prelude::*;
+
+/// A random acyclic model plus a simulation configuration.
+fn arbitrary_setup() -> impl Strategy<Value = (DesignModel, SimConfig)> {
+    let tasks = 2usize..7;
+    tasks.prop_flat_map(|n| {
+        let edges = prop::collection::vec((0usize..n, 0usize..n), 0..n * 2);
+        let disjunction_mask = prop::collection::vec(any::<bool>(), n);
+        let params = prop::collection::vec((1u64..12, 1u64..8, 0u32..5), n);
+        let seed = any::<u64>();
+        let jitter = 0u64..6;
+        (Just(n), edges, disjunction_mask, params, seed, jitter).prop_map(
+            |(n, edges, mask, params, seed, jitter)| {
+                let universe: TaskUniverse = (0..n).map(|i| format!("t{i}")).collect();
+                let mut builder = DesignModel::builder(universe);
+                let mut seen = std::collections::BTreeSet::new();
+                let mut out_degree = vec![0usize; n];
+                for (a, b) in edges {
+                    let (lo, hi) = (a.min(b), a.max(b));
+                    if lo != hi && seen.insert((lo, hi)) {
+                        builder =
+                            builder.edge(TaskId::from_index(lo), TaskId::from_index(hi));
+                        out_degree[lo] += 1;
+                    }
+                }
+                for (task, &enabled) in mask.iter().enumerate() {
+                    if enabled && out_degree[task] >= 1 {
+                        builder = builder.disjunction(TaskId::from_index(task));
+                    }
+                }
+                let model = builder.build().expect("ordered edges are acyclic");
+                let mut config = SimConfig {
+                    periods: 6,
+                    period_length: 10_000,
+                    frame_time: 2,
+                    release_jitter: jitter,
+                    seed,
+                    task_params: Vec::new(),
+                };
+                for (i, &(bcet_extra, span, priority)) in params.iter().enumerate() {
+                    config = config.with_task(
+                        TaskId::from_index(i),
+                        TaskParams {
+                            bcet: bcet_extra,
+                            wcet: bcet_extra + span,
+                            priority,
+                        },
+                    );
+                }
+                (model, config)
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn simulation_produces_consistent_reports((model, config) in arbitrary_setup()) {
+        let report = Simulator::new(&model, config).run().expect("fits in period");
+        prop_assert_eq!(report.trace.periods().len(), report.behaviors.len());
+        for (period, behavior) in report.trace.periods().iter().zip(&report.behaviors) {
+            // The trace's executed set mirrors the chosen behaviour.
+            prop_assert_eq!(period.executed_tasks().len(), behavior.executed().len());
+            for &task in behavior.executed() {
+                prop_assert!(period.executed_tasks().contains(task));
+            }
+            prop_assert_eq!(period.messages().len(), behavior.activated().len());
+            // Every message has at least one timing-feasible candidate.
+            for w in period.messages() {
+                prop_assert!(!period.candidate_pairs(w).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic((model, config) in arbitrary_setup()) {
+        let a = Simulator::new(&model, config.clone()).run().expect("runs");
+        let b = Simulator::new(&model, config).run().expect("runs");
+        prop_assert_eq!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn task_windows_cover_execution_time((model, config) in arbitrary_setup()) {
+        let report = Simulator::new(&model, config.clone()).run().expect("runs");
+        for period in report.trace.periods() {
+            for task in model.universe().ids() {
+                if let Some((start, end)) = period.task_window(task) {
+                    // The window is at least the best-case execution time
+                    // (preemption can only stretch it).
+                    prop_assert!(end - start >= config.params(task).bcet);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bus_frames_never_overlap((model, config) in arbitrary_setup()) {
+        let report = Simulator::new(&model, config.clone()).run().expect("runs");
+        for period in report.trace.periods() {
+            let mut windows: Vec<_> = period.messages().to_vec();
+            windows.sort_by_key(|w| w.rise);
+            for pair in windows.windows(2) {
+                prop_assert!(pair[0].fall <= pair[1].rise, "CAN bus is serial");
+                prop_assert_eq!(
+                    pair[0].fall - pair[0].rise,
+                    config.frame_time,
+                    "constant frame time"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Incremental trace construction with validation.
+
+use bbmg_lattice::{TaskId, TaskUniverse};
+
+use crate::event::{Event, EventKind, MessageId, Timestamp};
+use crate::period::Period;
+use crate::trace::{Trace, TraceError};
+
+/// Builds a validated [`Trace`] period by period.
+///
+/// The builder enforces the paper's model-of-computation rules as events
+/// are appended: at most one execution per task per period, time-ordered
+/// events, well-formed task and message windows, and no message crossing a
+/// period boundary.
+///
+/// # Example
+///
+/// ```
+/// use bbmg_lattice::TaskUniverse;
+/// use bbmg_trace::{Timestamp, TraceBuilder};
+///
+/// let mut universe = TaskUniverse::new();
+/// let a = universe.intern("a");
+/// let mut builder = TraceBuilder::new(universe);
+/// builder.begin_period();
+/// builder.task(a, Timestamp::new(0), Timestamp::new(5))?;
+/// builder.end_period()?;
+/// assert_eq!(builder.finish().periods().len(), 1);
+/// # Ok::<(), bbmg_trace::TraceError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceBuilder {
+    universe: TaskUniverse,
+    periods: Vec<Period>,
+    current: Option<Vec<Event>>,
+    next_message: usize,
+    open_tasks: Vec<TaskId>,
+    open_messages: Vec<MessageId>,
+}
+
+impl TraceBuilder {
+    /// Creates a builder over a fixed task universe.
+    #[must_use]
+    pub fn new(universe: TaskUniverse) -> Self {
+        TraceBuilder {
+            universe,
+            periods: Vec::new(),
+            current: None,
+            next_message: 0,
+            open_tasks: Vec::new(),
+            open_messages: Vec::new(),
+        }
+    }
+
+    /// Opens a new period. Any previously open period must have been closed
+    /// with [`end_period`](Self::end_period).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a period is already open.
+    pub fn begin_period(&mut self) {
+        assert!(self.current.is_none(), "period already open");
+        self.current = Some(Vec::new());
+    }
+
+    fn push_event(&mut self, event: Event) -> Result<(), TraceError> {
+        let period = self.periods.len();
+        let events = self.current.as_mut().ok_or(TraceError::NoOpenPeriod)?;
+        if let Some(last) = events.last() {
+            if event.time < last.time {
+                return Err(TraceError::EventsOutOfOrder {
+                    period,
+                    previous: last.time,
+                    offending: event.time,
+                });
+            }
+        }
+        events.push(event);
+        Ok(())
+    }
+
+    /// Records a raw event. Most callers should prefer [`task`](Self::task)
+    /// and [`message`](Self::message), which keep windows balanced.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no period is open, events go backwards in time,
+    /// or a task is recorded twice in the period.
+    pub fn event(&mut self, time: Timestamp, kind: EventKind) -> Result<(), TraceError> {
+        let period = self.periods.len();
+        match kind {
+            EventKind::TaskStart(t) => {
+                let already = self
+                    .current
+                    .as_ref()
+                    .ok_or(TraceError::NoOpenPeriod)?
+                    .iter()
+                    .any(|e| matches!(e.kind, EventKind::TaskStart(x) if x == t));
+                if already {
+                    return Err(TraceError::TaskExecutedTwice { task: t, period });
+                }
+                self.push_event(Event::new(time, kind))?;
+                self.open_tasks.push(t);
+            }
+            EventKind::TaskEnd(t) => {
+                self.push_event(Event::new(time, kind))?;
+                self.open_tasks.retain(|&x| x != t);
+            }
+            EventKind::MessageRise(m) => {
+                self.push_event(Event::new(time, kind))?;
+                self.open_messages.push(m);
+            }
+            EventKind::MessageFall(m) => {
+                self.push_event(Event::new(time, kind))?;
+                self.open_messages.retain(|&x| x != m);
+            }
+        }
+        Ok(())
+    }
+
+    /// Records a complete task execution window.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `end < start`, the task already executed in this
+    /// period, no period is open, or `start` precedes the latest event.
+    pub fn task(
+        &mut self,
+        task: TaskId,
+        start: Timestamp,
+        end: Timestamp,
+    ) -> Result<(), TraceError> {
+        if end < start {
+            return Err(TraceError::TaskEndsBeforeStart {
+                task,
+                period: self.periods.len(),
+            });
+        }
+        self.event(start, EventKind::TaskStart(task))?;
+        self.event(end, EventKind::TaskEnd(task))
+    }
+
+    /// Records a complete message transmission window, allocating the next
+    /// trace-unique [`MessageId`]. Returns the id.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `fall < rise`, no period is open, or `rise`
+    /// precedes the latest event.
+    pub fn message(&mut self, rise: Timestamp, fall: Timestamp) -> Result<MessageId, TraceError> {
+        if fall < rise {
+            return Err(TraceError::MessageFallsBeforeRise {
+                period: self.periods.len(),
+            });
+        }
+        let id = MessageId::from_index(self.next_message);
+        self.event(rise, EventKind::MessageRise(id))?;
+        self.event(fall, EventKind::MessageFall(id))?;
+        self.next_message += 1;
+        Ok(id)
+    }
+
+    /// Closes the open period.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no period is open, or a task/message window is
+    /// still unterminated (a message must not cross the period boundary).
+    pub fn end_period(&mut self) -> Result<(), TraceError> {
+        let period = self.periods.len();
+        let events = self.current.take().ok_or(TraceError::NoOpenPeriod)?;
+        if !self.open_tasks.is_empty() || !self.open_messages.is_empty() {
+            self.current = Some(events);
+            return Err(TraceError::UnterminatedPeriod { period });
+        }
+        self.periods
+            .push(Period::from_parts(period, self.universe.len(), events));
+        Ok(())
+    }
+
+    /// Finalizes the trace, discarding any open period.
+    #[must_use]
+    pub fn finish(self) -> Trace {
+        Trace::from_parts(self.universe, self.periods)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn universe2() -> (TaskUniverse, TaskId, TaskId) {
+        let mut u = TaskUniverse::new();
+        let a = u.intern("a");
+        let b = u.intern("b");
+        (u, a, b)
+    }
+
+    #[test]
+    fn happy_path() {
+        let (u, a, b) = universe2();
+        let mut builder = TraceBuilder::new(u);
+        builder.begin_period();
+        builder.task(a, Timestamp::new(0), Timestamp::new(5)).unwrap();
+        let m = builder.message(Timestamp::new(6), Timestamp::new(7)).unwrap();
+        builder.task(b, Timestamp::new(8), Timestamp::new(9)).unwrap();
+        builder.end_period().unwrap();
+        let trace = builder.finish();
+        assert_eq!(trace.periods()[0].messages()[0].id, m);
+    }
+
+    #[test]
+    fn task_twice_is_rejected() {
+        let (u, a, _) = universe2();
+        let mut builder = TraceBuilder::new(u);
+        builder.begin_period();
+        builder.task(a, Timestamp::new(0), Timestamp::new(5)).unwrap();
+        let err = builder.task(a, Timestamp::new(6), Timestamp::new(7)).unwrap_err();
+        assert!(matches!(err, TraceError::TaskExecutedTwice { .. }));
+    }
+
+    #[test]
+    fn out_of_order_events_rejected() {
+        let (u, a, b) = universe2();
+        let mut builder = TraceBuilder::new(u);
+        builder.begin_period();
+        builder.task(a, Timestamp::new(10), Timestamp::new(20)).unwrap();
+        let err = builder.task(b, Timestamp::new(5), Timestamp::new(25)).unwrap_err();
+        assert!(matches!(err, TraceError::EventsOutOfOrder { .. }));
+    }
+
+    #[test]
+    fn inverted_windows_rejected() {
+        let (u, a, _) = universe2();
+        let mut builder = TraceBuilder::new(u);
+        builder.begin_period();
+        let err = builder.task(a, Timestamp::new(5), Timestamp::new(1)).unwrap_err();
+        assert!(matches!(err, TraceError::TaskEndsBeforeStart { .. }));
+        let err = builder.message(Timestamp::new(9), Timestamp::new(8)).unwrap_err();
+        assert!(matches!(err, TraceError::MessageFallsBeforeRise { .. }));
+    }
+
+    #[test]
+    fn message_may_not_cross_period_boundary() {
+        let (u, _, _) = universe2();
+        let mut builder = TraceBuilder::new(u);
+        builder.begin_period();
+        builder
+            .event(Timestamp::new(0), EventKind::MessageRise(MessageId::from_index(0)))
+            .unwrap();
+        let err = builder.end_period().unwrap_err();
+        assert!(matches!(err, TraceError::UnterminatedPeriod { .. }));
+    }
+
+    #[test]
+    fn no_open_period_errors() {
+        let (u, a, _) = universe2();
+        let mut builder = TraceBuilder::new(u);
+        let err = builder.task(a, Timestamp::new(0), Timestamp::new(1)).unwrap_err();
+        assert!(matches!(err, TraceError::NoOpenPeriod));
+    }
+
+    #[test]
+    #[should_panic(expected = "period already open")]
+    fn double_begin_panics() {
+        let (u, _, _) = universe2();
+        let mut builder = TraceBuilder::new(u);
+        builder.begin_period();
+        builder.begin_period();
+    }
+}

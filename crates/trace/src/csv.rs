@@ -1,0 +1,285 @@
+//! CSV interop for traces.
+//!
+//! Real logging devices commonly export CSV; this module reads and writes
+//! a simple event-per-row schema so field data can be fed to the learner:
+//!
+//! ```text
+//! time,kind,subject,period
+//! 0,start,t1,0
+//! 10,end,t1,0
+//! 12,rise,m0,0
+//! 14,fall,m0,0
+//! ```
+//!
+//! The `period` column carries the period segmentation (the paper assumes
+//! the logging infrastructure knows period boundaries); rows must be
+//! grouped by period in ascending order. The task universe is inferred
+//! from the `start` rows in order of first appearance.
+
+use std::fmt;
+
+use bbmg_lattice::TaskUniverse;
+
+use crate::builder::TraceBuilder;
+use crate::event::{EventKind, MessageId, Timestamp};
+use crate::trace::{Trace, TraceError};
+
+/// Error produced by [`parse_csv`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseCsvError {
+    /// A row could not be understood.
+    Syntax {
+        /// 1-based row number (including the header).
+        row: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// The events violated trace validity rules.
+    Invalid {
+        /// 1-based row number.
+        row: usize,
+        /// Underlying validation error.
+        source: TraceError,
+    },
+}
+
+impl fmt::Display for ParseCsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseCsvError::Syntax { row, message } => write!(f, "row {row}: {message}"),
+            ParseCsvError::Invalid { row, source } => {
+                write!(f, "row {row}: invalid trace: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseCsvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseCsvError::Syntax { .. } => None,
+            ParseCsvError::Invalid { source, .. } => Some(source),
+        }
+    }
+}
+
+/// Serializes `trace` as CSV (see the module docs for the schema).
+#[must_use]
+pub fn write_csv(trace: &Trace) -> String {
+    let mut out = String::from("time,kind,subject,period\n");
+    for period in trace.periods() {
+        for event in period.events() {
+            let (kind, subject) = match event.kind {
+                EventKind::TaskStart(t) => ("start", trace.universe().name(t).to_owned()),
+                EventKind::TaskEnd(t) => ("end", trace.universe().name(t).to_owned()),
+                EventKind::MessageRise(m) => ("rise", m.to_string()),
+                EventKind::MessageFall(m) => ("fall", m.to_string()),
+            };
+            out.push_str(&format!(
+                "{},{},{},{}\n",
+                event.time.micros(),
+                kind,
+                subject,
+                period.index()
+            ));
+        }
+    }
+    out
+}
+
+/// Parses a CSV trace (see the module docs for the schema).
+///
+/// # Errors
+///
+/// Returns [`ParseCsvError::Syntax`] for malformed rows (wrong column
+/// count, bad numbers, unknown kinds, period going backwards) and
+/// [`ParseCsvError::Invalid`] when events violate trace validity.
+pub fn parse_csv(input: &str) -> Result<Trace, ParseCsvError> {
+    let syntax = |row: usize, message: String| ParseCsvError::Syntax { row, message };
+
+    // First pass: intern tasks in order of first appearance.
+    let mut universe = TaskUniverse::new();
+    for (index, line) in input.lines().enumerate().skip(1) {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut cols = line.split(',');
+        let (Some(_), Some(kind), Some(subject)) = (cols.next(), cols.next(), cols.next())
+        else {
+            continue; // Reported precisely in the second pass.
+        };
+        let _ = index;
+        if kind == "start" && universe.lookup(subject).is_none() {
+            universe.intern(subject);
+        }
+    }
+
+    if input.lines().next().is_none() {
+        return Err(syntax(1, "empty input: missing CSV header".to_owned()));
+    }
+    let mut builder = TraceBuilder::new(universe.clone());
+    let mut current_period: Option<usize> = None;
+    for (index, line) in input.lines().enumerate() {
+        let row = index + 1;
+        let line = line.trim();
+        if row == 1 {
+            if line != "time,kind,subject,period" {
+                return Err(syntax(
+                    row,
+                    format!("expected header `time,kind,subject,period`, got `{line}`"),
+                ));
+            }
+            continue;
+        }
+        if line.is_empty() {
+            continue;
+        }
+        let cols: Vec<&str> = line.split(',').collect();
+        let [time, kind, subject, period] = cols.as_slice() else {
+            return Err(syntax(row, format!("expected 4 columns, got {}", cols.len())));
+        };
+        let time: u64 = time
+            .parse()
+            .map_err(|_| syntax(row, format!("bad time `{time}`")))?;
+        let period: usize = period
+            .parse()
+            .map_err(|_| syntax(row, format!("bad period `{period}`")))?;
+        match current_period {
+            Some(p) if p == period => {}
+            Some(p) if period == p + 1 => {
+                builder
+                    .end_period()
+                    .map_err(|source| ParseCsvError::Invalid { row, source })?;
+                builder.begin_period();
+                current_period = Some(period);
+            }
+            Some(p) => {
+                return Err(syntax(
+                    row,
+                    format!("period jumped from {p} to {period}"),
+                ));
+            }
+            None => {
+                if period != 0 {
+                    return Err(syntax(row, format!("first period must be 0, got {period}")));
+                }
+                builder.begin_period();
+                current_period = Some(0);
+            }
+        }
+        let kind = match *kind {
+            "start" | "end" => {
+                let task = universe
+                    .lookup(subject)
+                    .ok_or_else(|| syntax(row, format!("unknown task `{subject}`")))?;
+                if *kind == "start" {
+                    EventKind::TaskStart(task)
+                } else {
+                    EventKind::TaskEnd(task)
+                }
+            }
+            "rise" | "fall" => {
+                let id: usize = subject
+                    .strip_prefix('m')
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| syntax(row, format!("bad message id `{subject}`")))?;
+                if *kind == "rise" {
+                    EventKind::MessageRise(MessageId::from_index(id))
+                } else {
+                    EventKind::MessageFall(MessageId::from_index(id))
+                }
+            }
+            other => return Err(syntax(row, format!("unknown kind `{other}`"))),
+        };
+        builder
+            .event(Timestamp::new(time), kind)
+            .map_err(|source| ParseCsvError::Invalid { row, source })?;
+    }
+    if current_period.is_some() {
+        builder
+            .end_period()
+            .map_err(|source| ParseCsvError::Invalid { row: 0, source })?;
+    }
+    Ok(builder.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use bbmg_lattice::TaskId;
+
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let u = TaskUniverse::from_names(["t1", "t2"]);
+        let mut b = TraceBuilder::new(u);
+        for p in 0..2u64 {
+            let base = p * 100;
+            b.begin_period();
+            b.task(
+                TaskId::from_index(0),
+                Timestamp::new(base),
+                Timestamp::new(base + 10),
+            )
+            .unwrap();
+            b.message(Timestamp::new(base + 12), Timestamp::new(base + 14))
+                .unwrap();
+            b.task(
+                TaskId::from_index(1),
+                Timestamp::new(base + 20),
+                Timestamp::new(base + 30),
+            )
+            .unwrap();
+            b.end_period().unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn csv_round_trips() {
+        let trace = sample_trace();
+        let csv = write_csv(&trace);
+        assert!(csv.starts_with("time,kind,subject,period\n"));
+        let parsed = parse_csv(&csv).unwrap();
+        assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn header_is_required() {
+        let err = parse_csv("0,start,t1,0\n").unwrap_err();
+        assert!(matches!(err, ParseCsvError::Syntax { row: 1, .. }));
+    }
+
+    #[test]
+    fn period_jumps_are_rejected() {
+        let input = "time,kind,subject,period\n0,start,a,0\n1,end,a,0\n2,start,a,2\n";
+        let err = parse_csv(input).unwrap_err();
+        assert!(err.to_string().contains("jumped"));
+    }
+
+    #[test]
+    fn bad_rows_are_located() {
+        let input = "time,kind,subject,period\nnope,start,a,0\n";
+        let err = parse_csv(input).unwrap_err();
+        assert!(matches!(err, ParseCsvError::Syntax { row: 2, .. }));
+        let input = "time,kind,subject,period\n0,hop,a,0\n";
+        assert!(parse_csv(input).is_err());
+        let input = "time,kind,subject,period\n0,start,a\n";
+        let err = parse_csv(input).unwrap_err();
+        assert!(err.to_string().contains("4 columns"));
+    }
+
+    #[test]
+    fn validation_errors_are_wrapped() {
+        let input = "time,kind,subject,period\n\
+                     0,start,a,0\n5,end,a,0\n6,start,a,0\n7,end,a,0\n";
+        let err = parse_csv(input).unwrap_err();
+        assert!(matches!(err, ParseCsvError::Invalid { .. }));
+    }
+
+    #[test]
+    fn empty_input_fails_on_header() {
+        assert!(parse_csv("").is_err());
+        assert!(parse_csv("time,kind,subject,period\n").is_ok());
+    }
+}

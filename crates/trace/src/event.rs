@@ -1,0 +1,168 @@
+//! Events, timestamps and message identifiers.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+use bbmg_lattice::TaskId;
+
+/// A point in time, in abstract microseconds since the start of the trace.
+///
+/// Timestamps are totally ordered and support arithmetic with plain `u64`
+/// microsecond offsets.
+///
+/// ```
+/// use bbmg_trace::Timestamp;
+/// let t = Timestamp::new(100);
+/// assert_eq!(t + 50, Timestamp::new(150));
+/// assert_eq!((t + 50) - t, 50);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Timestamp(u64);
+
+impl Timestamp {
+    /// Creates a timestamp from raw microseconds.
+    #[must_use]
+    pub fn new(micros: u64) -> Self {
+        Timestamp(micros)
+    }
+
+    /// The zero timestamp.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// The raw microsecond count.
+    #[must_use]
+    pub fn micros(self) -> u64 {
+        self.0
+    }
+}
+
+impl Add<u64> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, rhs: u64) -> Timestamp {
+        Timestamp(self.0 + rhs)
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = u64;
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`.
+    fn sub(self, rhs: Timestamp) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}us", self.0)
+    }
+}
+
+/// Identifier of one message *occurrence* on the bus, unique within a trace.
+///
+/// Distinct periods never share a `MessageId`: the paper indexes occurrences
+/// `m1, m2, …, mk` across the whole trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MessageId(u32);
+
+impl MessageId {
+    /// Creates a message id from a raw index.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        MessageId(u32::try_from(index).expect("message index fits in u32"))
+    }
+
+    /// The raw index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for MessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// What happened at an instant of the trace (paper §2.1: "an event is the
+/// start or end of a task, or the rising edge or the falling edge of a
+/// message transmitted on the bus").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A task began executing.
+    TaskStart(TaskId),
+    /// A task finished executing.
+    TaskEnd(TaskId),
+    /// The rising edge of a message frame on the bus.
+    MessageRise(MessageId),
+    /// The falling edge of a message frame on the bus.
+    MessageFall(MessageId),
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventKind::TaskStart(t) => write!(f, "start {t}"),
+            EventKind::TaskEnd(t) => write!(f, "end {t}"),
+            EventKind::MessageRise(m) => write!(f, "rise {m}"),
+            EventKind::MessageFall(m) => write!(f, "fall {m}"),
+        }
+    }
+}
+
+/// A timestamped event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Event {
+    /// When the event occurred.
+    pub time: Timestamp,
+    /// What occurred.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Creates an event.
+    #[must_use]
+    pub fn new(time: Timestamp, kind: EventKind) -> Self {
+        Event { time, kind }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.time, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_arithmetic() {
+        let a = Timestamp::new(10);
+        assert_eq!(a + 5, Timestamp::new(15));
+        assert_eq!(Timestamp::new(15) - a, 5);
+        assert!(a < a + 1);
+        assert_eq!(Timestamp::ZERO.micros(), 0);
+    }
+
+    #[test]
+    fn event_display() {
+        let e = Event::new(
+            Timestamp::new(3),
+            EventKind::TaskStart(TaskId::from_index(1)),
+        );
+        assert_eq!(e.to_string(), "3us start t1");
+        let m = Event::new(Timestamp::new(4), EventKind::MessageFall(MessageId::from_index(2)));
+        assert_eq!(m.to_string(), "4us fall m2");
+    }
+
+    #[test]
+    fn message_id_round_trip() {
+        let m = MessageId::from_index(42);
+        assert_eq!(m.index(), 42);
+        assert_eq!(m.to_string(), "m42");
+    }
+}

@@ -1,0 +1,295 @@
+//! A human-readable text format for traces.
+//!
+//! The format is line-oriented:
+//!
+//! ```text
+//! # bbmg trace v1
+//! tasks t1 t2 t3 t4
+//! period
+//!   0 start t1
+//!   10 end t1
+//!   12 rise m0
+//!   14 fall m0
+//!   20 start t2
+//!   30 end t2
+//! end
+//! ```
+//!
+//! Blank lines and `#` comments are ignored. Task tokens refer to universe
+//! names; message tokens are `m<index>` occurrence ids.
+
+use std::fmt;
+
+use bbmg_lattice::TaskUniverse;
+
+use crate::builder::TraceBuilder;
+use crate::event::{EventKind, MessageId, Timestamp};
+use crate::trace::{Trace, TraceError};
+
+/// Error produced by [`parse_trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseTraceError {
+    /// A line could not be understood.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// The events violated trace validity rules.
+    Invalid {
+        /// 1-based line number.
+        line: usize,
+        /// Underlying validation error.
+        source: TraceError,
+    },
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseTraceError::Syntax { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+            ParseTraceError::Invalid { line, source } => {
+                write!(f, "line {line}: invalid trace: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseTraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseTraceError::Syntax { .. } => None,
+            ParseTraceError::Invalid { source, .. } => Some(source),
+        }
+    }
+}
+
+/// Serializes `trace` in the text format.
+#[must_use]
+pub fn write_trace(trace: &Trace) -> String {
+    let mut out = String::from("# bbmg trace v1\n");
+    out.push_str("tasks");
+    for (_, name) in trace.universe().iter() {
+        out.push(' ');
+        out.push_str(name);
+    }
+    out.push('\n');
+    for period in trace.periods() {
+        out.push_str("period\n");
+        for event in period.events() {
+            let kind = match event.kind {
+                EventKind::TaskStart(t) => format!("start {}", trace.universe().name(t)),
+                EventKind::TaskEnd(t) => format!("end {}", trace.universe().name(t)),
+                EventKind::MessageRise(m) => format!("rise {m}"),
+                EventKind::MessageFall(m) => format!("fall {m}"),
+            };
+            out.push_str(&format!("  {} {}\n", event.time.micros(), kind));
+        }
+        out.push_str("end\n");
+    }
+    out
+}
+
+/// Parses a trace from the text format.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError::Syntax`] for malformed lines and
+/// [`ParseTraceError::Invalid`] when the events violate trace validity
+/// (out-of-order timestamps, duplicate task execution, unterminated
+/// windows).
+pub fn parse_trace(input: &str) -> Result<Trace, ParseTraceError> {
+    let syntax = |line: usize, message: &str| ParseTraceError::Syntax {
+        line,
+        message: message.to_owned(),
+    };
+    let mut universe: Option<TaskUniverse> = None;
+    let mut builder: Option<TraceBuilder> = None;
+    let mut in_period = false;
+    let mut last_line = 0;
+
+    for (idx, raw) in input.lines().enumerate() {
+        let line = idx + 1;
+        last_line = line;
+        let text = raw.trim();
+        if text.is_empty() || text.starts_with('#') {
+            continue;
+        }
+        let mut words = text.split_whitespace();
+        let head = words.next().expect("non-empty line has a word");
+        match head {
+            "tasks" => {
+                if universe.is_some() {
+                    return Err(syntax(line, "duplicate `tasks` line"));
+                }
+                let mut u = TaskUniverse::new();
+                for name in words {
+                    if u.lookup(name).is_some() {
+                        return Err(syntax(line, &format!("duplicate task `{name}`")));
+                    }
+                    u.intern(name);
+                }
+                builder = Some(TraceBuilder::new(u.clone()));
+                universe = Some(u);
+            }
+            "period" => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| syntax(line, "`period` before `tasks`"))?;
+                if in_period {
+                    return Err(syntax(line, "nested `period`"));
+                }
+                b.begin_period();
+                in_period = true;
+            }
+            "end" => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| syntax(line, "`end` before `tasks`"))?;
+                if !in_period {
+                    return Err(syntax(line, "`end` without open period"));
+                }
+                b.end_period()
+                    .map_err(|source| ParseTraceError::Invalid { line, source })?;
+                in_period = false;
+            }
+            timestamp => {
+                if !in_period {
+                    return Err(syntax(line, "event outside a period"));
+                }
+                let time: u64 = timestamp
+                    .parse()
+                    .map_err(|_| syntax(line, &format!("bad timestamp `{timestamp}`")))?;
+                let verb = words
+                    .next()
+                    .ok_or_else(|| syntax(line, "missing event kind"))?;
+                let subject = words
+                    .next()
+                    .ok_or_else(|| syntax(line, "missing event subject"))?;
+                let u = universe.as_ref().expect("builder implies universe");
+                let kind = match verb {
+                    "start" | "end" => {
+                        let task = u.lookup(subject).ok_or_else(|| {
+                            syntax(line, &format!("unknown task `{subject}`"))
+                        })?;
+                        if verb == "start" {
+                            EventKind::TaskStart(task)
+                        } else {
+                            EventKind::TaskEnd(task)
+                        }
+                    }
+                    "rise" | "fall" => {
+                        let index: usize = subject
+                            .strip_prefix('m')
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| {
+                                syntax(line, &format!("bad message id `{subject}`"))
+                            })?;
+                        let id = MessageId::from_index(index);
+                        if verb == "rise" {
+                            EventKind::MessageRise(id)
+                        } else {
+                            EventKind::MessageFall(id)
+                        }
+                    }
+                    other => return Err(syntax(line, &format!("unknown event kind `{other}`"))),
+                };
+                builder
+                    .as_mut()
+                    .expect("in_period implies builder")
+                    .event(Timestamp::new(time), kind)
+                    .map_err(|source| ParseTraceError::Invalid { line, source })?;
+            }
+        }
+    }
+    if in_period {
+        return Err(syntax(last_line, "unterminated `period` block"));
+    }
+    Ok(builder
+        .map(TraceBuilder::finish)
+        .unwrap_or_else(|| TraceBuilder::new(TaskUniverse::new()).finish()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbmg_lattice::TaskUniverse;
+
+    const SAMPLE: &str = "\
+# bbmg trace v1
+tasks t1 t2
+
+period
+  0 start t1
+  10 end t1
+  12 rise m0
+  14 fall m0
+  20 start t2
+  30 end t2
+end
+";
+
+    #[test]
+    fn parse_then_write_round_trips() {
+        let trace = parse_trace(SAMPLE).unwrap();
+        assert_eq!(trace.task_count(), 2);
+        assert_eq!(trace.periods().len(), 1);
+        let rendered = write_trace(&trace);
+        let reparsed = parse_trace(&rendered).unwrap();
+        assert_eq!(reparsed, trace);
+    }
+
+    #[test]
+    fn write_then_parse_round_trips_built_trace() {
+        let mut u = TaskUniverse::new();
+        let a = u.intern("alpha");
+        let mut b = TraceBuilder::new(u);
+        b.begin_period();
+        b.task(a, Timestamp::new(3), Timestamp::new(9)).unwrap();
+        b.end_period().unwrap();
+        let trace = b.finish();
+        let round = parse_trace(&write_trace(&trace)).unwrap();
+        assert_eq!(round, trace);
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let err = parse_trace("tasks a\nperiod\n  banana start a\nend\n").unwrap_err();
+        match err {
+            ParseTraceError::Syntax { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("banana"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_task_is_reported() {
+        let err = parse_trace("tasks a\nperiod\n  0 start zz\nend\n").unwrap_err();
+        assert!(err.to_string().contains("unknown task"));
+    }
+
+    #[test]
+    fn validation_errors_are_wrapped() {
+        let input = "tasks a\nperiod\n  0 start a\n  5 end a\n  6 start a\n  7 end a\nend\n";
+        let err = parse_trace(input).unwrap_err();
+        assert!(matches!(err, ParseTraceError::Invalid { line: 5, .. }));
+    }
+
+    #[test]
+    fn unterminated_period_is_rejected() {
+        let err = parse_trace("tasks a\nperiod\n  0 start a\n  1 end a\n").unwrap_err();
+        assert!(err.to_string().contains("unterminated"));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_trace() {
+        let trace = parse_trace("").unwrap();
+        assert_eq!(trace.task_count(), 0);
+        assert!(trace.periods().is_empty());
+    }
+}

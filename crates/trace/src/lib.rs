@@ -1,0 +1,54 @@
+//! Timestamped execution traces of periodic real-time systems.
+//!
+//! A *trace* (paper §2.1) is a timestamped sequence of events — task
+//! starts/ends and the rising/falling edges of messages on the shared bus —
+//! partitioned into *periods*. The logging device sees only the bus, so a
+//! message records *when* it was transmitted but not who sent or received
+//! it; inferring plausible sender/receiver pairs from timing is exactly what
+//! [`Period::candidate_pairs`] provides to the learner.
+//!
+//! # Example
+//!
+//! ```
+//! use bbmg_lattice::TaskUniverse;
+//! use bbmg_trace::{Timestamp, TraceBuilder};
+//!
+//! let mut universe = TaskUniverse::new();
+//! let t1 = universe.intern("t1");
+//! let t2 = universe.intern("t2");
+//!
+//! let mut builder = TraceBuilder::new(universe);
+//! builder.begin_period();
+//! builder.task(t1, Timestamp::new(0), Timestamp::new(10))?;
+//! builder.message(Timestamp::new(12), Timestamp::new(14))?;
+//! builder.task(t2, Timestamp::new(20), Timestamp::new(30))?;
+//! builder.end_period()?;
+//! let trace = builder.finish();
+//!
+//! assert_eq!(trace.periods().len(), 1);
+//! let period = &trace.periods()[0];
+//! assert_eq!(period.executed_tasks().len(), 2);
+//! // The only message can only have been sent by t1 to t2.
+//! let msg = period.messages()[0].clone();
+//! assert_eq!(period.candidate_pairs(&msg), vec![(t1, t2)]);
+//! # Ok::<(), bbmg_trace::TraceError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod csv;
+mod event;
+mod format;
+mod period;
+mod stats;
+mod trace;
+
+pub use builder::TraceBuilder;
+pub use csv::{parse_csv, write_csv, ParseCsvError};
+pub use event::{Event, EventKind, MessageId, Timestamp};
+pub use format::{parse_trace, write_trace, ParseTraceError};
+pub use period::{MessageWindow, Period};
+pub use stats::TraceStats;
+pub use trace::{Trace, TraceError};

@@ -1,0 +1,266 @@
+//! Periods: the learning instances.
+//!
+//! Each period is one instance `i ∈ I` of the learning problem (paper
+//! Definition 1). Within a period every task executes at most once and no
+//! message crosses the period boundary.
+
+use bbmg_lattice::{TaskId, TaskSet};
+
+use crate::event::{Event, EventKind, MessageId, Timestamp};
+
+/// The transmission window of one message occurrence: rising edge to
+/// falling edge on the bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MessageWindow {
+    /// The occurrence id.
+    pub id: MessageId,
+    /// Rising-edge time.
+    pub rise: Timestamp,
+    /// Falling-edge time.
+    pub fall: Timestamp,
+}
+
+/// One period of the trace: a time-ordered event sequence in which each task
+/// executes at most once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Period {
+    index: usize,
+    universe: usize,
+    events: Vec<Event>,
+    executed: TaskSet,
+    messages: Vec<MessageWindow>,
+    task_windows: Vec<Option<(Timestamp, Timestamp)>>,
+}
+
+impl Period {
+    /// Assembles a period from validated parts. Crate-internal; use
+    /// [`crate::TraceBuilder`] or [`crate::parse_trace`].
+    pub(crate) fn from_parts(index: usize, universe: usize, events: Vec<Event>) -> Self {
+        let mut executed = TaskSet::empty(universe);
+        let mut task_windows = vec![None; universe];
+        let mut starts: Vec<Option<Timestamp>> = vec![None; universe];
+        let mut messages = Vec::new();
+        let mut rises: std::collections::HashMap<MessageId, Timestamp> =
+            std::collections::HashMap::new();
+        for event in &events {
+            match event.kind {
+                EventKind::TaskStart(t) => {
+                    executed.insert(t);
+                    starts[t.index()] = Some(event.time);
+                }
+                EventKind::TaskEnd(t) => {
+                    if let Some(start) = starts[t.index()] {
+                        task_windows[t.index()] = Some((start, event.time));
+                    }
+                }
+                EventKind::MessageRise(m) => {
+                    rises.insert(m, event.time);
+                }
+                EventKind::MessageFall(m) => {
+                    if let Some(rise) = rises.remove(&m) {
+                        messages.push(MessageWindow {
+                            id: m,
+                            rise,
+                            fall: event.time,
+                        });
+                    }
+                }
+            }
+        }
+        messages.sort_by_key(|m| (m.rise, m.id));
+        Period {
+            index,
+            universe,
+            events,
+            executed,
+            messages,
+            task_windows,
+        }
+    }
+
+    /// The zero-based index of this period within its trace.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The number of tasks in the trace's task universe.
+    #[must_use]
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// All events of the period in time order.
+    #[must_use]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// The set of tasks that executed in this period.
+    #[must_use]
+    pub fn executed_tasks(&self) -> &TaskSet {
+        &self.executed
+    }
+
+    /// The `(start, end)` execution window of `task` in this period, if it
+    /// executed.
+    #[must_use]
+    pub fn task_window(&self, task: TaskId) -> Option<(Timestamp, Timestamp)> {
+        self.task_windows.get(task.index()).copied().flatten()
+    }
+
+    /// All message transmission windows, ordered by rising edge.
+    #[must_use]
+    pub fn messages(&self) -> &[MessageWindow] {
+        &self.messages
+    }
+
+    /// The timing-feasible sender/receiver pairs `A_m` for a message
+    /// (paper §3.1).
+    ///
+    /// A task `s` *can be the sender* if it finished executing no later
+    /// than the message's rising edge (tasks send only when they finish,
+    /// §2.1). A task `r` *can be the receiver* if it started no earlier
+    /// than the falling edge (a task fires on the arrival of its required
+    /// inputs). Sender and receiver must differ.
+    ///
+    /// Pairs are returned in deterministic `(sender, receiver)` index
+    /// order, which keeps the whole learner deterministic.
+    #[must_use]
+    pub fn candidate_pairs(&self, message: &MessageWindow) -> Vec<(TaskId, TaskId)> {
+        let senders: Vec<TaskId> = self
+            .executed
+            .iter()
+            .filter(|&t| {
+                self.task_window(t)
+                    .is_some_and(|(_, end)| end <= message.rise)
+            })
+            .collect();
+        let receivers: Vec<TaskId> = self
+            .executed
+            .iter()
+            .filter(|&t| {
+                self.task_window(t)
+                    .is_some_and(|(start, _)| start >= message.fall)
+            })
+            .collect();
+        let mut pairs = Vec::with_capacity(senders.len() * receivers.len());
+        for &s in &senders {
+            for &r in &receivers {
+                if s != r {
+                    pairs.push((s, r));
+                }
+            }
+        }
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: usize) -> TaskId {
+        TaskId::from_index(i)
+    }
+
+    fn ev(time: u64, kind: EventKind) -> Event {
+        Event::new(Timestamp::new(time), kind)
+    }
+
+    /// Builds period 1 of the paper's Figure 2: t1 [m1] t2 [m2] t4.
+    fn paper_period_1() -> Period {
+        let m1 = MessageId::from_index(0);
+        let m2 = MessageId::from_index(1);
+        Period::from_parts(
+            0,
+            4,
+            vec![
+                ev(0, EventKind::TaskStart(t(0))),
+                ev(10, EventKind::TaskEnd(t(0))),
+                ev(12, EventKind::MessageRise(m1)),
+                ev(14, EventKind::MessageFall(m1)),
+                ev(20, EventKind::TaskStart(t(1))),
+                ev(30, EventKind::TaskEnd(t(1))),
+                ev(32, EventKind::MessageRise(m2)),
+                ev(34, EventKind::MessageFall(m2)),
+                ev(40, EventKind::TaskStart(t(3))),
+                ev(50, EventKind::TaskEnd(t(3))),
+            ],
+        )
+    }
+
+    #[test]
+    fn executed_tasks_and_windows() {
+        let p = paper_period_1();
+        assert_eq!(p.executed_tasks().len(), 3);
+        assert!(p.executed_tasks().contains(t(0)));
+        assert!(!p.executed_tasks().contains(t(2)));
+        assert_eq!(
+            p.task_window(t(1)),
+            Some((Timestamp::new(20), Timestamp::new(30)))
+        );
+        assert_eq!(p.task_window(t(2)), None);
+    }
+
+    #[test]
+    fn messages_ordered_by_rise() {
+        let p = paper_period_1();
+        let ids: Vec<usize> = p.messages().iter().map(|m| m.id.index()).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn candidate_pairs_match_paper_m1() {
+        // A_m1 = {(t1,t2), (t1,t4)} in paper notation (our t0 is paper t1).
+        let p = paper_period_1();
+        let m1 = p.messages()[0];
+        assert_eq!(p.candidate_pairs(&m1), vec![(t(0), t(1)), (t(0), t(3))]);
+    }
+
+    #[test]
+    fn candidate_pairs_match_paper_m2() {
+        // A_m2 = {(t1,t4), (t2,t4)}.
+        let p = paper_period_1();
+        let m2 = p.messages()[1];
+        assert_eq!(p.candidate_pairs(&m2), vec![(t(0), t(3)), (t(1), t(3))]);
+    }
+
+    #[test]
+    fn boundary_timing_is_inclusive() {
+        // A task ending exactly at the rising edge may be the sender; a task
+        // starting exactly at the falling edge may be the receiver.
+        let m = MessageId::from_index(0);
+        let p = Period::from_parts(
+            0,
+            2,
+            vec![
+                ev(0, EventKind::TaskStart(t(0))),
+                ev(10, EventKind::TaskEnd(t(0))),
+                ev(10, EventKind::MessageRise(m)),
+                ev(12, EventKind::MessageFall(m)),
+                ev(12, EventKind::TaskStart(t(1))),
+                ev(20, EventKind::TaskEnd(t(1))),
+            ],
+        );
+        let w = p.messages()[0];
+        assert_eq!(p.candidate_pairs(&w), vec![(t(0), t(1))]);
+    }
+
+    #[test]
+    fn empty_candidate_set_when_no_receiver() {
+        let m = MessageId::from_index(0);
+        let p = Period::from_parts(
+            0,
+            2,
+            vec![
+                ev(0, EventKind::TaskStart(t(0))),
+                ev(10, EventKind::TaskEnd(t(0))),
+                ev(12, EventKind::MessageRise(m)),
+                ev(14, EventKind::MessageFall(m)),
+            ],
+        );
+        let w = p.messages()[0];
+        assert!(p.candidate_pairs(&w).is_empty());
+    }
+}

@@ -1,0 +1,86 @@
+//! Trace summary statistics.
+
+use std::fmt;
+
+use crate::trace::Trace;
+
+/// Summary counts for a trace, mirroring the figures the paper reports for
+/// its case study ("18 tasks and 330 messages … 27 periods and 700
+/// event-pair executions of tasks and messages").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceStats {
+    /// Number of tasks in the universe.
+    pub tasks: usize,
+    /// Number of periods (learning instances).
+    pub periods: usize,
+    /// Total message occurrences on the bus.
+    pub messages: usize,
+    /// Total task executions.
+    pub task_executions: usize,
+    /// Total raw events.
+    pub events: usize,
+    /// "Event pairs": task executions + message transmissions, each of
+    /// which contributes a balanced pair of events.
+    pub event_pairs: usize,
+}
+
+impl TraceStats {
+    /// Computes statistics for `trace`.
+    #[must_use]
+    pub fn compute(trace: &Trace) -> Self {
+        let mut stats = TraceStats {
+            tasks: trace.task_count(),
+            periods: trace.periods().len(),
+            ..TraceStats::default()
+        };
+        for period in trace.periods() {
+            stats.messages += period.messages().len();
+            stats.task_executions += period.executed_tasks().len();
+            stats.events += period.events().len();
+        }
+        stats.event_pairs = stats.messages + stats.task_executions;
+        stats
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} tasks, {} periods, {} messages, {} task executions ({} event pairs)",
+            self.tasks, self.periods, self.messages, self.task_executions, self.event_pairs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use bbmg_lattice::TaskUniverse;
+
+    use crate::builder::TraceBuilder;
+    use crate::event::Timestamp;
+
+    #[test]
+    fn stats_count_everything() {
+        let mut u = TaskUniverse::new();
+        let a = u.intern("a");
+        let b = u.intern("b");
+        let mut builder = TraceBuilder::new(u);
+        builder.begin_period();
+        builder.task(a, Timestamp::new(0), Timestamp::new(5)).unwrap();
+        builder.message(Timestamp::new(6), Timestamp::new(7)).unwrap();
+        builder.task(b, Timestamp::new(8), Timestamp::new(9)).unwrap();
+        builder.end_period().unwrap();
+        builder.begin_period();
+        builder.task(a, Timestamp::new(20), Timestamp::new(25)).unwrap();
+        builder.end_period().unwrap();
+        let stats = builder.finish().stats();
+        assert_eq!(stats.tasks, 2);
+        assert_eq!(stats.periods, 2);
+        assert_eq!(stats.messages, 1);
+        assert_eq!(stats.task_executions, 3);
+        assert_eq!(stats.event_pairs, 4);
+        assert_eq!(stats.events, 8);
+        assert!(stats.to_string().contains("2 periods"));
+    }
+}

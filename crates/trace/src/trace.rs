@@ -1,0 +1,197 @@
+//! The trace container and validation errors.
+
+use std::fmt;
+
+use bbmg_lattice::{TaskId, TaskUniverse};
+
+use crate::event::Timestamp;
+use crate::period::Period;
+use crate::stats::TraceStats;
+
+/// Error produced while constructing or validating a [`Trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// A task started (or was recorded) twice in one period; the MOC allows
+    /// at most one execution per task per period (paper §2.1).
+    TaskExecutedTwice {
+        /// The offending task.
+        task: TaskId,
+        /// The period index.
+        period: usize,
+    },
+    /// A task's end precedes its start.
+    TaskEndsBeforeStart {
+        /// The offending task.
+        task: TaskId,
+        /// The period index.
+        period: usize,
+    },
+    /// A message's falling edge precedes its rising edge.
+    MessageFallsBeforeRise {
+        /// The period index.
+        period: usize,
+    },
+    /// An event was added with a timestamp earlier than its predecessor.
+    EventsOutOfOrder {
+        /// The period index.
+        period: usize,
+        /// Timestamp of the preceding event.
+        previous: Timestamp,
+        /// The offending timestamp.
+        offending: Timestamp,
+    },
+    /// A period ended while a task was still running or a message was still
+    /// on the bus (messages must not cross period boundaries, §2.1).
+    UnterminatedPeriod {
+        /// The period index.
+        period: usize,
+    },
+    /// An operation required an open period but none was begun.
+    NoOpenPeriod,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::TaskExecutedTwice { task, period } => {
+                write!(f, "task {task} executed twice in period {period}")
+            }
+            TraceError::TaskEndsBeforeStart { task, period } => {
+                write!(f, "task {task} ends before it starts in period {period}")
+            }
+            TraceError::MessageFallsBeforeRise { period } => {
+                write!(f, "message falling edge precedes rising edge in period {period}")
+            }
+            TraceError::EventsOutOfOrder {
+                period,
+                previous,
+                offending,
+            } => write!(
+                f,
+                "event at {offending} precedes previous event at {previous} in period {period}"
+            ),
+            TraceError::UnterminatedPeriod { period } => {
+                write!(f, "period {period} ended with unterminated task or message")
+            }
+            TraceError::NoOpenPeriod => write!(f, "no open period"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// An execution trace: a task universe plus a sequence of [`Period`]s.
+///
+/// Traces are immutable once built (via [`crate::TraceBuilder`] or
+/// [`crate::parse_trace`]); the learner only reads them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    universe: TaskUniverse,
+    periods: Vec<Period>,
+}
+
+impl Trace {
+    pub(crate) fn from_parts(universe: TaskUniverse, periods: Vec<Period>) -> Self {
+        Trace { universe, periods }
+    }
+
+    /// The task universe the trace is defined over.
+    #[must_use]
+    pub fn universe(&self) -> &TaskUniverse {
+        &self.universe
+    }
+
+    /// The periods (learning instances) of the trace, in order.
+    #[must_use]
+    pub fn periods(&self) -> &[Period] {
+        &self.periods
+    }
+
+    /// Number of tasks `|T|`.
+    #[must_use]
+    pub fn task_count(&self) -> usize {
+        self.universe.len()
+    }
+
+    /// Summary statistics (period, message and event counts) as reported in
+    /// the paper's case study ("27 periods and 700 event-pair executions").
+    #[must_use]
+    pub fn stats(&self) -> TraceStats {
+        TraceStats::compute(self)
+    }
+
+    /// Restricts the trace to its first `n` periods (used by scaling
+    /// benchmarks). Returns a clone; the original is untouched.
+    #[must_use]
+    pub fn truncated(&self, n: usize) -> Trace {
+        Trace {
+            universe: self.universe.clone(),
+            periods: self.periods.iter().take(n).cloned().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+    use crate::event::Timestamp;
+
+    fn two_period_trace() -> Trace {
+        let mut u = TaskUniverse::new();
+        let a = u.intern("a");
+        let b = u.intern("b");
+        let mut builder = TraceBuilder::new(u);
+        for p in 0..2u64 {
+            let base = p * 100;
+            builder.begin_period();
+            builder
+                .task(a, Timestamp::new(base), Timestamp::new(base + 10))
+                .unwrap();
+            builder
+                .message(Timestamp::new(base + 12), Timestamp::new(base + 14))
+                .unwrap();
+            builder
+                .task(b, Timestamp::new(base + 20), Timestamp::new(base + 30))
+                .unwrap();
+            builder.end_period().unwrap();
+        }
+        builder.finish()
+    }
+
+    #[test]
+    fn trace_accessors() {
+        let trace = two_period_trace();
+        assert_eq!(trace.task_count(), 2);
+        assert_eq!(trace.periods().len(), 2);
+        assert_eq!(trace.periods()[1].index(), 1);
+    }
+
+    #[test]
+    fn message_ids_unique_across_periods() {
+        let trace = two_period_trace();
+        let id0 = trace.periods()[0].messages()[0].id;
+        let id1 = trace.periods()[1].messages()[0].id;
+        assert_ne!(id0, id1);
+    }
+
+    #[test]
+    fn truncated_keeps_prefix() {
+        let trace = two_period_trace();
+        let one = trace.truncated(1);
+        assert_eq!(one.periods().len(), 1);
+        assert_eq!(one.universe(), trace.universe());
+        let many = trace.truncated(10);
+        assert_eq!(many.periods().len(), 2);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = TraceError::TaskExecutedTwice {
+            task: TaskId::from_index(3),
+            period: 7,
+        };
+        assert_eq!(err.to_string(), "task t3 executed twice in period 7");
+    }
+}

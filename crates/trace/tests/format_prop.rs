@@ -1,0 +1,88 @@
+//! Property-based tests: trace construction and the text format.
+
+use bbmg_lattice::{TaskId, TaskUniverse};
+use bbmg_trace::{parse_trace, write_trace, Timestamp, TraceBuilder};
+use proptest::prelude::*;
+
+/// Builds a random-but-valid trace: random periods of sequential task
+/// windows and messages, derived from a list of (kind, duration) choices.
+fn arbitrary_trace() -> impl Strategy<Value = bbmg_trace::Trace> {
+    let tasks = 4usize;
+    let period = prop::collection::vec((0usize..tasks, 1u64..10, any::<bool>()), 0..8);
+    prop::collection::vec(period, 0..5).prop_map(move |periods| {
+        let universe: TaskUniverse = (0..tasks).map(|i| format!("task{i}")).collect();
+        let mut builder = TraceBuilder::new(universe);
+        let mut clock = Timestamp::ZERO;
+        for items in periods {
+            builder.begin_period();
+            let mut executed = vec![false; tasks];
+            for (task, duration, is_message) in items {
+                if is_message {
+                    let rise = clock + 1;
+                    let fall = rise + duration;
+                    builder.message(rise, fall).expect("valid message");
+                    clock = fall;
+                } else if !executed[task] {
+                    executed[task] = true;
+                    let start = clock + 1;
+                    let end = start + duration;
+                    builder
+                        .task(TaskId::from_index(task), start, end)
+                        .expect("valid task");
+                    clock = end;
+                }
+            }
+            builder.end_period().expect("balanced period");
+            clock = clock + 10;
+        }
+        builder.finish()
+    })
+}
+
+proptest! {
+    #[test]
+    fn write_parse_round_trip(trace in arbitrary_trace()) {
+        let text = write_trace(&trace);
+        let parsed = parse_trace(&text).expect("serialized traces parse");
+        prop_assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn parser_never_panics(input in "\\PC*") {
+        // Any input: parse may fail but must not panic.
+        let _ = parse_trace(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_liney_input(
+        lines in prop::collection::vec("(tasks|period|end|[0-9]{1,4} (start|end|rise|fall) [a-z0-9]{1,4})", 0..12),
+    ) {
+        let _ = parse_trace(&lines.join("\n"));
+    }
+
+    #[test]
+    fn stats_are_consistent(trace in arbitrary_trace()) {
+        let stats = trace.stats();
+        prop_assert_eq!(stats.periods, trace.periods().len());
+        let messages: usize = trace.periods().iter().map(|p| p.messages().len()).sum();
+        prop_assert_eq!(stats.messages, messages);
+        prop_assert_eq!(stats.event_pairs, stats.messages + stats.task_executions);
+        // Every event belongs to a balanced window, so events = 2 * pairs.
+        prop_assert_eq!(stats.events, 2 * stats.event_pairs);
+    }
+
+    #[test]
+    fn candidate_pairs_respect_timing(trace in arbitrary_trace()) {
+        for period in trace.periods() {
+            for window in period.messages() {
+                for (s, r) in period.candidate_pairs(window) {
+                    let (_, s_end) = period.task_window(s).expect("sender executed");
+                    let (r_start, _) = period.task_window(r).expect("receiver executed");
+                    prop_assert!(s_end <= window.rise);
+                    prop_assert!(r_start >= window.fall);
+                    prop_assert!(s != r);
+                }
+            }
+        }
+    }
+}

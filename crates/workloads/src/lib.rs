@@ -1,0 +1,22 @@
+//! Workload generators: the paper's case studies and random models.
+//!
+//! Three families:
+//!
+//! * [`simple`] — the four-task worked example of the paper's Figures 1
+//!   and 2, including the *exact* three-period trace whose learning run
+//!   reproduces hypothesis tables `d11`–`d85` and `d_LUB` (§3.3).
+//! * [`gm`] — a synthetic stand-in for the paper's proprietary GM
+//!   controller case study (§3.4): 18 tasks named `A`–`Q` and `S`, with the
+//!   published node-kind structure (A, B disjunction; H, P, Q conjunction),
+//!   the published properties (`d(A,L) = →`, `d(B,M) = →`, the implicit
+//!   Q–O dependency), and a 27-period bus trace at the published scale
+//!   (~330 messages, ~700 task/message event pairs).
+//! * [`random`] — seeded random layered DAG models for property tests and
+//!   scaling benchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gm;
+pub mod random;
+pub mod simple;

@@ -1,0 +1,158 @@
+//! Seeded random design models for property tests and scaling benchmarks.
+
+use bbmg_lattice::{TaskId, TaskUniverse};
+use bbmg_moc::DesignModel;
+use bbmg_sim::{SimConfig, SimError, SimReport, Simulator};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Parameters of the random layered-DAG model generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomModelConfig {
+    /// Number of tasks.
+    pub tasks: usize,
+    /// Probability of an edge between a task and each candidate
+    /// predecessor (tasks are generated in topological order).
+    pub edge_probability: f64,
+    /// Maximum number of incoming channels per task.
+    pub max_in_degree: usize,
+    /// Probability that a task with two or more outgoing channels is
+    /// marked as a disjunction node.
+    pub disjunction_probability: f64,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomModelConfig {
+    fn default() -> Self {
+        RandomModelConfig {
+            tasks: 10,
+            edge_probability: 0.3,
+            max_in_degree: 3,
+            disjunction_probability: 0.5,
+            seed: 0,
+        }
+    }
+}
+
+/// Generates a random acyclic design model.
+///
+/// Tasks are named `t0..t{n-1}` and created in topological order; each task
+/// draws incoming channels from earlier tasks, so the result is always
+/// acyclic. Tasks with at least two outgoing channels may be marked as
+/// disjunction nodes.
+///
+/// # Panics
+///
+/// Panics if `config.tasks == 0`.
+#[must_use]
+#[allow(clippy::needless_range_loop)] // index loops mirror the matrix math
+pub fn random_model(config: &RandomModelConfig) -> DesignModel {
+    assert!(config.tasks > 0, "need at least one task");
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let universe: TaskUniverse = (0..config.tasks).map(|i| format!("t{i}")).collect();
+    let mut builder = DesignModel::builder(universe);
+    let mut out_degree = vec![0usize; config.tasks];
+    for receiver in 1..config.tasks {
+        let mut in_degree = 0;
+        for sender in 0..receiver {
+            if in_degree >= config.max_in_degree {
+                break;
+            }
+            if rng.gen_bool(config.edge_probability) {
+                builder = builder.edge(TaskId::from_index(sender), TaskId::from_index(receiver));
+                out_degree[sender] += 1;
+                in_degree += 1;
+            }
+        }
+    }
+    for (task, &degree) in out_degree.iter().enumerate() {
+        if degree >= 2 && rng.gen_bool(config.disjunction_probability) {
+            builder = builder.disjunction(TaskId::from_index(task));
+        }
+    }
+    builder.build().expect("layered generation is acyclic")
+}
+
+/// Generates a random model and simulates `periods` periods of it.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the simulator (with the default
+/// [`SimConfig`] period length this does not occur for moderate task
+/// counts).
+pub fn random_trace(
+    config: &RandomModelConfig,
+    periods: usize,
+    sim_seed: u64,
+) -> Result<SimReport, SimError> {
+    let model = random_model(config);
+    let sim = SimConfig {
+        periods,
+        period_length: 50_000,
+        seed: sim_seed,
+        ..SimConfig::default()
+    };
+    Simulator::new(&model, sim).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = RandomModelConfig::default();
+        let a = random_model(&config);
+        let b = random_model(&config);
+        assert_eq!(a.channels(), b.channels());
+    }
+
+    #[test]
+    fn seeds_vary_structure() {
+        let a = random_model(&RandomModelConfig {
+            seed: 1,
+            ..RandomModelConfig::default()
+        });
+        let b = random_model(&RandomModelConfig {
+            seed: 2,
+            ..RandomModelConfig::default()
+        });
+        assert_ne!(a.channels(), b.channels());
+    }
+
+    #[test]
+    fn respects_max_in_degree() {
+        let config = RandomModelConfig {
+            tasks: 30,
+            edge_probability: 0.9,
+            max_in_degree: 2,
+            ..RandomModelConfig::default()
+        };
+        let m = random_model(&config);
+        for task in m.universe().ids() {
+            assert!(m.in_channels(task).len() <= 2);
+        }
+    }
+
+    #[test]
+    fn traces_simulate_and_validate() {
+        let report = random_trace(&RandomModelConfig::default(), 10, 99).unwrap();
+        assert_eq!(report.trace.periods().len(), 10);
+        for period in report.trace.periods() {
+            for w in period.messages() {
+                assert!(!period.candidate_pairs(w).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn zero_tasks_panics() {
+        let _ = random_model(&RandomModelConfig {
+            tasks: 0,
+            ..RandomModelConfig::default()
+        });
+    }
+}

@@ -1,0 +1,223 @@
+//! The paper's worked example (Figures 1, 2 and 4, §3.3).
+
+use bbmg_lattice::{DependencyFunction, TaskId, TaskUniverse};
+use bbmg_moc::DesignModel;
+use bbmg_trace::{Timestamp, Trace, TraceBuilder};
+
+fn t(i: usize) -> TaskId {
+    TaskId::from_index(i)
+}
+
+/// The Figure 1 design model: `t1` is a disjunction node sending to `t2`
+/// or `t3` or both; `t2` and `t3` independently send to `t4`.
+///
+/// # Panics
+///
+/// Never panics; the model is statically valid.
+#[must_use]
+pub fn figure_1_model() -> DesignModel {
+    let universe = TaskUniverse::from_names(["t1", "t2", "t3", "t4"]);
+    DesignModel::builder(universe)
+        .edge(t(0), t(1))
+        .edge(t(0), t(2))
+        .edge(t(1), t(3))
+        .edge(t(2), t(3))
+        .disjunction(t(0))
+        .build()
+        .expect("figure 1 model is valid")
+}
+
+/// The Figure 2 trace: three periods
+///
+/// ```text
+/// period 1:  t1 [m1] t2 [m2] t4
+/// period 2:  t1 [m3] t3 [m4] t4
+/// period 3:  t1 [m5 m6] t3 t2 [m7 m8] t4
+/// ```
+///
+/// The message placement in period 3 (both of `t1`'s sends transmitted
+/// before `t3` starts; `t3`'s and `t2`'s sends transmitted after `t2`
+/// finishes) is the reconstruction under which the exact learner produces
+/// *exactly* the paper's five most-specific hypotheses `d81`–`d85` and the
+/// printed `d_LUB` (validated by the `worked_example` integration test).
+///
+/// # Panics
+///
+/// Never panics; the trace is statically valid.
+#[must_use]
+pub fn figure_2_trace() -> Trace {
+    let universe = TaskUniverse::from_names(["t1", "t2", "t3", "t4"]);
+    let mut b = TraceBuilder::new(universe);
+    let ts = Timestamp::new;
+
+    // Period 1: t1 [m1] t2 [m2] t4.
+    b.begin_period();
+    b.task(t(0), ts(0), ts(10)).expect("valid");
+    b.message(ts(12), ts(14)).expect("valid");
+    b.task(t(1), ts(20), ts(30)).expect("valid");
+    b.message(ts(32), ts(34)).expect("valid");
+    b.task(t(3), ts(40), ts(50)).expect("valid");
+    b.end_period().expect("valid");
+
+    // Period 2: t1 [m3] t3 [m4] t4.
+    b.begin_period();
+    b.task(t(0), ts(100), ts(110)).expect("valid");
+    b.message(ts(112), ts(114)).expect("valid");
+    b.task(t(2), ts(120), ts(130)).expect("valid");
+    b.message(ts(132), ts(134)).expect("valid");
+    b.task(t(3), ts(140), ts(150)).expect("valid");
+    b.end_period().expect("valid");
+
+    // Period 3: t1 [m5 m6] t3 t2 [m7 m8] t4.
+    b.begin_period();
+    b.task(t(0), ts(200), ts(210)).expect("valid");
+    b.message(ts(212), ts(214)).expect("valid");
+    b.message(ts(215), ts(217)).expect("valid");
+    b.task(t(2), ts(220), ts(230)).expect("valid");
+    b.task(t(1), ts(240), ts(250)).expect("valid");
+    b.message(ts(252), ts(254)).expect("valid");
+    b.message(ts(255), ts(257)).expect("valid");
+    b.task(t(3), ts(260), ts(270)).expect("valid");
+    b.end_period().expect("valid");
+
+    b.finish()
+}
+
+/// The paper's five most-specific hypotheses after period 3 (`d81`–`d85`),
+/// in the paper's order.
+///
+/// # Panics
+///
+/// Never panics; the tables are statically valid.
+#[must_use]
+pub fn paper_final_hypotheses() -> Vec<DependencyFunction> {
+    let parse = |rows: &[&[&str]]| {
+        DependencyFunction::from_rows(rows).expect("paper table parses")
+    };
+    vec![
+        // d81
+        parse(&[
+            &["||", "->?", "->?", "->"],
+            &["<-", "||", "||", "||"],
+            &["<-", "||", "||", "->"],
+            &["<-", "||", "<-?", "||"],
+        ]),
+        // d82
+        parse(&[
+            &["||", "||", "->?", "->"],
+            &["||", "||", "||", "->"],
+            &["<-", "||", "||", "->"],
+            &["<-", "<-?", "<-?", "||"],
+        ]),
+        // d83
+        parse(&[
+            &["||", "->?", "||", "->"],
+            &["<-", "||", "||", "->"],
+            &["||", "||", "||", "->"],
+            &["<-", "<-?", "<-?", "||"],
+        ]),
+        // d84
+        parse(&[
+            &["||", "->?", "->?", "->"],
+            &["<-", "||", "||", "->"],
+            &["<-", "||", "||", "||"],
+            &["<-", "<-?", "||", "||"],
+        ]),
+        // d85
+        parse(&[
+            &["||", "->?", "->?", "||"],
+            &["<-", "||", "||", "->"],
+            &["<-", "||", "||", "->"],
+            &["||", "<-?", "<-?", "||"],
+        ]),
+    ]
+}
+
+/// The paper's `d_LUB` summary table (§3.3), which Figure 4 renders as a
+/// dependency graph.
+///
+/// # Panics
+///
+/// Never panics; the table is statically valid.
+#[must_use]
+pub fn paper_dlub() -> DependencyFunction {
+    DependencyFunction::from_rows(&[
+        &["||", "->?", "->?", "->"],
+        &["<-", "||", "||", "->"],
+        &["<-", "||", "||", "->"],
+        &["<-", "<-?", "<-?", "||"],
+    ])
+    .expect("paper table parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_matches_figure_1_structure() {
+        let m = figure_1_model();
+        assert_eq!(m.task_count(), 4);
+        assert_eq!(m.channels().len(), 4);
+        assert!(m.is_disjunction(t(0)));
+        assert_eq!(m.enumerate_behaviors().len(), 3);
+    }
+
+    #[test]
+    fn trace_matches_figure_2_shape() {
+        let trace = figure_2_trace();
+        let stats = trace.stats();
+        assert_eq!(stats.periods, 3);
+        assert_eq!(stats.messages, 8);
+        assert_eq!(stats.task_executions, 10);
+        // Period executed sets: {t1,t2,t4}, {t1,t3,t4}, all four.
+        let sets: Vec<usize> = trace
+            .periods()
+            .iter()
+            .map(|p| p.executed_tasks().len())
+            .collect();
+        assert_eq!(sets, vec![3, 3, 4]);
+    }
+
+    #[test]
+    fn paper_tables_are_mutually_incomparable() {
+        // d81..d85 form an antichain (they are all most-specific).
+        let hs = paper_final_hypotheses();
+        assert_eq!(hs.len(), 5);
+        for (i, a) in hs.iter().enumerate() {
+            for (j, b) in hs.iter().enumerate() {
+                if i != j {
+                    assert!(!a.leq(b), "d8{} <= d8{}", i + 1, j + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dlub_is_the_join_of_the_final_hypotheses() {
+        let hs = paper_final_hypotheses();
+        let lub = hs
+            .iter()
+            .skip(1)
+            .fold(hs[0].clone(), |acc, d| acc.join(d));
+        assert_eq!(lub, paper_dlub());
+    }
+
+    #[test]
+    fn every_trace_behaviour_is_a_model_behaviour() {
+        // Each Figure 2 period corresponds to an enumerated behaviour of
+        // the Figure 1 model.
+        let model = figure_1_model();
+        let behaviors = model.enumerate_behaviors();
+        for period in figure_2_trace().periods() {
+            let executed: Vec<TaskId> = period.executed_tasks().iter().collect();
+            assert!(
+                behaviors
+                    .iter()
+                    .any(|b| b.executed() == executed.as_slice()),
+                "period {} not a model behaviour",
+                period.index()
+            );
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Experiment E4 (paper §3.4 runtime table): run the bounded heuristic on
+//! the case-study trace for every bound the paper reports, print the
+//! runtime table, and validate the Theorem 4 relationship against the
+//! bound-1 run.
+//!
+//! Run with: `cargo run --release --example bound_sweep`
+
+use std::time::Instant;
+
+use bbmg::core::{learn, LearnOptions};
+use bbmg_bench::{case_study_trace, PAPER_BOUNDS, PAPER_RUNTIMES_SEC};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = case_study_trace();
+    println!("trace: {}", trace.stats());
+    println!("\n{:>6} {:>14} {:>14} {:>10}", "bound", "run time (s)", "paper (s)", "converged");
+
+    let mut lubs = Vec::new();
+    for (&bound, &paper) in PAPER_BOUNDS.iter().zip(&PAPER_RUNTIMES_SEC) {
+        let start = Instant::now();
+        let result = learn(&trace, LearnOptions::bounded(bound))?;
+        let elapsed = start.elapsed().as_secs_f64();
+        println!(
+            "{bound:>6} {elapsed:>14.3} {paper:>14.3} {:>10}",
+            result.converged()
+        );
+        lubs.push(result.lub().expect("nonempty"));
+    }
+
+    // Theorem 4 / lemma: the paper reports that the exact result equals
+    // the LUB of the heuristic results at any bound. Under our
+    // reconstruction the LUBs of different bounds agree on most entries
+    // but not always all (EXPERIMENTS.md E4 discusses why); report the
+    // agreement with the bound-1 fold.
+    let reference = &lubs[0];
+    let agreeing = lubs.iter().filter(|d| *d == reference).count();
+    println!("\nbounds whose LUB equals the bound-1 result: {agreeing}/{}", lubs.len());
+    let max_diff = lubs
+        .iter()
+        .map(|d| {
+            d.ordered_pairs()
+                .filter(|&(a, b, v)| a != b && v != reference.value(a, b))
+                .count()
+        })
+        .max()
+        .unwrap_or(0);
+    println!(
+        "largest disagreement with the bound-1 LUB: {max_diff} of {} ordered pairs",
+        18 * 17
+    );
+    Ok(())
+}

@@ -1,0 +1,102 @@
+//! Experiment E3 (paper §3.4, Figure 5): learn the dependency model of the
+//! 18-task GM-style controller from a 27-period CAN bus trace, then prove
+//! the paper's published properties from the learned model.
+//!
+//! Run with: `cargo run --release --example gm_case_study`
+
+use bbmg::analysis::{depgraph, modes, properties};
+use bbmg::core::{learn, LearnOptions};
+use bbmg::lattice::TaskId;
+use bbmg::workloads::gm;
+
+fn report_trace(report: &bbmg::sim::SimReport) -> &bbmg::trace::Trace {
+    &report.trace
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = gm::gm_model();
+    let report = gm::gm_trace(2007)?;
+    let stats = report.trace.stats();
+    println!("trace: {stats}");
+
+    let result = learn(&report.trace, LearnOptions::bounded(100))?;
+    println!(
+        "learner: {} (converged: {})",
+        result.stats(),
+        result.converged()
+    );
+    let d = result.lub().expect("nonempty hypothesis set");
+
+    let universe = model.universe();
+    let id = |name: &str| gm::task(&model, name);
+    println!("\nlearned dependency function (least upper bound):");
+    println!("{}", d.to_table(universe));
+
+    // The paper's published properties (§3.4).
+    let checks: [(&str, bool); 7] = [
+        (
+            "task A is a disjunction node",
+            properties::is_disjunction_node(&d, id("A")),
+        ),
+        (
+            "task B is a disjunction node",
+            properties::is_disjunction_node(&d, id("B")),
+        ),
+        (
+            "task H is a conjunction node",
+            properties::is_conjunction_node(&d, id("H")),
+        ),
+        (
+            "task P is a conjunction node",
+            properties::is_conjunction_node(&d, id("P")),
+        ),
+        (
+            "task Q is a conjunction node",
+            properties::is_conjunction_node(&d, id("Q")),
+        ),
+        (
+            "whatever mode A chooses, L must execute: d(A,L) = ->",
+            properties::proves_always_executes(&d, id("A"), id("L")),
+        ),
+        (
+            "whatever mode B chooses, M must execute: d(B,M) = ->",
+            properties::proves_always_executes(&d, id("B"), id("M")),
+        ),
+    ];
+    println!("published properties:");
+    for (label, holds) in checks {
+        println!("  [{}] {label}", if holds { "proved" } else { "  ??  " });
+    }
+    println!(
+        "  implicit Q-O data dependency: d(Q,O) = {}",
+        d.value(id("Q"), id("O"))
+    );
+
+    // Tasks unconditionally forced by A (the must-closure).
+    let followers: Vec<&str> = properties::must_followers(&d, id("A"))
+        .into_iter()
+        .map(|t: TaskId| universe.name(t))
+        .collect();
+    println!("  must-followers of A: {followers:?}");
+
+    // Operation modes of the two mode selectors.
+    for selector in ["A", "B"] {
+        let report = modes::observed_modes(&report_trace(&report), &d, id(selector));
+        let rendered: Vec<String> = report
+            .modes
+            .iter()
+            .map(|mode| {
+                let names: Vec<&str> = mode.iter().map(|t| universe.name(t)).collect();
+                format!("{{{}}}", names.join(","))
+            })
+            .collect();
+        println!(
+            "  observed operation modes of {selector}: {}",
+            rendered.join(" ")
+        );
+    }
+
+    println!("\ndependency graph (Graphviz DOT, Figure 5 style):");
+    println!("{}", depgraph::to_dot(&d, universe, "gm_case_study"));
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Quickstart: build a small system, simulate it, learn its dependency
+//! model from the bus trace, and render the result.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use bbmg::analysis::depgraph;
+use bbmg::core::{learn, LearnOptions};
+use bbmg::lattice::TaskUniverse;
+use bbmg::moc::DesignModel;
+use bbmg::sim::{SimConfig, Simulator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A hidden system: sensor -> filter -> {controller | logger} -> actuator.
+    let mut universe = TaskUniverse::new();
+    let sensor = universe.intern("sensor");
+    let filter = universe.intern("filter");
+    let controller = universe.intern("controller");
+    let logger = universe.intern("logger");
+    let actuator = universe.intern("actuator");
+    let model = DesignModel::builder(universe)
+        .edge(sensor, filter)
+        .edge(filter, controller)
+        .edge(filter, logger)
+        .edge(controller, actuator)
+        .disjunction(filter)
+        .build()?;
+
+    // 2. Execute 40 periods on the simulated scheduler + CAN bus; the
+    //    logger sees only anonymous bus traffic.
+    let report = Simulator::new(
+        &model,
+        SimConfig {
+            periods: 40,
+            seed: 1,
+            ..SimConfig::default()
+        },
+    )
+    .run()?;
+    println!("observed: {}", report.trace.stats());
+
+    // 3. Learn the most-specific dependency functions consistent with the
+    //    trace (exact algorithm; use LearnOptions::bounded(b) at scale).
+    let result = learn(&report.trace, LearnOptions::exact())?;
+    println!(
+        "learned {} most-specific hypothesis(es); converged: {}",
+        result.hypotheses().len(),
+        result.converged()
+    );
+
+    // 4. Summarize with the least upper bound and render it.
+    let d = result.lub().expect("nonempty");
+    println!("\n{}", d.to_table(report.trace.universe()));
+    println!("{}", depgraph::to_dot(&d, report.trace.universe(), "quickstart"));
+    Ok(())
+}

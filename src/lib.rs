@@ -1,0 +1,56 @@
+//! # bbmg — Automatic Model Generation for Black Box Real-Time Systems
+//!
+//! A full reproduction of *Feng, Wang, Zheng, Kanajan, Seshia — Automatic
+//! Model Generation for Black Box Real-Time Systems* (DATE 2007): a
+//! version-space learner that infers a task **dependency graph** from CAN
+//! bus execution traces of a periodic black-box system, together with every
+//! substrate the paper relies on (a control-flow model of computation, a
+//! fixed-priority scheduler + CAN bus simulator, and the downstream
+//! latency/reachability analyses the learned models enable).
+//!
+//! This crate is a facade: it re-exports the workspace crates under stable
+//! module names and hosts the runnable examples and cross-crate integration
+//! tests.
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`lattice`] | `bbmg-lattice` | the 7-value dependency lattice `V`, dependency functions `D` |
+//! | [`trace`] | `bbmg-trace` | timestamped traces, periods, candidate sender/receiver inference |
+//! | [`graph`] | `bbmg-graph` | small digraph utilities + DOT export |
+//! | [`moc`] | `bbmg-moc` | design models, firing semantics, behaviour enumeration |
+//! | [`sim`] | `bbmg-sim` | scheduler + CAN bus execution substrate |
+//! | [`core`] | `bbmg-core` | **the paper's learner**: exact + bounded-heuristic |
+//! | [`check`] | `bbmg-check` | safety-property language + white/black-box checkers |
+//! | [`analysis`] | `bbmg-analysis` | properties, latency, reachability, ground truth |
+//! | [`workloads`] | `bbmg-workloads` | paper case studies and random models |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use bbmg::core::{learn, LearnOptions};
+//! use bbmg::workloads::simple;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Learn from the paper's Figure 2 trace...
+//! let trace = simple::figure_2_trace();
+//! let result = learn(&trace, LearnOptions::exact())?;
+//!
+//! // ...and recover exactly the paper's five most-specific hypotheses.
+//! assert_eq!(result.hypotheses().len(), 5);
+//! assert_eq!(result.lub().unwrap(), simple::paper_dlub());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use bbmg_analysis as analysis;
+pub use bbmg_check as check;
+pub use bbmg_core as core;
+pub use bbmg_graph as graph;
+pub use bbmg_lattice as lattice;
+pub use bbmg_moc as moc;
+pub use bbmg_sim as sim;
+pub use bbmg_trace as trace;
+pub use bbmg_workloads as workloads;

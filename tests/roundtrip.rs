@@ -1,0 +1,40 @@
+//! Cross-crate integration: trace serialization round trips, and learning
+//! is invariant under serialize/parse.
+
+use bbmg::core::{learn, LearnOptions};
+use bbmg::trace::{parse_trace, write_trace};
+use bbmg::workloads::{gm, simple};
+
+#[test]
+fn figure_2_trace_round_trips() {
+    let trace = simple::figure_2_trace();
+    let text = write_trace(&trace);
+    let parsed = parse_trace(&text).unwrap();
+    assert_eq!(parsed, trace);
+}
+
+#[test]
+fn case_study_trace_round_trips() {
+    let trace = gm::gm_trace(2007).unwrap().trace;
+    let text = write_trace(&trace);
+    let parsed = parse_trace(&text).unwrap();
+    assert_eq!(parsed, trace);
+}
+
+#[test]
+fn learning_is_invariant_under_serialization() {
+    let trace = simple::figure_2_trace();
+    let parsed = parse_trace(&write_trace(&trace)).unwrap();
+    let a = learn(&trace, LearnOptions::exact()).unwrap();
+    let b = learn(&parsed, LearnOptions::exact()).unwrap();
+    assert_eq!(a.hypotheses(), b.hypotheses());
+}
+
+#[test]
+fn serialized_form_is_line_oriented_and_commented() {
+    let text = write_trace(&simple::figure_2_trace());
+    assert!(text.starts_with("# bbmg trace v1\n"));
+    assert!(text.contains("tasks t1 t2 t3 t4"));
+    assert_eq!(text.matches("period\n").count(), 3);
+    assert_eq!(text.matches("end\n").count(), 3);
+}

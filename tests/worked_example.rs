@@ -1,0 +1,113 @@
+//! Experiment E1: the paper's worked example (§3.3), reproduced exactly.
+//!
+//! This is the repository's primary fidelity check: the exact learner on
+//! the Figure 2 trace must produce, verbatim, every hypothesis table the
+//! paper prints — `d11`/`d12` after the first message, `d21`–`d23` after
+//! period 1, `d81`–`d85` after period 3, and the `d_LUB` summary that
+//! Figure 4 renders.
+
+use bbmg::core::{learn, matches_trace, LearnOptions, Learner};
+use bbmg::lattice::{DependencyFunction, DependencyValue, TaskId};
+use bbmg::workloads::simple;
+
+fn t(i: usize) -> TaskId {
+    TaskId::from_index(i)
+}
+
+#[test]
+fn final_hypotheses_match_d81_through_d85_exactly() {
+    let result = learn(&simple::figure_2_trace(), LearnOptions::exact()).unwrap();
+    let expected = simple::paper_final_hypotheses();
+    assert_eq!(result.hypotheses().len(), expected.len());
+    for (i, d) in expected.iter().enumerate() {
+        assert!(
+            result.hypotheses().contains(d),
+            "paper table d8{} missing from learner output",
+            i + 1
+        );
+    }
+}
+
+#[test]
+fn lub_matches_paper_figure_4() {
+    let result = learn(&simple::figure_2_trace(), LearnOptions::exact()).unwrap();
+    assert_eq!(result.lub().unwrap(), simple::paper_dlub());
+}
+
+#[test]
+fn period_1_snapshot_matches_d21_d22_d23() {
+    let trace = simple::figure_2_trace();
+    let mut learner = Learner::new(4, LearnOptions::exact());
+    learner.observe(&trace.periods()[0]).unwrap();
+    let expected = [
+        // d21: m1 = t1->t2, m2 = t1->t4.
+        DependencyFunction::from_rows(&[
+            &["||", "->", "||", "->"],
+            &["<-", "||", "||", "||"],
+            &["||", "||", "||", "||"],
+            &["<-", "||", "||", "||"],
+        ])
+        .unwrap(),
+        // d22: m1 = t1->t2, m2 = t2->t4.
+        DependencyFunction::from_rows(&[
+            &["||", "->", "||", "||"],
+            &["<-", "||", "||", "->"],
+            &["||", "||", "||", "||"],
+            &["||", "<-", "||", "||"],
+        ])
+        .unwrap(),
+        // d23: m1 = t1->t4, m2 = t2->t4.
+        DependencyFunction::from_rows(&[
+            &["||", "||", "||", "->"],
+            &["||", "||", "||", "->"],
+            &["||", "||", "||", "||"],
+            &["<-", "<-", "||", "||"],
+        ])
+        .unwrap(),
+    ];
+    assert_eq!(learner.len(), 3);
+    for d in &expected {
+        assert!(learner.hypotheses().contains(&d), "missing\n{d:?}");
+    }
+}
+
+#[test]
+fn all_final_hypotheses_match_the_whole_trace() {
+    // Theorem 2 on the worked example, via the declarative matcher.
+    let trace = simple::figure_2_trace();
+    let result = learn(&trace, LearnOptions::exact()).unwrap();
+    for d in result.hypotheses() {
+        assert!(matches_trace(d, &trace));
+    }
+}
+
+#[test]
+fn paper_conclusion_t1_always_determines_t4() {
+    // "One interesting result is: t1 always determines t4 (→). This result
+    // cannot be acquired by merely looking at the original model."
+    let result = learn(&simple::figure_2_trace(), LearnOptions::exact()).unwrap();
+    let d = result.lub().unwrap();
+    assert_eq!(d.value(t(0), t(3)), DependencyValue::Determines);
+    assert_eq!(d.value(t(3), t(0)), DependencyValue::DependsOn);
+    // While the direct design edges stay conditional.
+    assert_eq!(d.value(t(0), t(1)), DependencyValue::MayDetermine);
+    assert_eq!(d.value(t(0), t(2)), DependencyValue::MayDetermine);
+}
+
+#[test]
+fn learner_does_not_converge_on_three_periods() {
+    // Paper §3.3: "because of the limited number of instances, the
+    // algorithm does not converge" — five hypotheses remain.
+    let result = learn(&simple::figure_2_trace(), LearnOptions::exact()).unwrap();
+    assert!(!result.converged());
+    assert_eq!(result.hypotheses().len(), 5);
+}
+
+#[test]
+fn weights_order_the_final_set() {
+    let result = learn(&simple::figure_2_trace(), LearnOptions::exact()).unwrap();
+    let weights: Vec<u64> = result.hypotheses().iter().map(DependencyFunction::weight).collect();
+    let mut sorted = weights.clone();
+    sorted.sort_unstable();
+    assert_eq!(weights, sorted, "hypotheses are returned in weight order");
+}
