@@ -11,7 +11,7 @@
 
 use std::collections::BTreeSet;
 
-use bbmg_core::{Learner, LearnError, LearnOptions};
+use bbmg_core::{LearnError, LearnOptions, Learner};
 use bbmg_lattice::TaskId;
 use bbmg_moc::{Behavior, DesignModel};
 use bbmg_trace::Trace;
@@ -159,14 +159,9 @@ mod tests {
         let mut clock = Timestamp::ZERO;
         for b in behaviors {
             builder.begin_period();
-            clock = append_canonical_period(
-                model,
-                b,
-                CanonicalTiming::default(),
-                &mut builder,
-                clock,
-            )
-            .unwrap();
+            clock =
+                append_canonical_period(model, b, CanonicalTiming::default(), &mut builder, clock)
+                    .unwrap();
             builder.end_period().unwrap();
             clock = clock + 10;
         }

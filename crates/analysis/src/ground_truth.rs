@@ -35,7 +35,9 @@ pub fn exhaustive_trace(model: &DesignModel) -> Trace {
             clock,
         )
         .expect("canonical periods are valid");
-        builder.end_period().expect("canonical periods are balanced");
+        builder
+            .end_period()
+            .expect("canonical periods are balanced");
         clock = clock + 10;
     }
     builder.finish()

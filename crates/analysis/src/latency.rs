@@ -103,11 +103,7 @@ impl LatencyAnalysis {
     /// `d(t, t') = ←` (`t` fires only after `t'`'s output arrived) or
     /// `d(t', t) = ←` (`t'` fires only after `t` finished).
     #[must_use]
-    pub fn informed_interference(
-        &self,
-        task: TaskId,
-        d: &DependencyFunction,
-    ) -> Vec<TaskId> {
+    pub fn informed_interference(&self, task: TaskId, d: &DependencyFunction) -> Vec<TaskId> {
         self.pessimistic_interference(task)
             .into_iter()
             .filter(|&other| {
@@ -174,9 +170,18 @@ mod tests {
     fn analysis() -> LatencyAnalysis {
         LatencyAnalysis::new(
             vec![
-                TaskTiming { wcet: 10, priority: 0 }, // O
-                TaskTiming { wcet: 20, priority: 2 }, // Q
-                TaskTiming { wcet: 5, priority: 1 },  // X
+                TaskTiming {
+                    wcet: 10,
+                    priority: 0,
+                }, // O
+                TaskTiming {
+                    wcet: 20,
+                    priority: 2,
+                }, // Q
+                TaskTiming {
+                    wcet: 5,
+                    priority: 1,
+                }, // X
             ],
             2,
         )

@@ -45,9 +45,7 @@ impl ModeReport {
 pub fn conditional_followers(d: &DependencyFunction, task: TaskId) -> Vec<TaskId> {
     (0..d.task_count())
         .map(TaskId::from_index)
-        .filter(|&other| {
-            other != task && d.value(task, other) == DependencyValue::MayDetermine
-        })
+        .filter(|&other| other != task && d.value(task, other) == DependencyValue::MayDetermine)
         .collect()
 }
 

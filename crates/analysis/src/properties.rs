@@ -61,10 +61,7 @@ pub fn must_followers(d: &DependencyFunction, t: TaskId) -> Vec<TaskId> {
     while let Some(cur) = stack.pop() {
         for j in 0..n {
             let next = TaskId::from_index(j);
-            if next != cur
-                && !reached[j]
-                && d.value(cur, next).is_must_forward()
-            {
+            if next != cur && !reached[j] && d.value(cur, next).is_must_forward() {
                 reached[j] = true;
                 stack.push(next);
             }
@@ -128,7 +125,11 @@ impl Accuracy {
 /// Panics if the functions have different task counts.
 #[must_use]
 pub fn compare(learned: &DependencyFunction, truth: &DependencyFunction) -> Accuracy {
-    assert_eq!(learned.task_count(), truth.task_count(), "universe mismatch");
+    assert_eq!(
+        learned.task_count(),
+        truth.task_count(),
+        "universe mismatch"
+    );
     let mut acc = Accuracy::default();
     for (t1, t2, v) in learned.ordered_pairs() {
         if t1 == t2 {

@@ -48,16 +48,22 @@ fn timing_filter(c: &mut Criterion) {
     group.bench_function("on", |b| {
         b.iter(|| {
             black_box(
-                learn(black_box(&trace), LearnOptions::bounded(16).with_timing_filter(true))
-                    .unwrap(),
+                learn(
+                    black_box(&trace),
+                    LearnOptions::bounded(16).with_timing_filter(true),
+                )
+                .unwrap(),
             )
         });
     });
     group.bench_function("off", |b| {
         b.iter(|| {
             black_box(
-                learn(black_box(&trace), LearnOptions::bounded(16).with_timing_filter(false))
-                    .unwrap(),
+                learn(
+                    black_box(&trace),
+                    LearnOptions::bounded(16).with_timing_filter(false),
+                )
+                .unwrap(),
             )
         });
     });
@@ -71,16 +77,22 @@ fn history_awareness(c: &mut Criterion) {
     group.bench_function("on", |b| {
         b.iter(|| {
             black_box(
-                learn(black_box(&trace), LearnOptions::bounded(16).with_history_aware(true))
-                    .unwrap(),
+                learn(
+                    black_box(&trace),
+                    LearnOptions::bounded(16).with_history_aware(true),
+                )
+                .unwrap(),
             )
         });
     });
     group.bench_function("off_naive", |b| {
         b.iter(|| {
             black_box(
-                learn(black_box(&trace), LearnOptions::bounded(16).with_history_aware(false))
-                    .unwrap(),
+                learn(
+                    black_box(&trace),
+                    LearnOptions::bounded(16).with_history_aware(false),
+                )
+                .unwrap(),
             )
         });
     });

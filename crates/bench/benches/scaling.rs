@@ -67,5 +67,10 @@ fn scaling_in_tasks(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, scaling_in_messages, scaling_in_bound, scaling_in_tasks);
+criterion_group!(
+    benches,
+    scaling_in_messages,
+    scaling_in_bound,
+    scaling_in_tasks
+);
 criterion_main!(benches);

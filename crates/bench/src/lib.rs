@@ -32,7 +32,9 @@ pub const PAPER_EXACT_RUNTIME_SEC: f64 = 630.997;
 /// Panics if the simulation fails, which the fixed configuration does not.
 #[must_use]
 pub fn case_study_trace() -> Trace {
-    gm::gm_trace(2007).expect("case-study simulation succeeds").trace
+    gm::gm_trace(2007)
+        .expect("case-study simulation succeeds")
+        .trace
 }
 
 /// A workload on which the exact (exponential) algorithm is tractable yet

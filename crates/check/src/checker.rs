@@ -95,9 +95,9 @@ pub fn check_states(d: &DependencyFunction, prop: &Prop) -> StateVerdict {
                 examined,
             };
         }
-        for task in 0..n {
+        for (task, &pred) in preds.iter().enumerate().take(n) {
             let bit = 1u64 << task;
-            if state & bit != 0 || preds[task] & !state != 0 {
+            if state & bit != 0 || pred & !state != 0 {
                 continue;
             }
             let next = state | bit;

@@ -41,7 +41,11 @@ pub struct ParsePropError {
 
 impl fmt::Display for ParsePropError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "property parse error at offset {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "property parse error at offset {}: {}",
+            self.offset, self.message
+        )
     }
 }
 

@@ -8,18 +8,30 @@ bbmg — automatic model generation for black box real-time systems
 
 USAGE:
   bbmg simulate --workload <gm|simple|random:tasks=N[,edges=P]> \\
-                [--periods N] [--seed S] [-o FILE]
+                [--periods N] [--seed S] [--fault-rate R] [--fault-seed S] [-o FILE]
   bbmg stats   <TRACE>
-  bbmg learn   <TRACE> [--bound B | --exact] [--set-limit N] [--table] [--hypotheses]
-  bbmg analyze <TRACE> [--bound B | --exact] [--set-limit N]
-  bbmg dot     <TRACE> [--bound B | --exact] [--set-limit N] [--name NAME]
-  bbmg check   <TRACE> --prop \"Q -> O\" [--bound B | --exact] [--set-limit N]
-  bbmg explain <TRACE> --pair SENDER,RECEIVER [--bound B | --exact] [--set-limit N]
+  bbmg learn   <TRACE> [LEARNER] [--table] [--hypotheses]
+  bbmg analyze <TRACE> [LEARNER]
+  bbmg dot     <TRACE> [LEARNER] [--name NAME]
+  bbmg check   <TRACE> --prop \"Q -> O\" [LEARNER]
+  bbmg explain <TRACE> --pair SENDER,RECEIVER [LEARNER]
   bbmg help
 
-Traces use the line-oriented text format written by `bbmg simulate`
-(see bbmg-trace docs). Learning defaults to the bounded heuristic with
-bound 64; `--exact` runs the exponential algorithm (consider --set-limit).
+LEARNER options (shared by learn/analyze/dot/check/explain):
+  [--bound B | --exact] [--set-limit N] [--on-error <abort|skip|repair>]
+
+Traces use the line-oriented text format written by `bbmg simulate`, or
+the CSV interchange format (header `time,kind,subject,period`) — the
+format is sniffed from the first line. Learning defaults to the bounded
+heuristic with bound 64; `--exact` runs the exponential algorithm
+(consider --set-limit).
+
+Degraded traces: `--fault-rate R` corrupts the simulated trace (dropping
+each droppable event with probability R, deterministic per --fault-seed)
+and emits CSV, since faulty traces may violate the strict format.
+`--on-error skip` quarantines inconsistent periods instead of aborting;
+`--on-error repair` additionally runs the trace sanitizer on the input
+before learning. Both report every skipped period and repair action.
 ";
 
 /// Which workload `bbmg simulate` builds.
@@ -49,8 +61,42 @@ pub struct SimulateOptions {
     pub periods: usize,
     /// Simulation seed.
     pub seed: u64,
+    /// Event-drop probability; nonzero switches the output to CSV.
+    pub fault_rate: f64,
+    /// Seed for the fault injector (independent of the simulation seed).
+    pub fault_seed: u64,
     /// Output path; `None` writes the trace to stdout.
     pub output: Option<String>,
+}
+
+/// What the learner does when the trace fights back (`--on-error`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OnError {
+    /// Stop at the first inconsistent period (the default; right for
+    /// trusted traces where inconsistency means a real bug).
+    #[default]
+    Abort,
+    /// Quarantine and keep going: CSV rows that do not parse and periods
+    /// that are invalid as captured are dropped at load (nothing is
+    /// altered), and periods the learner cannot explain are skipped.
+    Skip,
+    /// Like `Skip`, but run the trace sanitizer first: reorder, dedupe
+    /// and synthesize missing window edges where possible, quarantining
+    /// only what remains invalid.
+    Repair,
+}
+
+impl std::str::FromStr for OnError {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "abort" => Ok(OnError::Abort),
+            "skip" => Ok(OnError::Skip),
+            "repair" => Ok(OnError::Repair),
+            other => Err(format!("expected abort|skip|repair, got `{other}`")),
+        }
+    }
 }
 
 /// How the learner is configured from the command line.
@@ -60,6 +106,8 @@ pub struct LearnerChoice {
     pub bound: Option<usize>,
     /// Resource guard for the exact algorithm.
     pub set_limit: Option<usize>,
+    /// Degradation policy for bad input.
+    pub on_error: OnError,
 }
 
 impl Default for LearnerChoice {
@@ -67,6 +115,7 @@ impl Default for LearnerChoice {
         LearnerChoice {
             bound: Some(64),
             set_limit: None,
+            on_error: OnError::Abort,
         }
     }
 }
@@ -165,6 +214,8 @@ pub enum CliError {
     Io(std::io::Error),
     /// A trace file failed to parse.
     Parse(bbmg_trace::ParseTraceError),
+    /// A CSV trace file failed to parse.
+    Csv(bbmg_trace::ParseCsvError),
     /// The learner failed.
     Learn(bbmg_core::LearnError),
     /// A property failed to parse.
@@ -179,6 +230,7 @@ impl fmt::Display for CliError {
             CliError::Usage(msg) => write!(f, "usage error: {msg}\n\n{USAGE}"),
             CliError::Io(e) => write!(f, "i/o error: {e}"),
             CliError::Parse(e) => write!(f, "trace parse error: {e}"),
+            CliError::Csv(e) => write!(f, "csv trace parse error: {e}"),
             CliError::Learn(e) => write!(f, "learning failed: {e}"),
             CliError::Prop(e) => write!(f, "{e}"),
             CliError::Sim(e) => write!(f, "simulation failed: {e}"),
@@ -196,6 +248,11 @@ impl From<std::io::Error> for CliError {
 impl From<bbmg_trace::ParseTraceError> for CliError {
     fn from(e: bbmg_trace::ParseTraceError) -> Self {
         CliError::Parse(e)
+    }
+}
+impl From<bbmg_trace::ParseCsvError> for CliError {
+    fn from(e: bbmg_trace::ParseCsvError) -> Self {
+        CliError::Csv(e)
     }
 }
 impl From<bbmg_core::LearnError> for CliError {
@@ -241,9 +298,7 @@ where
                 // Flags that take a value grab the next word unless it
                 // looks like another option.
                 let value = match iter.peek() {
-                    Some(next) if !next.starts_with('-') => Some(
-                        iter.next().expect("peeked"),
-                    ),
+                    Some(next) if !next.starts_with('-') => Some(iter.next().expect("peeked")),
                     _ => None,
                 };
                 options.push((rest.to_owned(), value));
@@ -291,7 +346,9 @@ impl Args {
             return Err(usage(format!("unknown option --{key} for `{command}`")));
         }
         if let Some(extra) = self.positional.first() {
-            return Err(usage(format!("unexpected argument `{extra}` for `{command}`")));
+            return Err(usage(format!(
+                "unexpected argument `{extra}` for `{command}`"
+            )));
         }
         Ok(())
     }
@@ -300,12 +357,14 @@ impl Args {
         let exact = self.take_flag("exact")?;
         let bound: Option<usize> = self.take_value("bound")?;
         let set_limit: Option<usize> = self.take_value("set-limit")?;
+        let on_error: Option<OnError> = self.take_value("on-error")?;
         if exact && bound.is_some() {
             return Err(usage("--exact and --bound are mutually exclusive"));
         }
         Ok(LearnerChoice {
             bound: if exact { None } else { bound.or(Some(64)) },
             set_limit,
+            on_error: on_error.unwrap_or_default(),
         })
     }
 
@@ -330,14 +389,15 @@ fn parse_workload(spec: &str) -> Result<Workload, CliError> {
             for part in params.split(',') {
                 match part.split_once('=') {
                     Some(("tasks", v)) => {
-                        tasks = Some(v.parse().map_err(|_| {
-                            usage(format!("bad task count `{v}`"))
-                        })?);
+                        tasks = Some(
+                            v.parse()
+                                .map_err(|_| usage(format!("bad task count `{v}`")))?,
+                        );
                     }
                     Some(("edges", v)) => {
-                        edges = v.parse().map_err(|_| {
-                            usage(format!("bad edge probability `{v}`"))
-                        })?;
+                        edges = v
+                            .parse()
+                            .map_err(|_| usage(format!("bad edge probability `{v}`")))?;
                     }
                     _ => return Err(usage(format!("bad random parameter `{part}`"))),
                 }
@@ -373,12 +433,21 @@ where
             let workload = parse_workload(&workload_spec)?;
             let periods = args.take_value("periods")?.unwrap_or(27);
             let seed = args.take_value("seed")?.unwrap_or(0);
+            let fault_rate: f64 = args.take_value("fault-rate")?.unwrap_or(0.0);
+            if !(0.0..=1.0).contains(&fault_rate) {
+                return Err(usage(format!(
+                    "--fault-rate must be a probability in [0, 1], got {fault_rate}"
+                )));
+            }
+            let fault_seed = args.take_value("fault-seed")?.unwrap_or(seed);
             let output = args.take("output").flatten();
             args.finish("simulate")?;
             Ok(Command::Simulate(SimulateOptions {
                 workload,
                 periods,
                 seed,
+                fault_rate,
+                fault_seed,
                 output,
             }))
         }
@@ -427,7 +496,9 @@ where
                 .take_value("pair")?
                 .ok_or_else(|| usage("explain needs --pair SENDER,RECEIVER"))?;
             let Some((sender, receiver)) = pair.split_once(',') else {
-                return Err(usage(format!("bad --pair `{pair}`; expected SENDER,RECEIVER")));
+                return Err(usage(format!(
+                    "bad --pair `{pair}`; expected SENDER,RECEIVER"
+                )));
             };
             args.finish("explain")?;
             Ok(Command::Explain(ExplainOptions {
@@ -465,8 +536,8 @@ mod tests {
 
     #[test]
     fn simulate_parses_workloads() {
-        let cmd = parse_args(["simulate", "--workload", "gm", "--seed", "7", "-o", "x.txt"])
-            .unwrap();
+        let cmd =
+            parse_args(["simulate", "--workload", "gm", "--seed", "7", "-o", "x.txt"]).unwrap();
         let Command::Simulate(o) = cmd else {
             panic!("wrong command")
         };
@@ -478,8 +549,7 @@ mod tests {
 
     #[test]
     fn random_workload_spec() {
-        let cmd =
-            parse_args(["simulate", "--workload", "random:tasks=9,edges=0.5"]).unwrap();
+        let cmd = parse_args(["simulate", "--workload", "random:tasks=9,edges=0.5"]).unwrap();
         let Command::Simulate(o) = cmd else {
             panic!("wrong command")
         };
@@ -543,10 +613,14 @@ mod tests {
     #[test]
     fn check_and_explain_parse() {
         let cmd = parse_args(["check", "t.txt", "--prop", "Q -> O"]).unwrap();
-        let Command::Check(o) = cmd else { panic!("wrong command") };
+        let Command::Check(o) = cmd else {
+            panic!("wrong command")
+        };
         assert_eq!(o.prop, "Q -> O");
         let cmd = parse_args(["explain", "t.txt", "--pair", "Q,O", "--bound", "8"]).unwrap();
-        let Command::Explain(o) = cmd else { panic!("wrong command") };
+        let Command::Explain(o) = cmd else {
+            panic!("wrong command")
+        };
         assert_eq!((o.sender.as_str(), o.receiver.as_str()), ("Q", "O"));
         assert_eq!(o.learner.bound, Some(8));
         assert!(matches!(
@@ -562,6 +636,64 @@ mod tests {
     #[test]
     fn missing_trace_is_usage_error() {
         assert!(matches!(parse_args(["stats"]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn on_error_policy_parses() {
+        let cmd = parse_args(["learn", "t.txt", "--on-error", "skip"]).unwrap();
+        let Command::Learn(o) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(o.learner.on_error, OnError::Skip);
+        let cmd = parse_args(["analyze", "t.txt", "--on-error=repair"]).unwrap();
+        let Command::Analyze(o) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(o.learner.on_error, OnError::Repair);
+        let cmd = parse_args(["learn", "t.txt"]).unwrap();
+        let Command::Learn(o) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(o.learner.on_error, OnError::Abort);
+        assert!(matches!(
+            parse_args(["learn", "t.txt", "--on-error", "explode"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn simulate_fault_flags() {
+        let cmd = parse_args([
+            "simulate",
+            "--workload",
+            "gm",
+            "--seed",
+            "9",
+            "--fault-rate",
+            "0.05",
+        ])
+        .unwrap();
+        let Command::Simulate(o) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(o.fault_rate, 0.05);
+        assert_eq!(o.fault_seed, 9, "fault seed defaults to the sim seed");
+        let cmd = parse_args([
+            "simulate",
+            "--workload",
+            "gm",
+            "--fault-rate=0.1",
+            "--fault-seed=3",
+        ])
+        .unwrap();
+        let Command::Simulate(o) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(o.fault_seed, 3);
+        assert!(matches!(
+            parse_args(["simulate", "--workload", "gm", "--fault-rate", "1.5"]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

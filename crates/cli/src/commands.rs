@@ -2,35 +2,132 @@
 
 use std::io::Write;
 
-use bbmg_core::{learn, LearnOptions, LearnResult};
-use bbmg_trace::{parse_trace, Trace};
+use bbmg_core::{learn, robust_learn, LearnOptions, LearnResult, OnInconsistent};
+use bbmg_trace::{
+    parse_csv, parse_csv_raw, parse_trace, repair_with, ParseCsvError, RawCsvParse, RepairOptions,
+    Trace,
+};
 
-use crate::args::{CliError, LearnerChoice};
+use crate::args::{CliError, LearnerChoice, OnError};
 
-/// Reads and parses the trace at `path`.
-pub(crate) fn load_trace(path: &str) -> Result<Trace, CliError> {
-    let text = std::fs::read_to_string(path)?;
-    Ok(parse_trace(&text)?)
+/// Header that identifies the CSV interchange format.
+const CSV_HEADER: &str = "time,kind,subject,period";
+
+/// A loaded trace plus any degradation diagnostics worth showing.
+pub(crate) struct LoadedTrace {
+    pub(crate) trace: Trace,
+    /// Human-readable notes about repairs/skips made while loading
+    /// (empty for clean strict loads) — printed so nothing is dropped
+    /// silently.
+    pub(crate) notes: Vec<String>,
 }
 
-/// Runs the learner per the command-line choice.
-pub(crate) fn run_learner(
-    trace: &Trace,
-    choice: LearnerChoice,
-) -> Result<LearnResult, CliError> {
+fn row_error_notes(notes: &mut Vec<String>, errors: &[ParseCsvError], skipped_rows: usize) {
+    if skipped_rows == 0 {
+        return;
+    }
+    notes.push(format!("{skipped_rows} malformed csv row(s) skipped"));
+    for e in errors.iter().take(5) {
+        notes.push(format!("  {e}"));
+    }
+    if skipped_rows > 5 {
+        notes.push(format!("  ... and {} more", skipped_rows - 5));
+    }
+}
+
+/// Reads the trace at `path`, sniffing the format from the first line:
+/// the native text format starts with `# bbmg trace`, the CSV
+/// interchange format with its fixed header.
+///
+/// CSV input degrades with the policy: [`OnError::Abort`] parses
+/// strictly, [`OnError::Skip`] drops malformed rows and quarantines
+/// periods that are not valid exactly as captured (fixing nothing), and
+/// [`OnError::Repair`] runs the full sanitizer — reordering, deduplicating
+/// and synthesizing missing window edges where possible. The native text
+/// format is strict by construction, so the policy only matters past
+/// parsing there.
+pub(crate) fn load_trace(path: &str, on_error: OnError) -> Result<LoadedTrace, CliError> {
+    let text = std::fs::read_to_string(path)?;
+    let first_line = text.lines().next().unwrap_or("").trim();
+    let mut notes = Vec::new();
+    let trace = if first_line == CSV_HEADER {
+        match on_error {
+            OnError::Abort => parse_csv(&text)?,
+            OnError::Skip | OnError::Repair => {
+                let RawCsvParse {
+                    raw,
+                    errors,
+                    skipped_rows,
+                } = parse_csv_raw(&text)?;
+                row_error_notes(&mut notes, &errors, skipped_rows);
+                let options = match on_error {
+                    // Quarantine-only: a period is either valid as
+                    // captured or dropped whole.
+                    OnError::Skip => RepairOptions {
+                        max_actions_per_period: Some(0),
+                    },
+                    _ => RepairOptions::default(),
+                };
+                let outcome = repair_with(&raw, &options);
+                if !outcome.report.is_clean() {
+                    notes.push(outcome.report.to_string());
+                }
+                outcome.trace
+            }
+        }
+    } else {
+        // Default to the native text parser; its errors mention the
+        // expected magic line, which covers unrecognized inputs too.
+        parse_trace(&text)?
+    };
+    Ok(LoadedTrace { trace, notes })
+}
+
+/// Runs the learner per the command-line choice: the plain learner for
+/// [`OnError::Abort`], the robust (quarantining) learner otherwise.
+pub(crate) fn run_learner(trace: &Trace, choice: LearnerChoice) -> Result<LearnResult, CliError> {
     let mut options = match choice.bound {
-        Some(bound) => LearnOptions::bounded(bound),
+        Some(bound) => LearnOptions::try_bounded(bound)
+            .ok_or_else(|| CliError::Usage("--bound must be at least 1".into()))?,
         None => LearnOptions::exact(),
     };
     if let Some(limit) = choice.set_limit {
-        options = options.with_set_limit(limit);
+        options = options
+            .try_with_set_limit(limit)
+            .ok_or_else(|| CliError::Usage("--set-limit must be at least 1".into()))?;
     }
-    Ok(learn(trace, options)?)
+    match choice.on_error {
+        OnError::Abort => Ok(learn(trace, options)?),
+        OnError::Skip | OnError::Repair => Ok(robust_learn(
+            trace,
+            options.with_on_inconsistent(OnInconsistent::SkipPeriod),
+        )?),
+    }
+}
+
+/// Prints the degradation diagnostics collected while loading and
+/// learning (skipped periods, repairs) — every dropped observation is
+/// surfaced.
+pub(crate) fn report_degradation(
+    out: &mut dyn Write,
+    loaded: &LoadedTrace,
+    result: &LearnResult,
+) -> Result<(), CliError> {
+    for note in &loaded.notes {
+        writeln!(out, "note: {note}")?;
+    }
+    for skip in &result.stats().skipped_periods {
+        writeln!(out, "note: {skip}")?;
+    }
+    if result.stats().fallbacks > 0 {
+        writeln!(out, "note: fell back to the bounded heuristic")?;
+    }
+    Ok(())
 }
 
 pub(crate) mod simulate {
-    use bbmg_sim::{SimConfig, Simulator};
-    use bbmg_trace::write_trace;
+    use bbmg_sim::{inject_faults, FaultConfig, SimConfig, Simulator};
+    use bbmg_trace::{write_csv_raw, write_trace};
     use bbmg_workloads::{gm, random, simple};
 
     use super::{CliError, Write};
@@ -61,11 +158,19 @@ pub(crate) mod simulate {
                 Simulator::new(&model, config).run()?.trace
             }
         };
-        let text = write_trace(&trace);
+        // Faulty traces can violate the strict text format (unmatched
+        // windows), so fault injection switches the output to CSV.
+        let (text, summary) = if options.fault_rate > 0.0 {
+            let faults = FaultConfig::event_drop(options.fault_rate, options.fault_seed);
+            let (raw, log) = inject_faults(&trace, &faults);
+            (write_csv_raw(&raw), format!("{}; {log}", trace.stats()))
+        } else {
+            (write_trace(&trace), trace.stats().to_string())
+        };
         match &options.output {
             Some(path) => {
                 std::fs::write(path, text)?;
-                writeln!(out, "wrote {} ({})", path, trace.stats())?;
+                writeln!(out, "wrote {path} ({summary})")?;
             }
             None => out.write_all(text.as_bytes())?,
         }
@@ -75,10 +180,10 @@ pub(crate) mod simulate {
 
 pub(crate) mod stats {
     use super::{load_trace, CliError, Write};
-    use crate::args::StatsOptions;
+    use crate::args::{OnError, StatsOptions};
 
     pub(crate) fn run(options: &StatsOptions, out: &mut dyn Write) -> Result<(), CliError> {
-        let trace = load_trace(&options.trace)?;
+        let trace = load_trace(&options.trace, OnError::Abort)?.trace;
         let stats = trace.stats();
         writeln!(out, "{stats}")?;
         writeln!(out, "tasks:")?;
@@ -99,12 +204,14 @@ pub(crate) mod stats {
 }
 
 pub(crate) mod learn {
-    use super::{load_trace, run_learner, CliError, Write};
+    use super::{load_trace, report_degradation, run_learner, CliError, Write};
     use crate::args::LearnCmdOptions;
 
     pub(crate) fn run(options: &LearnCmdOptions, out: &mut dyn Write) -> Result<(), CliError> {
-        let trace = load_trace(&options.trace)?;
-        let result = run_learner(&trace, options.learner)?;
+        let loaded = load_trace(&options.trace, options.learner.on_error)?;
+        let trace = &loaded.trace;
+        let result = run_learner(trace, options.learner)?;
+        report_degradation(out, &loaded, &result)?;
         writeln!(
             out,
             "{} most-specific hypothesis(es); converged: {}; {}",
@@ -131,12 +238,14 @@ pub(crate) mod analyze {
     use bbmg_analysis::{modes, properties, reachability};
     use bbmg_lattice::TaskId;
 
-    use super::{load_trace, run_learner, CliError, Write};
+    use super::{load_trace, report_degradation, run_learner, CliError, Write};
     use crate::args::AnalyzeOptions;
 
     pub(crate) fn run(options: &AnalyzeOptions, out: &mut dyn Write) -> Result<(), CliError> {
-        let trace = load_trace(&options.trace)?;
-        let result = run_learner(&trace, options.learner)?;
+        let loaded = load_trace(&options.trace, options.learner.on_error)?;
+        let trace = &loaded.trace;
+        let result = run_learner(trace, options.learner)?;
+        report_degradation(out, &loaded, &result)?;
         let d = result.lub().expect("nonempty");
         let universe = trace.universe();
 
@@ -167,14 +276,13 @@ pub(crate) mod analyze {
         }
 
         writeln!(out, "operation modes (per disjunction node):")?;
-        for report in modes::all_mode_reports(&trace, &d) {
+        for report in modes::all_mode_reports(trace, &d) {
             let chooser = universe.name(report.chooser);
             let rendered: Vec<String> = report
                 .modes
                 .iter()
                 .map(|mode| {
-                    let names: Vec<&str> =
-                        mode.iter().map(|t| universe.name(t)).collect();
+                    let names: Vec<&str> = mode.iter().map(|t| universe.name(t)).collect();
                     format!("{{{}}}", names.join(","))
                 })
                 .collect();
@@ -183,7 +291,11 @@ pub(crate) mod analyze {
                 "  {chooser}: {} ({} observations{})",
                 rendered.join(" "),
                 report.observations,
-                if report.saturated() { ", saturated" } else { "" }
+                if report.saturated() {
+                    ", saturated"
+                } else {
+                    ""
+                }
             )?;
         }
 
@@ -206,8 +318,10 @@ pub(crate) mod dot {
     use crate::args::DotOptions;
 
     pub(crate) fn run(options: &DotOptions, out: &mut dyn Write) -> Result<(), CliError> {
-        let trace = load_trace(&options.trace)?;
-        let result = run_learner(&trace, options.learner)?;
+        // No degradation notes here: the output must stay valid DOT.
+        let loaded = load_trace(&options.trace, options.learner.on_error)?;
+        let trace = &loaded.trace;
+        let result = run_learner(trace, options.learner)?;
         let d = result.lub().expect("nonempty");
         let rendered = depgraph::to_dot(&d, trace.universe(), &options.name);
         out.write_all(rendered.as_bytes())?;
@@ -219,13 +333,15 @@ pub(crate) mod check {
     use bbmg_check::{check_states, Prop};
     use bbmg_lattice::DependencyFunction;
 
-    use super::{load_trace, run_learner, CliError, Write};
+    use super::{load_trace, report_degradation, run_learner, CliError, Write};
     use crate::args::CheckOptions;
 
     pub(crate) fn run(options: &CheckOptions, out: &mut dyn Write) -> Result<(), CliError> {
-        let trace = load_trace(&options.trace)?;
+        let loaded = load_trace(&options.trace, options.learner.on_error)?;
+        let trace = &loaded.trace;
         let prop = Prop::parse(&options.prop, trace.universe())?;
-        let result = run_learner(&trace, options.learner)?;
+        let result = run_learner(trace, options.learner)?;
+        report_degradation(out, &loaded, &result)?;
         let d = result.lub().expect("nonempty");
 
         let blind = check_states(&DependencyFunction::bottom(trace.task_count()), &prop);
@@ -255,20 +371,22 @@ pub(crate) mod check {
 pub(crate) mod explain {
     use bbmg_core::explain_pair;
 
-    use super::{load_trace, run_learner, CliError, Write};
+    use super::{load_trace, report_degradation, run_learner, CliError, Write};
     use crate::args::ExplainOptions;
 
     pub(crate) fn run(options: &ExplainOptions, out: &mut dyn Write) -> Result<(), CliError> {
-        let trace = load_trace(&options.trace)?;
+        let loaded = load_trace(&options.trace, options.learner.on_error)?;
+        let trace = &loaded.trace;
         let universe = trace.universe();
         let lookup = |name: &str| {
-            universe.lookup(name).ok_or_else(|| {
-                CliError::Usage(format!("unknown task `{name}` in --pair"))
-            })
+            universe
+                .lookup(name)
+                .ok_or_else(|| CliError::Usage(format!("unknown task `{name}` in --pair")))
         };
         let sender = lookup(&options.sender)?;
         let receiver = lookup(&options.receiver)?;
-        let result = run_learner(&trace, options.learner)?;
+        let result = run_learner(trace, options.learner)?;
+        report_degradation(out, &loaded, &result)?;
         let d = result.lub().expect("nonempty");
         writeln!(
             out,
@@ -280,7 +398,7 @@ pub(crate) mod explain {
             options.sender,
             d.value(receiver, sender),
         )?;
-        let (forced, supporting) = explain_pair(&d, &trace, sender, receiver);
+        let (forced, supporting) = explain_pair(&d, trace, sender, receiver);
         writeln!(
             out,
             "evidence for {} -> {}: {} forced attribution(s), {} supporting",
@@ -321,13 +439,7 @@ mod tests {
         let trace_path = dir.join("simple.txt");
         let trace_str = trace_path.to_str().unwrap();
 
-        let text = run_to_string(&[
-            "simulate",
-            "--workload",
-            "simple",
-            "-o",
-            trace_str,
-        ]);
+        let text = run_to_string(&["simulate", "--workload", "simple", "-o", trace_str]);
         assert!(text.contains("wrote"));
 
         let stats = run_to_string(&["stats", trace_str]);
@@ -355,15 +467,11 @@ mod tests {
         let trace_str = trace_path.to_str().unwrap();
         let _ = run_to_string(&["simulate", "--workload", "simple", "-o", trace_str]);
 
-        let checked = run_to_string(&[
-            "check", trace_str, "--exact", "--prop", "t4 -> t1",
-        ]);
+        let checked = run_to_string(&["check", trace_str, "--exact", "--prop", "t4 -> t1"]);
         assert!(checked.contains("without a model: VIOLATED"));
         assert!(checked.contains("with the learned model: holds"));
 
-        let explained = run_to_string(&[
-            "explain", trace_str, "--exact", "--pair", "t1,t4",
-        ]);
+        let explained = run_to_string(&["explain", trace_str, "--exact", "--pair", "t1,t4"]);
         assert!(explained.contains("learned d(t1, t4) = ->"));
         assert!(explained.contains("evidence for t1 -> t4"));
     }
@@ -389,5 +497,92 @@ mod tests {
         let mut out = Vec::new();
         let err = execute(&command, &mut out).unwrap_err();
         assert!(matches!(err, crate::CliError::Io(_)));
+    }
+
+    fn run_expect_err(argv: &[&str]) -> crate::CliError {
+        let command = parse_args(argv.iter().copied()).unwrap();
+        let mut out = Vec::new();
+        execute(&command, &mut out).unwrap_err()
+    }
+
+    #[test]
+    fn degraded_gm_trace_needs_skip_or_repair() {
+        let dir = std::env::temp_dir().join("bbmg_cli_faults");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("gm_faulty.csv");
+        let trace_str = trace_path.to_str().unwrap();
+
+        // A 5% event-drop GM trace, written as CSV.
+        let text = run_to_string(&[
+            "simulate",
+            "--workload",
+            "gm",
+            "--periods",
+            "27",
+            "--seed",
+            "1",
+            "--fault-rate",
+            "0.05",
+            "-o",
+            trace_str,
+        ]);
+        assert!(text.contains("dropped"), "fault summary reported: {text}");
+        let written = std::fs::read_to_string(trace_str).unwrap();
+        assert!(written.starts_with("time,kind,subject,period"));
+
+        // Strict mode chokes on the unbalanced windows...
+        let err = run_expect_err(&["learn", trace_str]);
+        assert!(matches!(err, crate::CliError::Csv(_)), "got {err}");
+
+        // ...skip quarantines the broken periods and completes...
+        let skipped = run_to_string(&["learn", trace_str, "--on-error", "skip"]);
+        assert!(skipped.contains("quarantined"), "skip notes: {skipped}");
+        assert!(skipped.contains("most-specific hypothesis(es)"));
+
+        // ...and repair keeps strictly more of the trace.
+        let repaired = run_to_string(&["learn", trace_str, "--on-error", "repair"]);
+        assert!(repaired.contains("most-specific hypothesis(es)"));
+        let kept = |s: &str| {
+            s.lines()
+                .find_map(|l| {
+                    let rest = l.strip_prefix("note: kept ")?;
+                    rest.split('/').next()?.parse::<usize>().ok()
+                })
+                .unwrap_or(27)
+        };
+        assert!(
+            kept(&repaired) >= kept(&skipped),
+            "repair keeps at least as many periods: {repaired} vs {skipped}"
+        );
+    }
+
+    #[test]
+    fn clean_csv_round_trips_through_all_policies() {
+        let dir = std::env::temp_dir().join("bbmg_cli_csv_clean");
+        std::fs::create_dir_all(&dir).unwrap();
+        let text_path = dir.join("simple.txt");
+        let csv_path = dir.join("simple.csv");
+        let _ = run_to_string(&[
+            "simulate",
+            "--workload",
+            "simple",
+            "-o",
+            text_path.to_str().unwrap(),
+        ]);
+        let trace = bbmg_trace::parse_trace(&std::fs::read_to_string(&text_path).unwrap()).unwrap();
+        std::fs::write(&csv_path, bbmg_trace::write_csv(&trace)).unwrap();
+
+        let csv_str = csv_path.to_str().unwrap();
+        for policy in ["abort", "skip", "repair"] {
+            let out = run_to_string(&["learn", csv_str, "--exact", "--on-error", policy]);
+            assert!(
+                out.contains("5 most-specific hypothesis(es)"),
+                "policy {policy} on clean csv: {out}"
+            );
+            assert!(!out.contains("note:"), "no degradation notes: {out}");
+        }
+        // Stats sniffs the CSV format too.
+        let stats = run_to_string(&["stats", csv_str]);
+        assert!(stats.contains("3 periods"));
     }
 }

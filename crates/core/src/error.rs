@@ -34,6 +34,16 @@ pub enum LearnError {
         /// Task count of the offending period.
         actual: usize,
     },
+    /// The configured [`crate::Budget`] was exhausted before this period
+    /// could be processed. Unlike the other errors this leaves the
+    /// hypothesis set intact: the learner's partial result is still valid
+    /// for everything observed so far.
+    BudgetExhausted {
+        /// Zero-based index of the period that was *not* processed.
+        period: usize,
+        /// Generation steps consumed when the budget tripped.
+        steps: usize,
+    },
 }
 
 impl fmt::Display for LearnError {
@@ -59,6 +69,11 @@ impl fmt::Display for LearnError {
             LearnError::UniverseMismatch { expected, actual } => write!(
                 f,
                 "period has {actual} tasks but learner was built for {expected}"
+            ),
+            LearnError::BudgetExhausted { period, steps } => write!(
+                f,
+                "learning budget exhausted before period {period} (after {steps} steps): \
+                 partial result retained"
             ),
         }
     }

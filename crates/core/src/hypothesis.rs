@@ -125,7 +125,10 @@ impl Hypothesis {
     pub fn merge(&self, other: &Hypothesis, union: bool) -> Hypothesis {
         let function = self.function.join(&other.function);
         let assumptions = if union {
-            self.assumptions.union(&other.assumptions).copied().collect()
+            self.assumptions
+                .union(&other.assumptions)
+                .copied()
+                .collect()
         } else {
             self.assumptions
                 .intersection(&other.assumptions)

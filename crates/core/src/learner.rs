@@ -34,6 +34,8 @@ pub struct Learner {
     hypotheses: Vec<Hypothesis>,
     history: ExecutionHistory,
     stats: LearnStats,
+    /// Creation time, the reference point for the wall-clock budget.
+    started: std::time::Instant,
 }
 
 impl Learner {
@@ -46,6 +48,7 @@ impl Learner {
             hypotheses: vec![Hypothesis::bottom(tasks)],
             history: ExecutionHistory::new(tasks),
             stats: LearnStats::default(),
+            started: std::time::Instant::now(),
         }
     }
 
@@ -87,13 +90,40 @@ impl Learner {
         &self.stats
     }
 
+    /// Mutable statistics access for the robust wrapper (recording skips
+    /// and fallbacks without re-deriving counters).
+    pub(crate) fn stats_mut(&mut self) -> &mut LearnStats {
+        &mut self.stats
+    }
+
+    /// Checks the step/wall-clock budget. `Err` leaves all state intact.
+    fn check_budget(&self, period: usize) -> Result<(), LearnError> {
+        let budget = &self.options.budget;
+        let tripped = budget
+            .max_steps
+            .is_some_and(|limit| self.stats.hypotheses_generated >= limit.get())
+            || budget
+                .max_wall_clock
+                .is_some_and(|limit| self.started.elapsed() >= limit);
+        if tripped {
+            return Err(LearnError::BudgetExhausted {
+                period,
+                steps: self.stats.hypotheses_generated,
+            });
+        }
+        Ok(())
+    }
+
     /// Processes one period.
     ///
     /// # Errors
     ///
     /// [`LearnError::UniverseMismatch`] if the period was built over a
     /// different task count; [`LearnError::Inconsistent`] if the hypothesis
-    /// set becomes empty (trace errors or inexpressible behaviour, §3.1).
+    /// set becomes empty (trace errors or inexpressible behaviour, §3.1);
+    /// [`LearnError::BudgetExhausted`] if the configured
+    /// [`crate::Budget`] ran out — checked *before* the period is touched,
+    /// so the learner's state stays valid for everything observed so far.
     /// After an `Inconsistent` error the learner is empty and further
     /// observations keep failing.
     pub fn observe(&mut self, period: &Period) -> Result<(), LearnError> {
@@ -103,6 +133,7 @@ impl Learner {
                 actual: period.universe(),
             });
         }
+        self.check_budget(period.index())?;
         if self.hypotheses.is_empty() {
             return Err(LearnError::Inconsistent {
                 period: period.index(),
@@ -264,9 +295,7 @@ impl Learner {
             .enumerate()
             .map(|(i, h)| {
                 !unique.iter().enumerate().any(|(j, other)| {
-                    j != i
-                        && other.function().leq(h.function())
-                        && other.function() != h.function()
+                    j != i && other.function().leq(h.function()) && other.function() != h.function()
                 })
             })
             .collect();
@@ -390,9 +419,11 @@ mod tests {
         b.begin_period();
         b.task(t(0), Timestamp::new(0), Timestamp::new(10)).unwrap();
         b.message(Timestamp::new(12), Timestamp::new(14)).unwrap();
-        b.task(t(1), Timestamp::new(20), Timestamp::new(30)).unwrap();
+        b.task(t(1), Timestamp::new(20), Timestamp::new(30))
+            .unwrap();
         b.message(Timestamp::new(32), Timestamp::new(34)).unwrap();
-        b.task(t(3), Timestamp::new(40), Timestamp::new(50)).unwrap();
+        b.task(t(3), Timestamp::new(40), Timestamp::new(50))
+            .unwrap();
         b.end_period().unwrap();
         b.finish()
     }
@@ -405,8 +436,10 @@ mod tests {
         b.begin_period();
         b.task(t(0), Timestamp::new(0), Timestamp::new(10)).unwrap();
         b.message(Timestamp::new(12), Timestamp::new(14)).unwrap();
-        b.task(t(1), Timestamp::new(20), Timestamp::new(30)).unwrap();
-        b.task(t(3), Timestamp::new(40), Timestamp::new(50)).unwrap();
+        b.task(t(1), Timestamp::new(20), Timestamp::new(30))
+            .unwrap();
+        b.task(t(3), Timestamp::new(40), Timestamp::new(50))
+            .unwrap();
         b.end_period().unwrap();
         let trace = b.finish();
 
@@ -525,11 +558,7 @@ mod tests {
     fn timing_filter_off_is_more_general() {
         let trace = figure_2_period_1();
         let with = learn(&trace, LearnOptions::exact()).unwrap();
-        let without = learn(
-            &trace,
-            LearnOptions::exact().with_timing_filter(false),
-        )
-        .unwrap();
+        let without = learn(&trace, LearnOptions::exact().with_timing_filter(false)).unwrap();
         // Every timing-filtered hypothesis is dominated by (or equal to)
         // some unfiltered hypothesis: the unfiltered set explores a
         // superset of assignments.
@@ -565,8 +594,10 @@ mod tests {
         b.task(t(0), Timestamp::new(0), Timestamp::new(10)).unwrap();
         b.message(Timestamp::new(12), Timestamp::new(14)).unwrap();
         b.message(Timestamp::new(15), Timestamp::new(17)).unwrap();
-        b.task(t(1), Timestamp::new(20), Timestamp::new(30)).unwrap();
-        b.task(t(3), Timestamp::new(40), Timestamp::new(50)).unwrap();
+        b.task(t(1), Timestamp::new(20), Timestamp::new(30))
+            .unwrap();
+        b.task(t(3), Timestamp::new(40), Timestamp::new(50))
+            .unwrap();
         b.end_period().unwrap();
         let negative = b.finish();
 
@@ -575,8 +606,7 @@ mod tests {
         assert_eq!(learner.len(), 2);
         // No survivor holds both t1->t2 and t1->t4.
         for d in learner.hypotheses() {
-            let both = d.value(t(0), t(1)) == V::Determines
-                && d.value(t(0), t(3)) == V::Determines;
+            let both = d.value(t(0), t(1)) == V::Determines && d.value(t(0), t(3)) == V::Determines;
             assert!(!both, "d21 should have been eliminated");
         }
     }
@@ -616,9 +646,11 @@ mod tests {
         b.task(t(0), Timestamp::new(0), Timestamp::new(10)).unwrap();
         b.end_period().unwrap();
         b.begin_period();
-        b.task(t(0), Timestamp::new(100), Timestamp::new(110)).unwrap();
+        b.task(t(0), Timestamp::new(100), Timestamp::new(110))
+            .unwrap();
         b.message(Timestamp::new(112), Timestamp::new(114)).unwrap();
-        b.task(t(2), Timestamp::new(120), Timestamp::new(130)).unwrap();
+        b.task(t(2), Timestamp::new(120), Timestamp::new(130))
+            .unwrap();
         b.end_period().unwrap();
         let trace = b.finish();
 
@@ -628,11 +660,7 @@ mod tests {
             assert_eq!(d.value(t(0), t(2)), V::MayDetermine);
         }
 
-        let naive = learn(
-            &trace,
-            LearnOptions::exact().with_history_aware(false),
-        )
-        .unwrap();
+        let naive = learn(&trace, LearnOptions::exact().with_history_aware(false)).unwrap();
         assert!(
             naive
                 .hypotheses()

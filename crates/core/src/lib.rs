@@ -55,6 +55,7 @@ mod hypothesis;
 mod learner;
 mod matching;
 mod options;
+mod robust;
 mod stats;
 mod witness;
 
@@ -65,6 +66,7 @@ pub use matching::{
     execution_consistent, matches_period, matches_period_relaxed, matches_trace,
     matches_trace_relaxed,
 };
-pub use options::{LearnOptions, MergeAssumptions};
-pub use stats::LearnStats;
+pub use options::{Budget, LearnOptions, MergeAssumptions, OnInconsistent};
+pub use robust::{robust_learn, Observed, RobustLearner, DEFAULT_FALLBACK_BOUND};
+pub use stats::{LearnStats, SkipCause, SkippedPeriod};
 pub use witness::{explain_pair, explain_period, Attribution};

@@ -28,9 +28,7 @@ pub fn execution_consistent(d: &DependencyFunction, period: &Period) -> bool {
             }
             if matches!(
                 d.value(t1, t2),
-                DependencyValue::Determines
-                    | DependencyValue::DependsOn
-                    | DependencyValue::Mutual
+                DependencyValue::Determines | DependencyValue::DependsOn | DependencyValue::Mutual
             ) {
                 return false;
             }
@@ -54,8 +52,7 @@ fn messages_explainable(d: &DependencyFunction, period: &Period) -> bool {
                 .candidate_pairs(m)
                 .into_iter()
                 .filter(|&(s, r)| {
-                    d.value(s, r).admits_forward()
-                        && DependencyValue::DependsOn.leq(d.value(r, s))
+                    d.value(s, r).admits_forward() && DependencyValue::DependsOn.leq(d.value(r, s))
                 })
                 .collect()
         })
@@ -106,8 +103,7 @@ pub fn matches_period_relaxed(d: &DependencyFunction, period: &Period) -> bool {
     execution_consistent(d, period)
         && period.messages().iter().all(|m| {
             period.candidate_pairs(m).into_iter().any(|(s, r)| {
-                d.value(s, r).admits_forward()
-                    && DependencyValue::DependsOn.leq(d.value(r, s))
+                d.value(s, r).admits_forward() && DependencyValue::DependsOn.leq(d.value(r, s))
             })
         })
 }
@@ -140,9 +136,15 @@ mod tests {
         let _c = u.intern("c");
         let mut builder = TraceBuilder::new(u);
         builder.begin_period();
-        builder.task(a, Timestamp::new(0), Timestamp::new(10)).unwrap();
-        builder.message(Timestamp::new(12), Timestamp::new(14)).unwrap();
-        builder.task(b, Timestamp::new(20), Timestamp::new(30)).unwrap();
+        builder
+            .task(a, Timestamp::new(0), Timestamp::new(10))
+            .unwrap();
+        builder
+            .message(Timestamp::new(12), Timestamp::new(14))
+            .unwrap();
+        builder
+            .task(b, Timestamp::new(20), Timestamp::new(30))
+            .unwrap();
         builder.end_period().unwrap();
         builder.finish()
     }
@@ -209,10 +211,18 @@ mod tests {
         let b = u.intern("b");
         let mut builder = TraceBuilder::new(u);
         builder.begin_period();
-        builder.task(a, Timestamp::new(0), Timestamp::new(10)).unwrap();
-        builder.message(Timestamp::new(12), Timestamp::new(14)).unwrap();
-        builder.message(Timestamp::new(15), Timestamp::new(17)).unwrap();
-        builder.task(b, Timestamp::new(20), Timestamp::new(30)).unwrap();
+        builder
+            .task(a, Timestamp::new(0), Timestamp::new(10))
+            .unwrap();
+        builder
+            .message(Timestamp::new(12), Timestamp::new(14))
+            .unwrap();
+        builder
+            .message(Timestamp::new(15), Timestamp::new(17))
+            .unwrap();
+        builder
+            .task(b, Timestamp::new(20), Timestamp::new(30))
+            .unwrap();
         builder.end_period().unwrap();
         let trace = builder.finish();
         let d = DependencyFunction::top(2);
@@ -228,10 +238,18 @@ mod tests {
         let b = u.intern("b");
         let mut builder = TraceBuilder::new(u);
         builder.begin_period();
-        builder.task(a, Timestamp::new(0), Timestamp::new(10)).unwrap();
-        builder.message(Timestamp::new(12), Timestamp::new(14)).unwrap();
-        builder.message(Timestamp::new(15), Timestamp::new(17)).unwrap();
-        builder.task(b, Timestamp::new(20), Timestamp::new(30)).unwrap();
+        builder
+            .task(a, Timestamp::new(0), Timestamp::new(10))
+            .unwrap();
+        builder
+            .message(Timestamp::new(12), Timestamp::new(14))
+            .unwrap();
+        builder
+            .message(Timestamp::new(15), Timestamp::new(17))
+            .unwrap();
+        builder
+            .task(b, Timestamp::new(20), Timestamp::new(30))
+            .unwrap();
         builder.end_period().unwrap();
         let trace = builder.finish();
         let mut d = DependencyFunction::bottom(2);

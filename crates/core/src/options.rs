@@ -1,6 +1,69 @@
 //! Learner configuration.
 
 use std::num::NonZeroUsize;
+use std::time::Duration;
+
+/// What [`crate::RobustLearner`] does when a period makes the hypothesis
+/// set inconsistent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OnInconsistent {
+    /// Propagate [`crate::LearnError::Inconsistent`] and stop — the plain
+    /// learner's behaviour, and the right call when the trace is trusted
+    /// (a clean simulation) and inconsistency means a real bug.
+    #[default]
+    Abort,
+    /// Quarantine the period: roll the learner back to its state before
+    /// the period and continue with the next one. Sound for the learned
+    /// model — dropping observations can only leave the result *less*
+    /// constrained, never wrong — and recorded per period in
+    /// [`crate::LearnStats::skipped_periods`].
+    SkipPeriod,
+}
+
+/// Resource budget for a learner run, checked before each period.
+///
+/// Either limit being reached surfaces as
+/// [`crate::LearnError::BudgetExhausted`], which (unlike the other learner
+/// errors) leaves the hypothesis set intact: the partial result is usable,
+/// and [`crate::RobustLearner`] responds by falling back to the bounded
+/// heuristic or stopping early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Budget {
+    /// Maximum number of generation steps (hypotheses generated across all
+    /// message branchings, [`crate::LearnStats::hypotheses_generated`]).
+    pub max_steps: Option<NonZeroUsize>,
+    /// Maximum wall-clock time since the learner was created.
+    pub max_wall_clock: Option<Duration>,
+}
+
+impl Budget {
+    /// No limits (the default).
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// `true` when neither limit is set.
+    #[must_use]
+    pub fn is_unlimited(&self) -> bool {
+        self.max_steps.is_none() && self.max_wall_clock.is_none()
+    }
+
+    /// Returns `self` with a step limit (`None` removes it; zero is
+    /// rejected as `None` would be ambiguous, use `max_steps` directly).
+    #[must_use]
+    pub fn with_max_steps(mut self, steps: usize) -> Self {
+        self.max_steps = NonZeroUsize::new(steps);
+        self
+    }
+
+    /// Returns `self` with a wall-clock limit.
+    #[must_use]
+    pub fn with_max_wall_clock(mut self, limit: Duration) -> Self {
+        self.max_wall_clock = Some(limit);
+        self
+    }
+}
 
 /// How merged hypotheses combine their per-period assumption sets.
 ///
@@ -56,6 +119,12 @@ pub struct LearnOptions {
     /// unbounded time and memory (the problem is NP-hard, paper
     /// Theorem 1). Ignored in bounded mode, where the bound caps the set.
     pub set_limit: Option<NonZeroUsize>,
+    /// Degradation policy when a period is inconsistent (honoured by
+    /// [`crate::RobustLearner`]; the plain [`crate::Learner`] always
+    /// aborts).
+    pub on_inconsistent: OnInconsistent,
+    /// Step/wall-clock budget, checked before each period.
+    pub budget: Budget,
 }
 
 impl Default for LearnOptions {
@@ -67,6 +136,8 @@ impl Default for LearnOptions {
             timing_filter: true,
             history_aware: true,
             set_limit: None,
+            on_inconsistent: OnInconsistent::default(),
+            budget: Budget::default(),
         }
     }
 }
@@ -82,13 +153,22 @@ impl LearnOptions {
     ///
     /// # Panics
     ///
-    /// Panics if `b == 0`.
+    /// Panics if `b == 0`. Config-driven callers (CLI flags, files) should
+    /// prefer [`try_bounded`](Self::try_bounded).
     #[must_use]
     pub fn bounded(b: usize) -> Self {
-        LearnOptions {
-            bound: Some(NonZeroUsize::new(b).expect("bound must be nonzero")),
+        Self::try_bounded(b).expect("bound must be nonzero")
+    }
+
+    /// Non-panicking [`bounded`](Self::bounded): `None` if `b == 0` (zero
+    /// hypotheses cannot represent anything, so there is no meaningful
+    /// fallback value).
+    #[must_use]
+    pub fn try_bounded(b: usize) -> Option<Self> {
+        Some(LearnOptions {
+            bound: Some(NonZeroUsize::new(b)?),
             ..Self::default()
-        }
+        })
     }
 
     /// Returns `self` with the given assumption-merge policy.
@@ -119,10 +199,34 @@ impl LearnOptions {
     ///
     /// # Panics
     ///
-    /// Panics if `limit == 0`.
+    /// Panics if `limit == 0`. Config-driven callers should prefer
+    /// [`try_with_set_limit`](Self::try_with_set_limit).
     #[must_use]
-    pub fn with_set_limit(mut self, limit: usize) -> Self {
-        self.set_limit = Some(NonZeroUsize::new(limit).expect("limit must be nonzero"));
+    pub fn with_set_limit(self, limit: usize) -> Self {
+        self.try_with_set_limit(limit)
+            .expect("limit must be nonzero")
+    }
+
+    /// Non-panicking [`with_set_limit`](Self::with_set_limit): `None` if
+    /// `limit == 0` (a zero-size working set can never hold a hypothesis).
+    #[must_use]
+    pub fn try_with_set_limit(mut self, limit: usize) -> Option<Self> {
+        self.set_limit = Some(NonZeroUsize::new(limit)?);
+        Some(self)
+    }
+
+    /// Returns `self` with the given inconsistency policy (see
+    /// [`OnInconsistent`]).
+    #[must_use]
+    pub fn with_on_inconsistent(mut self, policy: OnInconsistent) -> Self {
+        self.on_inconsistent = policy;
+        self
+    }
+
+    /// Returns `self` with the given resource [`Budget`].
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
         self
     }
 }
@@ -167,5 +271,28 @@ mod set_limit_tests {
         let o = LearnOptions::exact().with_set_limit(1000);
         assert_eq!(o.set_limit.unwrap().get(), 1000);
         assert_eq!(LearnOptions::exact().set_limit, None);
+    }
+
+    #[test]
+    fn try_constructors_reject_zero_without_panicking() {
+        assert_eq!(LearnOptions::try_bounded(0), None);
+        assert_eq!(LearnOptions::exact().try_with_set_limit(0), None);
+        let o = LearnOptions::try_bounded(8).unwrap();
+        assert_eq!(o.bound.unwrap().get(), 8);
+        let o = LearnOptions::exact().try_with_set_limit(9).unwrap();
+        assert_eq!(o.set_limit.unwrap().get(), 9);
+    }
+
+    #[test]
+    fn degradation_options_default_off() {
+        let o = LearnOptions::default();
+        assert_eq!(o.on_inconsistent, OnInconsistent::Abort);
+        assert!(o.budget.is_unlimited());
+        let o = o
+            .with_on_inconsistent(OnInconsistent::SkipPeriod)
+            .with_budget(Budget::unlimited().with_max_steps(100));
+        assert_eq!(o.on_inconsistent, OnInconsistent::SkipPeriod);
+        assert_eq!(o.budget.max_steps.unwrap().get(), 100);
+        assert_eq!(Budget::unlimited().with_max_steps(0).max_steps, None);
     }
 }

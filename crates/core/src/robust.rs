@@ -1,0 +1,535 @@
+//! Graceful-degradation wrapper around the learner.
+//!
+//! The plain [`Learner`] is brittle by design: one inconsistent period
+//! empties the hypothesis set and the whole run is lost. That is correct
+//! for trusted traces, but a field capture from a real bus logger *will*
+//! contain periods the model of computation cannot explain. The
+//! [`RobustLearner`] trades completeness for survival, under three rules:
+//!
+//! * **Quarantine** — with [`OnInconsistent::SkipPeriod`], a period that
+//!   would empty the hypothesis set is rolled back (snapshot/restore) and
+//!   recorded in [`LearnStats::skipped_periods`] with the killing message.
+//! * **Fallback** — if the exact algorithm trips its
+//!   [`set_limit`](crate::LearnOptions::set_limit) or
+//!   [`Budget`](crate::Budget), the run falls back to the bounded
+//!   heuristic: a fresh bounded learner replays every previously accepted
+//!   period, then continues.
+//! * **Early stop** — if the budget runs out in bounded mode there is
+//!   nothing cheaper to fall back to; the run keeps its partial result and
+//!   reports the unprocessed periods as skipped.
+//!
+//! All three degradations are *sound* for the learned model: dropping
+//! observations can only leave the result less constrained (closer to
+//! `d⊥`-unknowns) than the fully-informed one — never in contradiction
+//! with the observations that were kept. See DESIGN.md § Fault model and
+//! degradation policy.
+
+use std::num::NonZeroUsize;
+
+use bbmg_trace::{Period, Trace};
+
+use crate::error::LearnError;
+use crate::learner::{LearnResult, Learner};
+use crate::options::{LearnOptions, OnInconsistent};
+use crate::stats::{LearnStats, SkipCause, SkippedPeriod};
+
+/// Default bound used when falling back from the exact algorithm.
+pub const DEFAULT_FALLBACK_BOUND: usize = 64;
+
+/// What [`RobustLearner::observe`] did with a period.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Observed {
+    /// The period was learned from.
+    Accepted,
+    /// The period was quarantined; the learner state is as if it had never
+    /// been seen.
+    Skipped(SkippedPeriod),
+    /// The budget ran out in bounded mode; the period was not processed
+    /// and the caller should stop feeding (each further period will report
+    /// the same). The partial result remains valid.
+    BudgetStopped {
+        /// Index of the unprocessed period.
+        period: usize,
+    },
+}
+
+/// A [`Learner`] that degrades gracefully instead of dying on bad input.
+///
+/// # Example
+///
+/// ```
+/// use bbmg_core::{LearnOptions, Observed, OnInconsistent, RobustLearner};
+/// use bbmg_lattice::TaskUniverse;
+/// use bbmg_trace::{Timestamp, TraceBuilder};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut universe = TaskUniverse::new();
+/// let a = universe.intern("a");
+/// let mut builder = TraceBuilder::new(universe);
+/// // Period 0 is fine; period 1's message has no feasible sender.
+/// builder.begin_period();
+/// builder.task(a, Timestamp::new(0), Timestamp::new(5))?;
+/// builder.end_period()?;
+/// builder.begin_period();
+/// builder.message(Timestamp::new(1), Timestamp::new(2))?;
+/// builder.task(a, Timestamp::new(10), Timestamp::new(20))?;
+/// builder.end_period()?;
+/// let trace = builder.finish();
+///
+/// let options = LearnOptions::exact().with_on_inconsistent(OnInconsistent::SkipPeriod);
+/// let mut learner = RobustLearner::new(1, options);
+/// assert_eq!(learner.observe(&trace.periods()[0])?, Observed::Accepted);
+/// assert!(matches!(learner.observe(&trace.periods()[1])?, Observed::Skipped(_)));
+/// let result = learner.into_result();
+/// assert_eq!(result.stats().skipped_periods.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RobustLearner {
+    learner: Learner,
+    tasks: usize,
+    /// Accepted periods, kept for replay on fallback.
+    accepted: Vec<Period>,
+    fallback_bound: NonZeroUsize,
+}
+
+impl RobustLearner {
+    /// Creates a robust learner over a universe of `tasks` tasks.
+    #[must_use]
+    pub fn new(tasks: usize, options: LearnOptions) -> Self {
+        RobustLearner {
+            learner: Learner::new(tasks, options),
+            tasks,
+            accepted: Vec::new(),
+            fallback_bound: NonZeroUsize::new(DEFAULT_FALLBACK_BOUND)
+                .expect("default bound is nonzero"),
+        }
+    }
+
+    /// Returns `self` with a different bound for the exact-to-bounded
+    /// fallback (default [`DEFAULT_FALLBACK_BOUND`]).
+    #[must_use]
+    pub fn with_fallback_bound(mut self, bound: NonZeroUsize) -> Self {
+        self.fallback_bound = bound;
+        self
+    }
+
+    /// The wrapped learner's options (reflects the fallback once engaged).
+    #[must_use]
+    pub fn options(&self) -> &LearnOptions {
+        self.learner.options()
+    }
+
+    /// Statistics so far, including skips and fallbacks.
+    #[must_use]
+    pub fn stats(&self) -> &LearnStats {
+        self.learner.stats()
+    }
+
+    /// Number of hypotheses currently maintained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.learner.len()
+    }
+
+    /// Whether the hypothesis set is empty (never after a skip).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.learner.is_empty()
+    }
+
+    /// Whether the learner has converged to a unique hypothesis.
+    #[must_use]
+    pub fn converged(&self) -> bool {
+        self.learner.converged()
+    }
+
+    /// Processes one period under the degradation policy.
+    ///
+    /// # Errors
+    ///
+    /// [`LearnError::Inconsistent`] only under [`OnInconsistent::Abort`];
+    /// [`LearnError::UniverseMismatch`] always propagates (feeding periods
+    /// from a different universe is a caller bug, not trace corruption).
+    pub fn observe(&mut self, period: &Period) -> Result<Observed, LearnError> {
+        self.observe_inner(period, true)
+    }
+
+    /// Feeds a negative example (a period the system is known *not* to
+    /// produce), returning the number of hypotheses eliminated. Under
+    /// [`OnInconsistent::SkipPeriod`] a negative example that would
+    /// eliminate every hypothesis is quarantined like an inconsistent
+    /// positive one (eliminating 0).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`RobustLearner::observe`].
+    pub fn observe_negative(&mut self, period: &Period) -> Result<usize, LearnError> {
+        let snapshot = self.learner.clone();
+        match self.learner.observe_negative(period) {
+            Ok(eliminated) => Ok(eliminated),
+            Err(LearnError::Inconsistent { period: p, message })
+                if self.learner.options().on_inconsistent == OnInconsistent::SkipPeriod =>
+            {
+                self.learner = snapshot;
+                self.record_skip(p, SkipCause::Inconsistent { message });
+                Ok(0)
+            }
+            Err(err) => Err(err),
+        }
+    }
+
+    /// Records `period` as unprocessed due to budget exhaustion without
+    /// touching the learner (used after a [`Observed::BudgetStopped`] to
+    /// account for the rest of the trace — no silent data loss).
+    pub fn mark_unprocessed(&mut self, period: usize) {
+        self.record_skip(period, SkipCause::BudgetExhausted);
+    }
+
+    /// Finishes the run, producing a [`LearnResult`] whose stats carry the
+    /// quarantine and fallback record.
+    #[must_use]
+    pub fn into_result(self) -> LearnResult {
+        self.learner.into_result()
+    }
+
+    fn observe_inner(
+        &mut self,
+        period: &Period,
+        allow_fallback: bool,
+    ) -> Result<Observed, LearnError> {
+        let snapshot = self.learner.clone();
+        match self.learner.observe(period) {
+            Ok(()) => {
+                self.accepted.push(period.clone());
+                Ok(Observed::Accepted)
+            }
+            Err(LearnError::Inconsistent { period: p, message })
+                if self.learner.options().on_inconsistent == OnInconsistent::SkipPeriod =>
+            {
+                self.learner = snapshot;
+                Ok(Observed::Skipped(
+                    self.record_skip(p, SkipCause::Inconsistent { message }),
+                ))
+            }
+            Err(LearnError::SetLimitExceeded { .. } | LearnError::BudgetExhausted { .. })
+                if allow_fallback && self.learner.options().bound.is_none() =>
+            {
+                self.learner = snapshot;
+                self.fall_back()?;
+                self.observe_inner(period, false)
+            }
+            Err(LearnError::BudgetExhausted { period: p, .. }) => {
+                Ok(Observed::BudgetStopped { period: p })
+            }
+            Err(err) => Err(err),
+        }
+    }
+
+    fn record_skip(&mut self, period: usize, cause: SkipCause) -> SkippedPeriod {
+        let skip = SkippedPeriod { period, cause };
+        self.learner.stats_mut().skipped_periods.push(skip.clone());
+        skip
+    }
+
+    /// Replaces the exact learner with a bounded one and replays every
+    /// accepted period. Quarantine records survive the switch; counter
+    /// statistics restart (they describe the engine that produced the
+    /// result, and that engine is now the bounded heuristic).
+    fn fall_back(&mut self) -> Result<(), LearnError> {
+        let old_stats = self.learner.stats().clone();
+        let mut options = *self.learner.options();
+        options.bound = Some(self.fallback_bound);
+        options.set_limit = None;
+        let mut fresh = Learner::new(self.tasks, options);
+        *fresh.stats_mut() = LearnStats {
+            skipped_periods: old_stats.skipped_periods,
+            fallbacks: old_stats.fallbacks + 1,
+            ..LearnStats::default()
+        };
+        self.learner = fresh;
+
+        let accepted = std::mem::take(&mut self.accepted);
+        for period in &accepted {
+            match self.observe_inner(period, false)? {
+                // Accepted periods are re-collected by observe_inner; a
+                // replay skip (possible under a different merge ordering)
+                // is recorded like any other.
+                Observed::Accepted | Observed::Skipped(_) => {}
+                Observed::BudgetStopped { period: p } => {
+                    self.mark_unprocessed(p);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs the robust learner over every period of `trace`. On budget
+/// exhaustion in bounded mode the remaining periods are recorded as
+/// skipped and the partial result is returned.
+///
+/// # Errors
+///
+/// See [`RobustLearner::observe`].
+pub fn robust_learn(trace: &Trace, options: LearnOptions) -> Result<LearnResult, LearnError> {
+    let mut learner = RobustLearner::new(trace.task_count(), options);
+    let mut stopped = false;
+    for period in trace.periods() {
+        if stopped {
+            learner.mark_unprocessed(period.index());
+            continue;
+        }
+        match learner.observe(period)? {
+            Observed::Accepted | Observed::Skipped(_) => {}
+            Observed::BudgetStopped { period: p } => {
+                learner.mark_unprocessed(p);
+                stopped = true;
+            }
+        }
+    }
+    Ok(learner.into_result())
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Duration;
+
+    use bbmg_lattice::TaskUniverse;
+    use bbmg_trace::{EventKind, Timestamp, Trace, TraceBuilder};
+
+    use super::*;
+    use crate::options::Budget;
+
+    /// Three tasks: a, b run before the messages, c runs after — every
+    /// message branches over the pairs {a,b} x {c}.
+    fn universe3() -> TaskUniverse {
+        TaskUniverse::from_names(["a", "b", "c"])
+    }
+
+    /// A consistent period: a and b end before the messages rise, c starts
+    /// after they fall.
+    fn consistent_period(builder: &mut TraceBuilder, base: u64, messages: usize) {
+        let u = universe3();
+        let a = u.lookup("a").unwrap();
+        let b = u.lookup("b").unwrap();
+        let c = u.lookup("c").unwrap();
+        builder.begin_period();
+        builder
+            .event(Timestamp::new(base), EventKind::TaskStart(a))
+            .unwrap();
+        builder
+            .event(Timestamp::new(base + 1), EventKind::TaskStart(b))
+            .unwrap();
+        builder
+            .event(Timestamp::new(base + 10), EventKind::TaskEnd(a))
+            .unwrap();
+        builder
+            .event(Timestamp::new(base + 11), EventKind::TaskEnd(b))
+            .unwrap();
+        for m in 0..messages {
+            let at = base + 20 + 2 * m as u64;
+            builder
+                .message(Timestamp::new(at), Timestamp::new(at + 1))
+                .unwrap();
+        }
+        builder
+            .task(c, Timestamp::new(base + 60), Timestamp::new(base + 70))
+            .unwrap();
+        builder.end_period().unwrap();
+    }
+
+    /// An inconsistent period: the message rises before any task has
+    /// ended, so it has no feasible sender.
+    fn inconsistent_period(builder: &mut TraceBuilder, base: u64) {
+        let u = universe3();
+        let c = u.lookup("c").unwrap();
+        builder.begin_period();
+        builder
+            .message(Timestamp::new(base + 1), Timestamp::new(base + 2))
+            .unwrap();
+        builder
+            .task(c, Timestamp::new(base + 10), Timestamp::new(base + 20))
+            .unwrap();
+        builder.end_period().unwrap();
+    }
+
+    fn mixed_trace() -> Trace {
+        let mut builder = TraceBuilder::new(universe3());
+        consistent_period(&mut builder, 0, 1);
+        inconsistent_period(&mut builder, 100);
+        consistent_period(&mut builder, 200, 1);
+        builder.finish()
+    }
+
+    #[test]
+    fn abort_policy_propagates_inconsistency() {
+        let trace = mixed_trace();
+        let err = robust_learn(&trace, LearnOptions::exact()).unwrap_err();
+        assert!(matches!(
+            err,
+            LearnError::Inconsistent {
+                period: 1,
+                message: Some(_)
+            }
+        ));
+    }
+
+    #[test]
+    fn skip_policy_quarantines_and_continues() {
+        let trace = mixed_trace();
+        let options = LearnOptions::exact().with_on_inconsistent(OnInconsistent::SkipPeriod);
+        let result = robust_learn(&trace, options).unwrap();
+        let stats = result.stats();
+        assert_eq!(stats.periods, 2, "both good periods learned");
+        assert_eq!(stats.skipped_periods.len(), 1);
+        let skip = &stats.skipped_periods[0];
+        assert_eq!(skip.period, 1);
+        assert!(matches!(
+            skip.cause,
+            SkipCause::Inconsistent { message: Some(_) }
+        ));
+        assert!(!result.hypotheses().is_empty());
+    }
+
+    #[test]
+    fn skip_restores_state_exactly() {
+        let trace = mixed_trace();
+        let options = LearnOptions::exact().with_on_inconsistent(OnInconsistent::SkipPeriod);
+        let mut learner = RobustLearner::new(3, options);
+        learner.observe(&trace.periods()[0]).unwrap();
+        let before: Vec<_> = learner.learner.hypotheses().into_iter().cloned().collect();
+        assert!(matches!(
+            learner.observe(&trace.periods()[1]).unwrap(),
+            Observed::Skipped(_)
+        ));
+        let after: Vec<_> = learner.learner.hypotheses().into_iter().cloned().collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn set_limit_trip_falls_back_to_bounded() {
+        // Three feasible senders and two feasible receivers: the first
+        // message alone branches into 6 hypotheses, past a limit of 2.
+        let u = TaskUniverse::from_names(["a", "b", "c", "d", "e"]);
+        let senders = ["a", "b", "c"].map(|n| u.lookup(n).unwrap());
+        let receivers = ["d", "e"].map(|n| u.lookup(n).unwrap());
+        let mut builder = TraceBuilder::new(u);
+        for p in 0..3u64 {
+            let base = p * 1000;
+            builder.begin_period();
+            for (i, s) in senders.iter().enumerate() {
+                builder
+                    .event(Timestamp::new(base + i as u64), EventKind::TaskStart(*s))
+                    .unwrap();
+            }
+            for (i, s) in senders.iter().enumerate() {
+                builder
+                    .event(Timestamp::new(base + 10 + i as u64), EventKind::TaskEnd(*s))
+                    .unwrap();
+            }
+            builder
+                .message(Timestamp::new(base + 20), Timestamp::new(base + 21))
+                .unwrap();
+            builder
+                .message(Timestamp::new(base + 22), Timestamp::new(base + 23))
+                .unwrap();
+            for (i, r) in receivers.iter().enumerate() {
+                builder
+                    .event(
+                        Timestamp::new(base + 60 + i as u64),
+                        EventKind::TaskStart(*r),
+                    )
+                    .unwrap();
+            }
+            for (i, r) in receivers.iter().enumerate() {
+                builder
+                    .event(Timestamp::new(base + 70 + i as u64), EventKind::TaskEnd(*r))
+                    .unwrap();
+            }
+            builder.end_period().unwrap();
+        }
+        let trace = builder.finish();
+        let options = LearnOptions::exact().with_set_limit(2);
+        // The plain learner dies...
+        assert!(matches!(
+            crate::learner::learn(&trace, options),
+            Err(LearnError::SetLimitExceeded { .. })
+        ));
+        // ...the robust one switches to the bounded heuristic and finishes.
+        let result = robust_learn(&trace, options).unwrap();
+        let stats = result.stats();
+        assert_eq!(stats.fallbacks, 1);
+        assert_eq!(stats.periods, 3);
+        assert!(stats.skipped_periods.is_empty());
+        assert!(!result.hypotheses().is_empty());
+    }
+
+    #[test]
+    fn step_budget_trip_in_exact_mode_falls_back() {
+        let mut builder = TraceBuilder::new(universe3());
+        for p in 0..4 {
+            consistent_period(&mut builder, p * 1000, 2);
+        }
+        let trace = builder.finish();
+        let options = LearnOptions::exact().with_budget(Budget::unlimited().with_max_steps(3));
+        let result = robust_learn(&trace, options).unwrap();
+        assert_eq!(result.stats().fallbacks, 1);
+        assert!(!result.hypotheses().is_empty());
+    }
+
+    #[test]
+    fn budget_stop_in_bounded_mode_keeps_partial_result() {
+        let mut builder = TraceBuilder::new(universe3());
+        for p in 0..4 {
+            consistent_period(&mut builder, p * 1000, 2);
+        }
+        let trace = builder.finish();
+        let options = LearnOptions::bounded(8).with_budget(Budget::unlimited().with_max_steps(3));
+        let result = robust_learn(&trace, options).unwrap();
+        let stats = result.stats();
+        assert!(stats.periods >= 1, "at least the first period processed");
+        assert!(
+            !stats.skipped_periods.is_empty(),
+            "tail recorded as skipped"
+        );
+        assert!(stats
+            .skipped_periods
+            .iter()
+            .all(|s| s.cause == SkipCause::BudgetExhausted));
+        assert_eq!(
+            stats.periods + stats.skipped_periods.len(),
+            trace.periods().len(),
+            "every period accounted for"
+        );
+        assert!(!result.hypotheses().is_empty());
+    }
+
+    #[test]
+    fn wall_clock_budget_trips() {
+        let trace = mixed_trace();
+        let options = LearnOptions::bounded(8)
+            .with_budget(Budget::unlimited().with_max_wall_clock(Duration::ZERO));
+        let result = robust_learn(&trace, options).unwrap();
+        assert_eq!(result.stats().periods, 0);
+        assert_eq!(result.stats().skipped_periods.len(), trace.periods().len());
+        // d-bottom survives: the partial result is the no-information one.
+        assert!(!result.hypotheses().is_empty());
+    }
+
+    #[test]
+    fn universe_mismatch_always_propagates() {
+        let trace = mixed_trace();
+        let options = LearnOptions::exact().with_on_inconsistent(OnInconsistent::SkipPeriod);
+        let mut learner = RobustLearner::new(7, options);
+        let err = learner.observe(&trace.periods()[0]).unwrap_err();
+        assert!(matches!(
+            err,
+            LearnError::UniverseMismatch {
+                expected: 7,
+                actual: 3
+            }
+        ));
+    }
+}

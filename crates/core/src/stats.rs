@@ -2,6 +2,49 @@
 
 use std::fmt;
 
+use bbmg_trace::MessageId;
+
+/// Why [`crate::RobustLearner`] quarantined a period.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SkipCause {
+    /// The period emptied the hypothesis set; if the failure happened
+    /// while explaining a message, that message is recorded.
+    Inconsistent {
+        /// The killing message, if any.
+        message: Option<MessageId>,
+    },
+    /// The learning budget ran out before the period could be processed.
+    BudgetExhausted,
+}
+
+impl fmt::Display for SkipCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SkipCause::Inconsistent { message: Some(m) } => {
+                write!(f, "inconsistent at message {m}")
+            }
+            SkipCause::Inconsistent { message: None } => write!(f, "inconsistent"),
+            SkipCause::BudgetExhausted => write!(f, "budget exhausted"),
+        }
+    }
+}
+
+/// One period quarantined during a robust run — no silent data loss: every
+/// dropped observation is accounted for here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedPeriod {
+    /// The period's index as seen by the learner.
+    pub period: usize,
+    /// Why it was skipped.
+    pub cause: SkipCause,
+}
+
+impl fmt::Display for SkippedPeriod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "period {} skipped: {}", self.period, self.cause)
+    }
+}
+
 /// Counters describing a learner run; useful for the scaling benchmarks and
 /// for diagnosing hypothesis-set blowup in the exact algorithm.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -20,6 +63,12 @@ pub struct LearnStats {
     pub set_sizes_per_period: Vec<usize>,
     /// Sum over messages of the candidate-pair count `|A_m|`.
     pub candidate_pairs_total: usize,
+    /// Periods quarantined by [`crate::RobustLearner`] (empty for plain
+    /// runs).
+    pub skipped_periods: Vec<SkippedPeriod>,
+    /// Times the robust learner fell back from the exact algorithm to the
+    /// bounded heuristic (0 or 1 in practice).
+    pub fallbacks: usize,
 }
 
 impl LearnStats {
@@ -35,7 +84,14 @@ impl fmt::Display for LearnStats {
             f,
             "{} periods, {} messages, {} hypotheses generated, {} merges, peak set {}",
             self.periods, self.messages, self.hypotheses_generated, self.merges, self.peak_set_size
-        )
+        )?;
+        if !self.skipped_periods.is_empty() {
+            write!(f, ", {} period(s) skipped", self.skipped_periods.len())?;
+        }
+        if self.fallbacks > 0 {
+            write!(f, ", {} fallback(s) to bounded mode", self.fallbacks)?;
+        }
+        Ok(())
     }
 }
 

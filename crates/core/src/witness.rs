@@ -137,9 +137,11 @@ mod tests {
         b.begin_period();
         b.task(t(0), Timestamp::new(0), Timestamp::new(10)).unwrap();
         b.message(Timestamp::new(11), Timestamp::new(13)).unwrap();
-        b.task(t(1), Timestamp::new(20), Timestamp::new(30)).unwrap();
+        b.task(t(1), Timestamp::new(20), Timestamp::new(30))
+            .unwrap();
         b.message(Timestamp::new(31), Timestamp::new(33)).unwrap();
-        b.task(t(2), Timestamp::new(40), Timestamp::new(50)).unwrap();
+        b.task(t(2), Timestamp::new(40), Timestamp::new(50))
+            .unwrap();
         b.end_period().unwrap();
         b.finish()
     }
@@ -178,7 +180,11 @@ mod tests {
         // With the LUB, the first message admits (a,b) and possibly (a,c);
         // evidence lists are consistent with the admissibility counts.
         let (forced, supporting) = explain_pair(&d, &trace, t(0), t(1));
-        assert_eq!(forced.len() + supporting.len(), 1, "one window admits (a,b)");
+        assert_eq!(
+            forced.len() + supporting.len(),
+            1,
+            "one window admits (a,b)"
+        );
         let (forced_ac, _) = explain_pair(&d, &trace, t(0), t(2));
         // (a,c) is never the only option in this trace.
         assert!(forced_ac.is_empty());

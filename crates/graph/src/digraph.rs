@@ -41,7 +41,12 @@ impl<N, E> Default for DiGraph<N, E> {
 
 impl<N: fmt::Debug, E: fmt::Debug> fmt::Debug for DiGraph<N, E> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "DiGraph({} nodes, {} edges)", self.nodes.len(), self.edges.len())?;
+        writeln!(
+            f,
+            "DiGraph({} nodes, {} edges)",
+            self.nodes.len(),
+            self.edges.len()
+        )?;
         for e in &self.edges {
             writeln!(f, "  {:?} -> {:?} [{:?}]", e.from, e.to, e.weight)?;
         }
@@ -71,7 +76,10 @@ impl<N, E> DiGraph<N, E> {
     ///
     /// Panics if either endpoint is out of range.
     pub fn add_edge(&mut self, from: NodeIx, to: NodeIx, weight: E) -> EdgeIx {
-        assert!(from.0 < self.nodes.len() && to.0 < self.nodes.len(), "endpoint out of range");
+        assert!(
+            from.0 < self.nodes.len() && to.0 < self.nodes.len(),
+            "endpoint out of range"
+        );
         let ix = EdgeIx(self.edges.len());
         self.edges.push(Edge { from, to, weight });
         self.out[from.0].push(ix);

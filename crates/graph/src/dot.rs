@@ -71,7 +71,11 @@ mod tests {
         let a = g.add_node("alpha");
         let b = g.add_node("beta");
         g.add_edge(a, b, "style=dashed");
-        let dot = g.to_dot(&DotOptions::default(), |n| (*n).to_owned(), |e| (*e).to_owned());
+        let dot = g.to_dot(
+            &DotOptions::default(),
+            |n| (*n).to_owned(),
+            |e| (*e).to_owned(),
+        );
         assert!(dot.starts_with("digraph g {"));
         assert!(dot.contains("n0 [label=\"alpha\"]"));
         assert!(dot.contains("n0 -> n1 [style=dashed];"));
@@ -81,7 +85,11 @@ mod tests {
     fn labels_are_escaped() {
         let mut g: DiGraph<&str, ()> = DiGraph::new();
         g.add_node("say \"hi\"");
-        let dot = g.to_dot(&DotOptions::default(), |n| (*n).to_owned(), |_| String::new());
+        let dot = g.to_dot(
+            &DotOptions::default(),
+            |n| (*n).to_owned(),
+            |_| String::new(),
+        );
         assert!(dot.contains("say \\\"hi\\\""));
     }
 

@@ -10,14 +10,9 @@ impl<N, E> DiGraph<N, E> {
     /// `None` if the graph contains a cycle.
     #[must_use]
     pub fn topo_sort(&self) -> Option<Vec<NodeIx>> {
-        let mut in_deg: Vec<usize> = self
-            .node_indices()
-            .map(|n| self.in_degree(n))
-            .collect();
-        let mut queue: VecDeque<NodeIx> = self
-            .node_indices()
-            .filter(|&n| in_deg[n.0] == 0)
-            .collect();
+        let mut in_deg: Vec<usize> = self.node_indices().map(|n| self.in_degree(n)).collect();
+        let mut queue: VecDeque<NodeIx> =
+            self.node_indices().filter(|&n| in_deg[n.0] == 0).collect();
         let mut order = Vec::with_capacity(self.node_count());
         while let Some(n) = queue.pop_front() {
             order.push(n);
@@ -63,7 +58,7 @@ impl<N, E> DiGraph<N, E> {
     /// `closure[i][j]` is `true` iff node `j` is reachable from node `i`
     /// via at least one edge.
     #[must_use]
-#[allow(clippy::needless_range_loop)] // index loops mirror the matrix math
+    #[allow(clippy::needless_range_loop)] // index loops mirror the matrix math
     pub fn transitive_closure(&self) -> Vec<Vec<bool>> {
         let n = self.node_count();
         let mut m = vec![vec![false; n]; n];
@@ -118,13 +113,17 @@ impl<N, E> DiGraph<N, E> {
     /// Source nodes (in-degree zero).
     #[must_use]
     pub fn sources(&self) -> Vec<NodeIx> {
-        self.node_indices().filter(|&n| self.in_degree(n) == 0).collect()
+        self.node_indices()
+            .filter(|&n| self.in_degree(n) == 0)
+            .collect()
     }
 
     /// Sink nodes (out-degree zero).
     #[must_use]
     pub fn sinks(&self) -> Vec<NodeIx> {
-        self.node_indices().filter(|&n| self.out_degree(n) == 0).collect()
+        self.node_indices()
+            .filter(|&n| self.out_degree(n) == 0)
+            .collect()
     }
 }
 

@@ -243,9 +243,7 @@ impl DependencyFunction {
     }
 
     /// Iterates over off-diagonal entries that differ from `‖`.
-    pub fn nontrivial_pairs(
-        &self,
-    ) -> impl Iterator<Item = (TaskId, TaskId, DependencyValue)> + '_ {
+    pub fn nontrivial_pairs(&self) -> impl Iterator<Item = (TaskId, TaskId, DependencyValue)> + '_ {
         self.ordered_pairs()
             .filter(|&(a, b, v)| a != b && v != DependencyValue::Parallel)
     }
@@ -451,8 +449,7 @@ mod tests {
     #[test]
     fn from_rows_accepts_asymmetric_tables() {
         // d81-style asymmetry: ->? forward, <- backward.
-        let d =
-            DependencyFunction::from_rows(&[&["||", "->?"], &["<-", "||"]]).unwrap();
+        let d = DependencyFunction::from_rows(&[&["||", "->?"], &["<-", "||"]]).unwrap();
         assert_eq!(d.value(t(0), t(1)), V::MayDetermine);
         assert_eq!(d.value(t(1), t(0)), V::DependsOn);
     }

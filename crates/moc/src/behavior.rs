@@ -27,7 +27,10 @@ impl Behavior {
         executed.dedup();
         activated.sort_unstable();
         activated.dedup();
-        Behavior { executed, activated }
+        Behavior {
+            executed,
+            activated,
+        }
     }
 
     /// The tasks that executed, in ascending id order.
@@ -86,7 +89,10 @@ impl DesignModel {
     pub fn enumerate_behaviors(&self) -> Vec<Behavior> {
         let (behaviors, truncated) =
             self.enumerate_behaviors_bounded(BehaviorEnumerationLimit::default());
-        assert!(!truncated, "behaviour enumeration exceeded the default limit");
+        assert!(
+            !truncated,
+            "behaviour enumeration exceeded the default limit"
+        );
         behaviors
     }
 
@@ -128,15 +134,15 @@ impl DesignModel {
                     .map(ChannelId)
                     .filter(|c| frame.activated[c.0])
                     .collect();
-                seen.insert(Behavior { executed, activated });
+                seen.insert(Behavior {
+                    executed,
+                    activated,
+                });
                 continue;
             }
             let task = order[frame.position];
             let fires = self.in_channels(task).is_empty()
-                || self
-                    .in_channels(task)
-                    .iter()
-                    .any(|c| frame.activated[c.0]);
+                || self.in_channels(task).iter().any(|c| frame.activated[c.0]);
             if !fires {
                 stack.push(Frame {
                     position: frame.position + 1,
@@ -255,7 +261,11 @@ mod tests {
         let a = u.intern("a");
         let b = u.intern("b");
         let c = u.intern("c");
-        let m = DesignModel::builder(u).edge(a, b).edge(b, c).build().unwrap();
+        let m = DesignModel::builder(u)
+            .edge(a, b)
+            .edge(b, c)
+            .build()
+            .unwrap();
         let behaviors = m.enumerate_behaviors();
         assert_eq!(behaviors.len(), 1);
         assert_eq!(behaviors[0].executed().len(), 3);
@@ -307,12 +317,10 @@ mod tests {
             b = b.disjunction(s);
         }
         let m = b.build().unwrap();
-        let (behaviors, truncated) =
-            m.enumerate_behaviors_bounded(BehaviorEnumerationLimit(5));
+        let (behaviors, truncated) = m.enumerate_behaviors_bounded(BehaviorEnumerationLimit(5));
         assert!(truncated);
         assert_eq!(behaviors.len(), 5);
-        let (all, truncated) =
-            m.enumerate_behaviors_bounded(BehaviorEnumerationLimit(10_000));
+        let (all, truncated) = m.enumerate_behaviors_bounded(BehaviorEnumerationLimit(10_000));
         assert!(!truncated);
         assert_eq!(all.len(), 343);
     }

@@ -62,7 +62,10 @@ impl fmt::Display for ModelError {
                 write!(f, "duplicate channel {sender} -> {receiver}")
             }
             ModelError::DisjunctionWithoutChoices { task } => {
-                write!(f, "disjunction mark on {task} which has no outgoing channels")
+                write!(
+                    f,
+                    "disjunction mark on {task} which has no outgoing channels"
+                )
             }
         }
     }
@@ -341,7 +344,11 @@ mod tests {
         let mut u = TaskUniverse::new();
         let a = u.intern("a");
         let b = u.intern("b");
-        let err = DesignModel::builder(u).edge(a, b).edge(b, a).build().unwrap_err();
+        let err = DesignModel::builder(u)
+            .edge(a, b)
+            .edge(b, a)
+            .build()
+            .unwrap_err();
         assert_eq!(err, ModelError::Cyclic);
     }
 

@@ -124,10 +124,7 @@ mod tests {
         assert_eq!(trace.periods().len(), 3);
         // Executed sets in the trace mirror the behaviours.
         for (period, behavior) in trace.periods().iter().zip(model.enumerate_behaviors()) {
-            assert_eq!(
-                period.executed_tasks().len(),
-                behavior.executed().len()
-            );
+            assert_eq!(period.executed_tasks().len(), behavior.executed().len());
             assert_eq!(period.messages().len(), behavior.activated().len());
         }
     }
@@ -137,10 +134,7 @@ mod tests {
         let model = figure_1();
         let behaviors = model.enumerate_behaviors();
         // The full behaviour (t1 sends to both).
-        let full = behaviors
-            .iter()
-            .find(|b| b.executed().len() == 4)
-            .unwrap();
+        let full = behaviors.iter().find(|b| b.executed().len() == 4).unwrap();
         let mut builder = TraceBuilder::new(model.universe().clone());
         builder.begin_period();
         append_canonical_period(

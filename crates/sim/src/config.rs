@@ -92,9 +92,104 @@ impl SimConfig {
     }
 }
 
+/// Configuration of the trace fault injector ([`crate::inject_faults`]).
+///
+/// Each rate is a probability in `[0, 1]`, evaluated independently per
+/// eligible event (or per period, for the period-level fault classes) with
+/// a PRNG seeded from `seed` — the same seed always corrupts a given trace
+/// the same way.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability of dropping each task-end or message-edge event
+    /// (task starts are what anchors a period, so they are not dropped by
+    /// this class — use `truncate_rate` to lose whole tails).
+    pub drop_rate: f64,
+    /// Probability of logging each event twice.
+    pub duplicate_rate: f64,
+    /// Probability of shifting each event's timestamp by up to
+    /// `jitter_max` time units in either direction.
+    pub jitter_rate: f64,
+    /// Maximum magnitude of an injected timestamp shift.
+    pub jitter_max: u64,
+    /// Per-period probability of injecting one spurious message frame
+    /// (a frame the design model never sent).
+    pub spurious_rate: f64,
+    /// Per-period probability of truncating the period's event tail
+    /// (models the logger cutting out mid-period).
+    pub truncate_rate: f64,
+    /// PRNG seed for all fault decisions.
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    /// No faults at all.
+    fn default() -> Self {
+        FaultConfig {
+            drop_rate: 0.0,
+            duplicate_rate: 0.0,
+            jitter_rate: 0.0,
+            jitter_max: 5,
+            spurious_rate: 0.0,
+            truncate_rate: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// Every fault class at probability `rate` (jitter magnitude stays at
+    /// its default).
+    #[must_use]
+    pub fn uniform(rate: f64, seed: u64) -> Self {
+        FaultConfig {
+            drop_rate: rate,
+            duplicate_rate: rate,
+            jitter_rate: rate,
+            spurious_rate: rate,
+            truncate_rate: rate,
+            seed,
+            ..FaultConfig::default()
+        }
+    }
+
+    /// Only event drops, at probability `rate` — the scenario the paper's
+    /// logging hardware is most prone to.
+    #[must_use]
+    pub fn event_drop(rate: f64, seed: u64) -> Self {
+        FaultConfig {
+            drop_rate: rate,
+            seed,
+            ..FaultConfig::default()
+        }
+    }
+
+    /// `true` when every rate is zero, i.e. injection is a no-op.
+    #[must_use]
+    pub fn is_noop(&self) -> bool {
+        self.drop_rate == 0.0
+            && self.duplicate_rate == 0.0
+            && self.jitter_rate == 0.0
+            && self.spurious_rate == 0.0
+            && self.truncate_rate == 0.0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fault_config_presets() {
+        assert!(FaultConfig::default().is_noop());
+        let u = FaultConfig::uniform(0.25, 9);
+        assert!(!u.is_noop());
+        assert_eq!(u.drop_rate, 0.25);
+        assert_eq!(u.truncate_rate, 0.25);
+        assert_eq!(u.seed, 9);
+        let d = FaultConfig::event_drop(0.05, 1);
+        assert_eq!(d.drop_rate, 0.05);
+        assert_eq!(d.duplicate_rate, 0.0);
+    }
 
     #[test]
     fn params_lookup_falls_back_to_default() {

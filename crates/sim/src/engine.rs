@@ -221,7 +221,11 @@ impl<'m> Simulator<'m> {
                 && pending_releases[release_cursor].0 <= now
             {
                 let (_, task) = pending_releases[release_cursor];
-                cpu.release(task, self.config.params(task).priority, exec_time[task.index()]);
+                cpu.release(
+                    task,
+                    self.config.params(task).priority,
+                    exec_time[task.index()],
+                );
                 release_cursor += 1;
             }
             // Start the bus if idle with pending frames.
@@ -247,11 +251,7 @@ impl<'m> Simulator<'m> {
                     next = Some(next.map_or(t, |n: u64| n.min(t)));
                 }
             };
-            consider(
-                pending_releases
-                    .get(release_cursor)
-                    .map(|&(time, _)| time),
-            );
+            consider(pending_releases.get(release_cursor).map(|&(time, _)| time));
             consider(cpu.current_remaining().map(|r| now + r));
             consider(bus.busy_until());
             let Some(next_time) = next else {

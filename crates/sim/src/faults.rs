@@ -1,0 +1,392 @@
+//! Seeded fault injection for simulator-produced traces.
+//!
+//! Real bus-logging devices are imperfect: they drop edges under load,
+//! log frames twice, jitter timestamps, pick up noise frames, and cut out
+//! mid-period. [`inject_faults`] reproduces those failure modes on a clean
+//! simulated [`Trace`], controlled by a [`FaultConfig`], and returns the
+//! corrupted capture as an unvalidated [`RawTrace`] **together with a
+//! ground-truth [`FaultLog`]** — so the repair and degradation layers can
+//! be tested against captures whose corruption is exactly known.
+
+use std::fmt;
+
+use bbmg_trace::{Event, EventKind, MessageId, RawPeriod, RawTrace, Timestamp, Trace};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::config::FaultConfig;
+
+/// One fault the injector introduced (ground-truth label).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// An event was removed from the capture.
+    DroppedEvent {
+        /// Period index the event belonged to.
+        period: usize,
+        /// The event that was lost.
+        event: Event,
+    },
+    /// An event was logged twice.
+    DuplicatedEvent {
+        /// Period index.
+        period: usize,
+        /// The duplicated event.
+        event: Event,
+    },
+    /// An event's timestamp was shifted.
+    JitteredTimestamp {
+        /// Period index.
+        period: usize,
+        /// The original timestamp.
+        original: Timestamp,
+        /// The shifted timestamp as captured.
+        shifted: Timestamp,
+    },
+    /// A message frame the system never sent was logged.
+    SpuriousMessage {
+        /// Period index.
+        period: usize,
+        /// The fabricated message occurrence.
+        message: MessageId,
+        /// Rising edge of the fabricated frame.
+        rise: Timestamp,
+        /// Falling edge of the fabricated frame.
+        fall: Timestamp,
+    },
+    /// The logger cut out before the period ended.
+    TruncatedPeriod {
+        /// Period index.
+        period: usize,
+        /// Number of tail events lost.
+        dropped_events: usize,
+    },
+}
+
+impl fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InjectedFault::DroppedEvent { period, event } => {
+                write!(f, "period {period}: dropped `{event}`")
+            }
+            InjectedFault::DuplicatedEvent { period, event } => {
+                write!(f, "period {period}: duplicated `{event}`")
+            }
+            InjectedFault::JitteredTimestamp {
+                period,
+                original,
+                shifted,
+            } => write!(f, "period {period}: jittered {original} -> {shifted}"),
+            InjectedFault::SpuriousMessage {
+                period,
+                message,
+                rise,
+                fall,
+            } => write!(f, "period {period}: spurious {message} ({rise}..{fall})"),
+            InjectedFault::TruncatedPeriod {
+                period,
+                dropped_events,
+            } => write!(
+                f,
+                "period {period}: truncated, lost {dropped_events} event(s)"
+            ),
+        }
+    }
+}
+
+/// Ground-truth record of every fault injected into a capture.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultLog {
+    /// The faults, in injection order (period order, then event order).
+    pub faults: Vec<InjectedFault>,
+}
+
+impl FaultLog {
+    /// Total number of injected faults.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// `true` when the capture came through uncorrupted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Number of faults matching `predicate` (e.g. counting one class).
+    #[must_use]
+    pub fn count(&self, predicate: impl Fn(&InjectedFault) -> bool) -> usize {
+        self.faults.iter().filter(|f| predicate(f)).count()
+    }
+}
+
+impl fmt::Display for FaultLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let dropped = self.count(|x| matches!(x, InjectedFault::DroppedEvent { .. }));
+        let duplicated = self.count(|x| matches!(x, InjectedFault::DuplicatedEvent { .. }));
+        let jittered = self.count(|x| matches!(x, InjectedFault::JitteredTimestamp { .. }));
+        let spurious = self.count(|x| matches!(x, InjectedFault::SpuriousMessage { .. }));
+        let truncated = self.count(|x| matches!(x, InjectedFault::TruncatedPeriod { .. }));
+        write!(
+            f,
+            "{} fault(s): {dropped} dropped, {duplicated} duplicated, \
+             {jittered} jittered, {spurious} spurious, {truncated} truncated period(s)",
+            self.len()
+        )
+    }
+}
+
+/// Corrupts `trace` according to `config`, returning the degraded capture
+/// and the ground-truth log of what was done to it.
+///
+/// Fault classes are applied per period in a fixed order — truncation,
+/// then per-event drop/duplicate/jitter, then spurious-frame insertion —
+/// each decided by an independent seeded draw, so a given `(trace, config)`
+/// pair always yields the same corruption.
+#[must_use]
+pub fn inject_faults(trace: &Trace, config: &FaultConfig) -> (RawTrace, FaultLog) {
+    let clean = RawTrace::from_trace(trace);
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut log = FaultLog::default();
+
+    // Spurious frames need ids the real capture never uses.
+    let mut next_spurious = clean
+        .periods
+        .iter()
+        .flat_map(|p| &p.events)
+        .filter_map(|e| match e.kind {
+            EventKind::MessageRise(m) | EventKind::MessageFall(m) => Some(m.index() + 1),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0);
+
+    let mut periods = Vec::with_capacity(clean.periods.len());
+    for period in &clean.periods {
+        let mut events = period.events.clone();
+
+        // 1. Truncation: the logger cuts out, losing the period's tail.
+        if !events.is_empty() && config.truncate_rate > 0.0 && rng.gen_bool(config.truncate_rate) {
+            let keep = rng.gen_range(0..events.len());
+            let dropped = events.len() - keep;
+            events.truncate(keep);
+            log.faults.push(InjectedFault::TruncatedPeriod {
+                period: period.index,
+                dropped_events: dropped,
+            });
+        }
+
+        // 2. Per-event faults, in capture order.
+        let mut captured = Vec::with_capacity(events.len());
+        for event in events {
+            let droppable = !matches!(event.kind, EventKind::TaskStart(_));
+            if droppable && config.drop_rate > 0.0 && rng.gen_bool(config.drop_rate) {
+                log.faults.push(InjectedFault::DroppedEvent {
+                    period: period.index,
+                    event,
+                });
+                continue;
+            }
+            let mut logged = event;
+            if config.jitter_rate > 0.0 && config.jitter_max > 0 && rng.gen_bool(config.jitter_rate)
+            {
+                let magnitude = rng.gen_range(1..=config.jitter_max);
+                let micros = if rng.gen_bool(0.5) {
+                    event.time.micros().saturating_sub(magnitude)
+                } else {
+                    event.time.micros().saturating_add(magnitude)
+                };
+                logged = Event::new(Timestamp::new(micros), event.kind);
+                log.faults.push(InjectedFault::JitteredTimestamp {
+                    period: period.index,
+                    original: event.time,
+                    shifted: logged.time,
+                });
+            }
+            captured.push(logged);
+            if config.duplicate_rate > 0.0 && rng.gen_bool(config.duplicate_rate) {
+                captured.push(logged);
+                log.faults.push(InjectedFault::DuplicatedEvent {
+                    period: period.index,
+                    event: logged,
+                });
+            }
+        }
+
+        // 3. Spurious message: a noise frame somewhere in the period span.
+        if config.spurious_rate > 0.0 && rng.gen_bool(config.spurious_rate) {
+            let (lo, hi) = captured
+                .iter()
+                .fold(None, |acc: Option<(u64, u64)>, e| {
+                    let t = e.time.micros();
+                    Some(acc.map_or((t, t), |(lo, hi)| (lo.min(t), hi.max(t))))
+                })
+                .unwrap_or((0, 0));
+            let rise = rng.gen_range(lo..=hi);
+            let width = rng.gen_range(1..=config.jitter_max.max(1));
+            let message = MessageId::from_index(next_spurious);
+            next_spurious += 1;
+            let fall = rise + width;
+            captured.push(Event::new(
+                Timestamp::new(rise),
+                EventKind::MessageRise(message),
+            ));
+            captured.push(Event::new(
+                Timestamp::new(fall),
+                EventKind::MessageFall(message),
+            ));
+            log.faults.push(InjectedFault::SpuriousMessage {
+                period: period.index,
+                message,
+                rise: Timestamp::new(rise),
+                fall: Timestamp::new(fall),
+            });
+        }
+
+        periods.push(RawPeriod {
+            index: period.index,
+            events: captured,
+        });
+    }
+
+    (
+        RawTrace {
+            universe: clean.universe,
+            periods,
+        },
+        log,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use bbmg_lattice::TaskUniverse;
+    use bbmg_moc::DesignModel;
+
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::engine::Simulator;
+
+    fn sample_trace() -> Trace {
+        let mut universe = TaskUniverse::new();
+        let a = universe.intern("a");
+        let b = universe.intern("b");
+        let model = DesignModel::builder(universe).edge(a, b).build().unwrap();
+        let config = SimConfig {
+            periods: 20,
+            seed: 3,
+            ..SimConfig::default()
+        };
+        Simulator::new(&model, config).run().unwrap().trace
+    }
+
+    #[test]
+    fn noop_config_injects_nothing() {
+        let trace = sample_trace();
+        let (raw, log) = inject_faults(&trace, &FaultConfig::default());
+        assert!(log.is_empty());
+        assert_eq!(raw, RawTrace::from_trace(&trace));
+    }
+
+    #[test]
+    fn injection_is_deterministic_per_seed() {
+        let trace = sample_trace();
+        let config = FaultConfig::uniform(0.2, 42);
+        let (raw_a, log_a) = inject_faults(&trace, &config);
+        let (raw_b, log_b) = inject_faults(&trace, &config);
+        assert_eq!(raw_a, raw_b);
+        assert_eq!(log_a, log_b);
+        let other = FaultConfig::uniform(0.2, 43);
+        let (_, log_c) = inject_faults(&trace, &other);
+        assert_ne!(log_a, log_c);
+    }
+
+    #[test]
+    fn every_fault_is_logged() {
+        let trace = sample_trace();
+        let clean_events = RawTrace::from_trace(&trace).event_count();
+        let config = FaultConfig::uniform(0.15, 7);
+        let (raw, log) = inject_faults(&trace, &config);
+        assert!(!log.is_empty());
+
+        // Event-count bookkeeping: every delta is accounted for by the log.
+        let dropped: usize = log.count(|f| matches!(f, InjectedFault::DroppedEvent { .. }));
+        let duplicated: usize = log.count(|f| matches!(f, InjectedFault::DuplicatedEvent { .. }));
+        let spurious: usize = log.count(|f| matches!(f, InjectedFault::SpuriousMessage { .. }));
+        let truncated: usize = log
+            .faults
+            .iter()
+            .filter_map(|f| match f {
+                InjectedFault::TruncatedPeriod { dropped_events, .. } => Some(*dropped_events),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(
+            raw.event_count(),
+            clean_events - dropped - truncated + duplicated + 2 * spurious
+        );
+    }
+
+    #[test]
+    fn drop_only_config_never_drops_task_starts() {
+        let trace = sample_trace();
+        let starts = |raw: &RawTrace| {
+            raw.periods
+                .iter()
+                .flat_map(|p| &p.events)
+                .filter(|e| matches!(e.kind, EventKind::TaskStart(_)))
+                .count()
+        };
+        let clean = RawTrace::from_trace(&trace);
+        let (corrupt, log) = inject_faults(&trace, &FaultConfig::event_drop(0.5, 11));
+        assert!(!log.is_empty());
+        assert_eq!(starts(&clean), starts(&corrupt));
+        assert!(log
+            .faults
+            .iter()
+            .all(|f| matches!(f, InjectedFault::DroppedEvent { .. })));
+    }
+
+    #[test]
+    fn spurious_messages_use_fresh_ids() {
+        let trace = sample_trace();
+        let config = FaultConfig {
+            spurious_rate: 1.0,
+            seed: 5,
+            ..FaultConfig::default()
+        };
+        let clean_max = RawTrace::from_trace(&trace)
+            .periods
+            .iter()
+            .flat_map(|p| &p.events)
+            .filter_map(|e| match e.kind {
+                EventKind::MessageRise(m) | EventKind::MessageFall(m) => Some(m.index()),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        let (_, log) = inject_faults(&trace, &config);
+        for fault in &log.faults {
+            if let InjectedFault::SpuriousMessage { message, .. } = fault {
+                assert!(message.index() > clean_max);
+            }
+        }
+        assert_eq!(
+            log.count(|f| matches!(f, InjectedFault::SpuriousMessage { .. })),
+            trace.periods().len()
+        );
+    }
+
+    #[test]
+    fn fault_log_display_summarizes_classes() {
+        let trace = sample_trace();
+        let (_, log) = inject_faults(&trace, &FaultConfig::uniform(0.3, 1));
+        let text = log.to_string();
+        assert!(text.contains("fault(s)"), "{text}");
+        assert!(text.contains("dropped"), "{text}");
+        for fault in &log.faults {
+            assert!(!fault.to_string().is_empty());
+        }
+    }
+}

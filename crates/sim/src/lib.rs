@@ -41,10 +41,12 @@ mod bus;
 mod config;
 mod cpu;
 mod engine;
+pub mod faults;
 mod stats;
 
 pub use bus::CanBus;
-pub use config::{SimConfig, TaskParams};
+pub use config::{FaultConfig, SimConfig, TaskParams};
 pub use cpu::CpuScheduler;
 pub use engine::{SimError, SimReport, Simulator};
+pub use faults::{inject_faults, FaultLog, InjectedFault};
 pub use stats::{ExecutionStats, TaskResponse};

@@ -69,11 +69,10 @@ impl ExecutionStats {
                 first = Some(first.map_or(micros, |f| f.min(micros)));
                 last = Some(last.map_or(micros, |l| l.max(micros)));
             }
-            for i in 0..n {
+            for (i, r) in responses.iter_mut().enumerate() {
                 let task = TaskId::from_index(i);
                 if let Some((start, end)) = period.task_window(task) {
                     let window = end - start;
-                    let r = &mut responses[i];
                     r.activations += 1;
                     r.best = r.best.min(window);
                     r.worst = r.worst.max(window);

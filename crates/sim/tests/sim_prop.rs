@@ -24,8 +24,7 @@ fn arbitrary_setup() -> impl Strategy<Value = (DesignModel, SimConfig)> {
                 for (a, b) in edges {
                     let (lo, hi) = (a.min(b), a.max(b));
                     if lo != hi && seen.insert((lo, hi)) {
-                        builder =
-                            builder.edge(TaskId::from_index(lo), TaskId::from_index(hi));
+                        builder = builder.edge(TaskId::from_index(lo), TaskId::from_index(hi));
                         out_degree[lo] += 1;
                     }
                 }

@@ -201,9 +201,15 @@ mod tests {
         let (u, a, b) = universe2();
         let mut builder = TraceBuilder::new(u);
         builder.begin_period();
-        builder.task(a, Timestamp::new(0), Timestamp::new(5)).unwrap();
-        let m = builder.message(Timestamp::new(6), Timestamp::new(7)).unwrap();
-        builder.task(b, Timestamp::new(8), Timestamp::new(9)).unwrap();
+        builder
+            .task(a, Timestamp::new(0), Timestamp::new(5))
+            .unwrap();
+        let m = builder
+            .message(Timestamp::new(6), Timestamp::new(7))
+            .unwrap();
+        builder
+            .task(b, Timestamp::new(8), Timestamp::new(9))
+            .unwrap();
         builder.end_period().unwrap();
         let trace = builder.finish();
         assert_eq!(trace.periods()[0].messages()[0].id, m);
@@ -214,8 +220,12 @@ mod tests {
         let (u, a, _) = universe2();
         let mut builder = TraceBuilder::new(u);
         builder.begin_period();
-        builder.task(a, Timestamp::new(0), Timestamp::new(5)).unwrap();
-        let err = builder.task(a, Timestamp::new(6), Timestamp::new(7)).unwrap_err();
+        builder
+            .task(a, Timestamp::new(0), Timestamp::new(5))
+            .unwrap();
+        let err = builder
+            .task(a, Timestamp::new(6), Timestamp::new(7))
+            .unwrap_err();
         assert!(matches!(err, TraceError::TaskExecutedTwice { .. }));
     }
 
@@ -224,8 +234,12 @@ mod tests {
         let (u, a, b) = universe2();
         let mut builder = TraceBuilder::new(u);
         builder.begin_period();
-        builder.task(a, Timestamp::new(10), Timestamp::new(20)).unwrap();
-        let err = builder.task(b, Timestamp::new(5), Timestamp::new(25)).unwrap_err();
+        builder
+            .task(a, Timestamp::new(10), Timestamp::new(20))
+            .unwrap();
+        let err = builder
+            .task(b, Timestamp::new(5), Timestamp::new(25))
+            .unwrap_err();
         assert!(matches!(err, TraceError::EventsOutOfOrder { .. }));
     }
 
@@ -234,9 +248,13 @@ mod tests {
         let (u, a, _) = universe2();
         let mut builder = TraceBuilder::new(u);
         builder.begin_period();
-        let err = builder.task(a, Timestamp::new(5), Timestamp::new(1)).unwrap_err();
+        let err = builder
+            .task(a, Timestamp::new(5), Timestamp::new(1))
+            .unwrap_err();
         assert!(matches!(err, TraceError::TaskEndsBeforeStart { .. }));
-        let err = builder.message(Timestamp::new(9), Timestamp::new(8)).unwrap_err();
+        let err = builder
+            .message(Timestamp::new(9), Timestamp::new(8))
+            .unwrap_err();
         assert!(matches!(err, TraceError::MessageFallsBeforeRise { .. }));
     }
 
@@ -246,7 +264,10 @@ mod tests {
         let mut builder = TraceBuilder::new(u);
         builder.begin_period();
         builder
-            .event(Timestamp::new(0), EventKind::MessageRise(MessageId::from_index(0)))
+            .event(
+                Timestamp::new(0),
+                EventKind::MessageRise(MessageId::from_index(0)),
+            )
             .unwrap();
         let err = builder.end_period().unwrap_err();
         assert!(matches!(err, TraceError::UnterminatedPeriod { .. }));
@@ -256,7 +277,9 @@ mod tests {
     fn no_open_period_errors() {
         let (u, a, _) = universe2();
         let mut builder = TraceBuilder::new(u);
-        let err = builder.task(a, Timestamp::new(0), Timestamp::new(1)).unwrap_err();
+        let err = builder
+            .task(a, Timestamp::new(0), Timestamp::new(1))
+            .unwrap_err();
         assert!(matches!(err, TraceError::NoOpenPeriod));
     }
 

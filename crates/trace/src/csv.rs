@@ -21,7 +21,9 @@ use std::fmt;
 use bbmg_lattice::TaskUniverse;
 
 use crate::builder::TraceBuilder;
-use crate::event::{EventKind, MessageId, Timestamp};
+use crate::event::{Event, EventKind, MessageId, Timestamp};
+use crate::raw::{RawPeriod, RawTrace};
+use crate::repair::{repair, RepairReport};
 use crate::trace::{Trace, TraceError};
 
 /// Error produced by [`parse_csv`].
@@ -105,8 +107,7 @@ pub fn parse_csv(input: &str) -> Result<Trace, ParseCsvError> {
             continue;
         }
         let mut cols = line.split(',');
-        let (Some(_), Some(kind), Some(subject)) = (cols.next(), cols.next(), cols.next())
-        else {
+        let (Some(_), Some(kind), Some(subject)) = (cols.next(), cols.next(), cols.next()) else {
             continue; // Reported precisely in the second pass.
         };
         let _ = index;
@@ -137,7 +138,10 @@ pub fn parse_csv(input: &str) -> Result<Trace, ParseCsvError> {
         }
         let cols: Vec<&str> = line.split(',').collect();
         let [time, kind, subject, period] = cols.as_slice() else {
-            return Err(syntax(row, format!("expected 4 columns, got {}", cols.len())));
+            return Err(syntax(
+                row,
+                format!("expected 4 columns, got {}", cols.len()),
+            ));
         };
         let time: u64 = time
             .parse()
@@ -155,10 +159,7 @@ pub fn parse_csv(input: &str) -> Result<Trace, ParseCsvError> {
                 current_period = Some(period);
             }
             Some(p) => {
-                return Err(syntax(
-                    row,
-                    format!("period jumped from {p} to {period}"),
-                ));
+                return Err(syntax(row, format!("period jumped from {p} to {period}")));
             }
             None => {
                 if period != 0 {
@@ -202,6 +203,224 @@ pub fn parse_csv(input: &str) -> Result<Trace, ParseCsvError> {
             .map_err(|source| ParseCsvError::Invalid { row: 0, source })?;
     }
     Ok(builder.finish())
+}
+
+/// Serializes an unvalidated [`RawTrace`] as CSV, preserving capture order
+/// and the captured (possibly non-contiguous) period indices.
+///
+/// This is how fault-injected traces reach disk: the strict
+/// [`write_csv`] only accepts validated traces, but a corrupted capture
+/// must round-trip through the same schema so the lenient readers can be
+/// exercised end to end.
+#[must_use]
+pub fn write_csv_raw(raw: &RawTrace) -> String {
+    let mut out = String::from("time,kind,subject,period\n");
+    for period in &raw.periods {
+        for event in &period.events {
+            let (kind, subject) = match event.kind {
+                EventKind::TaskStart(t) => ("start", raw.universe.name(t).to_owned()),
+                EventKind::TaskEnd(t) => ("end", raw.universe.name(t).to_owned()),
+                EventKind::MessageRise(m) => ("rise", m.to_string()),
+                EventKind::MessageFall(m) => ("fall", m.to_string()),
+            };
+            out.push_str(&format!(
+                "{},{},{},{}\n",
+                event.time.micros(),
+                kind,
+                subject,
+                period.index
+            ));
+        }
+    }
+    out
+}
+
+/// Maximum number of row errors recorded by the lenient parsers; further
+/// bad rows are still skipped and counted, but not individually reported.
+pub const LENIENT_ERROR_CAP: usize = 64;
+
+/// Result of [`parse_csv_raw`]: the salvageable events plus every problem
+/// encountered along the way.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawCsvParse {
+    /// The syntactically valid events, unvalidated (feed to
+    /// [`repair`](crate::repair::repair)).
+    pub raw: RawTrace,
+    /// Row errors, in order, capped at [`LENIENT_ERROR_CAP`].
+    pub errors: Vec<ParseCsvError>,
+    /// Total rows skipped (may exceed `errors.len()` once the cap is hit).
+    pub skipped_rows: usize,
+}
+
+/// Result of [`parse_csv_lenient`]: a validated trace recovered from a
+/// possibly corrupt capture, with full provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LenientParse {
+    /// The repaired, validated trace.
+    pub trace: Trace,
+    /// What the sanitizer changed or quarantined.
+    pub report: RepairReport,
+    /// Row errors, in order, capped at [`LENIENT_ERROR_CAP`].
+    pub errors: Vec<ParseCsvError>,
+    /// Total rows skipped.
+    pub skipped_rows: usize,
+}
+
+/// Parses a CSV capture leniently into an unvalidated [`RawTrace`].
+///
+/// Unlike [`parse_csv`], malformed rows are skipped (and reported, capped
+/// at [`LENIENT_ERROR_CAP`]) instead of aborting the parse, and no trace
+/// validity rules are enforced — repairing the result is the caller's job.
+/// Periods may skip forward (a dropped period in the capture); a row whose
+/// period goes *backwards* is treated as malformed.
+///
+/// # Errors
+///
+/// Fails only when the header row is missing or wrong — without it the
+/// schema is unknown and nothing can be salvaged.
+pub fn parse_csv_raw(input: &str) -> Result<RawCsvParse, ParseCsvError> {
+    let header = input.lines().next().map(str::trim);
+    if header != Some("time,kind,subject,period") {
+        return Err(ParseCsvError::Syntax {
+            row: 1,
+            message: match header {
+                Some(line) => {
+                    format!("expected header `time,kind,subject,period`, got `{line}`")
+                }
+                None => "empty input: missing CSV header".to_owned(),
+            },
+        });
+    }
+
+    // First pass: intern tasks named by any start/end row, in order of
+    // first appearance (end rows too — a dropped start must not orphan
+    // the task).
+    let mut universe = TaskUniverse::new();
+    for line in input.lines().skip(1) {
+        let mut cols = line.trim().split(',');
+        if let (Some(_), Some(kind @ ("start" | "end")), Some(subject)) =
+            (cols.next(), cols.next(), cols.next())
+        {
+            let _ = kind;
+            if universe.lookup(subject).is_none() {
+                universe.intern(subject);
+            }
+        }
+    }
+
+    let mut periods: Vec<RawPeriod> = Vec::new();
+    let mut errors = Vec::new();
+    let mut skipped_rows = 0usize;
+    let skip = |row: usize, message: String, errors: &mut Vec<ParseCsvError>| {
+        if errors.len() < LENIENT_ERROR_CAP {
+            errors.push(ParseCsvError::Syntax { row, message });
+        }
+    };
+
+    for (index, line) in input.lines().enumerate().skip(1) {
+        let row = index + 1;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let cols: Vec<&str> = line.split(',').collect();
+        let parsed = (|| -> Result<(usize, Event), String> {
+            let [time, kind, subject, period] = cols.as_slice() else {
+                return Err(format!("expected 4 columns, got {}", cols.len()));
+            };
+            let time: u64 = time.parse().map_err(|_| format!("bad time `{time}`"))?;
+            let period: usize = period
+                .parse()
+                .map_err(|_| format!("bad period `{period}`"))?;
+            let kind = match *kind {
+                "start" | "end" => {
+                    let task = universe
+                        .lookup(subject)
+                        .ok_or_else(|| format!("unknown task `{subject}`"))?;
+                    if *kind == "start" {
+                        EventKind::TaskStart(task)
+                    } else {
+                        EventKind::TaskEnd(task)
+                    }
+                }
+                "rise" | "fall" => {
+                    let id: usize = subject
+                        .strip_prefix('m')
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| format!("bad message id `{subject}`"))?;
+                    if *kind == "rise" {
+                        EventKind::MessageRise(MessageId::from_index(id))
+                    } else {
+                        EventKind::MessageFall(MessageId::from_index(id))
+                    }
+                }
+                other => return Err(format!("unknown kind `{other}`")),
+            };
+            Ok((period, Event::new(Timestamp::new(time), kind)))
+        })();
+        match parsed {
+            Ok((period, event)) => {
+                let current = periods.last().map(|p| p.index);
+                if current.is_some_and(|p| period < p) {
+                    skipped_rows += 1;
+                    skip(
+                        row,
+                        format!(
+                            "period went backwards from {} to {period}",
+                            current.unwrap_or(0)
+                        ),
+                        &mut errors,
+                    );
+                    continue;
+                }
+                if current != Some(period) {
+                    periods.push(RawPeriod {
+                        index: period,
+                        events: Vec::new(),
+                    });
+                }
+                periods
+                    .last_mut()
+                    .expect("period pushed above")
+                    .events
+                    .push(event);
+            }
+            Err(message) => {
+                skipped_rows += 1;
+                skip(row, message, &mut errors);
+            }
+        }
+    }
+
+    Ok(RawCsvParse {
+        raw: RawTrace { universe, periods },
+        errors,
+        skipped_rows,
+    })
+}
+
+/// Parses a possibly corrupt CSV capture into a validated trace: lenient
+/// row parsing ([`parse_csv_raw`]) followed by trace repair
+/// ([`repair`](crate::repair::repair)). One corrupt row no longer discards
+/// the whole capture — it is skipped or repaired, and everything that
+/// happened is in the returned report.
+///
+/// # Errors
+///
+/// Fails only when the CSV header is missing or wrong.
+pub fn parse_csv_lenient(input: &str) -> Result<LenientParse, ParseCsvError> {
+    let RawCsvParse {
+        raw,
+        errors,
+        skipped_rows,
+    } = parse_csv_raw(input)?;
+    let outcome = repair(&raw);
+    Ok(LenientParse {
+        trace: outcome.trace,
+        report: outcome.report,
+        errors,
+        skipped_rows,
+    })
 }
 
 #[cfg(test)]
@@ -281,5 +500,89 @@ mod tests {
     fn empty_input_fails_on_header() {
         assert!(parse_csv("").is_err());
         assert!(parse_csv("time,kind,subject,period\n").is_ok());
+    }
+
+    #[test]
+    fn lenient_parse_skips_bad_rows_and_keeps_the_rest() {
+        let input = "time,kind,subject,period\n\
+                     0,start,t1,0\n\
+                     nope,start,t1,0\n\
+                     10,end,t1,0\n\
+                     12,hop,t1,0\n\
+                     20,start,t2,0\n\
+                     30,end,t2,0\n";
+        let parsed = parse_csv_lenient(input).unwrap();
+        assert_eq!(parsed.skipped_rows, 2);
+        assert_eq!(parsed.errors.len(), 2);
+        assert!(matches!(
+            parsed.errors[0],
+            ParseCsvError::Syntax { row: 3, .. }
+        ));
+        assert_eq!(parsed.trace.periods().len(), 1);
+        assert_eq!(parsed.trace.periods()[0].executed_tasks().len(), 2);
+        assert!(parsed.report.is_clean());
+    }
+
+    #[test]
+    fn lenient_parse_repairs_dropped_edges() {
+        // t1's end row was lost in capture; repair synthesizes it.
+        let input = "time,kind,subject,period\n\
+                     0,start,t1,0\n\
+                     12,rise,m0,0\n\
+                     14,fall,m0,0\n\
+                     20,start,t2,0\n\
+                     30,end,t2,0\n";
+        let parsed = parse_csv_lenient(input).unwrap();
+        assert_eq!(parsed.skipped_rows, 0);
+        assert!(!parsed.report.is_clean());
+        assert_eq!(parsed.report.kept_periods, 1);
+        let period = &parsed.trace.periods()[0];
+        assert_eq!(period.executed_tasks().len(), 2);
+        assert_eq!(period.messages().len(), 1);
+    }
+
+    #[test]
+    fn lenient_parse_interns_tasks_from_end_rows() {
+        // t1's start was dropped entirely: the task must still exist.
+        let input = "time,kind,subject,period\n10,end,t1,0\n";
+        let parsed = parse_csv_lenient(input).unwrap();
+        assert_eq!(parsed.trace.task_count(), 1);
+        assert!(parsed
+            .report
+            .actions
+            .iter()
+            .any(|a| a.to_string().contains("synthesized start")));
+    }
+
+    #[test]
+    fn lenient_parse_tolerates_period_gaps_not_reversals() {
+        let input = "time,kind,subject,period\n\
+                     0,start,t1,0\n\
+                     10,end,t1,0\n\
+                     200,start,t1,2\n\
+                     210,end,t1,2\n\
+                     5,start,t1,1\n";
+        let parsed = parse_csv_lenient(input).unwrap();
+        // The gap 0 -> 2 is kept (renumbered); the reversal row is skipped.
+        assert_eq!(parsed.trace.periods().len(), 2);
+        assert_eq!(parsed.skipped_rows, 1);
+        assert!(parsed.errors[0].to_string().contains("backwards"));
+    }
+
+    #[test]
+    fn lenient_error_cap_limits_reports_not_counting() {
+        let mut input = String::from("time,kind,subject,period\n");
+        for _ in 0..(LENIENT_ERROR_CAP + 10) {
+            input.push_str("bad,start,t1,0\n");
+        }
+        let parsed = parse_csv_raw(&input).unwrap();
+        assert_eq!(parsed.errors.len(), LENIENT_ERROR_CAP);
+        assert_eq!(parsed.skipped_rows, LENIENT_ERROR_CAP + 10);
+    }
+
+    #[test]
+    fn lenient_parse_still_requires_header() {
+        assert!(parse_csv_lenient("").is_err());
+        assert!(parse_csv_lenient("0,start,t1,0\n").is_err());
     }
 }

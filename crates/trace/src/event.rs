@@ -155,7 +155,10 @@ mod tests {
             EventKind::TaskStart(TaskId::from_index(1)),
         );
         assert_eq!(e.to_string(), "3us start t1");
-        let m = Event::new(Timestamp::new(4), EventKind::MessageFall(MessageId::from_index(2)));
+        let m = Event::new(
+            Timestamp::new(4),
+            EventKind::MessageFall(MessageId::from_index(2)),
+        );
         assert_eq!(m.to_string(), "4us fall m2");
     }
 

@@ -172,9 +172,9 @@ pub fn parse_trace(input: &str) -> Result<Trace, ParseTraceError> {
                 let u = universe.as_ref().expect("builder implies universe");
                 let kind = match verb {
                     "start" | "end" => {
-                        let task = u.lookup(subject).ok_or_else(|| {
-                            syntax(line, &format!("unknown task `{subject}`"))
-                        })?;
+                        let task = u
+                            .lookup(subject)
+                            .ok_or_else(|| syntax(line, &format!("unknown task `{subject}`")))?;
                         if verb == "start" {
                             EventKind::TaskStart(task)
                         } else {
@@ -186,8 +186,8 @@ pub fn parse_trace(input: &str) -> Result<Trace, ParseTraceError> {
                             .strip_prefix('m')
                             .and_then(|s| s.parse().ok())
                             .ok_or_else(|| {
-                                syntax(line, &format!("bad message id `{subject}`"))
-                            })?;
+                            syntax(line, &format!("bad message id `{subject}`"))
+                        })?;
                         let id = MessageId::from_index(index);
                         if verb == "rise" {
                             EventKind::MessageRise(id)

@@ -42,13 +42,23 @@ mod csv;
 mod event;
 mod format;
 mod period;
+mod raw;
+mod repair;
 mod stats;
 mod trace;
 
 pub use builder::TraceBuilder;
-pub use csv::{parse_csv, write_csv, ParseCsvError};
+pub use csv::{
+    parse_csv, parse_csv_lenient, parse_csv_raw, write_csv, write_csv_raw, LenientParse,
+    ParseCsvError, RawCsvParse, LENIENT_ERROR_CAP,
+};
 pub use event::{Event, EventKind, MessageId, Timestamp};
 pub use format::{parse_trace, write_trace, ParseTraceError};
 pub use period::{MessageWindow, Period};
+pub use raw::{RawPeriod, RawTrace};
+pub use repair::{
+    repair, repair_with, QuarantineReason, QuarantinedPeriod, RepairAction, RepairOptions,
+    RepairOutcome, RepairReport,
+};
 pub use stats::TraceStats;
 pub use trace::{Trace, TraceError};

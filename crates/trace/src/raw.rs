@@ -1,0 +1,82 @@
+//! Unvalidated trace data, as captured.
+//!
+//! A [`RawTrace`] is what a logging device actually hands us: a sequence of
+//! timestamped events grouped into periods, with **no** validity guarantees —
+//! edges may be missing or duplicated, timestamps may go backwards, tasks may
+//! appear to run twice. The fault injector produces this shape and
+//! [`repair`](crate::repair::repair) consumes it, turning it back into a
+//! validated [`Trace`](crate::Trace) plus a structured report of everything
+//! that had to change.
+
+use bbmg_lattice::TaskUniverse;
+
+use crate::event::Event;
+use crate::trace::Trace;
+
+/// One period of unvalidated events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawPeriod {
+    /// The period index as captured (not necessarily contiguous).
+    pub index: usize,
+    /// The captured events, in capture order (not necessarily time order).
+    pub events: Vec<Event>,
+}
+
+/// An unvalidated trace: a task universe plus raw periods.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawTrace {
+    /// The task universe events refer into.
+    pub universe: TaskUniverse,
+    /// The captured periods, in capture order.
+    pub periods: Vec<RawPeriod>,
+}
+
+impl RawTrace {
+    /// Copies a validated trace into the raw representation (the starting
+    /// point for fault injection).
+    #[must_use]
+    pub fn from_trace(trace: &Trace) -> Self {
+        RawTrace {
+            universe: trace.universe().clone(),
+            periods: trace
+                .periods()
+                .iter()
+                .map(|p| RawPeriod {
+                    index: p.index(),
+                    events: p.events().to_vec(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Total number of events across all periods.
+    #[must_use]
+    pub fn event_count(&self) -> usize {
+        self.periods.iter().map(|p| p.events.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use bbmg_lattice::TaskId;
+
+    use super::*;
+    use crate::builder::TraceBuilder;
+    use crate::event::Timestamp;
+
+    #[test]
+    fn raw_mirrors_validated_trace() {
+        let u = TaskUniverse::from_names(["a"]);
+        let mut b = TraceBuilder::new(u);
+        b.begin_period();
+        b.task(TaskId::from_index(0), Timestamp::new(0), Timestamp::new(5))
+            .unwrap();
+        b.end_period().unwrap();
+        let trace = b.finish();
+        let raw = RawTrace::from_trace(&trace);
+        assert_eq!(raw.periods.len(), 1);
+        assert_eq!(raw.periods[0].index, 0);
+        assert_eq!(raw.event_count(), 2);
+        assert_eq!(raw.periods[0].events, trace.periods()[0].events());
+    }
+}

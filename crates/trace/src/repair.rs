@@ -1,0 +1,615 @@
+//! Trace sanitation: repair what can be repaired, quarantine the rest.
+//!
+//! Field captures are messy — edges get dropped, timestamps jitter out of
+//! order, frames are logged twice. [`repair`] takes an unvalidated
+//! [`RawTrace`] and produces a validated [`Trace`](crate::Trace) plus a
+//! [`RepairReport`] documenting every change, so no data is altered or
+//! discarded silently.
+//!
+//! Repair rules, applied per period:
+//!
+//! 1. **Reorder**: events are stably sorted by timestamp (starts/rises
+//!    before falls/ends on ties), fixing non-monotone captures.
+//! 2. **Deduplicate**: a second start of an already-seen task, or a second
+//!    rise of an already-seen message, is dropped (with its matching close
+//!    edge) — the model of computation allows one execution per period.
+//! 3. **Synthesize**: an end without a start (or a fall without a rise)
+//!    gets a zero-width opening edge at the same instant; windows still
+//!    open at the end of a period are closed at the period's last
+//!    timestamp.
+//! 4. **Quarantine**: a period needing more repairs than
+//!    [`RepairOptions::max_actions_per_period`], or that still fails
+//!    validation after normalization, is excluded from the output trace and
+//!    diagnosed in the report.
+//!
+//! Every rule only *removes or weakens* timing constraints the learner
+//! would otherwise see, so repairs can cause the learned model to be less
+//! constrained than the true system, never inconsistent with it (see
+//! DESIGN.md § Fault model and degradation policy).
+
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
+use std::fmt;
+
+use bbmg_lattice::TaskId;
+
+use crate::builder::TraceBuilder;
+use crate::event::{Event, EventKind, MessageId, Timestamp};
+use crate::raw::RawTrace;
+use crate::trace::{Trace, TraceError};
+
+/// Tuning knobs for [`repair_with`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairOptions {
+    /// Quarantine a period outright when it needs more than this many
+    /// repair actions — a heavily corrupted period is more likely to
+    /// mislead the learner than to inform it. `None` repairs without limit.
+    pub max_actions_per_period: Option<usize>,
+}
+
+/// One change the sanitizer made to the captured events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepairAction {
+    /// Events in the period were not in timestamp order; `moved` of them
+    /// changed position after sorting.
+    ReorderedEvents {
+        /// Original period index.
+        period: usize,
+        /// Number of events whose position changed.
+        moved: usize,
+    },
+    /// A duplicated event (second start of a task, second rise of a
+    /// message, or an edge for an already-closed window) was dropped.
+    DroppedDuplicate {
+        /// Original period index.
+        period: usize,
+        /// The dropped event.
+        event: Event,
+    },
+    /// A task end appeared without a start; a zero-width start was added.
+    SynthesizedTaskStart {
+        /// Original period index.
+        period: usize,
+        /// The task.
+        task: TaskId,
+        /// Where the start was inserted.
+        at: Timestamp,
+    },
+    /// A task never ended; an end was added at the period's last timestamp.
+    SynthesizedTaskEnd {
+        /// Original period index.
+        period: usize,
+        /// The task.
+        task: TaskId,
+        /// Where the end was inserted.
+        at: Timestamp,
+    },
+    /// A message fall appeared without a rise; a zero-width rise was added.
+    SynthesizedMessageRise {
+        /// Original period index.
+        period: usize,
+        /// The message occurrence.
+        message: MessageId,
+        /// Where the rise was inserted.
+        at: Timestamp,
+    },
+    /// A message never fell; a fall was added at the period's last
+    /// timestamp.
+    SynthesizedMessageFall {
+        /// Original period index.
+        period: usize,
+        /// The message occurrence.
+        message: MessageId,
+        /// Where the fall was inserted.
+        at: Timestamp,
+    },
+}
+
+impl RepairAction {
+    /// The original index of the period the action applies to.
+    #[must_use]
+    pub fn period(&self) -> usize {
+        match self {
+            RepairAction::ReorderedEvents { period, .. }
+            | RepairAction::DroppedDuplicate { period, .. }
+            | RepairAction::SynthesizedTaskStart { period, .. }
+            | RepairAction::SynthesizedTaskEnd { period, .. }
+            | RepairAction::SynthesizedMessageRise { period, .. }
+            | RepairAction::SynthesizedMessageFall { period, .. } => *period,
+        }
+    }
+}
+
+impl fmt::Display for RepairAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepairAction::ReorderedEvents { period, moved } => {
+                write!(
+                    f,
+                    "period {period}: reordered {moved} out-of-order event(s)"
+                )
+            }
+            RepairAction::DroppedDuplicate { period, event } => {
+                write!(f, "period {period}: dropped duplicate `{event}`")
+            }
+            RepairAction::SynthesizedTaskStart { period, task, at } => {
+                write!(f, "period {period}: synthesized start of {task} at {at}")
+            }
+            RepairAction::SynthesizedTaskEnd { period, task, at } => {
+                write!(f, "period {period}: synthesized end of {task} at {at}")
+            }
+            RepairAction::SynthesizedMessageRise {
+                period,
+                message,
+                at,
+            } => {
+                write!(f, "period {period}: synthesized rise of {message} at {at}")
+            }
+            RepairAction::SynthesizedMessageFall {
+                period,
+                message,
+                at,
+            } => {
+                write!(f, "period {period}: synthesized fall of {message} at {at}")
+            }
+        }
+    }
+}
+
+/// Why a period was excluded from the repaired trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuarantineReason {
+    /// The period still violated trace validity after normalization.
+    Invalid(TraceError),
+    /// The period needed more repairs than the configured limit.
+    TooCorrupt {
+        /// Number of repair actions the period would have needed.
+        actions: usize,
+        /// The configured [`RepairOptions::max_actions_per_period`].
+        limit: usize,
+    },
+}
+
+impl fmt::Display for QuarantineReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuarantineReason::Invalid(err) => write!(f, "still invalid after repair: {err}"),
+            QuarantineReason::TooCorrupt { actions, limit } => {
+                write!(f, "needed {actions} repairs, limit is {limit}")
+            }
+        }
+    }
+}
+
+/// A period the sanitizer refused to pass on to the learner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedPeriod {
+    /// Original period index.
+    pub index: usize,
+    /// Diagnosis.
+    pub reason: QuarantineReason,
+    /// Number of events discarded with the period.
+    pub events: usize,
+}
+
+impl fmt::Display for QuarantinedPeriod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "period {} quarantined ({} event(s)): {}",
+            self.index, self.events, self.reason
+        )
+    }
+}
+
+/// Everything the sanitizer did, in structured form.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Periods in the raw input.
+    pub total_periods: usize,
+    /// Periods that made it into the repaired trace.
+    pub kept_periods: usize,
+    /// Every repair action taken, in period order.
+    pub actions: Vec<RepairAction>,
+    /// Every period excluded, with its diagnosis.
+    pub quarantined: Vec<QuarantinedPeriod>,
+}
+
+impl RepairReport {
+    /// `true` when the input was already valid: nothing repaired, nothing
+    /// quarantined.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.actions.is_empty() && self.quarantined.is_empty()
+    }
+}
+
+impl fmt::Display for RepairReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "kept {}/{} period(s), {} repair action(s), {} quarantined",
+            self.kept_periods,
+            self.total_periods,
+            self.actions.len(),
+            self.quarantined.len()
+        )
+    }
+}
+
+/// A repaired trace together with the record of how it was obtained.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairOutcome {
+    /// The validated trace built from the repairable periods (renumbered
+    /// contiguously).
+    pub trace: Trace,
+    /// What was changed and what was dropped.
+    pub report: RepairReport,
+}
+
+/// Repairs `raw` with default options. See the module docs for the rules.
+#[must_use]
+pub fn repair(raw: &RawTrace) -> RepairOutcome {
+    repair_with(raw, &RepairOptions::default())
+}
+
+/// Repairs `raw`, quarantining periods that exceed the configured repair
+/// budget or remain invalid.
+#[must_use]
+pub fn repair_with(raw: &RawTrace, options: &RepairOptions) -> RepairOutcome {
+    let mut report = RepairReport {
+        total_periods: raw.periods.len(),
+        ..RepairReport::default()
+    };
+    let mut builder = TraceBuilder::new(raw.universe.clone());
+
+    for period in &raw.periods {
+        let mut actions = Vec::new();
+        let normalized = normalize(period.index, &period.events, &mut actions);
+
+        if let Some(limit) = options.max_actions_per_period {
+            if actions.len() > limit {
+                report.quarantined.push(QuarantinedPeriod {
+                    index: period.index,
+                    reason: QuarantineReason::TooCorrupt {
+                        actions: actions.len(),
+                        limit,
+                    },
+                    events: period.events.len(),
+                });
+                continue;
+            }
+        }
+
+        // Normalization guarantees validity by construction; the builder
+        // check is a safety net, probed on a clone so a rejected period
+        // cannot corrupt the accepted prefix.
+        let mut probe = builder.clone();
+        match append_period(&mut probe, &normalized) {
+            Ok(()) => {
+                builder = probe;
+                report.kept_periods += 1;
+                report.actions.append(&mut actions);
+            }
+            Err(err) => report.quarantined.push(QuarantinedPeriod {
+                index: period.index,
+                reason: QuarantineReason::Invalid(err),
+                events: period.events.len(),
+            }),
+        }
+    }
+
+    RepairOutcome {
+        trace: builder.finish(),
+        report,
+    }
+}
+
+fn append_period(builder: &mut TraceBuilder, events: &[Event]) -> Result<(), TraceError> {
+    builder.begin_period();
+    for event in events {
+        builder.event(event.time, event.kind)?;
+    }
+    builder.end_period()
+}
+
+/// Window state while scanning a period's events.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum WindowState {
+    Open,
+    Closed,
+}
+
+/// Sort rank ensuring opening edges precede closing edges on timestamp ties.
+fn tie_rank(kind: &EventKind) -> u8 {
+    match kind {
+        EventKind::TaskStart(_) => 0,
+        EventKind::MessageRise(_) => 1,
+        EventKind::MessageFall(_) => 2,
+        EventKind::TaskEnd(_) => 3,
+    }
+}
+
+fn normalize(index: usize, captured: &[Event], actions: &mut Vec<RepairAction>) -> Vec<Event> {
+    let mut events = captured.to_vec();
+    // A capture whose times are already non-decreasing is left in its
+    // original order — any same-time permutation is valid, so imposing the
+    // canonical tie order would manufacture repairs on clean periods. Only
+    // genuinely time-disordered periods are sorted.
+    if captured.windows(2).any(|w| w[1].time < w[0].time) {
+        events.sort_by_key(|e| (e.time, tie_rank(&e.kind)));
+        let moved = events
+            .iter()
+            .zip(captured)
+            .filter(|(sorted, original)| sorted != original)
+            .count();
+        actions.push(RepairAction::ReorderedEvents {
+            period: index,
+            moved,
+        });
+    }
+
+    let mut tasks: BTreeMap<TaskId, WindowState> = BTreeMap::new();
+    let mut messages: BTreeMap<MessageId, WindowState> = BTreeMap::new();
+    let mut out: Vec<Event> = Vec::with_capacity(events.len());
+
+    for event in events {
+        match event.kind {
+            EventKind::TaskStart(task) => {
+                if let Entry::Vacant(slot) = tasks.entry(task) {
+                    slot.insert(WindowState::Open);
+                    out.push(event);
+                } else {
+                    actions.push(RepairAction::DroppedDuplicate {
+                        period: index,
+                        event,
+                    });
+                }
+            }
+            EventKind::TaskEnd(task) => match tasks.get(&task) {
+                Some(WindowState::Open) => {
+                    tasks.insert(task, WindowState::Closed);
+                    out.push(event);
+                }
+                Some(WindowState::Closed) => actions.push(RepairAction::DroppedDuplicate {
+                    period: index,
+                    event,
+                }),
+                None => {
+                    actions.push(RepairAction::SynthesizedTaskStart {
+                        period: index,
+                        task,
+                        at: event.time,
+                    });
+                    out.push(Event::new(event.time, EventKind::TaskStart(task)));
+                    out.push(event);
+                    tasks.insert(task, WindowState::Closed);
+                }
+            },
+            EventKind::MessageRise(message) => {
+                if let Entry::Vacant(slot) = messages.entry(message) {
+                    slot.insert(WindowState::Open);
+                    out.push(event);
+                } else {
+                    actions.push(RepairAction::DroppedDuplicate {
+                        period: index,
+                        event,
+                    });
+                }
+            }
+            EventKind::MessageFall(message) => match messages.get(&message) {
+                Some(WindowState::Open) => {
+                    messages.insert(message, WindowState::Closed);
+                    out.push(event);
+                }
+                Some(WindowState::Closed) => actions.push(RepairAction::DroppedDuplicate {
+                    period: index,
+                    event,
+                }),
+                None => {
+                    actions.push(RepairAction::SynthesizedMessageRise {
+                        period: index,
+                        message,
+                        at: event.time,
+                    });
+                    out.push(Event::new(event.time, EventKind::MessageRise(message)));
+                    out.push(event);
+                    messages.insert(message, WindowState::Closed);
+                }
+            },
+        }
+    }
+
+    // Close windows left open (dropped end / fall edges) at the period's
+    // last timestamp, preserving monotonicity.
+    let tail = out.last().map_or(Timestamp::ZERO, |e| e.time);
+    for (&task, &state) in &tasks {
+        if state == WindowState::Open {
+            actions.push(RepairAction::SynthesizedTaskEnd {
+                period: index,
+                task,
+                at: tail,
+            });
+            out.push(Event::new(tail, EventKind::TaskEnd(task)));
+        }
+    }
+    for (&message, &state) in &messages {
+        if state == WindowState::Open {
+            actions.push(RepairAction::SynthesizedMessageFall {
+                period: index,
+                message,
+                at: tail,
+            });
+            out.push(Event::new(tail, EventKind::MessageFall(message)));
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use bbmg_lattice::TaskUniverse;
+
+    use super::*;
+    use crate::raw::RawPeriod;
+
+    fn universe() -> TaskUniverse {
+        TaskUniverse::from_names(["a", "b"])
+    }
+
+    fn task(i: usize) -> TaskId {
+        TaskId::from_index(i)
+    }
+
+    fn msg(i: usize) -> MessageId {
+        MessageId::from_index(i)
+    }
+
+    fn ev(time: u64, kind: EventKind) -> Event {
+        Event::new(Timestamp::new(time), kind)
+    }
+
+    fn raw(periods: Vec<Vec<Event>>) -> RawTrace {
+        RawTrace {
+            universe: universe(),
+            periods: periods
+                .into_iter()
+                .enumerate()
+                .map(|(index, events)| RawPeriod { index, events })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn clean_input_passes_through() {
+        let input = raw(vec![vec![
+            ev(0, EventKind::TaskStart(task(0))),
+            ev(5, EventKind::TaskEnd(task(0))),
+            ev(6, EventKind::MessageRise(msg(0))),
+            ev(7, EventKind::MessageFall(msg(0))),
+            ev(8, EventKind::TaskStart(task(1))),
+            ev(9, EventKind::TaskEnd(task(1))),
+        ]]);
+        let outcome = repair(&input);
+        assert!(outcome.report.is_clean(), "{}", outcome.report);
+        assert_eq!(outcome.trace.periods().len(), 1);
+        assert_eq!(outcome.trace.periods()[0].events().len(), 6);
+    }
+
+    #[test]
+    fn out_of_order_events_are_sorted() {
+        let input = raw(vec![vec![
+            ev(5, EventKind::TaskEnd(task(0))),
+            ev(0, EventKind::TaskStart(task(0))),
+        ]]);
+        let outcome = repair(&input);
+        assert_eq!(outcome.trace.periods().len(), 1);
+        assert!(matches!(
+            outcome.report.actions[..],
+            [RepairAction::ReorderedEvents { moved: 2, .. }]
+        ));
+    }
+
+    #[test]
+    fn missing_task_end_is_synthesized() {
+        let input = raw(vec![vec![
+            ev(0, EventKind::TaskStart(task(0))),
+            ev(3, EventKind::MessageRise(msg(0))),
+            ev(4, EventKind::MessageFall(msg(0))),
+        ]]);
+        let outcome = repair(&input);
+        let period = &outcome.trace.periods()[0];
+        assert_eq!(period.events().len(), 4);
+        assert!(outcome.report.actions.iter().any(|a| matches!(
+            a,
+            RepairAction::SynthesizedTaskEnd { task: t, at, .. }
+                if *t == task(0) && *at == Timestamp::new(4)
+        )));
+        // The synthesized window is usable by the learner.
+        assert!(period.task_window(task(0)).is_some());
+    }
+
+    #[test]
+    fn unmatched_fall_gets_zero_width_rise() {
+        let input = raw(vec![vec![
+            ev(0, EventKind::TaskStart(task(0))),
+            ev(1, EventKind::TaskEnd(task(0))),
+            ev(2, EventKind::MessageFall(msg(7))),
+        ]]);
+        let outcome = repair(&input);
+        assert!(outcome.report.actions.iter().any(|a| matches!(
+            a,
+            RepairAction::SynthesizedMessageRise { message, .. } if *message == msg(7)
+        )));
+        assert_eq!(outcome.trace.periods()[0].messages().len(), 1);
+    }
+
+    #[test]
+    fn duplicate_events_are_dropped() {
+        let input = raw(vec![vec![
+            ev(0, EventKind::TaskStart(task(0))),
+            ev(1, EventKind::TaskStart(task(0))),
+            ev(2, EventKind::TaskEnd(task(0))),
+            ev(3, EventKind::TaskEnd(task(0))),
+            ev(4, EventKind::MessageRise(msg(0))),
+            ev(5, EventKind::MessageRise(msg(0))),
+            ev(6, EventKind::MessageFall(msg(0))),
+            ev(7, EventKind::MessageFall(msg(0))),
+        ]]);
+        let outcome = repair(&input);
+        let drops = outcome
+            .report
+            .actions
+            .iter()
+            .filter(|a| matches!(a, RepairAction::DroppedDuplicate { .. }))
+            .count();
+        assert_eq!(drops, 4);
+        assert_eq!(outcome.trace.periods()[0].events().len(), 4);
+    }
+
+    #[test]
+    fn too_corrupt_periods_are_quarantined() {
+        let corrupt = vec![
+            ev(0, EventKind::TaskEnd(task(0))),
+            ev(1, EventKind::MessageFall(msg(0))),
+            ev(2, EventKind::TaskEnd(task(1))),
+        ];
+        let clean = vec![
+            ev(0, EventKind::TaskStart(task(0))),
+            ev(1, EventKind::TaskEnd(task(0))),
+        ];
+        let input = raw(vec![corrupt, clean]);
+        let options = RepairOptions {
+            max_actions_per_period: Some(1),
+        };
+        let outcome = repair_with(&input, &options);
+        assert_eq!(outcome.report.kept_periods, 1);
+        assert_eq!(outcome.report.quarantined.len(), 1);
+        let q = &outcome.report.quarantined[0];
+        assert_eq!(q.index, 0);
+        assert_eq!(q.events, 3);
+        assert!(matches!(
+            q.reason,
+            QuarantineReason::TooCorrupt {
+                actions: 3,
+                limit: 1
+            }
+        ));
+        // The kept period is renumbered contiguously.
+        assert_eq!(outcome.trace.periods().len(), 1);
+        assert_eq!(outcome.trace.periods()[0].index(), 0);
+    }
+
+    #[test]
+    fn report_display_is_informative() {
+        let input = raw(vec![vec![ev(0, EventKind::TaskEnd(task(0)))]]);
+        let outcome = repair(&input);
+        let text = outcome.report.to_string();
+        assert!(text.contains("kept 1/1"), "{text}");
+        assert!(!outcome.report.is_clean());
+        for action in &outcome.report.actions {
+            assert!(!action.to_string().is_empty());
+        }
+    }
+}

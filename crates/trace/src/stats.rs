@@ -67,12 +67,20 @@ mod tests {
         let b = u.intern("b");
         let mut builder = TraceBuilder::new(u);
         builder.begin_period();
-        builder.task(a, Timestamp::new(0), Timestamp::new(5)).unwrap();
-        builder.message(Timestamp::new(6), Timestamp::new(7)).unwrap();
-        builder.task(b, Timestamp::new(8), Timestamp::new(9)).unwrap();
+        builder
+            .task(a, Timestamp::new(0), Timestamp::new(5))
+            .unwrap();
+        builder
+            .message(Timestamp::new(6), Timestamp::new(7))
+            .unwrap();
+        builder
+            .task(b, Timestamp::new(8), Timestamp::new(9))
+            .unwrap();
         builder.end_period().unwrap();
         builder.begin_period();
-        builder.task(a, Timestamp::new(20), Timestamp::new(25)).unwrap();
+        builder
+            .task(a, Timestamp::new(20), Timestamp::new(25))
+            .unwrap();
         builder.end_period().unwrap();
         let stats = builder.finish().stats();
         assert_eq!(stats.tasks, 2);

@@ -61,7 +61,10 @@ impl fmt::Display for TraceError {
                 write!(f, "task {task} ends before it starts in period {period}")
             }
             TraceError::MessageFallsBeforeRise { period } => {
-                write!(f, "message falling edge precedes rising edge in period {period}")
+                write!(
+                    f,
+                    "message falling edge precedes rising edge in period {period}"
+                )
             }
             TraceError::EventsOutOfOrder {
                 period,

@@ -91,9 +91,7 @@ pub fn figure_2_trace() -> Trace {
 /// Never panics; the tables are statically valid.
 #[must_use]
 pub fn paper_final_hypotheses() -> Vec<DependencyFunction> {
-    let parse = |rows: &[&[&str]]| {
-        DependencyFunction::from_rows(rows).expect("paper table parses")
-    };
+    let parse = |rows: &[&[&str]]| DependencyFunction::from_rows(rows).expect("paper table parses");
     vec![
         // d81
         parse(&[
@@ -196,10 +194,7 @@ mod tests {
     #[test]
     fn dlub_is_the_join_of_the_final_hypotheses() {
         let hs = paper_final_hypotheses();
-        let lub = hs
-            .iter()
-            .skip(1)
-            .fold(hs[0].clone(), |acc, d| acc.join(d));
+        let lub = hs.iter().skip(1).fold(hs[0].clone(), |acc, d| acc.join(d));
         assert_eq!(lub, paper_dlub());
     }
 

@@ -13,7 +13,10 @@ use bbmg_bench::{case_study_trace, PAPER_BOUNDS, PAPER_RUNTIMES_SEC};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = case_study_trace();
     println!("trace: {}", trace.stats());
-    println!("\n{:>6} {:>14} {:>14} {:>10}", "bound", "run time (s)", "paper (s)", "converged");
+    println!(
+        "\n{:>6} {:>14} {:>14} {:>10}",
+        "bound", "run time (s)", "paper (s)", "converged"
+    );
 
     let mut lubs = Vec::new();
     for (&bound, &paper) in PAPER_BOUNDS.iter().zip(&PAPER_RUNTIMES_SEC) {
@@ -34,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // agreement with the bound-1 fold.
     let reference = &lubs[0];
     let agreeing = lubs.iter().filter(|d| *d == reference).count();
-    println!("\nbounds whose LUB equals the bound-1 result: {agreeing}/{}", lubs.len());
+    println!(
+        "\nbounds whose LUB equals the bound-1 result: {agreeing}/{}",
+        lubs.len()
+    );
     let max_diff = lubs
         .iter()
         .map(|d| {

@@ -81,7 +81,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Operation modes of the two mode selectors.
     for selector in ["A", "B"] {
-        let report = modes::observed_modes(&report_trace(&report), &d, id(selector));
+        let report = modes::observed_modes(report_trace(&report), &d, id(selector));
         let rendered: Vec<String> = report
             .modes
             .iter()

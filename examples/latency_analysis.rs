@@ -40,8 +40,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("critical path: {}", names.join(" -> "));
 
     let bound = analysis.end_to_end(&path, &d);
-    println!("pessimistic end-to-end bound: {} time units", bound.pessimistic);
-    println!("dependency-informed bound:    {} time units", bound.informed);
+    println!(
+        "pessimistic end-to-end bound: {} time units",
+        bound.pessimistic
+    );
+    println!(
+        "dependency-informed bound:    {} time units",
+        bound.informed
+    );
     println!("improvement: {:.1}%", bound.improvement() * 100.0);
 
     // Zoom in on Q, the paper's example.

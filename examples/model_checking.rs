@@ -29,12 +29,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Ordering properties a verification engineer would pose. The paper's
     // flagship example is the Q/O interaction.
     let properties = [
-        "Q -> O",      // Q only completes after the infrastructure task O
-        "Q -> L",      // the actuation sink waits for the L pipeline
-        "L -> H",      // L is fed by the mode-merge H
-        "P -> M",      // P waits for M
-        "H -> S",      // everything descends from the period source
-        "Q -> C",      // NOT true: Q does not need mode task C specifically
+        "Q -> O", // Q only completes after the infrastructure task O
+        "Q -> L", // the actuation sink waits for the L pipeline
+        "L -> H", // L is fed by the mode-merge H
+        "P -> M", // P waits for M
+        "H -> S", // everything descends from the period source
+        "Q -> C", // NOT true: Q does not need mode task C specifically
     ];
 
     println!(

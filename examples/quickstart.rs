@@ -50,6 +50,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. Summarize with the least upper bound and render it.
     let d = result.lub().expect("nonempty");
     println!("\n{}", d.to_table(report.trace.universe()));
-    println!("{}", depgraph::to_dot(&d, report.trace.universe(), "quickstart"));
+    println!(
+        "{}",
+        depgraph::to_dot(&d, report.trace.universe(), "quickstart")
+    );
     Ok(())
 }

@@ -22,7 +22,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             learner.len()
         );
         for (i, d) in learner.hypotheses().iter().enumerate() {
-            println!("hypothesis {} (weight {}):\n{}", i + 1, d.weight(), d.to_table(&universe));
+            println!(
+                "hypothesis {} (weight {}):\n{}",
+                i + 1,
+                d.weight(),
+                d.to_table(&universe)
+            );
         }
     }
 
@@ -40,7 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nd_LUB (paper Figure 4):\n{}", lub.to_table(&universe));
     println!(
         "matches the paper's printed d_LUB: {}",
-        if lub == simple::paper_dlub() { "yes" } else { "NO" }
+        if lub == simple::paper_dlub() {
+            "yes"
+        } else {
+            "NO"
+        }
     );
     Ok(())
 }

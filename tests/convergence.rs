@@ -5,9 +5,9 @@
 //! are left, more periods in the trace are needed."
 
 use bbmg::core::{learn, LearnOptions, Learner};
+use bbmg::lattice::TaskUniverse;
 use bbmg::moc::{append_canonical_period, CanonicalTiming, DesignModel};
 use bbmg::trace::{Timestamp, TraceBuilder};
-use bbmg::lattice::TaskUniverse;
 use bbmg::workloads::{gm, simple};
 
 /// A deterministic pipeline (no disjunctions) converges after one period:
@@ -59,10 +59,7 @@ fn repeating_identical_periods_is_a_fixpoint() {
 
 #[test]
 fn bound_one_always_converges() {
-    for trace in [
-        simple::figure_2_trace(),
-        gm::gm_trace(2007).unwrap().trace,
-    ] {
+    for trace in [simple::figure_2_trace(), gm::gm_trace(2007).unwrap().trace] {
         let result = learn(&trace, LearnOptions::bounded(1)).unwrap();
         assert!(result.converged());
         assert_eq!(result.hypotheses().len(), 1);

@@ -14,8 +14,16 @@ fn trace_has_paper_scale() {
     let stats = gm::gm_trace(2007).unwrap().trace.stats();
     assert_eq!(stats.tasks, 18);
     assert_eq!(stats.periods, 27);
-    assert!((280..=380).contains(&stats.messages), "got {}", stats.messages);
-    assert!((600..=800).contains(&stats.event_pairs), "got {}", stats.event_pairs);
+    assert!(
+        (280..=380).contains(&stats.messages),
+        "got {}",
+        stats.messages
+    );
+    assert!(
+        (600..=800).contains(&stats.event_pairs),
+        "got {}",
+        stats.event_pairs
+    );
 }
 
 #[test]

@@ -26,11 +26,7 @@ fn case_study_latency() -> (LatencyAnalysis, DependencyFunction, Vec<TaskId>) {
         .iter()
         .map(|n| gm::task(&model, n))
         .collect();
-    (
-        LatencyAnalysis::new(timings, config.frame_time),
-        d,
-        path,
-    )
+    (LatencyAnalysis::new(timings, config.frame_time), d, path)
 }
 
 #[test]
@@ -60,7 +56,10 @@ fn informed_bound_is_strictly_better_on_the_critical_path() {
         bound.informed < bound.pessimistic,
         "expected a strict improvement, got {bound:?}"
     );
-    assert!(bound.improvement() > 0.10, "improvement too small: {bound:?}");
+    assert!(
+        bound.improvement() > 0.10,
+        "improvement too small: {bound:?}"
+    );
     // Sanity: the informed bound still covers the raw execution demand.
     let raw: u64 = path.iter().map(|&t| analysis.timing(t).wcet).sum();
     assert!(bound.informed >= raw);

@@ -36,7 +36,10 @@ fn constrained_space_never_exceeds_unconstrained() {
         let d = result.lub().unwrap();
         let space = reachability::measure_state_space(&d);
         assert!(u128::from(space.constrained) <= space.unconstrained);
-        assert!(space.constrained >= 1, "the empty state is always reachable");
+        assert!(
+            space.constrained >= 1,
+            "the empty state is always reachable"
+        );
     }
 }
 

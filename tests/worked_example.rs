@@ -106,7 +106,11 @@ fn learner_does_not_converge_on_three_periods() {
 #[test]
 fn weights_order_the_final_set() {
     let result = learn(&simple::figure_2_trace(), LearnOptions::exact()).unwrap();
-    let weights: Vec<u64> = result.hypotheses().iter().map(DependencyFunction::weight).collect();
+    let weights: Vec<u64> = result
+        .hypotheses()
+        .iter()
+        .map(DependencyFunction::weight)
+        .collect();
     let mut sorted = weights.clone();
     sorted.sort_unstable();
     assert_eq!(weights, sorted, "hypotheses are returned in weight order");

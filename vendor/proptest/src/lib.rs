@@ -1,0 +1,117 @@
+//! Offline stand-in for `proptest` (see `vendor/README.md`).
+//!
+//! Provides the subset of the proptest API this workspace uses: the
+//! [`proptest!`] macro with optional `#![proptest_config(..)]`, the
+//! [`Strategy`](strategy::Strategy) trait with `prop_map`/`prop_flat_map`,
+//! range/tuple/[`Just`](strategy::Just)/`any` strategies,
+//! `collection::vec`, `sample::select` and a regex-subset string strategy.
+//!
+//! Cases are generated from a deterministic per-test seed; there is no
+//! shrinking and no regression-file persistence — a failing case panics
+//! with the case number so it can be replayed by rerunning the test.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The glob-import surface mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Path-style access mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ..) { body }`
+/// expands to a `#[test]` running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $( $(#[$attr:meta])* fn $name:ident(
+        $($pat:pat in $strat:expr),+ $(,)?
+    ) $body:block )*) => {
+        $(
+            $(#[$attr])*
+            #[test]
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    // The body runs in a `Result`-returning closure so that
+                    // `return Ok(())` and `?` work as they do upstream.
+                    let __outcome = (|| -> ::core::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > {
+                        $(
+                            let $pat = $crate::strategy::Strategy::generate(
+                                &($strat),
+                                &mut __rng,
+                            );
+                        )+
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    if let ::core::result::Result::Err(__err) = __outcome {
+                        panic!("case {__case} failed: {__err:?}");
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` under the proptest spelling.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under the proptest spelling.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under the proptest spelling.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the remaining body of the current case when the assumption does
+/// not hold. (The stand-in simply returns from the test; upstream
+/// proptest retries with a fresh case.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}

@@ -1,0 +1,262 @@
+//! Regex-subset string generation.
+//!
+//! Upstream proptest treats `&str` strategies as full regexes. The
+//! stand-in supports the subset the workspace's tests use: literals,
+//! groups `(..)`, alternation `|`, character classes `[a-z0-9]`,
+//! quantifiers `* + ? {m} {m,n}`, and the escapes `\d`, `\w`, `\s` and
+//! `\PC` (any printable, i.e. non-control, character — approximated by
+//! printable ASCII). Unknown constructs fall back to literal characters.
+
+use rand::Rng;
+
+use crate::test_runner::TestRng;
+
+/// Maximum repetitions generated for unbounded quantifiers (`*`, `+`).
+const UNBOUNDED_MAX: usize = 8;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Seq(Vec<Node>),
+    Alt(Vec<Node>),
+    Class(Vec<(char, char)>),
+    Lit(char),
+    Repeat(Box<Node>, usize, usize),
+}
+
+/// Generates one string matching `pattern`.
+pub(crate) fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let node = Parser {
+        chars: pattern.chars().collect(),
+        pos: 0,
+    }
+    .parse_alt();
+    let mut out = String::new();
+    emit(&node, rng, &mut out);
+    out
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Seq(items) => {
+            for item in items {
+                emit(item, rng, out);
+            }
+        }
+        Node::Alt(arms) => {
+            let arm = &arms[rng.gen_range(0..arms.len())];
+            emit(arm, rng, out);
+        }
+        Node::Class(ranges) => {
+            let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+            let span = hi as u32 - lo as u32;
+            let code = lo as u32 + rng.gen_range(0..=span);
+            out.push(char::from_u32(code).unwrap_or(lo));
+        }
+        Node::Lit(c) => out.push(*c),
+        Node::Repeat(inner, lo, hi) => {
+            let count = if hi <= lo {
+                *lo
+            } else {
+                rng.gen_range(*lo..=*hi)
+            };
+            for _ in 0..count {
+                emit(inner, rng, out);
+            }
+        }
+    }
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn parse_alt(&mut self) -> Node {
+        let mut arms = vec![self.parse_seq()];
+        while self.peek() == Some('|') {
+            self.next();
+            arms.push(self.parse_seq());
+        }
+        if arms.len() == 1 {
+            arms.pop().expect("one arm")
+        } else {
+            Node::Alt(arms)
+        }
+    }
+
+    fn parse_seq(&mut self) -> Node {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.parse_atom();
+            items.push(self.parse_quantifier(atom));
+        }
+        Node::Seq(items)
+    }
+
+    fn parse_quantifier(&mut self, atom: Node) -> Node {
+        match self.peek() {
+            Some('*') => {
+                self.next();
+                Node::Repeat(Box::new(atom), 0, UNBOUNDED_MAX)
+            }
+            Some('+') => {
+                self.next();
+                Node::Repeat(Box::new(atom), 1, UNBOUNDED_MAX)
+            }
+            Some('?') => {
+                self.next();
+                Node::Repeat(Box::new(atom), 0, 1)
+            }
+            Some('{') => {
+                self.next();
+                let mut spec = String::new();
+                while let Some(c) = self.peek() {
+                    if c == '}' {
+                        self.next();
+                        break;
+                    }
+                    spec.push(c);
+                    self.next();
+                }
+                let (lo, hi) = match spec.split_once(',') {
+                    Some((lo, "")) => {
+                        let lo = lo.parse().unwrap_or(0);
+                        (lo, lo.max(UNBOUNDED_MAX))
+                    }
+                    Some((lo, hi)) => (lo.parse().unwrap_or(0), hi.parse().unwrap_or(0)),
+                    None => {
+                        let n = spec.parse().unwrap_or(0);
+                        (n, n)
+                    }
+                };
+                Node::Repeat(Box::new(atom), lo, hi.max(lo))
+            }
+            _ => atom,
+        }
+    }
+
+    fn parse_atom(&mut self) -> Node {
+        match self.next() {
+            Some('(') => {
+                let inner = self.parse_alt();
+                if self.peek() == Some(')') {
+                    self.next();
+                }
+                inner
+            }
+            Some('[') => self.parse_class(),
+            Some('\\') => self.parse_escape(),
+            Some('.') => printable(),
+            Some(c) => Node::Lit(c),
+            None => Node::Seq(Vec::new()),
+        }
+    }
+
+    fn parse_class(&mut self) -> Node {
+        let mut ranges = Vec::new();
+        while let Some(c) = self.next() {
+            if c == ']' {
+                break;
+            }
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                self.next();
+                let hi = self.next().unwrap_or(c);
+                ranges.push((c, hi));
+            } else {
+                ranges.push((c, c));
+            }
+        }
+        if ranges.is_empty() {
+            printable()
+        } else {
+            Node::Class(ranges)
+        }
+    }
+
+    fn parse_escape(&mut self) -> Node {
+        match self.next() {
+            Some('d') => Node::Class(vec![('0', '9')]),
+            Some('w') => Node::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+            Some('s') => Node::Lit(' '),
+            // \PC / \pC style one-letter Unicode property: consume the
+            // property letter and generate printable characters.
+            Some('P' | 'p') => {
+                if self.peek() == Some('{') {
+                    while let Some(c) = self.next() {
+                        if c == '}' {
+                            break;
+                        }
+                    }
+                } else {
+                    self.next();
+                }
+                printable()
+            }
+            Some(c) => Node::Lit(c),
+            None => Node::Seq(Vec::new()),
+        }
+    }
+}
+
+fn printable() -> Node {
+    Node::Class(vec![(' ', '~')])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pattern: &str, case: u32) -> String {
+        let mut rng = TestRng::for_case("string_gen", case);
+        generate(pattern, &mut rng)
+    }
+
+    #[test]
+    fn literals_and_classes() {
+        assert_eq!(gen("abc", 0), "abc");
+        for case in 0..50 {
+            let s = gen("[a-c]{2,4}", case);
+            assert!((2..=4).contains(&s.len()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        for case in 0..50 {
+            let s = gen(
+                "(tasks|period|end|[0-9]{1,4} (start|end|rise|fall) [a-z0-9]{1,4})",
+                case,
+            );
+            assert!(!s.is_empty());
+            if !["tasks", "period", "end"].contains(&s.as_str()) {
+                assert!(s.contains(' '), "unexpected shape: {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn printable_star() {
+        for case in 0..50 {
+            let s = gen("\\PC*", case);
+            assert!(s.len() <= UNBOUNDED_MAX);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Offline stand-in for `rand_chacha` (see `vendor/README.md`).
+//!
+//! Exposes [`ChaCha8Rng`] with the `seed_from_u64` constructor the
+//! workspace uses. The underlying stream is the vendored `rand` crate's
+//! xoshiro256++ generator — deterministic per seed, but not bit-compatible
+//! with the upstream ChaCha8 stream (nothing in-repo depends on that).
+
+use rand::rngs::SmallRng;
+
+/// Re-export module mirroring the real crate's `rand_core` dependency
+/// path (`rand_chacha::rand_core::SeedableRng`).
+pub mod rand_core {
+    pub use rand::{RngCore, SeedableRng};
+}
+
+/// Seeded deterministic generator with the `ChaCha8Rng` API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaCha8Rng {
+    inner: SmallRng,
+}
+
+impl rand_core::SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        ChaCha8Rng {
+            inner: <SmallRng as rand_core::SeedableRng>::seed_from_u64(seed),
+        }
+    }
+}
+
+impl rand_core::RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rand_core::SeedableRng;
+    use super::ChaCha8Rng;
+    use rand::Rng;
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..32 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+}
