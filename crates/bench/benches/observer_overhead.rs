@@ -1,0 +1,50 @@
+//! Observer overhead: the no-op observer must be free (the hooks
+//! monomorphize to nothing), and the real sinks must stay cheap relative
+//! to the learner's own work.
+//!
+//! Four variants learn the same trace: the uninstrumented `learn`, the
+//! generic `learn_with` under a [`NoopObserver`] (the ≤ 2% acceptance
+//! bar), an in-memory [`Recorder`], and a [`JsonlSink`] serializing every
+//! event to [`std::io::sink`] (pure serialization cost, no disk).
+
+use bbmg_bench::exact_tractable_trace;
+use bbmg_core::{learn, learn_with, LearnOptions};
+use bbmg_obs::{JsonlSink, NoopObserver, Recorder};
+use bbmg_workloads::simple;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn observer_overhead(c: &mut Criterion) {
+    let traces = [
+        ("worked_example", simple::figure_2_trace()),
+        ("random_7_tasks", exact_tractable_trace()),
+    ];
+    for (name, trace) in &traces {
+        let options = LearnOptions::bounded(64);
+        let mut group = c.benchmark_group(format!("observer_overhead/{name}"));
+        group.bench_function("uninstrumented", |b| {
+            b.iter(|| black_box(learn(black_box(trace), options).unwrap()))
+        });
+        group.bench_function("noop", |b| {
+            b.iter(|| black_box(learn_with(black_box(trace), options, &mut NoopObserver).unwrap()))
+        });
+        group.bench_function("recorder", |b| {
+            b.iter(|| {
+                let mut recorder = Recorder::new();
+                let result = learn_with(black_box(trace), options, &mut recorder).unwrap();
+                black_box((result, recorder.len()))
+            })
+        });
+        group.bench_function("jsonl", |b| {
+            b.iter(|| {
+                let mut sink = JsonlSink::new(std::io::sink());
+                let result = learn_with(black_box(trace), options, &mut sink).unwrap();
+                black_box(result)
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, observer_overhead);
+criterion_main!(benches);

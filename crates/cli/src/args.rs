@@ -10,15 +10,28 @@ USAGE:
   bbmg simulate --workload <gm|simple|random:tasks=N[,edges=P]> \\
                 [--periods N] [--seed S] [--fault-rate R] [--fault-seed S] [-o FILE]
   bbmg stats   <TRACE>
-  bbmg learn   <TRACE> [LEARNER] [--table] [--hypotheses]
-  bbmg analyze <TRACE> [LEARNER]
-  bbmg dot     <TRACE> [LEARNER] [--name NAME]
-  bbmg check   <TRACE> --prop \"Q -> O\" [LEARNER]
-  bbmg explain <TRACE> --pair SENDER,RECEIVER [LEARNER]
+  bbmg learn   <TRACE> [LEARNER] [TELEMETRY] [--table] [--hypotheses]
+  bbmg analyze <TRACE> [LEARNER] [TELEMETRY]
+  bbmg dot     <TRACE> [LEARNER] [TELEMETRY] [--name NAME]
+  bbmg check   <TRACE> --prop \"Q -> O\" [LEARNER] [TELEMETRY]
+  bbmg explain <TRACE> --pair SENDER,RECEIVER [LEARNER] [TELEMETRY]
+  bbmg profile <TRACE> [LEARNER] [TELEMETRY] [--chrome-out FILE]
   bbmg help
 
-LEARNER options (shared by learn/analyze/dot/check/explain):
+LEARNER options (shared by learn/analyze/dot/check/explain/profile):
   [--bound B | --exact] [--set-limit N] [--on-error <abort|skip|repair>]
+
+TELEMETRY options (shared by the same commands):
+  [--metrics-out FILE]   write a metrics snapshot (JSON, schema
+                         `bbmg-metrics/1`: set-size/branch-factor/period
+                         timing percentiles and event counters)
+  [--events-out FILE]    stream every learner event as JSON Lines
+
+`bbmg profile` runs the learner purely for telemetry: it prints the
+metrics table and a per-period convergence timeline (hypothesis count
+and lattice distance to the final model), and `--chrome-out FILE`
+additionally writes a Chrome trace-event file (load it in
+chrome://tracing or https://ui.perfetto.dev).
 
 Traces use the line-oriented text format written by `bbmg simulate`, or
 the CSV interchange format (header `time,kind,subject,period`) — the
@@ -120,6 +133,23 @@ impl Default for LearnerChoice {
     }
 }
 
+/// Telemetry outputs shared by the learner-backed commands
+/// (`--metrics-out`, `--events-out`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Telemetry {
+    /// Write a [`bbmg_obs::MetricsSnapshot`] as JSON to this path.
+    pub metrics_out: Option<String>,
+    /// Stream learner events as JSON Lines to this path.
+    pub events_out: Option<String>,
+}
+
+impl Telemetry {
+    /// True when no telemetry output was requested.
+    pub fn is_empty(&self) -> bool {
+        self.metrics_out.is_none() && self.events_out.is_none()
+    }
+}
+
 /// Options for `bbmg stats`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StatsOptions {
@@ -134,6 +164,8 @@ pub struct LearnCmdOptions {
     pub trace: String,
     /// Learner configuration.
     pub learner: LearnerChoice,
+    /// Telemetry outputs.
+    pub telemetry: Telemetry,
     /// Print the LUB as a table (default when nothing else is selected).
     pub table: bool,
     /// Print every most-specific hypothesis.
@@ -147,6 +179,8 @@ pub struct AnalyzeOptions {
     pub trace: String,
     /// Learner configuration.
     pub learner: LearnerChoice,
+    /// Telemetry outputs.
+    pub telemetry: Telemetry,
 }
 
 /// Options for `bbmg check`.
@@ -156,6 +190,8 @@ pub struct CheckOptions {
     pub trace: String,
     /// Learner configuration.
     pub learner: LearnerChoice,
+    /// Telemetry outputs.
+    pub telemetry: Telemetry,
     /// The property source text.
     pub prop: String,
 }
@@ -167,6 +203,8 @@ pub struct ExplainOptions {
     pub trace: String,
     /// Learner configuration.
     pub learner: LearnerChoice,
+    /// Telemetry outputs.
+    pub telemetry: Telemetry,
     /// Sender task name.
     pub sender: String,
     /// Receiver task name.
@@ -180,8 +218,23 @@ pub struct DotOptions {
     pub trace: String,
     /// Learner configuration.
     pub learner: LearnerChoice,
+    /// Telemetry outputs.
+    pub telemetry: Telemetry,
     /// Graph name in the DOT output.
     pub name: String,
+}
+
+/// Options for `bbmg profile`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileOptions {
+    /// Trace file path.
+    pub trace: String,
+    /// Learner configuration.
+    pub learner: LearnerChoice,
+    /// Telemetry outputs.
+    pub telemetry: Telemetry,
+    /// Write a Chrome trace-event file to this path.
+    pub chrome_out: Option<String>,
 }
 
 /// A parsed command line.
@@ -201,6 +254,8 @@ pub enum Command {
     Check(CheckOptions),
     /// `bbmg explain`.
     Explain(ExplainOptions),
+    /// `bbmg profile`.
+    Profile(ProfileOptions),
     /// `bbmg help`.
     Help,
 }
@@ -368,6 +423,23 @@ impl Args {
         })
     }
 
+    fn telemetry(&mut self) -> Result<Telemetry, CliError> {
+        let metrics_out = match self.take("metrics-out") {
+            None => None,
+            Some(None) => return Err(usage("--metrics-out requires a file path")),
+            Some(Some(path)) => Some(path),
+        };
+        let events_out = match self.take("events-out") {
+            None => None,
+            Some(None) => return Err(usage("--events-out requires a file path")),
+            Some(Some(path)) => Some(path),
+        };
+        Ok(Telemetry {
+            metrics_out,
+            events_out,
+        })
+    }
+
     fn trace_path(&mut self, command: &str) -> Result<String, CliError> {
         if self.positional.is_empty() {
             return Err(usage(format!("`{command}` needs a trace file argument")));
@@ -459,12 +531,14 @@ where
         "learn" => {
             let trace = args.trace_path("learn")?;
             let learner = args.learner()?;
+            let telemetry = args.telemetry()?;
             let table = args.take_flag("table")?;
             let hypotheses = args.take_flag("hypotheses")?;
             args.finish("learn")?;
             Ok(Command::Learn(LearnCmdOptions {
                 trace,
                 learner,
+                telemetry,
                 // Default to the table when nothing was selected.
                 table: table || !hypotheses,
                 hypotheses,
@@ -473,12 +547,18 @@ where
         "analyze" => {
             let trace = args.trace_path("analyze")?;
             let learner = args.learner()?;
+            let telemetry = args.telemetry()?;
             args.finish("analyze")?;
-            Ok(Command::Analyze(AnalyzeOptions { trace, learner }))
+            Ok(Command::Analyze(AnalyzeOptions {
+                trace,
+                learner,
+                telemetry,
+            }))
         }
         "check" => {
             let trace = args.trace_path("check")?;
             let learner = args.learner()?;
+            let telemetry = args.telemetry()?;
             let prop: String = args
                 .take_value("prop")?
                 .ok_or_else(|| usage("check needs --prop \"...\""))?;
@@ -486,12 +566,14 @@ where
             Ok(Command::Check(CheckOptions {
                 trace,
                 learner,
+                telemetry,
                 prop,
             }))
         }
         "explain" => {
             let trace = args.trace_path("explain")?;
             let learner = args.learner()?;
+            let telemetry = args.telemetry()?;
             let pair: String = args
                 .take_value("pair")?
                 .ok_or_else(|| usage("explain needs --pair SENDER,RECEIVER"))?;
@@ -504,6 +586,7 @@ where
             Ok(Command::Explain(ExplainOptions {
                 trace,
                 learner,
+                telemetry,
                 sender: sender.trim().to_owned(),
                 receiver: receiver.trim().to_owned(),
             }))
@@ -511,6 +594,7 @@ where
         "dot" => {
             let trace = args.trace_path("dot")?;
             let learner = args.learner()?;
+            let telemetry = args.telemetry()?;
             let name = args
                 .take_value("name")?
                 .unwrap_or_else(|| "learned".to_owned());
@@ -518,7 +602,25 @@ where
             Ok(Command::Dot(DotOptions {
                 trace,
                 learner,
+                telemetry,
                 name,
+            }))
+        }
+        "profile" => {
+            let trace = args.trace_path("profile")?;
+            let learner = args.learner()?;
+            let telemetry = args.telemetry()?;
+            let chrome_out = match args.take("chrome-out") {
+                None => None,
+                Some(None) => return Err(usage("--chrome-out requires a file path")),
+                Some(Some(path)) => Some(path),
+            };
+            args.finish("profile")?;
+            Ok(Command::Profile(ProfileOptions {
+                trace,
+                learner,
+                telemetry,
+                chrome_out,
             }))
         }
         other => Err(usage(format!("unknown command `{other}`"))),
@@ -692,6 +794,79 @@ mod tests {
         assert_eq!(o.fault_seed, 3);
         assert!(matches!(
             parse_args(["simulate", "--workload", "gm", "--fault-rate", "1.5"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn telemetry_flags_parse_on_learner_commands() {
+        let cmd = parse_args([
+            "learn",
+            "t.txt",
+            "--metrics-out",
+            "m.json",
+            "--events-out=e.jsonl",
+        ])
+        .unwrap();
+        let Command::Learn(o) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(o.telemetry.metrics_out.as_deref(), Some("m.json"));
+        assert_eq!(o.telemetry.events_out.as_deref(), Some("e.jsonl"));
+        assert!(!o.telemetry.is_empty());
+
+        let cmd = parse_args(["analyze", "t.txt"]).unwrap();
+        let Command::Analyze(o) = cmd else {
+            panic!("wrong command")
+        };
+        assert!(o.telemetry.is_empty());
+
+        let cmd = parse_args(["dot", "t.txt", "--events-out", "e.jsonl"]).unwrap();
+        let Command::Dot(o) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(o.telemetry.events_out.as_deref(), Some("e.jsonl"));
+
+        // Stats is not learner-backed, so the flags are rejected there.
+        assert!(matches!(
+            parse_args(["stats", "t.txt", "--metrics-out", "m.json"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn profile_parses() {
+        let cmd = parse_args([
+            "profile",
+            "t.txt",
+            "--bound",
+            "8",
+            "--metrics-out",
+            "m.json",
+            "--events-out",
+            "e.jsonl",
+            "--chrome-out",
+            "c.json",
+        ])
+        .unwrap();
+        let Command::Profile(o) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(o.trace, "t.txt");
+        assert_eq!(o.learner.bound, Some(8));
+        assert_eq!(o.telemetry.metrics_out.as_deref(), Some("m.json"));
+        assert_eq!(o.telemetry.events_out.as_deref(), Some("e.jsonl"));
+        assert_eq!(o.chrome_out.as_deref(), Some("c.json"));
+
+        let cmd = parse_args(["profile", "t.txt"]).unwrap();
+        let Command::Profile(o) = cmd else {
+            panic!("wrong command")
+        };
+        assert!(o.telemetry.is_empty());
+        assert_eq!(o.chrome_out, None);
+        assert!(matches!(parse_args(["profile"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse_args(["profile", "t.txt", "--chrome-out"]),
             Err(CliError::Usage(_))
         ));
     }

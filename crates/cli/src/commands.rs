@@ -1,14 +1,15 @@
 //! Command implementations.
 
-use std::io::Write;
+use std::io::{BufWriter, Write};
 
-use bbmg_core::{learn, robust_learn, LearnOptions, LearnResult, OnInconsistent};
+use bbmg_core::{learn_with, robust_learn_with, LearnOptions, LearnResult, OnInconsistent};
+use bbmg_obs::{Event, JsonlSink, Metrics, Observer, Tee};
 use bbmg_trace::{
-    parse_csv, parse_csv_raw, parse_trace, repair_with, ParseCsvError, RawCsvParse, RepairOptions,
-    Trace,
+    parse_csv, parse_csv_raw, parse_trace, repair_observed, ParseCsvError, RawCsvParse,
+    RepairOptions, Trace,
 };
 
-use crate::args::{CliError, LearnerChoice, OnError};
+use crate::args::{CliError, LearnerChoice, OnError, Telemetry};
 
 /// Header that identifies the CSV interchange format.
 const CSV_HEADER: &str = "time,kind,subject,period";
@@ -46,7 +47,14 @@ fn row_error_notes(notes: &mut Vec<String>, errors: &[ParseCsvError], skipped_ro
 /// and synthesizing missing window edges where possible. The native text
 /// format is strict by construction, so the policy only matters past
 /// parsing there.
-pub(crate) fn load_trace(path: &str, on_error: OnError) -> Result<LoadedTrace, CliError> {
+///
+/// Repair actions and load-time quarantines are emitted into `observer`
+/// (pass [`bbmg_obs::NoopObserver`] when telemetry is off).
+pub(crate) fn load_trace<O: Observer + ?Sized>(
+    path: &str,
+    on_error: OnError,
+    observer: &mut O,
+) -> Result<LoadedTrace, CliError> {
     let text = std::fs::read_to_string(path)?;
     let first_line = text.lines().next().unwrap_or("").trim();
     let mut notes = Vec::new();
@@ -68,7 +76,7 @@ pub(crate) fn load_trace(path: &str, on_error: OnError) -> Result<LoadedTrace, C
                     },
                     _ => RepairOptions::default(),
                 };
-                let outcome = repair_with(&raw, &options);
+                let outcome = repair_observed(&raw, &options, observer);
                 if !outcome.report.is_clean() {
                     notes.push(outcome.report.to_string());
                 }
@@ -83,9 +91,8 @@ pub(crate) fn load_trace(path: &str, on_error: OnError) -> Result<LoadedTrace, C
     Ok(LoadedTrace { trace, notes })
 }
 
-/// Runs the learner per the command-line choice: the plain learner for
-/// [`OnError::Abort`], the robust (quarantining) learner otherwise.
-pub(crate) fn run_learner(trace: &Trace, choice: LearnerChoice) -> Result<LearnResult, CliError> {
+/// Builds [`LearnOptions`] from the command-line choice.
+pub(crate) fn learn_options(choice: LearnerChoice) -> Result<LearnOptions, CliError> {
     let mut options = match choice.bound {
         Some(bound) => LearnOptions::try_bounded(bound)
             .ok_or_else(|| CliError::Usage("--bound must be at least 1".into()))?,
@@ -96,12 +103,93 @@ pub(crate) fn run_learner(trace: &Trace, choice: LearnerChoice) -> Result<LearnR
             .try_with_set_limit(limit)
             .ok_or_else(|| CliError::Usage("--set-limit must be at least 1".into()))?;
     }
+    Ok(options)
+}
+
+/// Runs the learner per the command-line choice — the plain learner for
+/// [`OnError::Abort`], the robust (quarantining) learner otherwise —
+/// streaming events into `observer`.
+pub(crate) fn run_learner<O: Observer + ?Sized>(
+    trace: &Trace,
+    choice: LearnerChoice,
+    observer: &mut O,
+) -> Result<LearnResult, CliError> {
+    let options = learn_options(choice)?;
     match choice.on_error {
-        OnError::Abort => Ok(learn(trace, options)?),
-        OnError::Skip | OnError::Repair => Ok(robust_learn(
+        OnError::Abort => Ok(learn_with(trace, options, observer)?),
+        OnError::Skip | OnError::Repair => Ok(robust_learn_with(
             trace,
             options.with_on_inconsistent(OnInconsistent::SkipPeriod),
+            observer,
         )?),
+    }
+}
+
+/// Observer that renders learner degradation events (quarantines,
+/// fallbacks) as the CLI's `note:` lines — the single path by which
+/// dropped observations reach the user.
+#[derive(Debug, Default)]
+pub(crate) struct NoteSink {
+    /// Rendered note lines, in event order.
+    notes: Vec<String>,
+    /// Whether the exact learner fell back to the bounded heuristic.
+    fell_back: bool,
+}
+
+impl Observer for NoteSink {
+    fn record(&mut self, event: Event) {
+        match event {
+            Event::Quarantine { period, reason } => {
+                self.notes
+                    .push(format!("period {period} skipped: {reason}"));
+            }
+            Event::Fallback { .. } => self.fell_back = true,
+            _ => {}
+        }
+    }
+}
+
+/// File-backed telemetry sinks opened from the `--metrics-out` /
+/// `--events-out` flags; [`TelemetrySinks::finish`] writes the metrics
+/// snapshot and flushes the event stream.
+pub(crate) struct TelemetrySinks {
+    metrics: Option<(String, Metrics)>,
+    events: Option<JsonlSink<BufWriter<std::fs::File>>>,
+}
+
+impl TelemetrySinks {
+    pub(crate) fn open(telemetry: &Telemetry) -> Result<Self, CliError> {
+        let metrics = telemetry
+            .metrics_out
+            .clone()
+            .map(|path| (path, Metrics::new()));
+        let events = match &telemetry.events_out {
+            Some(path) => Some(JsonlSink::new(BufWriter::new(std::fs::File::create(path)?))),
+            None => None,
+        };
+        Ok(TelemetrySinks { metrics, events })
+    }
+
+    /// Adds whichever sinks are open to `tee`.
+    pub(crate) fn attach<'a>(&'a mut self, mut tee: Tee<'a>) -> Tee<'a> {
+        if let Some((_, metrics)) = &mut self.metrics {
+            tee = tee.with(metrics);
+        }
+        if let Some(events) = &mut self.events {
+            tee = tee.with(events);
+        }
+        tee
+    }
+
+    /// Writes the metrics JSON and flushes the event stream.
+    pub(crate) fn finish(self) -> Result<(), CliError> {
+        if let Some((path, metrics)) = self.metrics {
+            std::fs::write(path, format!("{}\n", metrics.snapshot().to_json()))?;
+        }
+        if let Some(events) = self.events {
+            events.finish()?.flush()?;
+        }
+        Ok(())
     }
 }
 
@@ -111,15 +199,15 @@ pub(crate) fn run_learner(trace: &Trace, choice: LearnerChoice) -> Result<LearnR
 pub(crate) fn report_degradation(
     out: &mut dyn Write,
     loaded: &LoadedTrace,
-    result: &LearnResult,
+    notes: &NoteSink,
 ) -> Result<(), CliError> {
     for note in &loaded.notes {
         writeln!(out, "note: {note}")?;
     }
-    for skip in &result.stats().skipped_periods {
-        writeln!(out, "note: {skip}")?;
+    for note in &notes.notes {
+        writeln!(out, "note: {note}")?;
     }
-    if result.stats().fallbacks > 0 {
+    if notes.fell_back {
         writeln!(out, "note: fell back to the bounded heuristic")?;
     }
     Ok(())
@@ -179,11 +267,13 @@ pub(crate) mod simulate {
 }
 
 pub(crate) mod stats {
+    use bbmg_obs::NoopObserver;
+
     use super::{load_trace, CliError, Write};
     use crate::args::{OnError, StatsOptions};
 
     pub(crate) fn run(options: &StatsOptions, out: &mut dyn Write) -> Result<(), CliError> {
-        let trace = load_trace(&options.trace, OnError::Abort)?.trace;
+        let trace = load_trace(&options.trace, OnError::Abort, &mut NoopObserver)?.trace;
         let stats = trace.stats();
         writeln!(out, "{stats}")?;
         writeln!(out, "tasks:")?;
@@ -204,14 +294,25 @@ pub(crate) mod stats {
 }
 
 pub(crate) mod learn {
-    use super::{load_trace, report_degradation, run_learner, CliError, Write};
+    use bbmg_obs::Tee;
+
+    use super::TelemetrySinks;
+    use super::{load_trace, report_degradation, run_learner, CliError, NoteSink, Write};
     use crate::args::LearnCmdOptions;
 
     pub(crate) fn run(options: &LearnCmdOptions, out: &mut dyn Write) -> Result<(), CliError> {
-        let loaded = load_trace(&options.trace, options.learner.on_error)?;
+        let mut sinks = TelemetrySinks::open(&options.telemetry)?;
+        let mut notes = NoteSink::default();
+        let loaded = {
+            let mut tee = sinks.attach(Tee::new());
+            load_trace(&options.trace, options.learner.on_error, &mut tee)?
+        };
         let trace = &loaded.trace;
-        let result = run_learner(trace, options.learner)?;
-        report_degradation(out, &loaded, &result)?;
+        let result = {
+            let mut tee = sinks.attach(Tee::new()).with(&mut notes);
+            run_learner(trace, options.learner, &mut tee)?
+        };
+        report_degradation(out, &loaded, &notes)?;
         writeln!(
             out,
             "{} most-specific hypothesis(es); converged: {}; {}",
@@ -230,6 +331,7 @@ pub(crate) mod learn {
             writeln!(out, "\nleast upper bound:")?;
             out.write_all(lub.to_table(trace.universe()).as_bytes())?;
         }
+        sinks.finish()?;
         Ok(())
     }
 }
@@ -238,14 +340,25 @@ pub(crate) mod analyze {
     use bbmg_analysis::{modes, properties, reachability};
     use bbmg_lattice::TaskId;
 
-    use super::{load_trace, report_degradation, run_learner, CliError, Write};
+    use bbmg_obs::Tee;
+
+    use super::TelemetrySinks;
+    use super::{load_trace, report_degradation, run_learner, CliError, NoteSink, Write};
     use crate::args::AnalyzeOptions;
 
     pub(crate) fn run(options: &AnalyzeOptions, out: &mut dyn Write) -> Result<(), CliError> {
-        let loaded = load_trace(&options.trace, options.learner.on_error)?;
+        let mut sinks = TelemetrySinks::open(&options.telemetry)?;
+        let mut notes = NoteSink::default();
+        let loaded = {
+            let mut tee = sinks.attach(Tee::new());
+            load_trace(&options.trace, options.learner.on_error, &mut tee)?
+        };
         let trace = &loaded.trace;
-        let result = run_learner(trace, options.learner)?;
-        report_degradation(out, &loaded, &result)?;
+        let result = {
+            let mut tee = sinks.attach(Tee::new()).with(&mut notes);
+            run_learner(trace, options.learner, &mut tee)?
+        };
+        report_degradation(out, &loaded, &notes)?;
         let d = result.lub().expect("nonempty");
         let universe = trace.universe();
 
@@ -307,6 +420,7 @@ pub(crate) mod analyze {
             space.constrained,
             space.reduction_factor()
         )?;
+        sinks.finish()?;
         Ok(())
     }
 }
@@ -314,17 +428,28 @@ pub(crate) mod analyze {
 pub(crate) mod dot {
     use bbmg_analysis::depgraph;
 
-    use super::{load_trace, run_learner, CliError, Write};
+    use bbmg_obs::Tee;
+
+    use super::{load_trace, run_learner, CliError, TelemetrySinks, Write};
     use crate::args::DotOptions;
 
     pub(crate) fn run(options: &DotOptions, out: &mut dyn Write) -> Result<(), CliError> {
-        // No degradation notes here: the output must stay valid DOT.
-        let loaded = load_trace(&options.trace, options.learner.on_error)?;
+        // No degradation notes here: the output must stay valid DOT; the
+        // telemetry files still capture every quarantine and repair.
+        let mut sinks = TelemetrySinks::open(&options.telemetry)?;
+        let loaded = {
+            let mut tee = sinks.attach(Tee::new());
+            load_trace(&options.trace, options.learner.on_error, &mut tee)?
+        };
         let trace = &loaded.trace;
-        let result = run_learner(trace, options.learner)?;
+        let result = {
+            let mut tee = sinks.attach(Tee::new());
+            run_learner(trace, options.learner, &mut tee)?
+        };
         let d = result.lub().expect("nonempty");
         let rendered = depgraph::to_dot(&d, trace.universe(), &options.name);
         out.write_all(rendered.as_bytes())?;
+        sinks.finish()?;
         Ok(())
     }
 }
@@ -333,15 +458,26 @@ pub(crate) mod check {
     use bbmg_check::{check_states, Prop};
     use bbmg_lattice::DependencyFunction;
 
-    use super::{load_trace, report_degradation, run_learner, CliError, Write};
+    use bbmg_obs::Tee;
+
+    use super::TelemetrySinks;
+    use super::{load_trace, report_degradation, run_learner, CliError, NoteSink, Write};
     use crate::args::CheckOptions;
 
     pub(crate) fn run(options: &CheckOptions, out: &mut dyn Write) -> Result<(), CliError> {
-        let loaded = load_trace(&options.trace, options.learner.on_error)?;
+        let mut sinks = TelemetrySinks::open(&options.telemetry)?;
+        let mut notes = NoteSink::default();
+        let loaded = {
+            let mut tee = sinks.attach(Tee::new());
+            load_trace(&options.trace, options.learner.on_error, &mut tee)?
+        };
         let trace = &loaded.trace;
         let prop = Prop::parse(&options.prop, trace.universe())?;
-        let result = run_learner(trace, options.learner)?;
-        report_degradation(out, &loaded, &result)?;
+        let result = {
+            let mut tee = sinks.attach(Tee::new()).with(&mut notes);
+            run_learner(trace, options.learner, &mut tee)?
+        };
+        report_degradation(out, &loaded, &notes)?;
         let d = result.lub().expect("nonempty");
 
         let blind = check_states(&DependencyFunction::bottom(trace.task_count()), &prop);
@@ -364,6 +500,7 @@ pub(crate) mod check {
             let names: Vec<&str> = cex.iter().map(|t| trace.universe().name(t)).collect();
             writeln!(out, "counterexample state: {{{}}}", names.join(","))?;
         }
+        sinks.finish()?;
         Ok(())
     }
 }
@@ -371,11 +508,19 @@ pub(crate) mod check {
 pub(crate) mod explain {
     use bbmg_core::explain_pair;
 
-    use super::{load_trace, report_degradation, run_learner, CliError, Write};
+    use bbmg_obs::Tee;
+
+    use super::TelemetrySinks;
+    use super::{load_trace, report_degradation, run_learner, CliError, NoteSink, Write};
     use crate::args::ExplainOptions;
 
     pub(crate) fn run(options: &ExplainOptions, out: &mut dyn Write) -> Result<(), CliError> {
-        let loaded = load_trace(&options.trace, options.learner.on_error)?;
+        let mut sinks = TelemetrySinks::open(&options.telemetry)?;
+        let mut notes = NoteSink::default();
+        let loaded = {
+            let mut tee = sinks.attach(Tee::new());
+            load_trace(&options.trace, options.learner.on_error, &mut tee)?
+        };
         let trace = &loaded.trace;
         let universe = trace.universe();
         let lookup = |name: &str| {
@@ -385,8 +530,11 @@ pub(crate) mod explain {
         };
         let sender = lookup(&options.sender)?;
         let receiver = lookup(&options.receiver)?;
-        let result = run_learner(trace, options.learner)?;
-        report_degradation(out, &loaded, &result)?;
+        let result = {
+            let mut tee = sinks.attach(Tee::new()).with(&mut notes);
+            run_learner(trace, options.learner, &mut tee)?
+        };
+        report_degradation(out, &loaded, &notes)?;
         let d = result.lub().expect("nonempty");
         writeln!(
             out,
@@ -409,6 +557,79 @@ pub(crate) mod explain {
         )?;
         for a in forced.iter().take(10) {
             writeln!(out, "  forced: message {}", a.message)?;
+        }
+        sinks.finish()?;
+        Ok(())
+    }
+}
+
+pub(crate) mod profile {
+    use bbmg_core::{convergence_timeline_with, OnInconsistent};
+    use bbmg_obs::{chrome_trace, Metrics, Recorder, Tee};
+
+    use super::TelemetrySinks;
+    use super::{learn_options, load_trace, report_degradation, CliError, NoteSink, Write};
+    use crate::args::{OnError, ProfileOptions};
+
+    pub(crate) fn run(options: &ProfileOptions, out: &mut dyn Write) -> Result<(), CliError> {
+        let mut sinks = TelemetrySinks::open(&options.telemetry)?;
+        // The metrics table is the command's point, so a collector runs
+        // even without --metrics-out; the recorder only when a Chrome
+        // trace was requested (it buffers every event in memory).
+        let mut metrics = Metrics::new();
+        let mut recorder = options.chrome_out.as_ref().map(|_| Recorder::new());
+        let mut notes = NoteSink::default();
+
+        let loaded = {
+            let mut tee = sinks.attach(Tee::new()).with(&mut metrics);
+            if let Some(recorder) = recorder.as_mut() {
+                tee = tee.with(recorder);
+            }
+            load_trace(&options.trace, options.learner.on_error, &mut tee)?
+        };
+
+        let mut learn_opts = learn_options(options.learner)?;
+        if options.learner.on_error != OnError::Abort {
+            learn_opts = learn_opts.with_on_inconsistent(OnInconsistent::SkipPeriod);
+        }
+        let timeline = {
+            let mut tee = sinks.attach(Tee::new()).with(&mut metrics).with(&mut notes);
+            if let Some(recorder) = recorder.as_mut() {
+                tee = tee.with(recorder);
+            }
+            convergence_timeline_with(&loaded.trace, learn_opts, &mut tee)?
+        };
+
+        report_degradation(out, &loaded, &notes)?;
+        writeln!(out, "{}", metrics.snapshot())?;
+        writeln!(out)?;
+        writeln!(
+            out,
+            "convergence timeline (distance = lattice distance to the final d_LUB):"
+        )?;
+        writeln!(out, "  period  hypotheses  lub-weight  distance")?;
+        for point in &timeline {
+            writeln!(
+                out,
+                "  {:>6}  {:>10}  {:>10}  {:>8}",
+                point.period, point.hypotheses, point.lub_weight, point.distance_to_final
+            )?;
+        }
+
+        if let (Some(path), Some(recorder)) = (&options.chrome_out, recorder) {
+            std::fs::write(path, chrome_trace(recorder.events()))?;
+            writeln!(
+                out,
+                "wrote {path} (chrome trace, {} events)",
+                recorder.len()
+            )?;
+        }
+        sinks.finish()?;
+        if let Some(path) = &options.telemetry.metrics_out {
+            writeln!(out, "wrote {path} (metrics json)")?;
+        }
+        if let Some(path) = &options.telemetry.events_out {
+            writeln!(out, "wrote {path} (events jsonl)")?;
         }
         Ok(())
     }
@@ -553,6 +774,98 @@ mod tests {
         assert!(
             kept(&repaired) >= kept(&skipped),
             "repair keeps at least as many periods: {repaired} vs {skipped}"
+        );
+    }
+
+    #[test]
+    fn profile_emits_telemetry_artifacts() {
+        let dir = std::env::temp_dir().join("bbmg_cli_profile");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("simple.txt");
+        let metrics = dir.join("metrics.json");
+        let events = dir.join("events.jsonl");
+        let chrome = dir.join("chrome.json");
+        let _ = run_to_string(&[
+            "simulate",
+            "--workload",
+            "simple",
+            "-o",
+            trace.to_str().unwrap(),
+        ]);
+
+        let text = run_to_string(&[
+            "profile",
+            trace.to_str().unwrap(),
+            "--exact",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--events-out",
+            events.to_str().unwrap(),
+            "--chrome-out",
+            chrome.to_str().unwrap(),
+        ]);
+        assert!(text.contains("set size"), "metrics table shown: {text}");
+        assert!(
+            text.contains("convergence timeline"),
+            "timeline shown: {text}"
+        );
+        assert!(text.contains("wrote"), "artifacts reported: {text}");
+
+        // The metrics file round-trips through the strict parser.
+        let snapshot =
+            bbmg_obs::MetricsSnapshot::parse_json(&std::fs::read_to_string(&metrics).unwrap())
+                .expect("written metrics validate against the schema");
+        assert_eq!(snapshot.periods, 3);
+        assert!(snapshot.hypotheses_generated > 0);
+
+        // The event stream is JSONL starting at period 0...
+        let stream = std::fs::read_to_string(&events).unwrap();
+        assert!(stream.lines().count() > 3);
+        assert!(stream.lines().next().unwrap().contains("\"period_start\""));
+        // ...and ends with the trailing convergence samples.
+        assert!(stream.lines().last().unwrap().contains("\"convergence\""));
+
+        // The Chrome trace is an object with a traceEvents array.
+        let chrome_text = std::fs::read_to_string(&chrome).unwrap();
+        let parsed = bbmg_obs::json::parse(&chrome_text).expect("chrome trace is valid json");
+        assert!(parsed.get("traceEvents").is_some());
+    }
+
+    #[test]
+    fn learn_telemetry_captures_degradation() {
+        let dir = std::env::temp_dir().join("bbmg_cli_telemetry");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("gm_faulty.csv");
+        let metrics = dir.join("metrics.json");
+        let _ = run_to_string(&[
+            "simulate",
+            "--workload",
+            "gm",
+            "--periods",
+            "12",
+            "--seed",
+            "1",
+            "--fault-rate",
+            "0.05",
+            "-o",
+            trace.to_str().unwrap(),
+        ]);
+        let text = run_to_string(&[
+            "learn",
+            trace.to_str().unwrap(),
+            "--on-error",
+            "repair",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ]);
+        assert!(text.contains("most-specific hypothesis(es)"));
+        let snapshot =
+            bbmg_obs::MetricsSnapshot::parse_json(&std::fs::read_to_string(&metrics).unwrap())
+                .expect("metrics validate");
+        // The load-time sanitizer's repair actions are part of the stream.
+        assert!(
+            snapshot.repairs > 0 || snapshot.quarantines > 0,
+            "degradation visible in metrics: {snapshot:?}"
         );
     }
 

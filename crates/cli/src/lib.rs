@@ -9,6 +9,7 @@
 //! bbmg learn trace.txt --bound 64 --table                # learned dependency function
 //! bbmg analyze trace.txt --bound 64                      # node kinds, musts, state space
 //! bbmg dot trace.txt --bound 64 > model.dot              # Figure-4/5 style graph
+//! bbmg profile trace.txt --metrics-out metrics.json      # learner telemetry
 //! ```
 //!
 //! Argument parsing is hand-rolled (the approved dependency set contains no
@@ -40,6 +41,7 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
         Command::Dot(options) => commands::dot::run(options, out),
         Command::Check(options) => commands::check::run(options, out),
         Command::Explain(options) => commands::explain::run(options, out),
+        Command::Profile(options) => commands::profile::run(options, out),
         Command::Help => {
             out.write_all(args::USAGE.as_bytes())?;
             Ok(())

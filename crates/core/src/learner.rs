@@ -3,6 +3,7 @@
 use std::collections::HashSet;
 
 use bbmg_lattice::{DependencyFunction, DependencyValue, TaskId};
+use bbmg_obs::{NoopObserver, Observer};
 use bbmg_trace::{Period, Trace};
 
 use crate::error::LearnError;
@@ -10,6 +11,15 @@ use crate::history::ExecutionHistory;
 use crate::hypothesis::Hypothesis;
 use crate::options::{LearnOptions, MergeAssumptions};
 use crate::stats::LearnStats;
+
+/// How many generated hypotheses pass between mid-period budget checks.
+///
+/// The hot loop used to consult the wall clock only at period boundaries;
+/// sampling every 1024 steps bounds how far a combinatorial blow-up can
+/// overshoot [`crate::Budget::max_wall_clock`] while keeping
+/// `Instant::now` (tens of nanoseconds, comparable to one branching step)
+/// off the per-hypothesis path.
+pub const BUDGET_SAMPLE_INTERVAL: usize = 1024;
 
 /// The incremental learner: feed it periods with [`observe`], read the
 /// current most-specific hypothesis set at any time.
@@ -114,6 +124,38 @@ impl Learner {
         Ok(())
     }
 
+    /// Sampled mid-period budget check (see [`BUDGET_SAMPLE_INTERVAL`]):
+    /// reads the wall clock at most once per sample window instead of per
+    /// generated hypothesis, and emits a `budget_tick` heartbeat when an
+    /// observer is listening.
+    fn sampled_budget_check<O: Observer + ?Sized>(
+        &self,
+        period: usize,
+        observer: &mut O,
+    ) -> Result<(), LearnError> {
+        let budget = &self.options.budget;
+        let steps = self.stats.hypotheses_generated;
+        // `Instant::now` is the expensive part; skip it entirely unless a
+        // wall-clock limit is set or a sink wants the heartbeat.
+        if budget.max_wall_clock.is_none() && !observer.is_enabled() {
+            if budget.max_steps.is_some_and(|limit| steps >= limit.get()) {
+                return Err(LearnError::BudgetExhausted { period, steps });
+            }
+            return Ok(());
+        }
+        let elapsed = self.started.elapsed();
+        observer.budget_tick(
+            steps,
+            u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
+        );
+        let tripped = budget.max_steps.is_some_and(|limit| steps >= limit.get())
+            || budget.max_wall_clock.is_some_and(|limit| elapsed >= limit);
+        if tripped {
+            return Err(LearnError::BudgetExhausted { period, steps });
+        }
+        Ok(())
+    }
+
     /// Processes one period.
     ///
     /// # Errors
@@ -122,11 +164,33 @@ impl Learner {
     /// different task count; [`LearnError::Inconsistent`] if the hypothesis
     /// set becomes empty (trace errors or inexpressible behaviour, §3.1);
     /// [`LearnError::BudgetExhausted`] if the configured
-    /// [`crate::Budget`] ran out — checked *before* the period is touched,
-    /// so the learner's state stays valid for everything observed so far.
+    /// [`crate::Budget`] ran out — the step/wall-clock guard runs before
+    /// the period is touched and then once every
+    /// [`BUDGET_SAMPLE_INTERVAL`] generated hypotheses, so a blow-up
+    /// inside one period is cut short; a mid-period trip leaves the
+    /// learner partially through the period (callers that need
+    /// transactional behaviour snapshot first, as
+    /// [`RobustLearner`](crate::RobustLearner) does).
     /// After an `Inconsistent` error the learner is empty and further
     /// observations keep failing.
     pub fn observe(&mut self, period: &Period) -> Result<(), LearnError> {
+        self.observe_with(period, &mut NoopObserver)
+    }
+
+    /// [`observe`](Learner::observe) with instrumentation: every branching
+    /// step, set-size change, merge, and budget heartbeat is reported to
+    /// `observer`. `observe` itself delegates here with
+    /// [`NoopObserver`], whose empty hooks inline away — the uninstrumented
+    /// path pays nothing (see the `observer_overhead` bench).
+    ///
+    /// # Errors
+    ///
+    /// As [`observe`](Learner::observe).
+    pub fn observe_with<O: Observer + ?Sized>(
+        &mut self,
+        period: &Period,
+        observer: &mut O,
+    ) -> Result<(), LearnError> {
         if period.universe() != self.tasks {
             return Err(LearnError::UniverseMismatch {
                 expected: self.tasks,
@@ -140,6 +204,7 @@ impl Learner {
                 message: None,
             });
         }
+        observer.period_start(period.index());
 
         // Step 1: execution-consistency weakening of claims introduced in
         // earlier periods, and history bookkeeping for claims introduced
@@ -165,6 +230,7 @@ impl Learner {
             let mut next: Vec<Hypothesis> = Vec::new();
             let mut seen: HashSet<Hypothesis> = HashSet::new();
             let union = self.options.merge_assumptions == MergeAssumptions::Union;
+            let generated_before = self.stats.hypotheses_generated;
             for h in &self.hypotheses {
                 for &(s, r) in &candidates {
                     if h.assumes(s, r) {
@@ -188,6 +254,13 @@ impl Learner {
                         continue;
                     }
                     self.stats.hypotheses_generated += 1;
+                    if self
+                        .stats
+                        .hypotheses_generated
+                        .is_multiple_of(BUDGET_SAMPLE_INTERVAL)
+                    {
+                        self.sampled_budget_check(period.index(), observer)?;
+                    }
                     if self.options.bound.is_some() {
                         // The heuristic keeps the working list weight-
                         // ordered so overflow can merge the two most
@@ -213,12 +286,25 @@ impl Learner {
                             // their least upper bound (§3.2).
                             let a = next.remove(0);
                             let b = next.remove(0);
-                            insert_by_weight(&mut next, a.merge(&b, union));
+                            let merged = a.merge(&b, union);
+                            observer.merge(
+                                period.index(),
+                                (a.weight(), b.weight()),
+                                merged.weight(),
+                            );
+                            insert_by_weight(&mut next, merged);
                             self.stats.merges += 1;
                         }
                     }
                 }
             }
+            observer.message_branch(
+                period.index(),
+                message.id.index(),
+                candidates.len(),
+                self.stats.hypotheses_generated - generated_before,
+            );
+            observer.hypothesis_set(period.index(), next.len());
             self.stats.observe_set_size(next.len());
             if next.is_empty() {
                 self.hypotheses.clear();
@@ -238,6 +324,7 @@ impl Learner {
         self.remove_redundant();
         self.stats.periods += 1;
         self.stats.set_sizes_per_period.push(self.hypotheses.len());
+        observer.period_end(period.index(), self.hypotheses.len());
         Ok(())
     }
 
@@ -392,9 +479,24 @@ impl LearnResult {
 ///
 /// See the [crate-level example](crate).
 pub fn learn(trace: &Trace, options: LearnOptions) -> Result<LearnResult, LearnError> {
+    learn_with(trace, options, &mut NoopObserver)
+}
+
+/// [`learn`] with instrumentation: every period, branching step, merge,
+/// and budget heartbeat is reported to `observer` (see
+/// [`Learner::observe_with`]).
+///
+/// # Errors
+///
+/// Propagates the first [`LearnError`] (see [`Learner::observe`]).
+pub fn learn_with<O: Observer + ?Sized>(
+    trace: &Trace,
+    options: LearnOptions,
+    observer: &mut O,
+) -> Result<LearnResult, LearnError> {
     let mut learner = Learner::new(trace.task_count(), options);
     for period in trace.periods() {
-        learner.observe(period)?;
+        learner.observe_with(period, observer)?;
     }
     Ok(learner.into_result())
 }
@@ -680,5 +782,108 @@ mod tests {
         assert_eq!(stats.set_sizes_per_period, vec![3]);
         assert!(stats.hypotheses_generated >= 5);
         assert!(stats.candidate_pairs_total >= 4);
+    }
+
+    /// One period whose second message branches past
+    /// [`BUDGET_SAMPLE_INTERVAL`] generated hypotheses: 8 feasible
+    /// senders x 8 feasible receivers give 64 candidates per message, so
+    /// the exact algorithm generates well over 1024 hypotheses while
+    /// explaining the second message.
+    fn blowup_trace() -> Trace {
+        let names: Vec<String> = (0..8)
+            .map(|i| format!("s{i}"))
+            .chain((0..8).map(|i| format!("r{i}")))
+            .collect();
+        let u = TaskUniverse::from_names(names);
+        let senders: Vec<TaskId> = (0..8)
+            .map(|i| u.lookup(&format!("s{i}")).unwrap())
+            .collect();
+        let receivers: Vec<TaskId> = (0..8)
+            .map(|i| u.lookup(&format!("r{i}")).unwrap())
+            .collect();
+        let mut b = TraceBuilder::new(u);
+        b.begin_period();
+        for (i, s) in senders.iter().enumerate() {
+            b.event(
+                Timestamp::new(i as u64),
+                bbmg_trace::EventKind::TaskStart(*s),
+            )
+            .unwrap();
+        }
+        for (i, s) in senders.iter().enumerate() {
+            b.event(
+                Timestamp::new(10 + i as u64),
+                bbmg_trace::EventKind::TaskEnd(*s),
+            )
+            .unwrap();
+        }
+        b.message(Timestamp::new(20), Timestamp::new(21)).unwrap();
+        b.message(Timestamp::new(22), Timestamp::new(23)).unwrap();
+        for (i, r) in receivers.iter().enumerate() {
+            b.event(
+                Timestamp::new(60 + i as u64),
+                bbmg_trace::EventKind::TaskStart(*r),
+            )
+            .unwrap();
+        }
+        for (i, r) in receivers.iter().enumerate() {
+            b.event(
+                Timestamp::new(70 + i as u64),
+                bbmg_trace::EventKind::TaskEnd(*r),
+            )
+            .unwrap();
+        }
+        b.end_period().unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn budget_heartbeat_fires_once_per_sample_window() {
+        use bbmg_obs::{Event, Recorder};
+
+        let trace = blowup_trace();
+        let mut recorder = Recorder::new();
+        let result = learn_with(&trace, LearnOptions::exact(), &mut recorder).unwrap();
+        assert!(
+            result.stats().hypotheses_generated >= BUDGET_SAMPLE_INTERVAL,
+            "the workload must cross at least one sample window, generated {}",
+            result.stats().hypotheses_generated
+        );
+        let ticks: Vec<usize> = recorder
+            .events()
+            .iter()
+            .filter_map(|e| match e.event {
+                Event::BudgetTick { steps, .. } => Some(steps),
+                _ => None,
+            })
+            .collect();
+        assert!(!ticks.is_empty(), "an enabled observer gets heartbeats");
+        assert!(
+            ticks.iter().all(|s| s % BUDGET_SAMPLE_INTERVAL == 0),
+            "heartbeats land exactly on sample windows: {ticks:?}"
+        );
+        assert_eq!(
+            ticks.len(),
+            result.stats().hypotheses_generated / BUDGET_SAMPLE_INTERVAL,
+            "one heartbeat per window"
+        );
+    }
+
+    #[test]
+    fn mid_period_budget_trip_cuts_the_blowup_short() {
+        // The boundary check passes (nothing generated yet), so only the
+        // sampled mid-period check can trip — at the first multiple of
+        // BUDGET_SAMPLE_INTERVAL past the limit.
+        let trace = blowup_trace();
+        let options = LearnOptions::exact()
+            .with_budget(crate::Budget::unlimited().with_max_steps(BUDGET_SAMPLE_INTERVAL));
+        let err = learn(&trace, options).unwrap_err();
+        match err {
+            LearnError::BudgetExhausted { period, steps } => {
+                assert_eq!(period, 0);
+                assert_eq!(steps, BUDGET_SAMPLE_INTERVAL, "tripped at the first window");
+            }
+            other => panic!("expected a mid-period budget trip, got {other:?}"),
+        }
     }
 }

@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod convergence;
 mod error;
 mod history;
 mod hypothesis;
@@ -59,14 +60,17 @@ mod robust;
 mod stats;
 mod witness;
 
+pub use convergence::{convergence_timeline, convergence_timeline_with, ConvergencePoint};
 pub use error::LearnError;
 pub use hypothesis::Hypothesis;
-pub use learner::{learn, LearnResult, Learner};
+pub use learner::{learn, learn_with, LearnResult, Learner, BUDGET_SAMPLE_INTERVAL};
 pub use matching::{
-    execution_consistent, matches_period, matches_period_relaxed, matches_trace,
-    matches_trace_relaxed,
+    execution_consistent, matches_period, matches_period_relaxed, matches_period_with,
+    matches_trace, matches_trace_relaxed, matches_trace_with,
 };
 pub use options::{Budget, LearnOptions, MergeAssumptions, OnInconsistent};
-pub use robust::{robust_learn, Observed, RobustLearner, DEFAULT_FALLBACK_BOUND};
+pub use robust::{
+    robust_learn, robust_learn_with, Observed, RobustLearner, DEFAULT_FALLBACK_BOUND,
+};
 pub use stats::{LearnStats, SkipCause, SkippedPeriod};
 pub use witness::{explain_pair, explain_period, Attribution};

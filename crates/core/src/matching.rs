@@ -7,6 +7,7 @@
 //! uses it to validate Theorems 2 and 3 on randomized inputs.
 
 use bbmg_lattice::{DependencyFunction, DependencyValue, TaskId};
+use bbmg_obs::{Event, Observer};
 use bbmg_trace::{Period, Trace};
 
 /// Whether `d` is consistent with the execution set of `period`: no task
@@ -108,11 +109,49 @@ pub fn matches_period_relaxed(d: &DependencyFunction, period: &Period) -> bool {
         })
 }
 
+/// [`matches_period`] with instrumentation: emits one `match_check` event
+/// carrying the two sub-verdicts (execution consistency, message
+/// explainability), so validation sweeps leave an audit trail in the same
+/// stream as the learn run they check.
+#[must_use]
+pub fn matches_period_with<O: Observer + ?Sized>(
+    d: &DependencyFunction,
+    period: &Period,
+    observer: &mut O,
+) -> bool {
+    let consistent = execution_consistent(d, period);
+    let explained = consistent && messages_explainable(d, period);
+    observer.record(Event::MatchCheck {
+        period: period.index(),
+        consistent,
+        explained,
+    });
+    consistent && explained
+}
+
 /// `M(d, I)` for a whole trace: matches every period (paper's lifting of
 /// `M` to `P(I)`).
 #[must_use]
 pub fn matches_trace(d: &DependencyFunction, trace: &Trace) -> bool {
     trace.periods().iter().all(|p| matches_period(d, p))
+}
+
+/// [`matches_trace`] with instrumentation: checks *every* period (no
+/// short-circuit, so the event stream covers the whole trace) and emits a
+/// `match_check` event per period.
+#[must_use]
+pub fn matches_trace_with<O: Observer + ?Sized>(
+    d: &DependencyFunction,
+    trace: &Trace,
+    observer: &mut O,
+) -> bool {
+    // Not `.all(...)`: that would short-circuit on the first mismatch and
+    // truncate the event stream.
+    #[allow(clippy::unnecessary_fold)]
+    trace
+        .periods()
+        .iter()
+        .fold(true, |acc, p| matches_period_with(d, p, observer) && acc)
 }
 
 /// Relaxed [`matches_trace`]; see [`matches_period_relaxed`].

@@ -26,6 +26,7 @@
 
 use std::num::NonZeroUsize;
 
+use bbmg_obs::{Event, NoopObserver, Observer};
 use bbmg_trace::{Period, Trace};
 
 use crate::error::LearnError;
@@ -145,6 +146,12 @@ impl RobustLearner {
         self.learner.converged()
     }
 
+    /// The current hypothesis set (see [`Learner::hypotheses`]).
+    #[must_use]
+    pub fn hypotheses(&self) -> Vec<&bbmg_lattice::DependencyFunction> {
+        self.learner.hypotheses()
+    }
+
     /// Processes one period under the degradation policy.
     ///
     /// # Errors
@@ -153,7 +160,22 @@ impl RobustLearner {
     /// [`LearnError::UniverseMismatch`] always propagates (feeding periods
     /// from a different universe is a caller bug, not trace corruption).
     pub fn observe(&mut self, period: &Period) -> Result<Observed, LearnError> {
-        self.observe_inner(period, true)
+        self.observe_inner(period, true, &mut NoopObserver)
+    }
+
+    /// [`observe`](RobustLearner::observe) with instrumentation: besides
+    /// the wrapped learner's events, quarantines and fallbacks are
+    /// reported to `observer`.
+    ///
+    /// # Errors
+    ///
+    /// As [`observe`](RobustLearner::observe).
+    pub fn observe_with<O: Observer + ?Sized>(
+        &mut self,
+        period: &Period,
+        observer: &mut O,
+    ) -> Result<Observed, LearnError> {
+        self.observe_inner(period, true, observer)
     }
 
     /// Feeds a negative example (a period the system is known *not* to
@@ -194,13 +216,14 @@ impl RobustLearner {
         self.learner.into_result()
     }
 
-    fn observe_inner(
+    fn observe_inner<O: Observer + ?Sized>(
         &mut self,
         period: &Period,
         allow_fallback: bool,
+        observer: &mut O,
     ) -> Result<Observed, LearnError> {
         let snapshot = self.learner.clone();
-        match self.learner.observe(period) {
+        match self.learner.observe_with(period, observer) {
             Ok(()) => {
                 self.accepted.push(period.clone());
                 Ok(Observed::Accepted)
@@ -209,18 +232,22 @@ impl RobustLearner {
                 if self.learner.options().on_inconsistent == OnInconsistent::SkipPeriod =>
             {
                 self.learner = snapshot;
-                Ok(Observed::Skipped(
-                    self.record_skip(p, SkipCause::Inconsistent { message }),
-                ))
+                let skip = self.record_skip(p, SkipCause::Inconsistent { message });
+                observer.quarantine(p, skip.cause.to_string());
+                Ok(Observed::Skipped(skip))
             }
             Err(LearnError::SetLimitExceeded { .. } | LearnError::BudgetExhausted { .. })
                 if allow_fallback && self.learner.options().bound.is_none() =>
             {
                 self.learner = snapshot;
-                self.fall_back()?;
-                self.observe_inner(period, false)
+                self.fall_back(observer)?;
+                self.observe_inner(period, false, observer)
             }
             Err(LearnError::BudgetExhausted { period: p, .. }) => {
+                // The sampled budget guard can trip mid-period, leaving
+                // the learner partially through it — roll back so the
+                // partial result only reflects fully-observed periods.
+                self.learner = snapshot;
                 Ok(Observed::BudgetStopped { period: p })
             }
             Err(err) => Err(err),
@@ -237,7 +264,7 @@ impl RobustLearner {
     /// accepted period. Quarantine records survive the switch; counter
     /// statistics restart (they describe the engine that produced the
     /// result, and that engine is now the bounded heuristic).
-    fn fall_back(&mut self) -> Result<(), LearnError> {
+    fn fall_back<O: Observer + ?Sized>(&mut self, observer: &mut O) -> Result<(), LearnError> {
         let old_stats = self.learner.stats().clone();
         let mut options = *self.learner.options();
         options.bound = Some(self.fallback_bound);
@@ -249,10 +276,13 @@ impl RobustLearner {
             ..LearnStats::default()
         };
         self.learner = fresh;
+        observer.record(Event::Fallback {
+            bound: self.fallback_bound.get(),
+        });
 
         let accepted = std::mem::take(&mut self.accepted);
         for period in &accepted {
-            match self.observe_inner(period, false)? {
+            match self.observe_inner(period, false, observer)? {
                 // Accepted periods are re-collected by observe_inner; a
                 // replay skip (possible under a different merge ordering)
                 // is recorded like any other.
@@ -274,6 +304,20 @@ impl RobustLearner {
 ///
 /// See [`RobustLearner::observe`].
 pub fn robust_learn(trace: &Trace, options: LearnOptions) -> Result<LearnResult, LearnError> {
+    robust_learn_with(trace, options, &mut NoopObserver)
+}
+
+/// [`robust_learn`] with instrumentation (see
+/// [`RobustLearner::observe_with`]).
+///
+/// # Errors
+///
+/// See [`RobustLearner::observe`].
+pub fn robust_learn_with<O: Observer + ?Sized>(
+    trace: &Trace,
+    options: LearnOptions,
+    observer: &mut O,
+) -> Result<LearnResult, LearnError> {
     let mut learner = RobustLearner::new(trace.task_count(), options);
     let mut stopped = false;
     for period in trace.periods() {
@@ -281,7 +325,7 @@ pub fn robust_learn(trace: &Trace, options: LearnOptions) -> Result<LearnResult,
             learner.mark_unprocessed(period.index());
             continue;
         }
-        match learner.observe(period)? {
+        match learner.observe_with(period, observer)? {
             Observed::Accepted | Observed::Skipped(_) => {}
             Observed::BudgetStopped { period: p } => {
                 learner.mark_unprocessed(p);
@@ -504,6 +548,96 @@ mod tests {
             "every period accounted for"
         );
         assert!(!result.hypotheses().is_empty());
+    }
+
+    /// A 16-task trace: one cheap period (a single unambiguous message),
+    /// then — when `with_blowup` — a period whose two messages each have
+    /// 8x8 feasible sender/receiver pairs, generating enough hypotheses to
+    /// cross the sampled budget guard mid-period.
+    fn cheap_then_blowup(with_blowup: bool) -> Trace {
+        let names: Vec<String> = (0..8)
+            .map(|i| format!("s{i}"))
+            .chain((0..8).map(|i| format!("r{i}")))
+            .collect();
+        let u = TaskUniverse::from_names(names);
+        let senders: Vec<_> = (0..8)
+            .map(|i| u.lookup(&format!("s{i}")).unwrap())
+            .collect();
+        let receivers: Vec<_> = (0..8)
+            .map(|i| u.lookup(&format!("r{i}")).unwrap())
+            .collect();
+        let mut b = TraceBuilder::new(u);
+        // Cheap period: only s0 and r0 run, so the message has exactly one
+        // feasible pair.
+        b.begin_period();
+        b.event(Timestamp::new(0), EventKind::TaskStart(senders[0]))
+            .unwrap();
+        b.event(Timestamp::new(10), EventKind::TaskEnd(senders[0]))
+            .unwrap();
+        b.message(Timestamp::new(20), Timestamp::new(21)).unwrap();
+        b.event(Timestamp::new(60), EventKind::TaskStart(receivers[0]))
+            .unwrap();
+        b.event(Timestamp::new(70), EventKind::TaskEnd(receivers[0]))
+            .unwrap();
+        b.end_period().unwrap();
+        if with_blowup {
+            let base = 1000;
+            b.begin_period();
+            for (i, s) in senders.iter().enumerate() {
+                b.event(Timestamp::new(base + i as u64), EventKind::TaskStart(*s))
+                    .unwrap();
+            }
+            for (i, s) in senders.iter().enumerate() {
+                b.event(Timestamp::new(base + 10 + i as u64), EventKind::TaskEnd(*s))
+                    .unwrap();
+            }
+            b.message(Timestamp::new(base + 20), Timestamp::new(base + 21))
+                .unwrap();
+            b.message(Timestamp::new(base + 22), Timestamp::new(base + 23))
+                .unwrap();
+            for (i, r) in receivers.iter().enumerate() {
+                b.event(
+                    Timestamp::new(base + 60 + i as u64),
+                    EventKind::TaskStart(*r),
+                )
+                .unwrap();
+            }
+            for (i, r) in receivers.iter().enumerate() {
+                b.event(Timestamp::new(base + 70 + i as u64), EventKind::TaskEnd(*r))
+                    .unwrap();
+            }
+            b.end_period().unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn mid_period_budget_trip_rolls_back_to_the_last_full_period() {
+        // The boundary check before the blow-up period passes (only a
+        // handful of steps consumed), so the trip happens *mid-period*,
+        // via the sampled guard. The partial branching work must be rolled
+        // back: the result has to be byte-identical to learning a trace
+        // that simply ends after the cheap period.
+        let full = cheap_then_blowup(true);
+        let truncated = cheap_then_blowup(false);
+        let options =
+            LearnOptions::bounded(16).with_budget(Budget::unlimited().with_max_steps(1024));
+
+        let stopped = robust_learn(&full, options).unwrap();
+        let clean = robust_learn(&truncated, options).unwrap();
+
+        assert_eq!(stopped.stats().periods, 1, "only the cheap period counts");
+        assert_eq!(stopped.stats().skipped_periods.len(), 1);
+        assert!(stopped
+            .stats()
+            .skipped_periods
+            .iter()
+            .all(|s| s.cause == SkipCause::BudgetExhausted));
+        assert_eq!(
+            stopped.hypotheses(),
+            clean.hypotheses(),
+            "no partial branching from the aborted period may leak through"
+        );
     }
 
     #[test]

@@ -219,6 +219,26 @@ impl DependencyFunction {
         self.values.iter().map(|v| v.distance()).sum()
     }
 
+    /// Pointwise lattice distance between two functions:
+    /// `Σ distance(a ⊔ b) − distance(a ⊓ b)` over all ordered pairs — the
+    /// valuation metric induced by [`weight`](Self::weight) (weight is
+    /// a valuation: `w(a ⊔ b) + w(a ⊓ b) = w(a) + w(b)` pointwise). Zero
+    /// iff the functions are equal; the convergence timeline uses it to
+    /// chart how far each period's `d_LUB` sits from the final model.
+    ///
+    /// # Panics
+    ///
+    /// If the functions are over different task universes.
+    #[must_use]
+    pub fn lattice_distance(&self, other: &DependencyFunction) -> u64 {
+        assert_eq!(self.tasks, other.tasks, "mismatched task universes");
+        self.values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| a.join(*b).distance() - a.meet(*b).distance())
+            .sum()
+    }
+
     /// Whether this is the bottom hypothesis `d⊥` (all `‖`).
     #[must_use]
     pub fn is_bottom(&self) -> bool {
@@ -479,5 +499,30 @@ mod tests {
         let it = d.ordered_pairs();
         assert_eq!(it.len(), 9);
         assert_eq!(it.count(), 9);
+    }
+
+    #[test]
+    fn lattice_distance_is_a_metric_on_examples() {
+        let mut a = DependencyFunction::bottom(3);
+        a.record_message(t(0), t(1));
+        let mut b = DependencyFunction::bottom(3);
+        b.record_message(t(1), t(2));
+
+        // Identity of indiscernibles and symmetry.
+        assert_eq!(a.lattice_distance(&a), 0);
+        assert_eq!(a.lattice_distance(&b), b.lattice_distance(&a));
+        assert!(a.lattice_distance(&b) > 0);
+
+        // Disjoint single-message functions differ in 4 entries of
+        // distance 1 each: join adds both messages, meet keeps neither.
+        assert_eq!(a.lattice_distance(&b), 4);
+
+        // Distance to bottom is the weight (join = a, meet = bottom).
+        let bottom = DependencyFunction::bottom(3);
+        assert_eq!(a.lattice_distance(&bottom), a.weight());
+
+        // Comparable pair: distance is the weight difference.
+        let joined = a.join(&b);
+        assert_eq!(a.lattice_distance(&joined), joined.weight() - a.weight());
     }
 }

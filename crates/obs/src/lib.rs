@@ -1,0 +1,34 @@
+//! Observability substrate for the black-box model-generation learner.
+//!
+//! The paper's algorithms are easy to state and hard to watch: the
+//! hypothesis set breathes (branch, dedup, merge) thousands of times inside
+//! a single `learn` call. This crate gives every instrumented layer one
+//! vocabulary ([`Event`]), one delivery mechanism (the [`Observer`] trait,
+//! with a statically-zero-cost [`NoopObserver`]), and composable sinks:
+//!
+//! * [`Recorder`] — in-memory, timestamped, feeds post-hoc analysis;
+//! * [`JsonlSink`] — streaming JSON-lines for machine consumption;
+//! * [`Metrics`] — counters + p50/p95/max histograms, frozen into a
+//!   [`MetricsSnapshot`] with a strict (`deny unknown fields`) JSON schema;
+//! * [`chrome_trace`] — renders a recording as a Chrome `trace_event`
+//!   document for `chrome://tracing` / Perfetto;
+//! * [`Tee`] — fans one stream out to several sinks.
+//!
+//! The crate is a dependency leaf (std only) so `bbmg-core`, `bbmg-trace`,
+//! and `bbmg-sim` can all emit into it without cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chrome;
+mod event;
+pub mod json;
+mod metrics;
+mod observer;
+mod sinks;
+
+pub use chrome::chrome_trace;
+pub use event::Event;
+pub use metrics::{Metrics, MetricsParseError, MetricsSnapshot, Summary, METRICS_SCHEMA};
+pub use observer::{NoopObserver, Observer, Tee};
+pub use sinks::{JsonlSink, Recorder, TimedEvent};

@@ -10,6 +10,7 @@
 
 use std::fmt;
 
+use bbmg_obs::{Event as ObsEvent, Observer};
 use bbmg_trace::{Event, EventKind, MessageId, RawPeriod, RawTrace, Timestamp, Trace};
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
@@ -61,6 +62,33 @@ pub enum InjectedFault {
         /// Number of tail events lost.
         dropped_events: usize,
     },
+}
+
+impl InjectedFault {
+    /// The period the fault was injected into.
+    #[must_use]
+    pub fn period(&self) -> usize {
+        match self {
+            InjectedFault::DroppedEvent { period, .. }
+            | InjectedFault::DuplicatedEvent { period, .. }
+            | InjectedFault::JitteredTimestamp { period, .. }
+            | InjectedFault::SpuriousMessage { period, .. }
+            | InjectedFault::TruncatedPeriod { period, .. } => *period,
+        }
+    }
+
+    /// Stable machine-readable name of the fault class (the
+    /// `fault_injected` event's `kind` field).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            InjectedFault::DroppedEvent { .. } => "dropped_event",
+            InjectedFault::DuplicatedEvent { .. } => "duplicated_event",
+            InjectedFault::JitteredTimestamp { .. } => "jittered_timestamp",
+            InjectedFault::SpuriousMessage { .. } => "spurious_message",
+            InjectedFault::TruncatedPeriod { .. } => "truncated_period",
+        }
+    }
 }
 
 impl fmt::Display for InjectedFault {
@@ -135,6 +163,25 @@ impl fmt::Display for FaultLog {
             self.len()
         )
     }
+}
+
+/// [`inject_faults`] with instrumentation: emits one `fault_injected`
+/// event per corruption into `observer`, putting the ground-truth labels
+/// in the same stream as the repair and learn events that react to them.
+#[must_use]
+pub fn inject_faults_observed<O: Observer + ?Sized>(
+    trace: &Trace,
+    config: &FaultConfig,
+    observer: &mut O,
+) -> (RawTrace, FaultLog) {
+    let (raw, log) = inject_faults(trace, config);
+    for fault in &log.faults {
+        observer.record(ObsEvent::FaultInjected {
+            period: fault.period(),
+            kind: fault.kind().to_owned(),
+        });
+    }
+    (raw, log)
 }
 
 /// Corrupts `trace` according to `config`, returning the degraded capture

@@ -48,5 +48,5 @@ pub use bus::CanBus;
 pub use config::{FaultConfig, SimConfig, TaskParams};
 pub use cpu::CpuScheduler;
 pub use engine::{SimError, SimReport, Simulator};
-pub use faults::{inject_faults, FaultLog, InjectedFault};
+pub use faults::{inject_faults, inject_faults_observed, FaultLog, InjectedFault};
 pub use stats::{ExecutionStats, TaskResponse};

@@ -57,8 +57,8 @@ pub use format::{parse_trace, write_trace, ParseTraceError};
 pub use period::{MessageWindow, Period};
 pub use raw::{RawPeriod, RawTrace};
 pub use repair::{
-    repair, repair_with, QuarantineReason, QuarantinedPeriod, RepairAction, RepairOptions,
-    RepairOutcome, RepairReport,
+    repair, repair_observed, repair_with, QuarantineReason, QuarantinedPeriod, RepairAction,
+    RepairOptions, RepairOutcome, RepairReport,
 };
 pub use stats::TraceStats;
 pub use trace::{Trace, TraceError};

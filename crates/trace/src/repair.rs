@@ -32,6 +32,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use bbmg_lattice::TaskId;
+use bbmg_obs::Observer;
 
 use crate::builder::TraceBuilder;
 use crate::event::{Event, EventKind, MessageId, Timestamp};
@@ -251,6 +252,26 @@ pub struct RepairOutcome {
 #[must_use]
 pub fn repair(raw: &RawTrace) -> RepairOutcome {
     repair_with(raw, &RepairOptions::default())
+}
+
+/// [`repair_with`] with instrumentation: emits one `repair_action` event
+/// per change and one `quarantine` event per excluded period into
+/// `observer`, so the sanitizer's work lands in the same stream as the
+/// learn run that consumes its output.
+#[must_use]
+pub fn repair_observed<O: Observer + ?Sized>(
+    raw: &RawTrace,
+    options: &RepairOptions,
+    observer: &mut O,
+) -> RepairOutcome {
+    let outcome = repair_with(raw, options);
+    for action in &outcome.report.actions {
+        observer.repair_action(action.period(), action.to_string());
+    }
+    for quarantined in &outcome.report.quarantined {
+        observer.quarantine(quarantined.index, quarantined.reason.to_string());
+    }
+    outcome
 }
 
 /// Repairs `raw`, quarantining periods that exceed the configured repair

@@ -1,0 +1,130 @@
+//! Measures observer overhead on a learn run and writes the
+//! `BENCH_observer.json` trajectory artifact.
+//!
+//! Four variants learn the same seeded workload: the uninstrumented
+//! learner, a [`NoopObserver`] (the acceptance bar: ≤ 2% overhead), an
+//! in-memory [`Recorder`], and a [`JsonlSink`] serializing to
+//! `std::io::sink()`. Every iteration's wall time is kept, so the
+//! artifact records a trajectory rather than a single summary number.
+//!
+//! Run with: `cargo run --release --example observer_overhead`
+//!
+//! [`NoopObserver`]: bbmg::obs::NoopObserver
+//! [`Recorder`]: bbmg::obs::Recorder
+//! [`JsonlSink`]: bbmg::obs::JsonlSink
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use bbmg::core::{learn, learn_with, LearnOptions};
+use bbmg::obs::{JsonlSink, NoopObserver, Recorder};
+use bbmg::sim::{SimConfig, Simulator};
+use bbmg::trace::Trace;
+use bbmg::workloads::random::{random_model, RandomModelConfig};
+
+const ITERATIONS: usize = 7;
+
+fn workload() -> Trace {
+    let model = random_model(&RandomModelConfig {
+        tasks: 8,
+        edge_probability: 0.3,
+        seed: 2007,
+        ..RandomModelConfig::default()
+    });
+    let config = SimConfig {
+        periods: 30,
+        period_length: 100_000,
+        seed: 2007,
+        ..SimConfig::default()
+    };
+    Simulator::new(&model, config)
+        .run()
+        .expect("fixed workload simulates")
+        .trace
+}
+
+/// Runs `f` [`ITERATIONS`] times and returns every wall time in micros.
+fn time_micros(mut f: impl FnMut()) -> Vec<u64> {
+    (0..ITERATIONS)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+        })
+        .collect()
+}
+
+fn median(samples: &[u64]) -> u64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    sorted[sorted.len() / 2]
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = workload();
+    let options = LearnOptions::bounded(64);
+
+    let variants: Vec<(&str, Vec<u64>)> = vec![
+        (
+            "uninstrumented",
+            time_micros(|| {
+                learn(&trace, options).expect("learns");
+            }),
+        ),
+        (
+            "noop",
+            time_micros(|| {
+                learn_with(&trace, options, &mut NoopObserver).expect("learns");
+            }),
+        ),
+        (
+            "recorder",
+            time_micros(|| {
+                let mut recorder = Recorder::new();
+                learn_with(&trace, options, &mut recorder).expect("learns");
+            }),
+        ),
+        (
+            "jsonl",
+            time_micros(|| {
+                let mut sink = JsonlSink::new(std::io::sink());
+                learn_with(&trace, options, &mut sink).expect("learns");
+            }),
+        ),
+    ];
+
+    let baseline = median(&variants[0].1).max(1);
+    println!("observer overhead (8-task random workload, bound 64, median of {ITERATIONS}):");
+    println!("{:<16} {:>12} {:>10}", "variant", "median (us)", "overhead");
+    for (name, samples) in &variants {
+        let med = median(samples);
+        let overhead = 100.0 * (med as f64 - baseline as f64) / baseline as f64;
+        println!("{name:<16} {med:>12} {overhead:>9.1}%");
+    }
+
+    // Hand-rolled JSON: fixed keys and numbers only, nothing to escape.
+    let mut json = String::from("{\"schema\":\"bbmg-bench-observer/1\",");
+    write!(
+        json,
+        "\"workload\":\"random:tasks=8 periods=30 seed=2007 bound=64\",\"iterations\":{ITERATIONS},\"variants\":["
+    )?;
+    for (i, (name, samples)) in variants.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let rendered: Vec<String> = samples.iter().map(u64::to_string).collect();
+        write!(
+            json,
+            "{{\"name\":\"{name}\",\"median_micros\":{},\"micros\":[{}]}}",
+            median(samples),
+            rendered.join(",")
+        )?;
+    }
+    let noop_overhead = 100.0 * (median(&variants[1].1) as f64 - baseline as f64) / baseline as f64;
+    write!(json, "],\"noop_overhead_percent\":{noop_overhead:.2}}}")?;
+    json.push('\n');
+
+    std::fs::write("BENCH_observer.json", &json)?;
+    println!("\nwrote BENCH_observer.json");
+    Ok(())
+}

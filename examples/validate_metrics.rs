@@ -1,0 +1,20 @@
+//! Validates a `bbmg profile --metrics-out` file against the strict
+//! `bbmg-metrics/1` schema — unknown, missing and duplicate fields are
+//! all errors. CI runs this on a freshly profiled trace so the emitted
+//! JSON can never drift from the schema unnoticed.
+//!
+//! Run with: `cargo run --example validate_metrics -- metrics.json`
+
+use bbmg::obs::MetricsSnapshot;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let path = std::env::args()
+        .nth(1)
+        .ok_or("usage: validate_metrics <metrics.json>")?;
+    let text = std::fs::read_to_string(&path)?;
+    let snapshot = MetricsSnapshot::parse_json(&text)
+        .map_err(|e| format!("{path} does not conform to bbmg-metrics/1: {e}"))?;
+    println!("{path}: valid bbmg-metrics/1 snapshot");
+    println!("{snapshot}");
+    Ok(())
+}

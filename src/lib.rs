@@ -20,6 +20,7 @@
 //! | [`moc`] | `bbmg-moc` | design models, firing semantics, behaviour enumeration |
 //! | [`sim`] | `bbmg-sim` | scheduler + CAN bus execution substrate |
 //! | [`core`] | `bbmg-core` | **the paper's learner**: exact + bounded-heuristic |
+//! | [`obs`] | `bbmg-obs` | observer trait, event taxonomy, metrics/JSONL/Chrome-trace sinks |
 //! | [`check`] | `bbmg-check` | safety-property language + white/black-box checkers |
 //! | [`analysis`] | `bbmg-analysis` | properties, latency, reachability, ground truth |
 //! | [`workloads`] | `bbmg-workloads` | paper case studies and random models |
@@ -51,6 +52,7 @@ pub use bbmg_core as core;
 pub use bbmg_graph as graph;
 pub use bbmg_lattice as lattice;
 pub use bbmg_moc as moc;
+pub use bbmg_obs as obs;
 pub use bbmg_sim as sim;
 pub use bbmg_trace as trace;
 pub use bbmg_workloads as workloads;

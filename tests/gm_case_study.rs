@@ -27,6 +27,7 @@ fn trace_has_paper_scale() {
 }
 
 #[test]
+#[ignore = "GM-scale exhaustive run (~25-100s); covered by the scheduled slow-suite CI job"]
 fn published_properties_are_proved_from_the_learned_model() {
     let model = gm::gm_model();
     let trace = gm::gm_trace(2007).unwrap().trace;
@@ -65,6 +66,7 @@ fn learned_hypotheses_match_the_trace() {
 }
 
 #[test]
+#[ignore = "GM-scale exhaustive run (~25-100s); covered by the scheduled slow-suite CI job"]
 fn learned_model_never_contradicts_semantic_ground_truth() {
     // Every learned unconditional claim must hold in the real design: if
     // the learner says d(a, b) = -> then a implies b in every enumerated
@@ -94,6 +96,7 @@ fn learned_model_never_contradicts_semantic_ground_truth() {
 }
 
 #[test]
+#[ignore = "GM-scale exhaustive run (~25-100s); covered by the scheduled slow-suite CI job"]
 fn accuracy_against_semantic_ground_truth_is_reported() {
     let model = gm::gm_model();
     let trace = gm::gm_trace(2007).unwrap().trace;
@@ -119,6 +122,7 @@ fn accuracy_against_semantic_ground_truth_is_reported() {
 }
 
 #[test]
+#[ignore = "GM-scale exhaustive run (~25-100s); covered by the scheduled slow-suite CI job"]
 fn operation_modes_of_the_mode_selectors_are_observed() {
     // §3.4 proves the "operation mode of tasks": A and B each choose among
     // two mode tasks, so with enough periods all three nonempty subsets
@@ -142,6 +146,7 @@ fn operation_modes_of_the_mode_selectors_are_observed() {
 }
 
 #[test]
+#[ignore = "GM-scale exhaustive run (~25-100s); covered by the scheduled slow-suite CI job"]
 fn different_seeds_learn_the_same_must_dependencies() {
     // Scheduler nondeterminism varies the trace but must never flip a
     // proven unconditional dependency of the published properties.
