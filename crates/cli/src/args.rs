@@ -20,6 +20,9 @@ USAGE:
 
 LEARNER options (shared by learn/analyze/dot/check/explain/profile):
   [--bound B | --exact] [--set-limit N] [--on-error <abort|skip|repair>]
+  [--threads N]          worker threads for the learner's data-parallel
+                         sweeps (default 1; 0 = one per CPU core). Results
+                         are byte-identical at every thread count.
 
 TELEMETRY options (shared by the same commands):
   [--metrics-out FILE]   write a metrics snapshot (JSON, schema
@@ -121,6 +124,9 @@ pub struct LearnerChoice {
     pub set_limit: Option<usize>,
     /// Degradation policy for bad input.
     pub on_error: OnError,
+    /// Worker threads for the learner's data-parallel sweeps (`--threads`;
+    /// `0` = auto-detect, results are identical at every setting).
+    pub threads: usize,
 }
 
 impl Default for LearnerChoice {
@@ -129,6 +135,7 @@ impl Default for LearnerChoice {
             bound: Some(64),
             set_limit: None,
             on_error: OnError::Abort,
+            threads: 1,
         }
     }
 }
@@ -413,6 +420,7 @@ impl Args {
         let bound: Option<usize> = self.take_value("bound")?;
         let set_limit: Option<usize> = self.take_value("set-limit")?;
         let on_error: Option<OnError> = self.take_value("on-error")?;
+        let threads: Option<usize> = self.take_value("threads")?;
         if exact && bound.is_some() {
             return Err(usage("--exact and --bound are mutually exclusive"));
         }
@@ -420,6 +428,7 @@ impl Args {
             bound: if exact { None } else { bound.or(Some(64)) },
             set_limit,
             on_error: on_error.unwrap_or_default(),
+            threads: threads.unwrap_or(1),
         })
     }
 
@@ -759,6 +768,30 @@ mod tests {
         assert_eq!(o.learner.on_error, OnError::Abort);
         assert!(matches!(
             parse_args(["learn", "t.txt", "--on-error", "explode"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn threads_flag_parses_on_learner_commands() {
+        let cmd = parse_args(["learn", "t.txt", "--threads", "8"]).unwrap();
+        let Command::Learn(o) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(o.learner.threads, 8);
+        // Default is sequential; 0 means auto-detect (resolved later).
+        let cmd = parse_args(["learn", "t.txt"]).unwrap();
+        let Command::Learn(o) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(o.learner.threads, 1);
+        let cmd = parse_args(["profile", "t.txt", "--threads=0"]).unwrap();
+        let Command::Profile(o) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(o.learner.threads, 0);
+        assert!(matches!(
+            parse_args(["learn", "t.txt", "--threads", "many"]),
             Err(CliError::Usage(_))
         ));
     }

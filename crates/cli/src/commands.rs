@@ -103,6 +103,16 @@ pub(crate) fn learn_options(choice: LearnerChoice) -> Result<LearnOptions, CliEr
             .try_with_set_limit(limit)
             .ok_or_else(|| CliError::Usage("--set-limit must be at least 1".into()))?;
     }
+    // `--threads 0` means "one worker per CPU core"; detection failure
+    // degrades to sequential rather than erroring.
+    let threads = if choice.threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        choice.threads
+    };
+    options = options
+        .try_with_parallelism(threads)
+        .expect("resolved thread count is nonzero");
     Ok(options)
 }
 

@@ -81,15 +81,37 @@ pub fn convergence_timeline_with<O: Observer + ?Sized>(
         Some((_, _, lub)) => lub.clone(),
         None => return Ok(Vec::new()),
     };
-    let timeline: Vec<ConvergencePoint> = snapshots
-        .into_iter()
-        .map(|(period, hypotheses, lub)| ConvergencePoint {
-            period,
-            hypotheses,
-            lub_weight: lub.weight(),
-            distance_to_final: lub.lattice_distance(&final_lub),
+    // The per-snapshot weight/distance computations are independent
+    // word-kernel sweeps; fan them out in chunk order (the timeline order
+    // is the snapshot order either way) once the timeline is long enough
+    // to amortize the spawns.
+    let threads = options.parallelism.get();
+    let timeline: Vec<ConvergencePoint> = if threads > 1 && snapshots.len() >= 64 {
+        let snapshots = &snapshots;
+        let final_lub = &final_lub;
+        crate::pool::chunk_map(threads, snapshots.len(), |range| {
+            snapshots[range]
+                .iter()
+                .map(|(period, hypotheses, lub)| ConvergencePoint {
+                    period: *period,
+                    hypotheses: *hypotheses,
+                    lub_weight: lub.weight(),
+                    distance_to_final: lub.lattice_distance(final_lub),
+                })
+                .collect::<Vec<ConvergencePoint>>()
         })
-        .collect();
+        .concat()
+    } else {
+        snapshots
+            .into_iter()
+            .map(|(period, hypotheses, lub)| ConvergencePoint {
+                period,
+                hypotheses,
+                lub_weight: lub.weight(),
+                distance_to_final: lub.lattice_distance(&final_lub),
+            })
+            .collect()
+    };
     for point in &timeline {
         observer.record(Event::Convergence {
             period: point.period,

@@ -66,6 +66,25 @@ impl Hypothesis {
         self.function.weight()
     }
 
+    /// A cheap 64-bit fingerprint covering the function *and* the
+    /// assumption set (both participate in `Eq`): equal hypotheses have
+    /// equal fingerprints, distinct ones collide with probability ≈ 2⁻⁶⁴.
+    /// The learner dedups on this first and falls back to full equality
+    /// only on collision.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = self.function.fingerprint();
+        // The BTreeSet iterates in sorted order, so the fold is canonical.
+        for &(s, r) in &self.assumptions {
+            h ^= ((s.index() as u64) << 32) | r.index() as u64;
+            h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            h ^= h >> 27;
+            h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+            h ^= h >> 31;
+        }
+        h
+    }
+
     /// Minimal generalization explaining a message assumed to travel
     /// `sender → receiver`, with the assumption recorded.
     ///

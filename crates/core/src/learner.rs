@@ -1,6 +1,6 @@
 //! The incremental generalization engine (paper §3.1–§3.2).
 
-use std::collections::HashSet;
+use std::collections::{HashMap, VecDeque};
 
 use bbmg_lattice::{DependencyFunction, DependencyValue, TaskId};
 use bbmg_obs::{NoopObserver, Observer};
@@ -10,6 +10,7 @@ use crate::error::LearnError;
 use crate::history::ExecutionHistory;
 use crate::hypothesis::Hypothesis;
 use crate::options::{LearnOptions, MergeAssumptions};
+use crate::pool;
 use crate::stats::LearnStats;
 
 /// How many generated hypotheses pass between mid-period budget checks.
@@ -20,6 +21,46 @@ use crate::stats::LearnStats;
 /// `Instant::now` (tens of nanoseconds, comparable to one branching step)
 /// off the per-hypothesis path.
 pub const BUDGET_SAMPLE_INTERVAL: usize = 1024;
+
+/// Minimum `hypotheses × candidates` product before exact-mode branching
+/// fans out to worker threads; below this the spawn cost dwarfs the work.
+/// Count-based (never timing-based), so the gate itself is deterministic.
+const PARALLEL_BRANCH_THRESHOLD: usize = 256;
+
+/// Minimum unique-hypothesis count before the redundancy scan fans out.
+const PARALLEL_SCAN_THRESHOLD: usize = 256;
+
+/// Minimum hypothesis count before negative-example matching fans out
+/// (each `matches_period` call does backtracking, so items are coarse).
+const PARALLEL_MATCH_THRESHOLD: usize = 8;
+
+/// First-seen-order deduplication keyed by cheap 64-bit fingerprints:
+/// full (expensive) `Hypothesis` equality runs only on a fingerprint
+/// collision, against the indexed backing slice.
+#[derive(Default)]
+struct FingerprintDedup {
+    buckets: HashMap<u64, Vec<usize>>,
+}
+
+impl FingerprintDedup {
+    /// Whether `candidate` equals a hypothesis already admitted to
+    /// `admitted` under `read`; if not, records it as `index`.
+    fn insert<T>(
+        &mut self,
+        fingerprint: u64,
+        index: usize,
+        candidate: &Hypothesis,
+        admitted: &[T],
+        read: impl Fn(&T) -> &Hypothesis,
+    ) -> bool {
+        let bucket = self.buckets.entry(fingerprint).or_default();
+        if bucket.iter().any(|&i| read(&admitted[i]) == candidate) {
+            return false;
+        }
+        bucket.push(index);
+        true
+    }
+}
 
 /// The incremental learner: feed it periods with [`observe`], read the
 /// current most-specific hypothesis set at any time.
@@ -227,18 +268,13 @@ impl Learner {
             self.stats.candidate_pairs_total += candidates.len();
             self.stats.messages += 1;
 
-            let mut next: Vec<Hypothesis> = Vec::new();
-            let mut seen: HashSet<Hypothesis> = HashSet::new();
-            let union = self.options.merge_assumptions == MergeAssumptions::Union;
-            let generated_before = self.stats.hypotheses_generated;
-            for h in &self.hypotheses {
-                for &(s, r) in &candidates {
-                    if h.assumes(s, r) {
-                        // At most one message per sender/receiver pair per
-                        // period: this pair is spoken for.
-                        continue;
-                    }
-                    let (forward, backward) = if self.options.history_aware {
+            // The minimal generalization values per candidate pair are
+            // hypothesis-independent: look them up once per message, not
+            // once per (hypothesis, candidate).
+            let joins: Vec<(DependencyValue, DependencyValue)> = candidates
+                .iter()
+                .map(|&(s, r)| {
+                    if self.options.history_aware {
                         (
                             self.history.forward_value(s, r),
                             self.history.backward_value(s, r),
@@ -248,56 +284,16 @@ impl Learner {
                         // current instance (violates the version-space
                         // invariant; see LearnOptions::history_aware).
                         (DependencyValue::Determines, DependencyValue::DependsOn)
-                    };
-                    let child = h.assume_message(s, r, forward, backward);
-                    if !seen.insert(child.clone()) {
-                        continue;
                     }
-                    self.stats.hypotheses_generated += 1;
-                    if self
-                        .stats
-                        .hypotheses_generated
-                        .is_multiple_of(BUDGET_SAMPLE_INTERVAL)
-                    {
-                        self.sampled_budget_check(period.index(), observer)?;
-                    }
-                    if self.options.bound.is_some() {
-                        // The heuristic keeps the working list weight-
-                        // ordered so overflow can merge the two most
-                        // specific entries.
-                        insert_by_weight(&mut next, child);
-                    } else {
-                        // The exact algorithm needs no order; sorted
-                        // insertion would cost O(n^2) across a blow-up.
-                        next.push(child);
-                    }
-                    if let Some(limit) = self.options.set_limit {
-                        if self.options.bound.is_none() && next.len() > limit.get() {
-                            self.hypotheses.clear();
-                            return Err(LearnError::SetLimitExceeded {
-                                period: period.index(),
-                                limit: limit.get(),
-                            });
-                        }
-                    }
-                    if let Some(bound) = self.options.bound {
-                        if next.len() > bound.get() {
-                            // Replace the two lowest-weight hypotheses by
-                            // their least upper bound (§3.2).
-                            let a = next.remove(0);
-                            let b = next.remove(0);
-                            let merged = a.merge(&b, union);
-                            observer.merge(
-                                period.index(),
-                                (a.weight(), b.weight()),
-                                merged.weight(),
-                            );
-                            insert_by_weight(&mut next, merged);
-                            self.stats.merges += 1;
-                        }
-                    }
-                }
-            }
+                })
+                .collect();
+
+            let generated_before = self.stats.hypotheses_generated;
+            let next = if self.options.bound.is_some() {
+                self.branch_bounded(period.index(), observer, &candidates, &joins)?
+            } else {
+                self.branch_exact(period.index(), observer, &candidates, &joins)?
+            };
             observer.message_branch(
                 period.index(),
                 message.id.index(),
@@ -326,6 +322,203 @@ impl Learner {
         self.stats.set_sizes_per_period.push(self.hypotheses.len());
         observer.period_end(period.index(), self.hypotheses.len());
         Ok(())
+    }
+
+    /// Exact-mode branching for one message: every (hypothesis, candidate)
+    /// pair spawns a child, deduplicated fingerprint-first.
+    ///
+    /// With `parallelism > 1` and enough work, child *generation* fans out
+    /// to scoped worker threads in contiguous hypothesis chunks; the
+    /// *reduce* — dedup, statistics, budget sampling, set-limit checks and
+    /// observer events — always runs on this thread, consuming chunks in
+    /// order. Since workers only map over disjoint read-only slices, the
+    /// reduced child sequence is exactly the sequential loop's sequence,
+    /// making results and event streams byte-identical at any thread count.
+    fn branch_exact<O: Observer + ?Sized>(
+        &mut self,
+        period: usize,
+        observer: &mut O,
+        candidates: &[(TaskId, TaskId)],
+        joins: &[(DependencyValue, DependencyValue)],
+    ) -> Result<Vec<Hypothesis>, LearnError> {
+        let mut next: Vec<Hypothesis> = Vec::new();
+        let mut dedup = FingerprintDedup::default();
+        let threads = self.options.parallelism.get();
+        let fan_out = threads > 1
+            && self.hypotheses.len() >= 2
+            && self.hypotheses.len() * candidates.len() >= PARALLEL_BRANCH_THRESHOLD;
+        if fan_out {
+            let hypotheses = &self.hypotheses;
+            let chunks = pool::chunk_map(threads, hypotheses.len(), |range| {
+                let mut out: Vec<(u64, Hypothesis)> = Vec::new();
+                for h in &hypotheses[range] {
+                    for (ci, &(s, r)) in candidates.iter().enumerate() {
+                        if h.assumes(s, r) {
+                            continue;
+                        }
+                        let (forward, backward) = joins[ci];
+                        let child = h.assume_message(s, r, forward, backward);
+                        out.push((child.fingerprint(), child));
+                    }
+                }
+                out
+            });
+            for (fingerprint, child) in chunks.into_iter().flatten() {
+                self.admit_exact_child(
+                    period,
+                    observer,
+                    &mut next,
+                    &mut dedup,
+                    fingerprint,
+                    child,
+                )?;
+            }
+        } else {
+            for hi in 0..self.hypotheses.len() {
+                for (ci, &(s, r)) in candidates.iter().enumerate() {
+                    let h = &self.hypotheses[hi];
+                    if h.assumes(s, r) {
+                        // At most one message per sender/receiver pair per
+                        // period: this pair is spoken for.
+                        continue;
+                    }
+                    let (forward, backward) = joins[ci];
+                    let child = h.assume_message(s, r, forward, backward);
+                    let fingerprint = child.fingerprint();
+                    self.admit_exact_child(
+                        period,
+                        observer,
+                        &mut next,
+                        &mut dedup,
+                        fingerprint,
+                        child,
+                    )?;
+                }
+            }
+        }
+        Ok(next)
+    }
+
+    /// The exact-mode per-child reduce step, shared verbatim by the
+    /// sequential loop and the parallel ordered reduce: dedup → count →
+    /// sampled budget check → admit → set-limit guard, in exactly the
+    /// order the pre-parallel implementation used.
+    fn admit_exact_child<O: Observer + ?Sized>(
+        &mut self,
+        period: usize,
+        observer: &mut O,
+        next: &mut Vec<Hypothesis>,
+        dedup: &mut FingerprintDedup,
+        fingerprint: u64,
+        child: Hypothesis,
+    ) -> Result<(), LearnError> {
+        if !dedup.insert(fingerprint, next.len(), &child, next, |h| h) {
+            return Ok(());
+        }
+        self.stats.hypotheses_generated += 1;
+        if self
+            .stats
+            .hypotheses_generated
+            .is_multiple_of(BUDGET_SAMPLE_INTERVAL)
+        {
+            self.sampled_budget_check(period, observer)?;
+        }
+        // The exact algorithm needs no weight order; sorted insertion
+        // would cost O(n^2) across a blow-up.
+        next.push(child);
+        if let Some(limit) = self.options.set_limit {
+            if next.len() > limit.get() {
+                self.hypotheses.clear();
+                return Err(LearnError::SetLimitExceeded {
+                    period,
+                    limit: limit.get(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Bounded-mode branching for one message (§3.2). Stays sequential on
+    /// purpose: each overflow merges the two currently lowest-weight
+    /// hypotheses, so the result depends on the exact interleaving of
+    /// insertions and merges — Theorem 4's convergence argument is about
+    /// precisely this order. The win here is structural instead: children
+    /// live in an arena and the working list is a weight-ordered
+    /// `VecDeque` of `(weight, index)` handles, so overflow extraction is
+    /// two O(1) `pop_front`s (previously two `Vec::remove(0)` memmoves),
+    /// insertion binary-searches cached weights (previously recomputed
+    /// `weight()` per probe), and dedup is fingerprint-first against the
+    /// arena (previously a clone of every child into a `HashSet`).
+    fn branch_bounded<O: Observer + ?Sized>(
+        &mut self,
+        period: usize,
+        observer: &mut O,
+        candidates: &[(TaskId, TaskId)],
+        joins: &[(DependencyValue, DependencyValue)],
+    ) -> Result<Vec<Hypothesis>, LearnError> {
+        let bound = self.options.bound.expect("bounded mode").get();
+        let union = self.options.merge_assumptions == MergeAssumptions::Union;
+        // Children stay in the arena even after a merge consumes them:
+        // dedup is defined over *generated* children (merged results were
+        // never dedup keys), matching the previous `seen` set's contents
+        // without cloning.
+        let mut arena: Vec<Option<Hypothesis>> = Vec::new();
+        let mut dedup = FingerprintDedup::default();
+        // (weight, arena index), ascending by weight, FIFO among equals.
+        let mut working: VecDeque<(u64, usize)> = VecDeque::new();
+        let insert = |working: &mut VecDeque<(u64, usize)>, w: u64, idx: usize| {
+            let pos = working.partition_point(|&(x, _)| x <= w);
+            working.insert(pos, (w, idx));
+        };
+        for hi in 0..self.hypotheses.len() {
+            for (ci, &(s, r)) in candidates.iter().enumerate() {
+                let h = &self.hypotheses[hi];
+                if h.assumes(s, r) {
+                    continue;
+                }
+                let (forward, backward) = joins[ci];
+                let child = h.assume_message(s, r, forward, backward);
+                let fingerprint = child.fingerprint();
+                if !dedup.insert(fingerprint, arena.len(), &child, &arena, |slot| {
+                    slot.as_ref().expect("dedup only indexes live children")
+                }) {
+                    continue;
+                }
+                self.stats.hypotheses_generated += 1;
+                if self
+                    .stats
+                    .hypotheses_generated
+                    .is_multiple_of(BUDGET_SAMPLE_INTERVAL)
+                {
+                    self.sampled_budget_check(period, observer)?;
+                }
+                let weight = child.weight();
+                let idx = arena.len();
+                arena.push(Some(child));
+                insert(&mut working, weight, idx);
+                if working.len() > bound {
+                    // Replace the two lowest-weight hypotheses by their
+                    // least upper bound (§3.2).
+                    let (wa, ia) = working.pop_front().expect("overflow implies nonempty");
+                    let (wb, ib) = working.pop_front().expect("bound >= 1");
+                    let merged = {
+                        let a = arena[ia].as_ref().expect("working entries are live");
+                        let b = arena[ib].as_ref().expect("working entries are live");
+                        a.merge(b, union)
+                    };
+                    observer.merge(period, (wa, wb), merged.weight());
+                    let mw = merged.weight();
+                    let midx = arena.len();
+                    arena.push(Some(merged));
+                    insert(&mut working, mw, midx);
+                    self.stats.merges += 1;
+                }
+            }
+        }
+        Ok(working
+            .iter()
+            .map(|&(_, idx)| arena[idx].take().expect("survivors are live and unique"))
+            .collect())
     }
 
     /// Processes a *negative* instance: a period known to be infeasible
@@ -357,8 +550,24 @@ impl Learner {
             });
         }
         let before = self.hypotheses.len();
-        self.hypotheses
-            .retain(|h| !crate::matching::matches_period(h.function(), period));
+        let threads = self.options.parallelism.get();
+        if threads > 1 && before >= PARALLEL_MATCH_THRESHOLD {
+            // Each matches_period call runs an independent backtracking
+            // search; fan the reads out, keep the retain order here.
+            let hypotheses = &self.hypotheses;
+            let keep: Vec<bool> = pool::chunk_map(threads, before, |range| {
+                range
+                    .map(|i| !crate::matching::matches_period(hypotheses[i].function(), period))
+                    .collect::<Vec<bool>>()
+            })
+            .concat();
+            let mut flags = keep.into_iter();
+            self.hypotheses
+                .retain(|_| flags.next().expect("one flag per hypothesis"));
+        } else {
+            self.hypotheses
+                .retain(|h| !crate::matching::matches_period(h.function(), period));
+        }
         if self.hypotheses.is_empty() {
             return Err(LearnError::Inconsistent {
                 period: period.index(),
@@ -369,30 +578,52 @@ impl Learner {
     }
 
     /// Unifies equal hypotheses and removes dominated ones: `d` is
-    /// redundant iff some other kept `d'` satisfies `d' ⊑ d`.
+    /// redundant iff some other `d'` satisfies `d' ⊑ d`, `d' ≠ d`.
+    ///
+    /// Dedup is fingerprint-first (full equality only on collision), and
+    /// the domination scan exploits weight sorting: a strict dominator is
+    /// strictly more specific and weight is strictly monotone on the
+    /// order, so only the strictly-lower-weight prefix can dominate an
+    /// entry — the scan is `O(Σᵢ prefix(i))` packed-word `leq`s instead of
+    /// all-pairs full-matrix compares, and fans out across threads when
+    /// the set is large. Output (membership *and* order — weight-sorted,
+    /// ties in first-seen order) is identical to the old all-pairs scan.
     fn remove_redundant(&mut self) {
-        let mut unique: Vec<Hypothesis> = Vec::new();
+        let mut unique: Vec<Hypothesis> = Vec::with_capacity(self.hypotheses.len());
+        let mut dedup = FingerprintDedup::default();
         for h in self.hypotheses.drain(..) {
-            if !unique.contains(&h) {
+            let fingerprint = h.fingerprint();
+            if dedup.insert(fingerprint, unique.len(), &h, &unique, |x| x) {
                 unique.push(h);
             }
         }
-        let keep: Vec<bool> = unique
-            .iter()
-            .enumerate()
-            .map(|(i, h)| {
-                !unique.iter().enumerate().any(|(j, other)| {
-                    j != i && other.function().leq(h.function()) && other.function() != h.function()
-                })
+        unique.sort_by_key(Hypothesis::weight);
+        let weights: Vec<u64> = unique.iter().map(Hypothesis::weight).collect();
+        let entries = &unique;
+        let keep_entry = |i: usize| {
+            // Entries of equal weight cannot dominate each other (strict
+            // domination strictly lowers weight), so scan only the
+            // strictly-lighter prefix; `⊑` with a strictly lower weight
+            // already implies inequality.
+            let prefix = weights.partition_point(|&w| w < weights[i]);
+            !entries[..prefix]
+                .iter()
+                .any(|other| other.function().leq(entries[i].function()))
+        };
+        let threads = self.options.parallelism.get();
+        let keep: Vec<bool> = if threads > 1 && unique.len() >= PARALLEL_SCAN_THRESHOLD {
+            pool::chunk_map(threads, unique.len(), |range| {
+                range.map(keep_entry).collect::<Vec<bool>>()
             })
-            .collect();
-        let mut kept: Vec<Hypothesis> = unique
+            .concat()
+        } else {
+            (0..unique.len()).map(keep_entry).collect()
+        };
+        self.hypotheses = unique
             .into_iter()
             .zip(keep)
             .filter_map(|(h, k)| k.then_some(h))
             .collect();
-        kept.sort_by_key(Hypothesis::weight);
-        self.hypotheses = kept;
     }
 
     /// Finishes the run, producing a [`LearnResult`].
@@ -422,14 +653,6 @@ fn all_executed_pairs(period: &Period) -> Vec<(TaskId, TaskId)> {
         }
     }
     pairs
-}
-
-/// Inserts `h` keeping `list` sorted by ascending weight (stable: equal
-/// weights keep insertion order).
-fn insert_by_weight(list: &mut Vec<Hypothesis>, h: Hypothesis) {
-    let w = h.weight();
-    let pos = list.partition_point(|x| x.weight() <= w);
-    list.insert(pos, h);
 }
 
 /// The outcome of a completed learner run.

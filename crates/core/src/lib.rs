@@ -56,6 +56,7 @@ mod hypothesis;
 mod learner;
 mod matching;
 mod options;
+mod pool;
 mod robust;
 mod stats;
 mod witness;
@@ -66,7 +67,7 @@ pub use hypothesis::Hypothesis;
 pub use learner::{learn, learn_with, LearnResult, Learner, BUDGET_SAMPLE_INTERVAL};
 pub use matching::{
     execution_consistent, matches_period, matches_period_relaxed, matches_period_with,
-    matches_trace, matches_trace_relaxed, matches_trace_with,
+    matches_trace, matches_trace_parallel, matches_trace_relaxed, matches_trace_with,
 };
 pub use options::{Budget, LearnOptions, MergeAssumptions, OnInconsistent};
 pub use robust::{

@@ -154,6 +154,26 @@ pub fn matches_trace_with<O: Observer + ?Sized>(
         .fold(true, |acc, p| matches_period_with(d, p, observer) && acc)
 }
 
+/// [`matches_trace`] with the per-period checks fanned out over `threads`
+/// scoped worker threads (contiguous period chunks; see
+/// `bbmg_core`'s pool). Each period's verdict is independent, so the
+/// result is identical to [`matches_trace`] at every thread count —
+/// parallelism only trades the sequential short-circuit for concurrency,
+/// which pays off on long traces whose periods each need a backtracking
+/// explainability search.
+#[must_use]
+pub fn matches_trace_parallel(d: &DependencyFunction, trace: &Trace, threads: usize) -> bool {
+    let periods = trace.periods();
+    if threads <= 1 || periods.len() < 2 {
+        return matches_trace(d, trace);
+    }
+    crate::pool::chunk_map(threads, periods.len(), |range| {
+        periods[range].iter().all(|p| matches_period(d, p))
+    })
+    .into_iter()
+    .all(|ok| ok)
+}
+
 /// Relaxed [`matches_trace`]; see [`matches_period_relaxed`].
 #[must_use]
 pub fn matches_trace_relaxed(d: &DependencyFunction, trace: &Trace) -> bool {

@@ -1,0 +1,117 @@
+//! A std-only scoped fork/join helper for the learner's data-parallel
+//! sweeps.
+//!
+//! No work-stealing runtime, no global registry, no dependencies:
+//! [`chunk_map`] splits an index range into `threads` contiguous chunks,
+//! runs one closure per chunk under [`std::thread::scope`], and returns the
+//! chunk results **in chunk order**. Determinism therefore reduces to a
+//! caller-side invariant: as long as each chunk's result depends only on
+//! its own input range, concatenating the ordered results is equal to a
+//! sequential left-to-right run — regardless of how the OS interleaves the
+//! worker threads.
+
+use std::ops::Range;
+
+/// Splits `0..len` into at most `threads` contiguous chunks, applies `f`
+/// to each chunk concurrently, and returns the results in chunk order.
+///
+/// Chunk 0 runs inline on the calling thread (so `threads == 1`, or a
+/// `len` too small to split, costs no thread spawn at all). Sizes differ
+/// by at most one item, earlier chunks getting the extra — the partition
+/// is a pure function of `(len, threads)`, never of timing.
+///
+/// # Panics
+///
+/// Re-raises the first worker panic on the calling thread.
+pub(crate) fn chunk_map<R, F>(threads: usize, len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    let threads = threads.max(1).min(len.max(1));
+    if threads <= 1 {
+        return vec![f(0..len)];
+    }
+    let base = len / threads;
+    let extra = len % threads;
+    // Chunk i covers [start_i, start_i + base + (i < extra)).
+    let bounds: Vec<Range<usize>> = (0..threads)
+        .scan(0usize, |start, i| {
+            let size = base + usize::from(i < extra);
+            let range = *start..*start + size;
+            *start += size;
+            Some(range)
+        })
+        .collect();
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = bounds[1..]
+            .iter()
+            .map(|range| {
+                let range = range.clone();
+                scope.spawn(move || f(range))
+            })
+            .collect();
+        let first = f(bounds[0].clone());
+        // Join in spawn order so results come back chunk-ordered; a worker
+        // panic propagates out of `join` and unwinds the scope.
+        std::iter::once(first)
+            .chain(handles.into_iter().map(|h| match h.join() {
+                Ok(r) => r,
+                Err(payload) => std::panic::resume_unwind(payload),
+            }))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let out = chunk_map(1, 10, |r| r.sum::<usize>());
+        assert_eq!(out, vec![45]);
+    }
+
+    #[test]
+    fn chunks_cover_the_range_in_order() {
+        for threads in 1..6 {
+            for len in 0..20 {
+                let chunks = chunk_map(threads, len, |r| r.collect::<Vec<_>>());
+                let flat: Vec<usize> = chunks.concat();
+                assert_eq!(flat, (0..len).collect::<Vec<_>>(), "{threads}t/{len}n");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_is_balanced() {
+        let chunks = chunk_map(3, 10, |r| r.len());
+        assert_eq!(chunks, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn more_threads_than_items_degrades_gracefully() {
+        let chunks = chunk_map(8, 3, |r| r.collect::<Vec<_>>());
+        assert_eq!(chunks.concat(), vec![0, 1, 2]);
+        assert!(chunks.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn empty_range_yields_one_empty_chunk() {
+        let chunks = chunk_map(4, 0, |r| r.len());
+        assert_eq!(chunks, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker boom")]
+    fn worker_panics_propagate() {
+        let _ = chunk_map(2, 8, |r| {
+            if r.contains(&7) {
+                panic!("worker boom");
+            }
+            r.len()
+        });
+    }
+}

@@ -3,15 +3,25 @@
 
 use std::fmt;
 
+use crate::packed::{
+    decode, encode, word_join, word_lattice_distance, word_leq, word_meet, word_weight,
+    BITS_PER_CELL, CELLS_PER_WORD, CELL_MASK,
+};
 use crate::task::{TaskId, TaskUniverse};
 use crate::value::{DependencyValue, ValueParseError};
 
 /// One hypothesis: a total dependency function over a fixed task universe,
-/// stored as a dense `n × n` matrix of [`DependencyValue`]s.
+/// stored as a dense `n × n` matrix of [`DependencyValue`]s bit-packed into
+/// `u64` words (3 bits per cell, 21 cells per word; see [`crate::packed`]).
+/// The pointwise lattice operations — [`leq`](Self::leq),
+/// [`join`](Self::join), [`meet`](Self::meet), [`weight`](Self::weight) —
+/// run word-parallel over the packed store, 21 cells per instruction.
 ///
 /// # Invariants
 ///
 /// * The diagonal is always `‖` (a task has no dependency with itself).
+/// * Unused bits (trailing cells past `n²`, and bit 63 of each word) are
+///   always zero, so derived `Eq`/`Hash` agree with cell-wise equality.
 ///
 /// The two directions of a pair are *independent* assertions: `d(t1, t2)`
 /// constrains what must happen in a period where `t1` executes, and
@@ -40,7 +50,12 @@ use crate::value::{DependencyValue, ValueParseError};
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct DependencyFunction {
     tasks: usize,
-    values: Vec<DependencyValue>,
+    words: Vec<u64>,
+}
+
+/// Words needed for an `n × n` matrix at 21 cells per word.
+fn words_for(tasks: usize) -> usize {
+    (tasks * tasks).div_ceil(CELLS_PER_WORD)
 }
 
 impl DependencyFunction {
@@ -49,7 +64,7 @@ impl DependencyFunction {
     pub fn bottom(tasks: usize) -> Self {
         DependencyFunction {
             tasks,
-            values: vec![DependencyValue::Parallel; tasks * tasks],
+            words: vec![0; words_for(tasks)],
         }
     }
 
@@ -60,11 +75,25 @@ impl DependencyFunction {
         for i in 0..tasks {
             for j in 0..tasks {
                 if i != j {
-                    d.values[i * tasks + j] = DependencyValue::MayMutual;
+                    d.set_cell(i * tasks + j, DependencyValue::MayMutual);
                 }
             }
         }
         d
+    }
+
+    /// The value of flat cell `idx` (row-major).
+    #[inline]
+    fn cell(&self, idx: usize) -> DependencyValue {
+        decode(self.words[idx / CELLS_PER_WORD] >> (BITS_PER_CELL * (idx % CELLS_PER_WORD)))
+    }
+
+    /// Overwrites flat cell `idx` (row-major) with `v`.
+    #[inline]
+    fn set_cell(&mut self, idx: usize, v: DependencyValue) {
+        let shift = BITS_PER_CELL * (idx % CELLS_PER_WORD);
+        let word = &mut self.words[idx / CELLS_PER_WORD];
+        *word = (*word & !(CELL_MASK << shift)) | (encode(v) << shift);
     }
 
     /// Builds a function from rows of ASCII/Unicode symbols, as printed in
@@ -106,7 +135,7 @@ impl DependencyFunction {
                         "diagonal entry ({i},{j}) must be `||`"
                     );
                 }
-                d.values[i * n + j] = v;
+                d.set_cell(i * n + j, v);
             }
         }
         Ok(d)
@@ -125,7 +154,11 @@ impl DependencyFunction {
     /// Panics if either task index is out of range.
     #[must_use]
     pub fn value(&self, t1: TaskId, t2: TaskId) -> DependencyValue {
-        self.values[t1.index() * self.tasks + t2.index()]
+        assert!(
+            t1.index() < self.tasks && t2.index() < self.tasks,
+            "task index out of range"
+        );
+        self.cell(t1.index() * self.tasks + t2.index())
     }
 
     /// Sets the single entry `d(t1, t2) = v`. The converse entry
@@ -140,7 +173,11 @@ impl DependencyFunction {
             assert_eq!(v, DependencyValue::Parallel, "diagonal must stay `||`");
             return;
         }
-        self.values[t1.index() * self.tasks + t2.index()] = v;
+        assert!(
+            t1.index() < self.tasks && t2.index() < self.tasks,
+            "task index out of range"
+        );
+        self.set_cell(t1.index() * self.tasks + t2.index(), v);
     }
 
     /// Joins `v` into the single entry `d(t1, t2)`: the minimal
@@ -172,13 +209,15 @@ impl DependencyFunction {
 
     /// Pointwise order: `self ⊑_D other` iff every entry of `self` is below
     /// or equal to the corresponding entry of `other` (paper §2.3).
+    ///
+    /// Word-parallel: one AND-NOT per 21 cells (see [`crate::packed`]).
     #[must_use]
     pub fn leq(&self, other: &DependencyFunction) -> bool {
         assert_eq!(self.tasks, other.tasks, "mismatched task universes");
-        self.values
+        self.words
             .iter()
-            .zip(&other.values)
-            .all(|(a, b)| a.leq(*b))
+            .zip(&other.words)
+            .all(|(&a, &b)| word_leq(a, b))
     }
 
     /// Pointwise least upper bound `self ⊔ other` (used by the heuristic
@@ -188,11 +227,11 @@ impl DependencyFunction {
         assert_eq!(self.tasks, other.tasks, "mismatched task universes");
         DependencyFunction {
             tasks: self.tasks,
-            values: self
-                .values
+            words: self
+                .words
                 .iter()
-                .zip(&other.values)
-                .map(|(a, b)| a.join(*b))
+                .zip(&other.words)
+                .map(|(&a, &b)| word_join(a, b))
                 .collect(),
         }
     }
@@ -203,11 +242,11 @@ impl DependencyFunction {
         assert_eq!(self.tasks, other.tasks, "mismatched task universes");
         DependencyFunction {
             tasks: self.tasks,
-            values: self
-                .values
+            words: self
+                .words
                 .iter()
-                .zip(&other.values)
-                .map(|(a, b)| a.meet(*b))
+                .zip(&other.words)
+                .map(|(&a, &b)| word_meet(a, b))
                 .collect(),
         }
     }
@@ -216,7 +255,27 @@ impl DependencyFunction {
     /// Definition 8). Lower weight means more specific.
     #[must_use]
     pub fn weight(&self) -> u64 {
-        self.values.iter().map(|v| v.distance()).sum()
+        self.words.iter().map(|&w| word_weight(w)).sum()
+    }
+
+    /// A cheap 64-bit fingerprint of the packed store, for hash-first
+    /// deduplication: equal functions have equal fingerprints, and distinct
+    /// functions collide with probability ≈ 2⁻⁶⁴. Unlike `Hash`, it does
+    /// not depend on a hasher's internal state, so it is stable across
+    /// collections and threads within one process run.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        // splitmix64-style mixing folded over the words, seeded with the
+        // dimension so bottoms of different sizes differ.
+        let mut h = (self.tasks as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        for &w in &self.words {
+            h ^= w;
+            h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            h ^= h >> 27;
+            h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+            h ^= h >> 31;
+        }
+        h
     }
 
     /// Pointwise lattice distance between two functions:
@@ -232,17 +291,17 @@ impl DependencyFunction {
     #[must_use]
     pub fn lattice_distance(&self, other: &DependencyFunction) -> u64 {
         assert_eq!(self.tasks, other.tasks, "mismatched task universes");
-        self.values
+        self.words
             .iter()
-            .zip(&other.values)
-            .map(|(a, b)| a.join(*b).distance() - a.meet(*b).distance())
+            .zip(&other.words)
+            .map(|(&a, &b)| word_lattice_distance(a, b))
             .sum()
     }
 
     /// Whether this is the bottom hypothesis `d⊥` (all `‖`).
     #[must_use]
     pub fn is_bottom(&self) -> bool {
-        self.values.iter().all(|&v| v == DependencyValue::Parallel)
+        self.words.iter().all(|&w| w == 0)
     }
 
     /// Whether this is the top hypothesis `d⊤`.
@@ -294,7 +353,7 @@ impl DependencyFunction {
         for (i, n) in names.iter().enumerate() {
             out.push_str(&format!("{n:>width$}"));
             for j in 0..self.tasks {
-                let v = self.values[i * self.tasks + j];
+                let v = self.cell(i * self.tasks + j);
                 out.push_str(&format!("{:>width$}", v.symbol()));
             }
             out.push('\n');
@@ -308,7 +367,7 @@ impl fmt::Debug for DependencyFunction {
         writeln!(f, "DependencyFunction({} tasks)", self.tasks)?;
         for i in 0..self.tasks {
             for j in 0..self.tasks {
-                write!(f, "{:>6}", self.values[i * self.tasks + j].symbol())?;
+                write!(f, "{:>6}", self.cell(i * self.tasks + j).symbol())?;
             }
             writeln!(f)?;
         }
@@ -334,7 +393,7 @@ impl Iterator for PairIter<'_> {
         }
         let i = self.next / n;
         let j = self.next % n;
-        let v = self.function.values[self.next];
+        let v = self.function.cell(self.next);
         self.next += 1;
         Some((TaskId::from_index(i), TaskId::from_index(j), v))
     }
@@ -524,5 +583,51 @@ mod tests {
         // Comparable pair: distance is the weight difference.
         let joined = a.join(&b);
         assert_eq!(a.lattice_distance(&joined), joined.weight() - a.weight());
+    }
+
+    #[test]
+    fn fingerprint_tracks_equality() {
+        let mut a = DependencyFunction::bottom(5);
+        a.record_message(t(0), t(3));
+        let b = a.clone();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let mut c = a.clone();
+        c.join_value(t(2), t(4), V::MayDetermine);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        // Different dimensions fingerprint differently even when both are
+        // bottom.
+        assert_ne!(
+            DependencyFunction::bottom(3).fingerprint(),
+            DependencyFunction::bottom(4).fingerprint()
+        );
+    }
+
+    #[test]
+    fn packed_store_spans_word_boundaries_cleanly() {
+        // 5 tasks → 25 cells → crosses the 21-cell word boundary; write and
+        // read back every cell with a rotating pattern.
+        use crate::value::ALL_VALUES;
+        let n = 5;
+        let mut d = DependencyFunction::bottom(n);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    d.set(t(i), t(j), ALL_VALUES[(i * n + j) % ALL_VALUES.len()]);
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                let expect = if i == j {
+                    V::Parallel
+                } else {
+                    ALL_VALUES[(i * n + j) % ALL_VALUES.len()]
+                };
+                assert_eq!(d.value(t(i), t(j)), expect, "cell ({i},{j})");
+            }
+        }
+        // Weight agrees with a scalar accumulation over the same cells.
+        let scalar: u64 = d.ordered_pairs().map(|(_, _, v)| v.distance()).sum();
+        assert_eq!(d.weight(), scalar);
     }
 }

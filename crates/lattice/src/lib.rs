@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 mod function;
+pub mod packed;
 mod task;
 mod taskset;
 mod value;

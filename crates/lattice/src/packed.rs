@@ -1,0 +1,237 @@
+//! Word-parallel kernels for the packed dependency-matrix representation.
+//!
+//! [`DependencyFunction`](crate::DependencyFunction) stores its `n × n`
+//! matrix as a flat bit array of 3-bit cells packed 21 to a `u64` word
+//! (63 bits used, the top bit always zero). The cell encoding is chosen so
+//! the seven-value lattice embeds into the Boolean cube `2³` ordered by
+//! bit inclusion:
+//!
+//! ```text
+//! bit 0 (F): an unconditional or conditional *forward* claim (→ present)
+//! bit 1 (B): an unconditional or conditional *backward* claim (← present)
+//! bit 2 (Q): the claim is conditional ("may", the ? variants)
+//!
+//!   ‖ = 000   → = 001   ← = 010   ↔ = 011
+//!             →? = 101  ←? = 110  ↔? = 111     (100 is unused)
+//! ```
+//!
+//! Under this encoding the Figure 3 Hasse diagram is exactly the subset
+//! order on `{F, B, Q}` restricted to the seven valid codes (`Q` alone is
+//! not a value), which turns the per-cell lattice operations the learner
+//! hammers into single-instruction word operations:
+//!
+//! * `a ⊑ b` per cell ⟺ `a & !b == 0` over the word,
+//! * `a ⊔ b` = bitwise `a | b` (the OR of two valid codes is valid),
+//! * `a ⊓ b` = bitwise `a & b`, followed by clearing `Q` in cells whose
+//!   `F` and `B` both cleared (the one invalid code `100` normalizes to
+//!   `‖`, which is the correct meet),
+//! * `distance(v) = (F + B + Q)²` (0/1/4/9 per paper Definition 7), so a
+//!   word's total weight is six popcounts.
+//!
+//! Every kernel is validated against the scalar [`DependencyValue`] table
+//! code by the unit tests below (exhaustive over all 7×7 cell pairs) and
+//! by the `packed_prop` property suite at the crate root.
+
+use crate::value::DependencyValue;
+
+/// Bits per matrix cell.
+pub const BITS_PER_CELL: usize = 3;
+
+/// Cells per 64-bit word (the top bit stays zero).
+pub const CELLS_PER_WORD: usize = 21;
+
+/// Mask selecting one cell's three bits at shift 0.
+pub const CELL_MASK: u64 = 0b111;
+
+/// Every cell's `F` (forward) bit: bit 0 of each 3-bit lane.
+pub const FORWARD_PLANE: u64 = {
+    let mut mask = 0u64;
+    let mut i = 0;
+    while i < CELLS_PER_WORD {
+        mask |= 1 << (BITS_PER_CELL * i);
+        i += 1;
+    }
+    mask
+};
+
+/// Every cell's `B` (backward) bit.
+pub const BACKWARD_PLANE: u64 = FORWARD_PLANE << 1;
+
+/// Every cell's `Q` ("may") bit.
+pub const MAYBE_PLANE: u64 = FORWARD_PLANE << 2;
+
+/// 3-bit cube codes indexed by [`DependencyValue`] discriminant.
+const ENCODE: [u64; 7] = [
+    0b000, // Parallel
+    0b001, // Determines
+    0b010, // DependsOn
+    0b011, // Mutual
+    0b101, // MayDetermine
+    0b110, // MayDependOn
+    0b111, // MayMutual
+];
+
+/// Values indexed by cube code; the unused code `100` maps to `‖` (it
+/// never occurs in a well-formed store).
+const DECODE: [DependencyValue; 8] = [
+    DependencyValue::Parallel,
+    DependencyValue::Determines,
+    DependencyValue::DependsOn,
+    DependencyValue::Mutual,
+    DependencyValue::Parallel, // 100: unused
+    DependencyValue::MayDetermine,
+    DependencyValue::MayDependOn,
+    DependencyValue::MayMutual,
+];
+
+/// The 3-bit cube code of a lattice value.
+#[inline]
+#[must_use]
+pub fn encode(v: DependencyValue) -> u64 {
+    ENCODE[v as usize]
+}
+
+/// The lattice value of a 3-bit cube code (low three bits of `code`).
+#[inline]
+#[must_use]
+pub fn decode(code: u64) -> DependencyValue {
+    DECODE[(code & CELL_MASK) as usize]
+}
+
+/// Whether every cell of `a` is `⊑` the corresponding cell of `b`.
+///
+/// Bit-inclusion per lane is exactly the lattice order (see the module
+/// docs), so one AND-NOT decides 21 cells.
+#[inline]
+#[must_use]
+pub fn word_leq(a: u64, b: u64) -> bool {
+    a & !b == 0
+}
+
+/// Cell-wise least upper bound of two words.
+#[inline]
+#[must_use]
+pub fn word_join(a: u64, b: u64) -> u64 {
+    a | b
+}
+
+/// Cell-wise greatest lower bound of two words.
+///
+/// AND can leave the invalid lone-`Q` code `100` (e.g. `→? ⊓ ←?`); those
+/// cells normalize to `‖`, which is the correct meet.
+#[inline]
+#[must_use]
+pub fn word_meet(a: u64, b: u64) -> u64 {
+    let m = a & b;
+    // `F | B` of each cell, in the F position; a cell may keep its Q bit
+    // only if at least one directional bit survived.
+    let directional = (m | (m >> 1)) & FORWARD_PLANE;
+    m & (!MAYBE_PLANE | (directional << 2))
+}
+
+/// Sum of per-cell distances (paper Definition 7) over one word.
+///
+/// With `s = F + B + Q` bits set in a cell, the distance is `s²`
+/// (`‖`→0, `→`/`←`→1, `↔`/`→?`/`←?`→4, `↔?`→9), and
+/// `s² = s + 2(FB + FQ + BQ)`, so the word total is six popcounts.
+#[inline]
+#[must_use]
+pub fn word_weight(w: u64) -> u64 {
+    let f = w & FORWARD_PLANE;
+    let b = (w >> 1) & FORWARD_PLANE;
+    let q = (w >> 2) & FORWARD_PLANE;
+    let singles = f.count_ones() + b.count_ones() + q.count_ones();
+    let pairs = (f & b).count_ones() + (f & q).count_ones() + (b & q).count_ones();
+    u64::from(singles) + 2 * u64::from(pairs)
+}
+
+/// `Σ distance(a ⊔ b) − distance(a ⊓ b)` over one word's cells — the
+/// per-word contribution to
+/// [`DependencyFunction::lattice_distance`](crate::DependencyFunction::lattice_distance).
+/// Never underflows: the meet is `⊑` the join cell-wise and distance is
+/// monotone.
+#[inline]
+#[must_use]
+pub fn word_lattice_distance(a: u64, b: u64) -> u64 {
+    word_weight(word_join(a, b)) - word_weight(word_meet(a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ALL_VALUES;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for v in ALL_VALUES {
+            assert_eq!(decode(encode(v)), v, "{v}");
+            assert!(encode(v) <= CELL_MASK);
+        }
+        // The one invalid code normalizes to bottom.
+        assert_eq!(decode(0b100), DependencyValue::Parallel);
+    }
+
+    #[test]
+    fn encoding_is_the_cube_order() {
+        for a in ALL_VALUES {
+            for b in ALL_VALUES {
+                let subset = encode(a) & !encode(b) == 0;
+                assert_eq!(subset, a.leq(b), "leq({a}, {b})");
+            }
+        }
+    }
+
+    #[test]
+    fn word_ops_match_scalar_tables_on_every_cell_pair() {
+        // Pack each (a, b) pair into its own lane of one word pair and
+        // check all 49 combinations in one go, plus per-pair words.
+        for a in ALL_VALUES {
+            for b in ALL_VALUES {
+                let wa = encode(a);
+                let wb = encode(b);
+                assert_eq!(word_leq(wa, wb), a.leq(b), "leq({a}, {b})");
+                assert_eq!(decode(word_join(wa, wb)), a.join(b), "join({a}, {b})");
+                assert_eq!(decode(word_meet(wa, wb)), a.meet(b), "meet({a}, {b})");
+                assert_eq!(word_weight(wa), a.distance(), "distance({a})");
+            }
+        }
+    }
+
+    #[test]
+    fn word_ops_are_lane_independent() {
+        // Fill all 21 lanes with a rotating pattern and compare against
+        // the scalar ops lane by lane.
+        let pattern = |offset: usize| -> u64 {
+            let mut w = 0u64;
+            for lane in 0..CELLS_PER_WORD {
+                let v = ALL_VALUES[(lane + offset) % ALL_VALUES.len()];
+                w |= encode(v) << (BITS_PER_CELL * lane);
+            }
+            w
+        };
+        let wa = pattern(0);
+        let wb = pattern(3);
+        let mut expect_weight = 0;
+        for lane in 0..CELLS_PER_WORD {
+            let shift = BITS_PER_CELL * lane;
+            let a = decode(wa >> shift);
+            let b = decode(wb >> shift);
+            assert_eq!(decode(word_join(wa, wb) >> shift), a.join(b));
+            assert_eq!(decode(word_meet(wa, wb) >> shift), a.meet(b));
+            expect_weight += a.distance();
+        }
+        assert_eq!(word_weight(wa), expect_weight);
+        assert!(word_leq(wa, wa));
+        assert_eq!(
+            word_lattice_distance(wa, wb),
+            word_weight(word_join(wa, wb)) - word_weight(word_meet(wa, wb))
+        );
+    }
+
+    #[test]
+    fn planes_tile_the_word() {
+        assert_eq!(FORWARD_PLANE | BACKWARD_PLANE | MAYBE_PLANE, (1 << 63) - 1);
+        assert_eq!(FORWARD_PLANE & BACKWARD_PLANE, 0);
+        assert_eq!(FORWARD_PLANE.count_ones() as usize, CELLS_PER_WORD);
+    }
+}

@@ -1,0 +1,406 @@
+//! Measures the packed-lattice kernels against their scalar per-cell
+//! equivalents and the learner's wall time across thread counts, and
+//! writes the `BENCH_learner.json` artifact.
+//!
+//! Two sections:
+//!
+//! * **kernels** — `leq`, `join`, and `weight` on packed 24-task
+//!   matrices (the word kernels the learner hot path now uses) versus a
+//!   scalar reference that walks every cell through
+//!   [`DependencyValue`]'s table ops, the way the pre-packed store did.
+//! * **workloads** — full learn runs at 1, 2, and 4 threads. Results
+//!   are byte-identical at every thread count (see
+//!   `tests/determinism.rs`); only the wall time may differ, and only
+//!   when the host actually has spare cores — `cpu_threads` records
+//!   what this machine offered, so a 1-core container's flat numbers
+//!   read as what they are.
+//!
+//! Run with: `cargo run --release --example learner_throughput`
+//! (pass `--quick` for the CI smoke variant: fewer iterations, smaller
+//! workloads).
+//!
+//! [`DependencyValue`]: bbmg::lattice::DependencyValue
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use bbmg::core::{learn, LearnOptions};
+use bbmg::lattice::{DependencyFunction, DependencyValue, TaskId, TaskUniverse};
+use bbmg::sim::{SimConfig, Simulator};
+use bbmg::trace::{EventKind, Timestamp, Trace, TraceBuilder};
+use bbmg::workloads::random::{random_model, RandomModelConfig};
+
+/// Kernel-section matrix size: 24 tasks = 576 cells = 28 packed words.
+const KERNEL_TASKS: usize = 24;
+
+fn iterations(quick: bool) -> usize {
+    if quick {
+        3
+    } else {
+        7
+    }
+}
+
+/// Inner repetitions per timed sample, so sub-microsecond kernels
+/// produce measurable wall times.
+fn kernel_reps(quick: bool) -> usize {
+    if quick {
+        500
+    } else {
+        5_000
+    }
+}
+
+/// Deterministic pseudo-random matrix (splitmix64 over the cell index,
+/// reduced to one of the seven lattice values).
+fn scrambled_function(tasks: usize, seed: u64) -> DependencyFunction {
+    const VALUES: [DependencyValue; 7] = [
+        DependencyValue::Parallel,
+        DependencyValue::Determines,
+        DependencyValue::DependsOn,
+        DependencyValue::Mutual,
+        DependencyValue::MayDetermine,
+        DependencyValue::MayDependOn,
+        DependencyValue::MayMutual,
+    ];
+    let mut d = DependencyFunction::bottom(tasks);
+    for i in 0..tasks {
+        for j in 0..tasks {
+            if i == j {
+                continue;
+            }
+            let mut x =
+                seed.wrapping_add(((i * tasks + j) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^= x >> 31;
+            d.set(
+                TaskId::from_index(i),
+                TaskId::from_index(j),
+                VALUES[(x % 7) as usize],
+            );
+        }
+    }
+    d
+}
+
+/// Scalar reference for `leq`: every cell through the table op.
+fn scalar_leq(a: &DependencyFunction, b: &DependencyFunction) -> bool {
+    let n = a.task_count();
+    for i in 0..n {
+        for j in 0..n {
+            let (t1, t2) = (TaskId::from_index(i), TaskId::from_index(j));
+            if !a.value(t1, t2).leq(b.value(t1, t2)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Scalar reference for `join`: cell-by-cell table joins into a fresh
+/// matrix.
+fn scalar_join(a: &DependencyFunction, b: &DependencyFunction) -> DependencyFunction {
+    let n = a.task_count();
+    let mut out = DependencyFunction::bottom(n);
+    for i in 0..n {
+        for j in 0..n {
+            let (t1, t2) = (TaskId::from_index(i), TaskId::from_index(j));
+            out.set(t1, t2, a.value(t1, t2).join(b.value(t1, t2)));
+        }
+    }
+    out
+}
+
+/// Scalar reference for `weight`: sum of per-cell distances.
+fn scalar_weight(a: &DependencyFunction) -> u64 {
+    let n = a.task_count();
+    let mut total = 0;
+    for i in 0..n {
+        for j in 0..n {
+            total += a
+                .value(TaskId::from_index(i), TaskId::from_index(j))
+                .distance();
+        }
+    }
+    total
+}
+
+/// Runs `f` `iterations` times and returns every wall time in micros.
+fn time_micros(iterations: usize, mut f: impl FnMut()) -> Vec<u64> {
+    (0..iterations)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+        })
+        .collect()
+}
+
+fn median(samples: &[u64]) -> u64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    sorted[sorted.len() / 2]
+}
+
+/// One period with `width` possible senders and receivers per message:
+/// the exact algorithm's branching fan-out crosses the learner's
+/// parallel threshold.
+fn blowup_trace(width: usize, messages: usize) -> Trace {
+    let names: Vec<String> = (0..width)
+        .map(|i| format!("s{i}"))
+        .chain((0..width).map(|i| format!("r{i}")))
+        .collect();
+    let u = TaskUniverse::from_names(names);
+    let senders: Vec<TaskId> = (0..width)
+        .map(|i| u.lookup(&format!("s{i}")).unwrap())
+        .collect();
+    let receivers: Vec<TaskId> = (0..width)
+        .map(|i| u.lookup(&format!("r{i}")).unwrap())
+        .collect();
+    let mut b = TraceBuilder::new(u);
+    b.begin_period();
+    for (i, s) in senders.iter().enumerate() {
+        b.event(Timestamp::new(i as u64), EventKind::TaskStart(*s))
+            .unwrap();
+    }
+    for (i, s) in senders.iter().enumerate() {
+        b.event(Timestamp::new(10 + i as u64), EventKind::TaskEnd(*s))
+            .unwrap();
+    }
+    for m in 0..messages {
+        let at = 20 + 2 * m as u64;
+        b.message(Timestamp::new(at), Timestamp::new(at + 1))
+            .unwrap();
+    }
+    for (i, r) in receivers.iter().enumerate() {
+        b.event(Timestamp::new(60 + i as u64), EventKind::TaskStart(*r))
+            .unwrap();
+    }
+    for (i, r) in receivers.iter().enumerate() {
+        b.event(Timestamp::new(70 + i as u64), EventKind::TaskEnd(*r))
+            .unwrap();
+    }
+    b.end_period().unwrap();
+    b.finish()
+}
+
+/// Seeded random simulated workload for the bounded learner.
+fn random_workload(tasks: usize, periods: usize) -> Trace {
+    let model = random_model(&RandomModelConfig {
+        tasks,
+        edge_probability: 0.3,
+        seed: 2007,
+        ..RandomModelConfig::default()
+    });
+    let config = SimConfig {
+        periods,
+        period_length: 100_000,
+        seed: 2007,
+        ..SimConfig::default()
+    };
+    Simulator::new(&model, config)
+        .run()
+        .expect("fixed workload simulates")
+        .trace
+}
+
+struct KernelRow {
+    name: &'static str,
+    scalar_median_micros: u64,
+    packed_median_micros: u64,
+}
+
+struct ThreadRow {
+    threads: usize,
+    micros: Vec<u64>,
+}
+
+struct WorkloadRows {
+    name: &'static str,
+    rows: Vec<ThreadRow>,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let iters = iterations(quick);
+    let reps = kernel_reps(quick);
+    let cpu_threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    // --- kernels -------------------------------------------------------
+    let a = scrambled_function(KERNEL_TASKS, 1);
+    let b = scrambled_function(KERNEL_TASKS, 2);
+    let ab = a.join(&b); // a ⊑ ab, so leq walks the whole matrix
+    assert!(
+        scalar_leq(&a, &ab) && a.leq(&ab),
+        "kernel inputs must agree"
+    );
+    assert_eq!(scalar_join(&a, &b), ab, "kernel inputs must agree");
+    assert_eq!(scalar_weight(&a), a.weight(), "kernel inputs must agree");
+
+    let kernels = vec![
+        KernelRow {
+            name: "leq",
+            scalar_median_micros: median(&time_micros(iters, || {
+                for _ in 0..reps {
+                    std::hint::black_box(scalar_leq(
+                        std::hint::black_box(&a),
+                        std::hint::black_box(&ab),
+                    ));
+                }
+            })),
+            packed_median_micros: median(&time_micros(iters, || {
+                for _ in 0..reps {
+                    std::hint::black_box(std::hint::black_box(&a).leq(std::hint::black_box(&ab)));
+                }
+            })),
+        },
+        KernelRow {
+            name: "join",
+            scalar_median_micros: median(&time_micros(iters, || {
+                for _ in 0..reps {
+                    std::hint::black_box(scalar_join(
+                        std::hint::black_box(&a),
+                        std::hint::black_box(&b),
+                    ));
+                }
+            })),
+            packed_median_micros: median(&time_micros(iters, || {
+                for _ in 0..reps {
+                    std::hint::black_box(std::hint::black_box(&a).join(std::hint::black_box(&b)));
+                }
+            })),
+        },
+        KernelRow {
+            name: "weight",
+            scalar_median_micros: median(&time_micros(iters, || {
+                for _ in 0..reps {
+                    std::hint::black_box(scalar_weight(std::hint::black_box(&a)));
+                }
+            })),
+            packed_median_micros: median(&time_micros(iters, || {
+                for _ in 0..reps {
+                    std::hint::black_box(std::hint::black_box(&a).weight());
+                }
+            })),
+        },
+    ];
+
+    println!(
+        "packed kernels vs scalar reference ({KERNEL_TASKS}-task matrices, {reps} reps, median of {iters}):"
+    );
+    println!(
+        "{:<8} {:>14} {:>14} {:>9}",
+        "kernel", "scalar (us)", "packed (us)", "speedup"
+    );
+    for row in &kernels {
+        let speedup = row.scalar_median_micros as f64 / row.packed_median_micros.max(1) as f64;
+        println!(
+            "{:<8} {:>14} {:>14} {:>8.1}x",
+            row.name, row.scalar_median_micros, row.packed_median_micros, speedup
+        );
+    }
+
+    // --- workloads -----------------------------------------------------
+    let thread_counts = [1usize, 2, 4];
+    let (blowup_width, blowup_messages) = if quick { (6, 2) } else { (8, 2) };
+    let exact_trace = blowup_trace(blowup_width, blowup_messages);
+    let bounded_trace = random_workload(10, if quick { 10 } else { 30 });
+
+    let workloads = vec![
+        WorkloadRows {
+            name: "exact_blowup",
+            rows: thread_counts
+                .iter()
+                .map(|&threads| ThreadRow {
+                    threads,
+                    micros: time_micros(iters, || {
+                        learn(
+                            &exact_trace,
+                            LearnOptions::exact().with_parallelism(threads),
+                        )
+                        .expect("learns");
+                    }),
+                })
+                .collect(),
+        },
+        WorkloadRows {
+            name: "bounded_random",
+            rows: thread_counts
+                .iter()
+                .map(|&threads| ThreadRow {
+                    threads,
+                    micros: time_micros(iters, || {
+                        learn(
+                            &bounded_trace,
+                            LearnOptions::bounded(64).with_parallelism(threads),
+                        )
+                        .expect("learns");
+                    }),
+                })
+                .collect(),
+        },
+    ];
+
+    println!("\nlearner wall time by thread count (median of {iters}, {cpu_threads} CPU thread(s) available):");
+    for workload in &workloads {
+        let base = median(&workload.rows[0].micros).max(1);
+        for row in &workload.rows {
+            let med = median(&row.micros);
+            println!(
+                "{:<16} threads={} {:>10} us  {:>5.2}x vs 1 thread",
+                workload.name,
+                row.threads,
+                med,
+                base as f64 / med.max(1) as f64
+            );
+        }
+    }
+
+    // Hand-rolled JSON: fixed keys and numbers only, nothing to escape.
+    let mut json = String::from("{\"schema\":\"bbmg-bench-learner/1\",");
+    write!(
+        json,
+        "\"cpu_threads\":{cpu_threads},\"iterations\":{iters},\"quick\":{quick},\"kernels\":["
+    )?;
+    for (i, row) in kernels.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let speedup = row.scalar_median_micros as f64 / row.packed_median_micros.max(1) as f64;
+        write!(
+            json,
+            "{{\"name\":\"{}\",\"scalar_median_micros\":{},\"packed_median_micros\":{},\"speedup\":{speedup:.2}}}",
+            row.name, row.scalar_median_micros, row.packed_median_micros
+        )?;
+    }
+    json.push_str("],\"workloads\":[");
+    for (i, workload) in workloads.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        write!(json, "{{\"name\":\"{}\",\"threads\":[", workload.name)?;
+        let base = median(&workloads[i].rows[0].micros).max(1);
+        for (j, row) in workload.rows.iter().enumerate() {
+            if j > 0 {
+                json.push(',');
+            }
+            let med = median(&row.micros);
+            let rendered: Vec<String> = row.micros.iter().map(u64::to_string).collect();
+            write!(
+                json,
+                "{{\"threads\":{},\"median_micros\":{med},\"micros\":[{}],\"speedup_vs_1\":{:.2}}}",
+                row.threads,
+                rendered.join(","),
+                base as f64 / med.max(1) as f64
+            )?;
+        }
+        json.push_str("]}");
+    }
+    json.push_str("]}");
+    json.push('\n');
+
+    std::fs::write("BENCH_learner.json", &json)?;
+    println!("\nwrote BENCH_learner.json");
+    Ok(())
+}

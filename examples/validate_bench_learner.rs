@@ -1,0 +1,196 @@
+//! Validates a `BENCH_learner.json` artifact against the strict
+//! `bbmg-bench-learner/1` schema — unknown, missing and duplicate fields
+//! are all errors, and the cross-field invariants (median is a member of
+//! its sample list, speedups are positive) are checked too. CI runs this
+//! on a freshly generated artifact so the benchmark JSON can never drift
+//! from the schema unnoticed.
+//!
+//! Run with: `cargo run --example validate_bench_learner -- BENCH_learner.json`
+
+use bbmg::obs::json::{parse, Json};
+
+/// Checks that `value` is an object with exactly `keys` (order-sensitive,
+/// duplicates rejected) and returns its fields.
+fn exact_object<'a>(
+    value: &'a Json,
+    context: &str,
+    keys: &[&str],
+) -> Result<&'a [(String, Json)], String> {
+    let Json::Object(fields) = value else {
+        return Err(format!("{context}: expected an object"));
+    };
+    let found: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+    if found != keys {
+        return Err(format!(
+            "{context}: expected fields {keys:?}, found {found:?}"
+        ));
+    }
+    Ok(fields)
+}
+
+fn u64_field(value: &Json, context: &str, key: &str) -> Result<u64, String> {
+    value
+        .get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("{context}: {key} must be a non-negative integer"))
+}
+
+fn f64_field(value: &Json, context: &str, key: &str) -> Result<f64, String> {
+    value
+        .get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{context}: {key} must be a number"))
+}
+
+fn micros_list(value: &Json, context: &str, iterations: u64) -> Result<Vec<u64>, String> {
+    let Some(Json::Array(items)) = value.get("micros") else {
+        return Err(format!("{context}: micros must be an array"));
+    };
+    if items.len() as u64 != iterations {
+        return Err(format!(
+            "{context}: micros has {} samples, expected {iterations}",
+            items.len()
+        ));
+    }
+    items
+        .iter()
+        .map(|v| {
+            v.as_u64()
+                .ok_or_else(|| format!("{context}: micros entries must be non-negative integers"))
+        })
+        .collect()
+}
+
+fn validate(document: &Json) -> Result<(), String> {
+    exact_object(
+        document,
+        "root",
+        &[
+            "schema",
+            "cpu_threads",
+            "iterations",
+            "quick",
+            "kernels",
+            "workloads",
+        ],
+    )?;
+    match document.get("schema").and_then(Json::as_str) {
+        Some("bbmg-bench-learner/1") => {}
+        other => {
+            return Err(format!(
+                "schema must be \"bbmg-bench-learner/1\", got {other:?}"
+            ))
+        }
+    }
+    let cpu_threads = u64_field(document, "root", "cpu_threads")?;
+    if cpu_threads == 0 {
+        return Err("cpu_threads must be at least 1".into());
+    }
+    let iterations = u64_field(document, "root", "iterations")?;
+    if iterations == 0 {
+        return Err("iterations must be at least 1".into());
+    }
+    if !matches!(document.get("quick"), Some(Json::Bool(_))) {
+        return Err("quick must be a boolean".into());
+    }
+
+    let Some(Json::Array(kernels)) = document.get("kernels") else {
+        return Err("kernels must be an array".into());
+    };
+    let expected_kernels = ["leq", "join", "weight"];
+    if kernels.len() != expected_kernels.len() {
+        return Err(format!(
+            "kernels has {} entries, expected {}",
+            kernels.len(),
+            expected_kernels.len()
+        ));
+    }
+    for (kernel, expected_name) in kernels.iter().zip(expected_kernels) {
+        let context = format!("kernels[{expected_name}]");
+        exact_object(
+            kernel,
+            &context,
+            &[
+                "name",
+                "scalar_median_micros",
+                "packed_median_micros",
+                "speedup",
+            ],
+        )?;
+        if kernel.get("name").and_then(Json::as_str) != Some(expected_name) {
+            return Err(format!("{context}: name must be \"{expected_name}\""));
+        }
+        u64_field(kernel, &context, "scalar_median_micros")?;
+        u64_field(kernel, &context, "packed_median_micros")?;
+        if f64_field(kernel, &context, "speedup")? <= 0.0 {
+            return Err(format!("{context}: speedup must be positive"));
+        }
+    }
+
+    let Some(Json::Array(workloads)) = document.get("workloads") else {
+        return Err("workloads must be an array".into());
+    };
+    let expected_workloads = ["exact_blowup", "bounded_random"];
+    if workloads.len() != expected_workloads.len() {
+        return Err(format!(
+            "workloads has {} entries, expected {}",
+            workloads.len(),
+            expected_workloads.len()
+        ));
+    }
+    for (workload, expected_name) in workloads.iter().zip(expected_workloads) {
+        let context = format!("workloads[{expected_name}]");
+        exact_object(workload, &context, &["name", "threads"])?;
+        if workload.get("name").and_then(Json::as_str) != Some(expected_name) {
+            return Err(format!("{context}: name must be \"{expected_name}\""));
+        }
+        let Some(Json::Array(rows)) = workload.get("threads") else {
+            return Err(format!("{context}: threads must be an array"));
+        };
+        if rows.is_empty() {
+            return Err(format!("{context}: threads must not be empty"));
+        }
+        let mut first = true;
+        for row in rows {
+            let threads = u64_field(row, &context, "threads")?;
+            let row_context = format!("{context}.threads[{threads}]");
+            exact_object(
+                row,
+                &row_context,
+                &["threads", "median_micros", "micros", "speedup_vs_1"],
+            )?;
+            if threads == 0 {
+                return Err(format!("{row_context}: threads must be at least 1"));
+            }
+            if first && threads != 1 {
+                return Err(format!(
+                    "{context}: first row must be the 1-thread baseline"
+                ));
+            }
+            first = false;
+            let median = u64_field(row, &row_context, "median_micros")?;
+            let samples = micros_list(row, &row_context, iterations)?;
+            if !samples.contains(&median) {
+                return Err(format!(
+                    "{row_context}: median_micros {median} is not one of the samples"
+                ));
+            }
+            if f64_field(row, &row_context, "speedup_vs_1")? <= 0.0 {
+                return Err(format!("{row_context}: speedup_vs_1 must be positive"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let path = std::env::args()
+        .nth(1)
+        .ok_or("usage: validate_bench_learner <BENCH_learner.json>")?;
+    let text = std::fs::read_to_string(&path)?;
+    let document = parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    validate(&document)
+        .map_err(|e| format!("{path} does not conform to bbmg-bench-learner/1: {e}"))?;
+    println!("{path}: valid bbmg-bench-learner/1 artifact");
+    Ok(())
+}

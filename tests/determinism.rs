@@ -1,0 +1,181 @@
+//! Thread-count determinism suite (enforced in CI by the `perf-smoke`
+//! job): learning with `parallelism` 1, 2, or 8 must produce
+//! **byte-identical** results — the same hypotheses in the same order,
+//! the same statistics, the same `bbmg-metrics/1` snapshot, and the same
+//! event stream (up to wall-clock readings, which are zeroed before
+//! comparison: `BudgetTick::elapsed_micros`, event arrival stamps, and
+//! the metrics snapshot's `period_micros`/`total_micros`).
+//!
+//! The workloads are chosen so the parallel code paths actually run: the
+//! blow-up trace crosses the learner's fan-out threshold
+//! (hypotheses × candidates ≥ 256) and the budget sample window, while
+//! the small worked example stays below it — both must agree with the
+//! sequential baseline.
+
+use bbmg::core::{learn, learn_with, matches_trace, matches_trace_parallel, Budget, LearnOptions};
+use bbmg::lattice::TaskId;
+use bbmg::obs::{Event, Metrics, MetricsSnapshot, Recorder, Summary, Tee};
+use bbmg::trace::{EventKind, Timestamp, Trace, TraceBuilder};
+use bbmg::workloads::{gm, simple};
+
+/// One period with 8 possible senders and 8 possible receivers per
+/// message: the exact algorithm branches far past the parallel fan-out
+/// threshold and the budget sample window.
+fn blowup_trace() -> Trace {
+    let names: Vec<String> = (0..8)
+        .map(|i| format!("s{i}"))
+        .chain((0..8).map(|i| format!("r{i}")))
+        .collect();
+    let u = bbmg::lattice::TaskUniverse::from_names(names);
+    let senders: Vec<TaskId> = (0..8)
+        .map(|i| u.lookup(&format!("s{i}")).unwrap())
+        .collect();
+    let receivers: Vec<TaskId> = (0..8)
+        .map(|i| u.lookup(&format!("r{i}")).unwrap())
+        .collect();
+    let mut b = TraceBuilder::new(u);
+    b.begin_period();
+    for (i, s) in senders.iter().enumerate() {
+        b.event(Timestamp::new(i as u64), EventKind::TaskStart(*s))
+            .unwrap();
+    }
+    for (i, s) in senders.iter().enumerate() {
+        b.event(Timestamp::new(10 + i as u64), EventKind::TaskEnd(*s))
+            .unwrap();
+    }
+    b.message(Timestamp::new(20), Timestamp::new(21)).unwrap();
+    b.message(Timestamp::new(22), Timestamp::new(23)).unwrap();
+    for (i, r) in receivers.iter().enumerate() {
+        b.event(Timestamp::new(60 + i as u64), EventKind::TaskStart(*r))
+            .unwrap();
+    }
+    for (i, r) in receivers.iter().enumerate() {
+        b.event(Timestamp::new(70 + i as u64), EventKind::TaskEnd(*r))
+            .unwrap();
+    }
+    b.end_period().unwrap();
+    b.finish()
+}
+
+/// Strips wall-clock content from an event so streams are comparable
+/// across runs: only `BudgetTick` carries a clock reading.
+fn normalize(event: &Event) -> Event {
+    match event {
+        Event::BudgetTick { steps, .. } => Event::BudgetTick {
+            steps: *steps,
+            elapsed_micros: 0,
+        },
+        other => other.clone(),
+    }
+}
+
+/// Zeroes the wall-clock fields of a metrics snapshot.
+fn normalize_metrics(mut snapshot: MetricsSnapshot) -> MetricsSnapshot {
+    snapshot.period_micros = Summary::default();
+    snapshot.total_micros = 0;
+    snapshot
+}
+
+/// Runs `options` over `trace` with a recorder and metrics attached,
+/// returning everything a determinism comparison needs.
+fn instrumented_run(
+    trace: &Trace,
+    options: LearnOptions,
+) -> (
+    Result<Vec<bbmg::lattice::DependencyFunction>, String>,
+    bbmg::core::LearnStats,
+    Vec<Event>,
+    MetricsSnapshot,
+) {
+    let mut recorder = Recorder::new();
+    let mut metrics = Metrics::new();
+    let outcome = {
+        let mut tee = Tee::new().with(&mut recorder).with(&mut metrics);
+        learn_with(trace, options, &mut tee)
+    };
+    let (hypotheses, stats) = match outcome {
+        Ok(result) => (
+            Ok(result.hypotheses().to_vec()),
+            result.stats().clone(),
+            // events/metrics read below
+        ),
+        Err(e) => (Err(format!("{e:?}")), bbmg::core::LearnStats::default()),
+    };
+    let events: Vec<Event> = recorder
+        .events()
+        .iter()
+        .map(|e| normalize(&e.event))
+        .collect();
+    (
+        hypotheses,
+        stats,
+        events,
+        normalize_metrics(metrics.snapshot()),
+    )
+}
+
+#[test]
+fn exact_blowup_is_byte_identical_across_thread_counts() {
+    let trace = blowup_trace();
+    let baseline = instrumented_run(&trace, LearnOptions::exact());
+    for threads in [2usize, 8] {
+        let run = instrumented_run(&trace, LearnOptions::exact().with_parallelism(threads));
+        assert_eq!(baseline.0, run.0, "hypotheses differ at {threads} threads");
+        assert_eq!(baseline.1, run.1, "stats differ at {threads} threads");
+        assert_eq!(baseline.2, run.2, "events differ at {threads} threads");
+        assert_eq!(baseline.3, run.3, "metrics differ at {threads} threads");
+    }
+}
+
+#[test]
+fn small_workload_below_fanout_threshold_is_identical_too() {
+    let trace = simple::figure_2_trace();
+    let baseline = instrumented_run(&trace, LearnOptions::exact());
+    let run = instrumented_run(&trace, LearnOptions::exact().with_parallelism(8));
+    assert_eq!(baseline, run);
+}
+
+#[test]
+fn bounded_mode_is_untouched_by_thread_count() {
+    // Bounded merging is sequential by design (§3.2 order dependence);
+    // the parallelism knob must not perturb it in any way.
+    let trace = gm::gm_trace(2007).expect("simulation succeeds").trace;
+    let baseline = instrumented_run(&trace, LearnOptions::bounded(64));
+    let run = instrumented_run(&trace, LearnOptions::bounded(64).with_parallelism(8));
+    assert_eq!(baseline, run);
+}
+
+#[test]
+fn budget_trips_at_the_same_step_at_any_thread_count() {
+    let trace = blowup_trace();
+    let options = LearnOptions::exact().with_budget(Budget::unlimited().with_max_steps(1024));
+    let baseline = instrumented_run(&trace, options);
+    assert!(baseline.0.is_err(), "the budget must trip on this workload");
+    for threads in [2usize, 8] {
+        let run = instrumented_run(&trace, options.with_parallelism(threads));
+        assert_eq!(baseline.0, run.0, "error differs at {threads} threads");
+        assert_eq!(baseline.2, run.2, "events differ at {threads} threads");
+    }
+}
+
+#[test]
+fn parallel_matching_agrees_with_sequential() {
+    let trace = gm::gm_trace(7).expect("simulation succeeds").trace;
+    let result = learn(&trace, LearnOptions::bounded(32)).unwrap();
+    let lub = result.lub().unwrap();
+    for threads in [1usize, 2, 8] {
+        assert_eq!(
+            matches_trace_parallel(&lub, &trace, threads),
+            matches_trace(&lub, &trace),
+            "matching verdict differs at {threads} threads"
+        );
+    }
+    // A function that does not match must not match at any thread count.
+    let bottom = bbmg::lattice::DependencyFunction::bottom(trace.task_count());
+    for threads in [1usize, 2, 8] {
+        assert_eq!(
+            matches_trace_parallel(&bottom, &trace, threads),
+            matches_trace(&bottom, &trace),
+        );
+    }
+}

@@ -27,7 +27,9 @@ fn trace_has_paper_scale() {
 }
 
 #[test]
-#[ignore = "GM-scale exhaustive run (~25-100s); covered by the scheduled slow-suite CI job"]
+// Ran in the scheduled slow suite until the packed lattice store and the
+// fingerprint-first dedup brought the GM-scale bounded run under 5s even
+// in debug builds; now cheap enough for the default suite.
 fn published_properties_are_proved_from_the_learned_model() {
     let model = gm::gm_model();
     let trace = gm::gm_trace(2007).unwrap().trace;
