@@ -11,6 +11,13 @@ USAGE:
                 [--periods N] [--seed S] [--fault-rate R] [--fault-seed S] [-o FILE]
   bbmg stats   <TRACE>
   bbmg learn   <TRACE> [LEARNER] [TELEMETRY] [--table] [--hypotheses]
+               [--checkpoint FILE] [--checkpoint-every N]
+  bbmg resume  <CHECKPOINT> <TRACE> [TELEMETRY] [--table] [--hypotheses]
+               [--checkpoint-every N] [--on-error <abort|skip|repair>]
+  bbmg serve   (--stdin-jsonl | --input FILE) [LEARNER] [TELEMETRY]
+               [--watermark-words N] [--checkpoint-dir DIR]
+               [--checkpoint-every N] [--restart-budget N]
+               [--backoff-events N]
   bbmg analyze <TRACE> [LEARNER] [TELEMETRY]
   bbmg dot     <TRACE> [LEARNER] [TELEMETRY] [--name NAME]
   bbmg check   <TRACE> --prop \"Q -> O\" [LEARNER] [TELEMETRY]
@@ -48,6 +55,23 @@ and emits CSV, since faulty traces may violate the strict format.
 `--on-error skip` quarantines inconsistent periods instead of aborting;
 `--on-error repair` additionally runs the trace sanitizer on the input
 before learning. Both report every skipped period and repair action.
+
+Crash recovery: `bbmg learn --checkpoint FILE` drives the incremental
+learner and atomically rewrites FILE (`bbmg-ckpt/1`) every
+--checkpoint-every N periods (default 1). After a crash, `bbmg resume
+CHECKPOINT TRACE` verifies the checkpoint (checksum + lattice shape),
+restores the learner, and continues from the next unseen period —
+producing the same model as an uninterrupted run.
+
+Streaming: `bbmg serve` reads the JSONL ingest protocol (`hello` /
+`event` / `end` lines, see crate docs) from stdin or --input FILE and
+supervises one learner shard per source: periods are sanitized in
+flight, each shard checkpoints to --checkpoint-dir, crossing
+--watermark-words degrades exact -> bounded -> checkpoint-and-shed, and
+a watchdog restarts a wedged shard from its last checkpoint with an
+event-counted exponential backoff (--backoff-events, doubling) until
+--restart-budget is spent. Shard health transitions are reported on
+stdout and through the telemetry sinks.
 ";
 
 /// Which workload `bbmg simulate` builds.
@@ -177,6 +201,52 @@ pub struct LearnCmdOptions {
     pub table: bool,
     /// Print every most-specific hypothesis.
     pub hypotheses: bool,
+    /// Atomically rewrite this `bbmg-ckpt/1` file as learning progresses.
+    pub checkpoint: Option<String>,
+    /// Checkpoint cadence in periods (meaningful with `checkpoint`).
+    pub checkpoint_every: usize,
+}
+
+/// Options for `bbmg resume`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResumeOptions {
+    /// Checkpoint file to restore from (and keep rewriting).
+    pub checkpoint: String,
+    /// Trace file path; learning continues at the first period the
+    /// checkpointed run had not pushed.
+    pub trace: String,
+    /// Telemetry outputs.
+    pub telemetry: Telemetry,
+    /// Print the LUB as a table (default when nothing else is selected).
+    pub table: bool,
+    /// Print every most-specific hypothesis.
+    pub hypotheses: bool,
+    /// Checkpoint cadence in periods.
+    pub checkpoint_every: usize,
+    /// Trace-load policy; must match the original run for period indices
+    /// to line up.
+    pub on_error: OnError,
+}
+
+/// Options for `bbmg serve`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeCmdOptions {
+    /// JSONL feed path; `None` reads stdin (`--stdin-jsonl`).
+    pub input: Option<String>,
+    /// Learner configuration each shard starts from.
+    pub learner: LearnerChoice,
+    /// Telemetry outputs.
+    pub telemetry: Telemetry,
+    /// Per-shard memory watermark in packed lattice words.
+    pub watermark_words: Option<usize>,
+    /// Directory for per-source checkpoint files.
+    pub checkpoint_dir: Option<String>,
+    /// Checkpoint cadence in periods; 0 disables cadence checkpoints.
+    pub checkpoint_every: Option<usize>,
+    /// Watchdog restarts allowed per shard.
+    pub restart_budget: Option<usize>,
+    /// Backoff after the first restart, in shed ingest events.
+    pub backoff_events: Option<usize>,
 }
 
 /// Options for `bbmg analyze`.
@@ -253,6 +323,10 @@ pub enum Command {
     Stats(StatsOptions),
     /// `bbmg learn`.
     Learn(LearnCmdOptions),
+    /// `bbmg resume`.
+    Resume(ResumeOptions),
+    /// `bbmg serve`.
+    Serve(ServeCmdOptions),
     /// `bbmg analyze`.
     Analyze(AnalyzeOptions),
     /// `bbmg dot`.
@@ -280,6 +354,10 @@ pub enum CliError {
     Csv(bbmg_trace::ParseCsvError),
     /// The learner failed.
     Learn(bbmg_core::LearnError),
+    /// A checkpoint failed to save, load, or validate.
+    Checkpoint(bbmg_core::CheckpointError),
+    /// The streaming ingest front failed.
+    Serve(bbmg_serve::ServeError),
     /// A property failed to parse.
     Prop(bbmg_check::ParsePropError),
     /// The simulator failed.
@@ -294,6 +372,8 @@ impl fmt::Display for CliError {
             CliError::Parse(e) => write!(f, "trace parse error: {e}"),
             CliError::Csv(e) => write!(f, "csv trace parse error: {e}"),
             CliError::Learn(e) => write!(f, "learning failed: {e}"),
+            CliError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            CliError::Serve(e) => write!(f, "serve error: {e}"),
             CliError::Prop(e) => write!(f, "{e}"),
             CliError::Sim(e) => write!(f, "simulation failed: {e}"),
         }
@@ -320,6 +400,16 @@ impl From<bbmg_trace::ParseCsvError> for CliError {
 impl From<bbmg_core::LearnError> for CliError {
     fn from(e: bbmg_core::LearnError) -> Self {
         CliError::Learn(e)
+    }
+}
+impl From<bbmg_core::CheckpointError> for CliError {
+    fn from(e: bbmg_core::CheckpointError) -> Self {
+        CliError::Checkpoint(e)
+    }
+}
+impl From<bbmg_serve::ServeError> for CliError {
+    fn from(e: bbmg_serve::ServeError) -> Self {
+        CliError::Serve(e)
     }
 }
 impl From<bbmg_check::ParsePropError> for CliError {
@@ -543,6 +633,19 @@ where
             let telemetry = args.telemetry()?;
             let table = args.take_flag("table")?;
             let hypotheses = args.take_flag("hypotheses")?;
+            let checkpoint = match args.take("checkpoint") {
+                None => None,
+                Some(None) => return Err(usage("--checkpoint requires a file path")),
+                Some(Some(path)) => Some(path),
+            };
+            let every_flag: Option<usize> = args.take_value("checkpoint-every")?;
+            if every_flag == Some(0) {
+                return Err(usage("--checkpoint-every must be at least 1"));
+            }
+            if checkpoint.is_none() && every_flag.is_some() {
+                return Err(usage("--checkpoint-every needs --checkpoint FILE"));
+            }
+            let checkpoint_every = every_flag.unwrap_or(1);
             args.finish("learn")?;
             Ok(Command::Learn(LearnCmdOptions {
                 trace,
@@ -551,6 +654,64 @@ where
                 // Default to the table when nothing was selected.
                 table: table || !hypotheses,
                 hypotheses,
+                checkpoint,
+                checkpoint_every,
+            }))
+        }
+        "resume" => {
+            if args.positional.len() < 2 {
+                return Err(usage("`resume` needs CHECKPOINT and TRACE arguments"));
+            }
+            let checkpoint = args.positional.remove(0);
+            let trace = args.positional.remove(0);
+            let telemetry = args.telemetry()?;
+            let table = args.take_flag("table")?;
+            let hypotheses = args.take_flag("hypotheses")?;
+            let checkpoint_every: usize = args.take_value("checkpoint-every")?.unwrap_or(1);
+            if checkpoint_every == 0 {
+                return Err(usage("--checkpoint-every must be at least 1"));
+            }
+            let on_error: Option<OnError> = args.take_value("on-error")?;
+            args.finish("resume")?;
+            Ok(Command::Resume(ResumeOptions {
+                checkpoint,
+                trace,
+                telemetry,
+                table: table || !hypotheses,
+                hypotheses,
+                checkpoint_every,
+                on_error: on_error.unwrap_or_default(),
+            }))
+        }
+        "serve" => {
+            let stdin = args.take_flag("stdin-jsonl")?;
+            let input = match args.take("input") {
+                None => None,
+                Some(None) => return Err(usage("--input requires a file path")),
+                Some(Some(path)) => Some(path),
+            };
+            if stdin == input.is_some() {
+                return Err(usage(
+                    "serve needs exactly one of --stdin-jsonl or --input FILE",
+                ));
+            }
+            let learner = args.learner()?;
+            let telemetry = args.telemetry()?;
+            let watermark_words = args.take_value("watermark-words")?;
+            let checkpoint_dir = args.take("checkpoint-dir").flatten();
+            let checkpoint_every = args.take_value("checkpoint-every")?;
+            let restart_budget = args.take_value("restart-budget")?;
+            let backoff_events = args.take_value("backoff-events")?;
+            args.finish("serve")?;
+            Ok(Command::Serve(ServeCmdOptions {
+                input,
+                learner,
+                telemetry,
+                watermark_words,
+                checkpoint_dir,
+                checkpoint_every,
+                restart_budget,
+                backoff_events,
             }))
         }
         "analyze" => {

@@ -56,7 +56,14 @@ pub(crate) fn load_trace<O: Observer + ?Sized>(
     observer: &mut O,
 ) -> Result<LoadedTrace, CliError> {
     let text = std::fs::read_to_string(path)?;
-    let first_line = text.lines().next().unwrap_or("").trim();
+    // Sniff past a UTF-8 BOM and CRLF ending so lenient loads of
+    // Windows-exported captures still route to the CSV parser.
+    let first_line = text
+        .lines()
+        .next()
+        .unwrap_or("")
+        .trim_start_matches('\u{feff}')
+        .trim();
     let mut notes = Vec::new();
     let trace = if first_line == CSV_HEADER {
         match on_error {
@@ -66,6 +73,7 @@ pub(crate) fn load_trace<O: Observer + ?Sized>(
                     raw,
                     errors,
                     skipped_rows,
+                    ..
                 } = parse_csv_raw(&text)?;
                 row_error_notes(&mut notes, &errors, skipped_rows);
                 let options = match on_error {
@@ -203,6 +211,99 @@ impl TelemetrySinks {
     }
 }
 
+/// Drives the [`bbmg_core::IncrementalLearner`] over a trace with
+/// checkpointing — the engine behind `learn --checkpoint` and `resume`.
+pub(crate) mod ckpt {
+    use std::path::Path;
+
+    use bbmg_core::{IncrementalLearner, LearnResult, Observed};
+    use bbmg_obs::Observer;
+    use bbmg_trace::Trace;
+
+    use super::CliError;
+
+    /// Pushes `trace`'s periods from `start` onward, atomically rewriting
+    /// `path` every `every` pushed periods and once more at the end, so a
+    /// crash at any instant leaves a resumable file.
+    pub(crate) fn drive<O: Observer + ?Sized>(
+        mut learner: IncrementalLearner,
+        trace: &Trace,
+        start: usize,
+        every: usize,
+        path: Option<&Path>,
+        observer: &mut O,
+    ) -> Result<LearnResult, CliError> {
+        let mut since_save = 0usize;
+        let mut dirty = start == 0 && trace.periods().is_empty();
+        for period in trace.periods().iter().skip(start) {
+            match learner.push_period_with(period, observer)? {
+                Observed::Accepted | Observed::Skipped(_) => {
+                    since_save += 1;
+                    if let Some(path) = path {
+                        if since_save >= every {
+                            save(&learner, path, observer)?;
+                            since_save = 0;
+                        }
+                    }
+                }
+                Observed::BudgetStopped { period: p } => {
+                    for unprocessed in p..trace.periods().len() {
+                        learner.mark_unprocessed(unprocessed);
+                    }
+                    dirty = true;
+                    break;
+                }
+            }
+        }
+        if let Some(path) = path {
+            if since_save > 0 || dirty {
+                save(&learner, path, observer)?;
+            }
+        }
+        Ok(learner.finish())
+    }
+
+    fn save<O: Observer + ?Sized>(
+        learner: &IncrementalLearner,
+        path: &Path,
+        observer: &mut O,
+    ) -> Result<(), CliError> {
+        let checkpoint = learner.checkpoint();
+        checkpoint.save(path)?;
+        observer.checkpoint(learner.pushed_periods(), checkpoint.fingerprint());
+        Ok(())
+    }
+}
+
+/// Prints the learned model in the `learn`/`resume` output format.
+pub(crate) fn print_model(
+    out: &mut dyn Write,
+    trace: &Trace,
+    result: &LearnResult,
+    table: bool,
+    hypotheses: bool,
+) -> Result<(), CliError> {
+    writeln!(
+        out,
+        "{} most-specific hypothesis(es); converged: {}; {}",
+        result.hypotheses().len(),
+        result.converged(),
+        result.stats()
+    )?;
+    if hypotheses {
+        for (i, d) in result.hypotheses().iter().enumerate() {
+            writeln!(out, "\nhypothesis {} (weight {}):", i + 1, d.weight())?;
+            out.write_all(d.to_table(trace.universe()).as_bytes())?;
+        }
+    }
+    if table {
+        let lub = result.lub().expect("nonempty");
+        writeln!(out, "\nleast upper bound:")?;
+        out.write_all(lub.to_table(trace.universe()).as_bytes())?;
+    }
+    Ok(())
+}
+
 /// Prints the degradation diagnostics collected while loading and
 /// learning (skipped periods, repairs) — every dropped observation is
 /// surfaced.
@@ -304,11 +405,17 @@ pub(crate) mod stats {
 }
 
 pub(crate) mod learn {
+    use std::path::Path;
+
+    use bbmg_core::{IncrementalLearner, OnInconsistent};
     use bbmg_obs::Tee;
 
     use super::TelemetrySinks;
-    use super::{load_trace, report_degradation, run_learner, CliError, NoteSink, Write};
-    use crate::args::LearnCmdOptions;
+    use super::{
+        ckpt, learn_options, load_trace, print_model, report_degradation, run_learner, CliError,
+        NoteSink, Write,
+    };
+    use crate::args::{LearnCmdOptions, OnError};
 
     pub(crate) fn run(options: &LearnCmdOptions, out: &mut dyn Write) -> Result<(), CliError> {
         let mut sinks = TelemetrySinks::open(&options.telemetry)?;
@@ -320,27 +427,189 @@ pub(crate) mod learn {
         let trace = &loaded.trace;
         let result = {
             let mut tee = sinks.attach(Tee::new()).with(&mut notes);
-            run_learner(trace, options.learner, &mut tee)?
+            match &options.checkpoint {
+                // Checkpointed runs go through the incremental engine so a
+                // crash mid-trace can be resumed with `bbmg resume`.
+                Some(path) => {
+                    let mut learn = learn_options(options.learner)?;
+                    if options.learner.on_error != OnError::Abort {
+                        learn = learn.with_on_inconsistent(OnInconsistent::SkipPeriod);
+                    }
+                    let learner = IncrementalLearner::new(trace.task_count(), learn);
+                    ckpt::drive(
+                        learner,
+                        trace,
+                        0,
+                        options.checkpoint_every,
+                        Some(Path::new(path)),
+                        &mut tee,
+                    )?
+                }
+                None => run_learner(trace, options.learner, &mut tee)?,
+            }
         };
         report_degradation(out, &loaded, &notes)?;
+        print_model(out, trace, &result, options.table, options.hypotheses)?;
+        sinks.finish()?;
+        Ok(())
+    }
+}
+
+pub(crate) mod resume {
+    use std::path::Path;
+
+    use bbmg_core::{Checkpoint, IncrementalLearner};
+    use bbmg_obs::Tee;
+
+    use super::TelemetrySinks;
+    use super::{ckpt, load_trace, print_model, report_degradation, CliError, NoteSink, Write};
+    use crate::args::ResumeOptions;
+
+    pub(crate) fn run(options: &ResumeOptions, out: &mut dyn Write) -> Result<(), CliError> {
+        let mut sinks = TelemetrySinks::open(&options.telemetry)?;
+        let mut notes = NoteSink::default();
+        let checkpoint = Checkpoint::load(Path::new(&options.checkpoint))?;
+        let start = checkpoint.pushed_periods;
+        let learner = IncrementalLearner::resume(checkpoint)?;
+        let loaded = {
+            let mut tee = sinks.attach(Tee::new());
+            load_trace(&options.trace, options.on_error, &mut tee)?
+        };
+        let trace = &loaded.trace;
+        if trace.task_count() != learner.tasks() {
+            return Err(CliError::Usage(format!(
+                "checkpoint was taken over {} tasks but the trace has {}",
+                learner.tasks(),
+                trace.task_count()
+            )));
+        }
+        if start > trace.periods().len() {
+            return Err(CliError::Usage(format!(
+                "checkpoint is ahead of the trace: {start} period(s) already pushed, \
+                 trace has only {}",
+                trace.periods().len()
+            )));
+        }
         writeln!(
             out,
-            "{} most-specific hypothesis(es); converged: {}; {}",
-            result.hypotheses().len(),
-            result.converged(),
-            result.stats()
+            "resuming at period {start} of {} ({} hypothesis(es) restored)",
+            trace.periods().len(),
+            learner.len()
         )?;
-        if options.hypotheses {
-            for (i, d) in result.hypotheses().iter().enumerate() {
-                writeln!(out, "\nhypothesis {} (weight {}):", i + 1, d.weight())?;
-                out.write_all(d.to_table(trace.universe()).as_bytes())?;
+        let result = {
+            let mut tee = sinks.attach(Tee::new()).with(&mut notes);
+            ckpt::drive(
+                learner,
+                trace,
+                start,
+                options.checkpoint_every,
+                Some(Path::new(&options.checkpoint)),
+                &mut tee,
+            )?
+        };
+        report_degradation(out, &loaded, &notes)?;
+        print_model(out, trace, &result, options.table, options.hypotheses)?;
+        sinks.finish()?;
+        Ok(())
+    }
+}
+
+pub(crate) mod serve {
+    use std::io::{BufRead, BufReader};
+    use std::num::NonZeroUsize;
+    use std::path::PathBuf;
+
+    use bbmg_core::OnInconsistent;
+    use bbmg_obs::Tee;
+    use bbmg_serve::{ServeError, ServeOptions, Supervisor};
+
+    use super::TelemetrySinks;
+    use super::{learn_options, CliError, Write};
+    use crate::args::{OnError, ServeCmdOptions};
+
+    pub(crate) fn run(options: &ServeCmdOptions, out: &mut dyn Write) -> Result<(), CliError> {
+        let mut sinks = TelemetrySinks::open(&options.telemetry)?;
+        let mut serve = ServeOptions::default();
+        let mut learn = learn_options(options.learner)?;
+        if options.learner.on_error != OnError::Abort {
+            learn = learn.with_on_inconsistent(OnInconsistent::SkipPeriod);
+        }
+        serve.learn = learn;
+        if let Some(words) = options.watermark_words {
+            serve.watermark_words = words;
+        }
+        if let Some(dir) = &options.checkpoint_dir {
+            std::fs::create_dir_all(dir)?;
+            serve.checkpoint_dir = Some(PathBuf::from(dir));
+        }
+        if let Some(every) = options.checkpoint_every {
+            // `--checkpoint-every 0` disables cadence checkpoints.
+            serve.checkpoint_every = NonZeroUsize::new(every);
+        }
+        if let Some(budget) = options.restart_budget {
+            serve.restart_budget = budget;
+        }
+        if let Some(events) = options.backoff_events {
+            serve.initial_backoff_events = events;
+        }
+
+        let mut supervisor = Supervisor::new(serve);
+        let mut feed: Box<dyn BufRead> = match &options.input {
+            Some(path) => Box::new(BufReader::new(std::fs::File::open(path)?)),
+            None => Box::new(BufReader::new(std::io::stdin())),
+        };
+        let mut rejected = 0usize;
+        let mut lineno = 0usize;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if feed.read_line(&mut line)? == 0 {
+                break;
+            }
+            lineno += 1;
+            let mut tee = sinks.attach(Tee::new());
+            match supervisor.ingest_line(&line, &mut tee) {
+                Ok(()) => {}
+                // Malformed or misrouted lines must not take the ingest
+                // front down; learner/checkpoint faults are fatal.
+                Err(
+                    error @ (ServeError::Protocol { .. }
+                    | ServeError::UnknownSource { .. }
+                    | ServeError::DuplicateSource { .. }
+                    | ServeError::UnknownSubject { .. }),
+                ) => {
+                    rejected += 1;
+                    writeln!(out, "note: line {lineno} rejected: {error}")?;
+                }
+                Err(error) => return Err(error.into()),
             }
         }
-        if options.table {
-            let lub = result.lub().expect("nonempty");
-            writeln!(out, "\nleast upper bound:")?;
-            out.write_all(lub.to_table(trace.universe()).as_bytes())?;
+        let summaries = {
+            let mut tee = sinks.attach(Tee::new());
+            supervisor.finish(&mut tee)?
+        };
+        if rejected > 0 {
+            writeln!(out, "note: {rejected} line(s) rejected")?;
         }
+        for summary in &summaries {
+            writeln!(
+                out,
+                "shard {}: state={} periods={} shed-periods={} shed-events={} \
+                 restarts={} hypotheses={} converged={}",
+                summary.source,
+                summary.state,
+                summary.periods,
+                summary.shed_periods,
+                summary.shed_events,
+                summary.restarts,
+                summary.result.hypotheses().len(),
+                summary.result.converged()
+            )?;
+            if !summary.report.is_clean() {
+                writeln!(out, "  sanitizer: {}", summary.report)?;
+            }
+        }
+        writeln!(out, "{} source(s) served", summaries.len())?;
         sinks.finish()?;
         Ok(())
     }
@@ -907,5 +1176,142 @@ mod tests {
         // Stats sniffs the CSV format too.
         let stats = run_to_string(&["stats", csv_str]);
         assert!(stats.contains("3 periods"));
+    }
+
+    #[test]
+    fn checkpointed_learn_then_resume_matches_direct() {
+        let dir = std::env::temp_dir().join("bbmg_cli_ckpt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let full = dir.join("simple.txt");
+        let prefix = dir.join("prefix.txt");
+        let ckpt = dir.join("model.ckpt");
+        let _ = run_to_string(&[
+            "simulate",
+            "--workload",
+            "simple",
+            "-o",
+            full.to_str().unwrap(),
+        ]);
+
+        // A prefix trace: the header plus the first two of three periods.
+        let text = std::fs::read_to_string(&full).unwrap();
+        let cut = text.match_indices("\nend\n").nth(1).unwrap().0 + "\nend\n".len();
+        std::fs::write(&prefix, &text[..cut]).unwrap();
+
+        let direct = run_to_string(&["learn", full.to_str().unwrap(), "--exact", "--table"]);
+
+        let first = run_to_string(&[
+            "learn",
+            prefix.to_str().unwrap(),
+            "--exact",
+            "--table",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--checkpoint-every",
+            "1",
+        ]);
+        assert!(first.contains("most-specific hypothesis(es)"), "{first}");
+
+        // Resuming over the full trace continues at period 2 and lands on
+        // exactly the model the uninterrupted run produces.
+        let resumed = run_to_string(&[
+            "resume",
+            ckpt.to_str().unwrap(),
+            full.to_str().unwrap(),
+            "--table",
+        ]);
+        assert!(resumed.contains("resuming at period 2 of 3"), "{resumed}");
+        let tail = |s: &str| s[s.find("most-specific").unwrap()..].to_string();
+        assert_eq!(tail(&resumed), tail(&direct));
+
+        // Resuming again pushes nothing and reprints the same model.
+        let again = run_to_string(&[
+            "resume",
+            ckpt.to_str().unwrap(),
+            full.to_str().unwrap(),
+            "--table",
+        ]);
+        assert!(again.contains("resuming at period 3 of 3"), "{again}");
+        assert_eq!(tail(&again), tail(&direct));
+    }
+
+    #[test]
+    fn resume_refuses_corrupt_checkpoint() {
+        let dir = std::env::temp_dir().join("bbmg_cli_ckpt_corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("simple.txt");
+        let ckpt = dir.join("model.ckpt");
+        let _ = run_to_string(&[
+            "simulate",
+            "--workload",
+            "simple",
+            "-o",
+            trace.to_str().unwrap(),
+        ]);
+        let _ = run_to_string(&[
+            "learn",
+            trace.to_str().unwrap(),
+            "--exact",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+        ]);
+
+        // Flip one payload byte: the checksum must catch it.
+        let mut bytes = std::fs::read(&ckpt).unwrap();
+        let payload_at = bytes.windows(9).position(|w| w == b"\"payload\"").unwrap();
+        let target = payload_at + 40;
+        bytes[target] = if bytes[target] == b'0' { b'1' } else { b'0' };
+        std::fs::write(&ckpt, &bytes).unwrap();
+
+        let err = run_expect_err(&["resume", ckpt.to_str().unwrap(), trace.to_str().unwrap()]);
+        assert!(matches!(err, crate::CliError::Checkpoint(_)), "got {err}");
+    }
+
+    #[test]
+    fn serve_ingests_jsonl_and_reports_shards() {
+        use bbmg_serve::{Line, WireKind};
+
+        let dir = std::env::temp_dir().join("bbmg_cli_serve");
+        std::fs::create_dir_all(&dir).unwrap();
+        let feed_path = dir.join("feed.jsonl");
+
+        let mut lines = vec![Line::Hello {
+            source: "s0".into(),
+            tasks: vec!["a".into(), "b".into()],
+        }
+        .to_json()];
+        for period in 0..2usize {
+            let base = period as u64 * 100;
+            let ev = |time, kind, subject: &str| {
+                Line::Event {
+                    source: "s0".into(),
+                    period,
+                    time,
+                    kind,
+                    subject: subject.into(),
+                }
+                .to_json()
+            };
+            lines.push(ev(base, WireKind::Start, "a"));
+            lines.push(ev(base + 10, WireKind::End, "a"));
+            lines.push(ev(base + 12, WireKind::Rise, &format!("m{period}")));
+            lines.push(ev(base + 14, WireKind::Fall, &format!("m{period}")));
+            lines.push(ev(base + 20, WireKind::Start, "b"));
+            lines.push(ev(base + 30, WireKind::End, "b"));
+        }
+        lines.push("this is not json".into());
+        lines.push(
+            Line::End {
+                source: "s0".into(),
+            }
+            .to_json(),
+        );
+        std::fs::write(&feed_path, format!("{}\n", lines.join("\n"))).unwrap();
+
+        let out = run_to_string(&["serve", "--input", feed_path.to_str().unwrap(), "--exact"]);
+        assert!(out.contains("rejected: protocol: invalid JSON"), "{out}");
+        assert!(out.contains("shard s0: state=exact"), "{out}");
+        assert!(out.contains("periods=2"), "{out}");
+        assert!(out.contains("1 source(s) served"), "{out}");
     }
 }

@@ -37,6 +37,8 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
         Command::Simulate(options) => commands::simulate::run(options, out),
         Command::Stats(options) => commands::stats::run(options, out),
         Command::Learn(options) => commands::learn::run(options, out),
+        Command::Resume(options) => commands::resume::run(options, out),
+        Command::Serve(options) => commands::serve::run(options, out),
         Command::Analyze(options) => commands::analyze::run(options, out),
         Command::Dot(options) => commands::dot::run(options, out),
         Command::Check(options) => commands::check::run(options, out),

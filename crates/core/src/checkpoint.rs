@@ -1,0 +1,910 @@
+//! Versioned, fingerprint-stamped learner checkpoints (`bbmg-ckpt/1`).
+//!
+//! A [`Checkpoint`] captures the **complete** state of an
+//! [`IncrementalLearner`](crate::IncrementalLearner) at a period boundary:
+//! the hypothesis antichain (packed lattice words), the execution-history
+//! bitmap, the effective [`LearnOptions`] (reflecting any exact→bounded
+//! fallback), the budget clock, and the full [`LearnStats`] record
+//! including quarantined periods. Restoring it and feeding the remaining
+//! periods produces a byte-identical result to the uninterrupted run —
+//! the property the `checkpoint_roundtrip` proptest and the kill-and-
+//! resume chaos test enforce.
+//!
+//! # File format
+//!
+//! One JSON document, written without any whitespace:
+//!
+//! ```json
+//! {"schema":"bbmg-ckpt/1","checksum":"<16 hex>","payload":{...}}
+//! ```
+//!
+//! The checksum is a 64-bit FNV-1a/splitmix fold over the exact bytes of
+//! the `payload` value, so any flipped bit — truncation mid-write, disk
+//! corruption, a hand edit — is detected before the payload is trusted.
+//! Inside the payload every `u64`-valued quantity (packed lattice words,
+//! fingerprints, microsecond clocks) is serialized as a 16-digit hex
+//! *string*: the workspace's JSON parser backs numbers with `f64`, which
+//! is exact only up to 2^53.
+//!
+//! Parsing is strict in the same sense as `bbmg-metrics/1`: unknown,
+//! missing, duplicated or reordered fields are errors, the schema tag must
+//! match exactly, and every hypothesis is re-validated structurally
+//! ([`DependencyFunction::from_words`]) and cryptographically (stored vs
+//! recomputed fingerprints) before a learner may resume from it. A
+//! checkpoint for a different task-universe size is refused at the
+//! word-count check — resuming onto a mismatched lattice shape is
+//! impossible by construction.
+//!
+//! Writes are atomic: the document goes to a `<name>.tmp` sibling first,
+//! is fsynced, and is then renamed over the target, so a crash mid-write
+//! leaves either the old checkpoint or the new one, never a torn file.
+
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::num::NonZeroUsize;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use bbmg_lattice::{DependencyFunction, FunctionDecodeError};
+use bbmg_obs::json::{self, Json};
+use bbmg_trace::MessageId;
+
+use crate::options::{Budget, LearnOptions, MergeAssumptions, OnInconsistent};
+use crate::stats::{LearnStats, SkipCause, SkippedPeriod};
+
+/// Schema tag stamped on every checkpoint document.
+pub const CHECKPOINT_SCHEMA: &str = "bbmg-ckpt/1";
+
+/// Order-sensitive fingerprint of a hypothesis antichain: a splitmix-style
+/// fold over the member functions' fingerprints, seeded with the count.
+/// Two learners agree on this value iff they hold the same functions in
+/// the same order — the identity a resumed run must reproduce.
+#[must_use]
+pub fn antichain_fingerprint(functions: &[DependencyFunction]) -> u64 {
+    let mut h = 0x9E37_79B9_7F4A_7C15u64 ^ functions.len() as u64;
+    for f in functions {
+        h ^= f.fingerprint();
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+    }
+    h
+}
+
+/// 64-bit FNV-1a over `bytes` with a splitmix finalizer, seeded with the
+/// length so truncation to a self-consistent prefix still changes the sum.
+fn checksum(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64 ^ bytes.len() as u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 31)
+}
+
+/// Why a checkpoint could not be written, read, or trusted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CheckpointError {
+    /// Filesystem failure while saving or loading.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The OS error text.
+        message: String,
+    },
+    /// The file is not valid JSON at all.
+    Json {
+        /// The parser's diagnosis.
+        message: String,
+    },
+    /// The document carries a different schema tag.
+    Schema {
+        /// The tag found (empty if absent or non-string).
+        found: String,
+    },
+    /// The document parses but violates the `bbmg-ckpt/1` shape.
+    Malformed {
+        /// Which part of the document (e.g. `payload.options`).
+        context: &'static str,
+        /// What is wrong with it.
+        message: String,
+    },
+    /// The stored checksum does not match the payload bytes.
+    ChecksumMismatch {
+        /// Checksum recorded in the file.
+        stored: u64,
+        /// Checksum recomputed from the payload.
+        actual: u64,
+    },
+    /// A hypothesis's packed words do not decode to a valid function for
+    /// the claimed task count (wrong lattice shape, invalid cell codes,
+    /// dirty padding).
+    Function {
+        /// Index of the offending hypothesis.
+        index: usize,
+        /// The structural failure.
+        error: FunctionDecodeError,
+    },
+    /// A hypothesis's stored fingerprint disagrees with the one recomputed
+    /// from its words.
+    FingerprintMismatch {
+        /// Index of the offending hypothesis.
+        index: usize,
+        /// Fingerprint recorded in the file.
+        stored: u64,
+        /// Fingerprint recomputed from the decoded function.
+        actual: u64,
+    },
+    /// The whole-antichain fingerprint disagrees with the one recomputed
+    /// from the decoded hypotheses.
+    AntichainMismatch {
+        /// Fingerprint recorded in the file.
+        stored: u64,
+        /// Fingerprint recomputed from the decoded antichain.
+        actual: u64,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io { path, message } => write!(f, "checkpoint io `{path}`: {message}"),
+            CheckpointError::Json { message } => write!(f, "checkpoint is not JSON: {message}"),
+            CheckpointError::Schema { found } => write!(
+                f,
+                "checkpoint schema is `{found}`, expected `{CHECKPOINT_SCHEMA}`"
+            ),
+            CheckpointError::Malformed { context, message } => {
+                write!(f, "malformed checkpoint at {context}: {message}")
+            }
+            CheckpointError::ChecksumMismatch { stored, actual } => write!(
+                f,
+                "checkpoint corrupt: checksum {stored:016x} recorded, {actual:016x} computed"
+            ),
+            CheckpointError::Function { index, error } => {
+                write!(f, "checkpoint hypothesis {index} is invalid: {error}")
+            }
+            CheckpointError::FingerprintMismatch {
+                index,
+                stored,
+                actual,
+            } => write!(
+                f,
+                "checkpoint hypothesis {index} fingerprint mismatch: {stored:016x} recorded, {actual:016x} computed"
+            ),
+            CheckpointError::AntichainMismatch { stored, actual } => write!(
+                f,
+                "checkpoint antichain fingerprint mismatch: {stored:016x} recorded, {actual:016x} computed"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// A complete, resumable snapshot of an incremental learn run at a period
+/// boundary. Produced by
+/// [`IncrementalLearner::checkpoint`](crate::IncrementalLearner::checkpoint),
+/// consumed by [`IncrementalLearner::resume`](crate::IncrementalLearner::resume).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Task-universe size (the lattice dimension).
+    pub tasks: usize,
+    /// Periods consumed so far (accepted + quarantined) — the index into
+    /// the source stream at which feeding should resume.
+    pub pushed_periods: usize,
+    /// The learner's *effective* options, reflecting any exact→bounded
+    /// fallback already taken.
+    pub options: LearnOptions,
+    /// Bound to use if a fallback happens after resuming.
+    pub fallback_bound: NonZeroUsize,
+    /// Wall-clock time already charged against the budget.
+    pub elapsed: Duration,
+    /// The hypothesis antichain, in the learner's canonical order.
+    pub hypotheses: Vec<DependencyFunction>,
+    /// The execution-history "ever ran without" bitmap, row-major,
+    /// `tasks × tasks` entries.
+    pub ran_without: Vec<bool>,
+    /// Full run statistics, including quarantine and fallback records.
+    pub stats: LearnStats,
+}
+
+impl Checkpoint {
+    /// The antichain fingerprint of this checkpoint's hypotheses (the
+    /// value stamped into the document and into `checkpoint` events).
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        antichain_fingerprint(&self.hypotheses)
+    }
+
+    /// Serializes to the `bbmg-ckpt/1` document (no trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let payload = self.payload_json();
+        format!(
+            "{{\"schema\":\"{CHECKPOINT_SCHEMA}\",\"checksum\":\"{:016x}\",\"payload\":{payload}}}",
+            checksum(payload.as_bytes())
+        )
+    }
+
+    fn payload_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.hypotheses.len() * 64);
+        out.push_str(&format!(
+            "{{\"tasks\":{},\"pushed_periods\":{},\"elapsed_micros\":\"{:016x}\",\"fallback_bound\":{}",
+            self.tasks,
+            self.pushed_periods,
+            u64::try_from(self.elapsed.as_micros()).unwrap_or(u64::MAX),
+            self.fallback_bound,
+        ));
+        out.push_str(",\"options\":");
+        push_options(&mut out, &self.options);
+        out.push_str(",\"history\":\"");
+        for &bit in &self.ran_without {
+            out.push(if bit { '1' } else { '0' });
+        }
+        out.push('"');
+        out.push_str(",\"hypotheses\":[");
+        for (i, function) in self.hypotheses.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"fingerprint\":\"{:016x}\",\"words\":[",
+                function.fingerprint()
+            ));
+            for (j, word) in function.packed_words().iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{word:016x}\""));
+            }
+            out.push_str("]}");
+        }
+        out.push(']');
+        out.push_str(&format!(
+            ",\"antichain_fingerprint\":\"{:016x}\"",
+            self.fingerprint()
+        ));
+        out.push_str(",\"stats\":");
+        push_stats(&mut out, &self.stats);
+        out.push('}');
+        out
+    }
+
+    /// Parses and fully validates a `bbmg-ckpt/1` document.
+    ///
+    /// # Errors
+    ///
+    /// Every way the document can be untrustworthy is a distinct
+    /// [`CheckpointError`]: bad JSON, wrong schema tag, checksum mismatch,
+    /// shape violations, undecodable or fingerprint-mismatched hypotheses.
+    pub fn parse_json(text: &str) -> Result<Self, CheckpointError> {
+        let doc = json::parse(text).map_err(|e| CheckpointError::Json {
+            message: e.to_string(),
+        })?;
+        let mut outer = FieldWalker::new(&doc, "document")?;
+        let schema = outer.take("schema")?.as_str().unwrap_or_default();
+        if schema != CHECKPOINT_SCHEMA {
+            return Err(CheckpointError::Schema {
+                found: schema.to_owned(),
+            });
+        }
+        let stored_checksum = hex_u64(outer.take("checksum")?, "document", "checksum")?;
+        let payload = outer.take("payload")?;
+        outer.finish()?;
+
+        // The checksum covers the payload's exact byte serialization. The
+        // writer emits the document without whitespace and with `payload`
+        // last, so the payload text is everything between the (unique)
+        // `"payload":` marker and the final `}`.
+        let marker = "\"payload\":";
+        let start = text.find(marker).ok_or(CheckpointError::Malformed {
+            context: "document",
+            message: "payload marker not found".to_owned(),
+        })? + marker.len();
+        let trimmed = text.trim_end();
+        let payload_text = &trimmed[start..trimmed.len() - 1];
+        let actual = checksum(payload_text.as_bytes());
+        if actual != stored_checksum {
+            return Err(CheckpointError::ChecksumMismatch {
+                stored: stored_checksum,
+                actual,
+            });
+        }
+
+        Self::decode_payload(payload)
+    }
+
+    fn decode_payload(payload: &Json) -> Result<Self, CheckpointError> {
+        let mut p = FieldWalker::new(payload, "payload")?;
+        let tasks = usize_value(p.take("tasks")?, "payload", "tasks")?;
+        let pushed_periods = usize_value(p.take("pushed_periods")?, "payload", "pushed_periods")?;
+        let elapsed = Duration::from_micros(hex_u64(
+            p.take("elapsed_micros")?,
+            "payload",
+            "elapsed_micros",
+        )?);
+        let fallback_bound = nonzero_value(p.take("fallback_bound")?, "payload", "fallback_bound")?;
+        let options = decode_options(p.take("options")?)?;
+        let history = p
+            .take("history")?
+            .as_str()
+            .ok_or_else(|| malformed("payload", "`history` must be a string"))?;
+        let mut ran_without = Vec::with_capacity(history.len());
+        for c in history.chars() {
+            match c {
+                '0' => ran_without.push(false),
+                '1' => ran_without.push(true),
+                other => {
+                    return Err(malformed(
+                        "payload.history",
+                        format!("invalid bitmap character `{other}`"),
+                    ))
+                }
+            }
+        }
+        if ran_without.len() != tasks * tasks {
+            return Err(malformed(
+                "payload.history",
+                format!(
+                    "bitmap has {} bits, expected {} for {tasks} tasks",
+                    ran_without.len(),
+                    tasks * tasks
+                ),
+            ));
+        }
+        let Json::Array(entries) = p.take("hypotheses")? else {
+            return Err(malformed("payload", "`hypotheses` must be an array"));
+        };
+        let mut hypotheses = Vec::with_capacity(entries.len());
+        for (index, entry) in entries.iter().enumerate() {
+            let mut h = FieldWalker::new(entry, "payload.hypotheses")?;
+            let stored = hex_u64(h.take("fingerprint")?, "payload.hypotheses", "fingerprint")?;
+            let Json::Array(word_values) = h.take("words")? else {
+                return Err(malformed("payload.hypotheses", "`words` must be an array"));
+            };
+            h.finish()?;
+            let mut words = Vec::with_capacity(word_values.len());
+            for w in word_values {
+                words.push(hex_u64(w, "payload.hypotheses", "words")?);
+            }
+            let function = DependencyFunction::from_words(tasks, words)
+                .map_err(|error| CheckpointError::Function { index, error })?;
+            let actual = function.fingerprint();
+            if actual != stored {
+                return Err(CheckpointError::FingerprintMismatch {
+                    index,
+                    stored,
+                    actual,
+                });
+            }
+            hypotheses.push(function);
+        }
+        let stored_antichain = hex_u64(
+            p.take("antichain_fingerprint")?,
+            "payload",
+            "antichain_fingerprint",
+        )?;
+        let actual_antichain = antichain_fingerprint(&hypotheses);
+        if actual_antichain != stored_antichain {
+            return Err(CheckpointError::AntichainMismatch {
+                stored: stored_antichain,
+                actual: actual_antichain,
+            });
+        }
+        let stats = decode_stats(p.take("stats")?)?;
+        p.finish()?;
+        Ok(Checkpoint {
+            tasks,
+            pushed_periods,
+            options,
+            fallback_bound,
+            elapsed,
+            hypotheses,
+            ran_without,
+            stats,
+        })
+    }
+
+    /// Writes the checkpoint to `path` atomically: the document goes to a
+    /// `.tmp` sibling, is fsynced, then renamed into place. A crash at any
+    /// point leaves either the previous checkpoint or this one intact.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] on any filesystem failure.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let io_err = |p: &Path, e: std::io::Error| CheckpointError::Io {
+            path: p.display().to_string(),
+            message: e.to_string(),
+        };
+        let tmp = temp_path(path);
+        {
+            let mut file = fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+            file.write_all(self.to_json().as_bytes())
+                .and_then(|()| file.write_all(b"\n"))
+                .and_then(|()| file.sync_all())
+                .map_err(|e| io_err(&tmp, e))?;
+        }
+        fs::rename(&tmp, path).map_err(|e| io_err(path, e))
+    }
+
+    /// Reads and validates a checkpoint from `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] if the file cannot be read, otherwise as
+    /// [`parse_json`](Checkpoint::parse_json).
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        let text = fs::read_to_string(path).map_err(|e| CheckpointError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        Self::parse_json(&text)
+    }
+}
+
+fn temp_path(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map_or_else(|| std::ffi::OsString::from("checkpoint"), ToOwned::to_owned);
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+fn push_options(out: &mut String, options: &LearnOptions) {
+    out.push_str(&format!(
+        "{{\"bound\":{},\"merge_assumptions\":\"{}\",\"timing_filter\":{},\"history_aware\":{},\"set_limit\":{},\"on_inconsistent\":\"{}\",\"max_steps\":{},\"max_wall_clock_micros\":{},\"parallelism\":{}}}",
+        opt_number(options.bound),
+        match options.merge_assumptions {
+            MergeAssumptions::Union => "union",
+            MergeAssumptions::Intersection => "intersection",
+        },
+        options.timing_filter,
+        options.history_aware,
+        opt_number(options.set_limit),
+        match options.on_inconsistent {
+            OnInconsistent::Abort => "abort",
+            OnInconsistent::SkipPeriod => "skip_period",
+        },
+        opt_number(options.budget.max_steps),
+        options.budget.max_wall_clock.map_or_else(
+            || "null".to_owned(),
+            |d| format!("\"{:016x}\"", u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+        ),
+        options.parallelism,
+    ));
+}
+
+fn decode_options(value: &Json) -> Result<LearnOptions, CheckpointError> {
+    const CTX: &str = "payload.options";
+    let mut o = FieldWalker::new(value, CTX)?;
+    let bound = opt_nonzero_value(o.take("bound")?, CTX, "bound")?;
+    let merge_assumptions = match o.take("merge_assumptions")?.as_str() {
+        Some("union") => MergeAssumptions::Union,
+        Some("intersection") => MergeAssumptions::Intersection,
+        other => {
+            return Err(malformed(
+                CTX,
+                format!("unknown merge_assumptions `{}`", other.unwrap_or_default()),
+            ))
+        }
+    };
+    let timing_filter = bool_value(o.take("timing_filter")?, CTX, "timing_filter")?;
+    let history_aware = bool_value(o.take("history_aware")?, CTX, "history_aware")?;
+    let set_limit = opt_nonzero_value(o.take("set_limit")?, CTX, "set_limit")?;
+    let on_inconsistent = match o.take("on_inconsistent")?.as_str() {
+        Some("abort") => OnInconsistent::Abort,
+        Some("skip_period") => OnInconsistent::SkipPeriod,
+        other => {
+            return Err(malformed(
+                CTX,
+                format!("unknown on_inconsistent `{}`", other.unwrap_or_default()),
+            ))
+        }
+    };
+    let max_steps = opt_nonzero_value(o.take("max_steps")?, CTX, "max_steps")?;
+    let max_wall_clock = match o.take("max_wall_clock_micros")? {
+        Json::Null => None,
+        v => Some(Duration::from_micros(hex_u64(
+            v,
+            CTX,
+            "max_wall_clock_micros",
+        )?)),
+    };
+    let parallelism = nonzero_value(o.take("parallelism")?, CTX, "parallelism")?;
+    o.finish()?;
+    Ok(LearnOptions {
+        bound,
+        merge_assumptions,
+        timing_filter,
+        history_aware,
+        set_limit,
+        on_inconsistent,
+        budget: Budget {
+            max_steps,
+            max_wall_clock,
+        },
+        parallelism,
+    })
+}
+
+fn push_stats(out: &mut String, stats: &LearnStats) {
+    out.push_str(&format!(
+        "{{\"periods\":{},\"messages\":{},\"hypotheses_generated\":{},\"merges\":{},\"peak_set_size\":{},\"set_sizes_per_period\":[",
+        stats.periods, stats.messages, stats.hypotheses_generated, stats.merges, stats.peak_set_size,
+    ));
+    for (i, size) in stats.set_sizes_per_period.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&size.to_string());
+    }
+    out.push_str(&format!(
+        "],\"candidate_pairs_total\":{},\"fallbacks\":{},\"skipped_periods\":[",
+        stats.candidate_pairs_total, stats.fallbacks,
+    ));
+    for (i, skip) in stats.skipped_periods.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let (cause, message) = match &skip.cause {
+            SkipCause::Inconsistent { message } => (
+                "inconsistent",
+                message.map_or_else(|| "null".to_owned(), |m| m.index().to_string()),
+            ),
+            SkipCause::BudgetExhausted => ("budget_exhausted", "null".to_owned()),
+        };
+        out.push_str(&format!(
+            "{{\"period\":{},\"cause\":\"{cause}\",\"message\":{message}}}",
+            skip.period
+        ));
+    }
+    out.push_str("]}");
+}
+
+fn decode_stats(value: &Json) -> Result<LearnStats, CheckpointError> {
+    const CTX: &str = "payload.stats";
+    let mut s = FieldWalker::new(value, CTX)?;
+    let periods = usize_value(s.take("periods")?, CTX, "periods")?;
+    let messages = usize_value(s.take("messages")?, CTX, "messages")?;
+    let hypotheses_generated = usize_value(s.take("hypotheses_generated")?, CTX, "generated")?;
+    let merges = usize_value(s.take("merges")?, CTX, "merges")?;
+    let peak_set_size = usize_value(s.take("peak_set_size")?, CTX, "peak_set_size")?;
+    let Json::Array(sizes) = s.take("set_sizes_per_period")? else {
+        return Err(malformed(CTX, "`set_sizes_per_period` must be an array"));
+    };
+    let set_sizes_per_period = sizes
+        .iter()
+        .map(|v| usize_value(v, CTX, "set_sizes_per_period"))
+        .collect::<Result<Vec<_>, _>>()?;
+    let candidate_pairs_total = usize_value(s.take("candidate_pairs_total")?, CTX, "pairs")?;
+    let fallbacks = usize_value(s.take("fallbacks")?, CTX, "fallbacks")?;
+    let Json::Array(skips) = s.take("skipped_periods")? else {
+        return Err(malformed(CTX, "`skipped_periods` must be an array"));
+    };
+    let mut skipped_periods = Vec::with_capacity(skips.len());
+    for skip in skips {
+        const SCTX: &str = "payload.stats.skipped_periods";
+        let mut w = FieldWalker::new(skip, SCTX)?;
+        let period = usize_value(w.take("period")?, SCTX, "period")?;
+        let cause_name = w.take("cause")?.as_str().unwrap_or_default().to_owned();
+        let message = match w.take("message")? {
+            Json::Null => None,
+            v => Some(MessageId::from_index(usize_value(v, SCTX, "message")?)),
+        };
+        w.finish()?;
+        let cause = match cause_name.as_str() {
+            "inconsistent" => SkipCause::Inconsistent { message },
+            "budget_exhausted" if message.is_none() => SkipCause::BudgetExhausted,
+            other => return Err(malformed(SCTX, format!("unknown cause `{other}`"))),
+        };
+        skipped_periods.push(SkippedPeriod { period, cause });
+    }
+    s.finish()?;
+    Ok(LearnStats {
+        periods,
+        messages,
+        hypotheses_generated,
+        merges,
+        peak_set_size,
+        set_sizes_per_period,
+        candidate_pairs_total,
+        skipped_periods,
+        fallbacks,
+    })
+}
+
+/// Walks an object's fields strictly in writer order: any deviation —
+/// unknown, missing, duplicated or reordered field — is a
+/// [`CheckpointError::Malformed`]. Checkpoints are machine-written;
+/// anything off-template is treated as corruption, not style.
+struct FieldWalker<'a> {
+    context: &'static str,
+    fields: std::slice::Iter<'a, (String, Json)>,
+}
+
+impl<'a> FieldWalker<'a> {
+    fn new(value: &'a Json, context: &'static str) -> Result<Self, CheckpointError> {
+        match value {
+            Json::Object(fields) => Ok(FieldWalker {
+                context,
+                fields: fields.iter(),
+            }),
+            _ => Err(malformed(context, "expected an object")),
+        }
+    }
+
+    fn take(&mut self, name: &str) -> Result<&'a Json, CheckpointError> {
+        match self.fields.next() {
+            Some((key, value)) if key == name => Ok(value),
+            Some((key, _)) => Err(malformed(
+                self.context,
+                format!("expected field `{name}`, found `{key}`"),
+            )),
+            None => Err(malformed(self.context, format!("missing field `{name}`"))),
+        }
+    }
+
+    fn finish(mut self) -> Result<(), CheckpointError> {
+        match self.fields.next() {
+            None => Ok(()),
+            Some((key, _)) => Err(malformed(self.context, format!("unknown field `{key}`"))),
+        }
+    }
+}
+
+fn malformed(context: &'static str, message: impl Into<String>) -> CheckpointError {
+    CheckpointError::Malformed {
+        context,
+        message: message.into(),
+    }
+}
+
+fn opt_number(value: Option<NonZeroUsize>) -> String {
+    value.map_or_else(|| "null".to_owned(), |v| v.to_string())
+}
+
+fn usize_value(value: &Json, context: &'static str, name: &str) -> Result<usize, CheckpointError> {
+    value
+        .as_u64()
+        .and_then(|v| usize::try_from(v).ok())
+        .ok_or_else(|| malformed(context, format!("`{name}` must be a non-negative integer")))
+}
+
+fn nonzero_value(
+    value: &Json,
+    context: &'static str,
+    name: &str,
+) -> Result<NonZeroUsize, CheckpointError> {
+    NonZeroUsize::new(usize_value(value, context, name)?)
+        .ok_or_else(|| malformed(context, format!("`{name}` must be nonzero")))
+}
+
+fn opt_nonzero_value(
+    value: &Json,
+    context: &'static str,
+    name: &str,
+) -> Result<Option<NonZeroUsize>, CheckpointError> {
+    match value {
+        Json::Null => Ok(None),
+        v => nonzero_value(v, context, name).map(Some),
+    }
+}
+
+fn bool_value(value: &Json, context: &'static str, name: &str) -> Result<bool, CheckpointError> {
+    match value {
+        Json::Bool(b) => Ok(*b),
+        _ => Err(malformed(context, format!("`{name}` must be a boolean"))),
+    }
+}
+
+/// A `u64` serialized as a 16-digit hex string (see the module docs for
+/// why numbers cannot carry 64-bit payloads here).
+fn hex_u64(value: &Json, context: &'static str, name: &str) -> Result<u64, CheckpointError> {
+    let text = value
+        .as_str()
+        .ok_or_else(|| malformed(context, format!("`{name}` must be a hex string")))?;
+    if text.len() != 16 {
+        return Err(malformed(
+            context,
+            format!("`{name}` must be exactly 16 hex digits"),
+        ));
+    }
+    u64::from_str_radix(text, 16)
+        .map_err(|_| malformed(context, format!("`{name}` is not valid hex")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbmg_lattice::{DependencyValue, TaskId};
+
+    fn sample() -> Checkpoint {
+        let mut f = DependencyFunction::bottom(3);
+        f.set(
+            TaskId::from_index(0),
+            TaskId::from_index(1),
+            DependencyValue::Determines,
+        );
+        let g = DependencyFunction::bottom(3);
+        Checkpoint {
+            tasks: 3,
+            pushed_periods: 7,
+            options: LearnOptions::exact()
+                .with_set_limit(100)
+                .with_on_inconsistent(OnInconsistent::SkipPeriod)
+                .with_budget(Budget::unlimited().with_max_steps(5000))
+                .with_parallelism(4),
+            fallback_bound: NonZeroUsize::new(64).unwrap(),
+            elapsed: Duration::from_micros(123_456),
+            hypotheses: vec![f, g],
+            ran_without: vec![false, true, false, false, false, false, true, false, false],
+            stats: LearnStats {
+                periods: 6,
+                messages: 9,
+                hypotheses_generated: 40,
+                merges: 2,
+                peak_set_size: 5,
+                set_sizes_per_period: vec![1, 2, 2, 3, 2, 2],
+                candidate_pairs_total: 17,
+                skipped_periods: vec![SkippedPeriod {
+                    period: 3,
+                    cause: SkipCause::Inconsistent {
+                        message: Some(MessageId::from_index(2)),
+                    },
+                }],
+                fallbacks: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let ckpt = sample();
+        let text = ckpt.to_json();
+        let back = Checkpoint::parse_json(&text).expect("round trip");
+        assert_eq!(back, ckpt);
+        assert_eq!(back.fingerprint(), ckpt.fingerprint());
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!("bbmg-ckpt-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.ckpt");
+        let ckpt = sample();
+        ckpt.save(&path).expect("save");
+        assert_eq!(Checkpoint::load(&path).expect("load"), ckpt);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flipped_payload_bit_is_detected() {
+        let text = sample().to_json();
+        // Flip a digit inside the payload (the pushed_periods value).
+        let corrupted = text.replace("\"pushed_periods\":7", "\"pushed_periods\":8");
+        assert_ne!(corrupted, text);
+        assert!(matches!(
+            Checkpoint::parse_json(&corrupted),
+            Err(CheckpointError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let text = sample().to_json();
+        let truncated = &text[..text.len() - 40];
+        assert!(Checkpoint::parse_json(truncated).is_err());
+    }
+
+    #[test]
+    fn wrong_schema_is_refused() {
+        let text = sample().to_json().replace("bbmg-ckpt/1", "bbmg-ckpt/2");
+        assert!(matches!(
+            Checkpoint::parse_json(&text),
+            Err(CheckpointError::Schema { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_field_is_refused() {
+        let mut ckpt = sample();
+        ckpt.stats.skipped_periods.clear();
+        let text = ckpt.to_json();
+        // Splice an extra field into the payload and re-stamp the checksum
+        // so only strict field validation can catch it.
+        let marker = "\"payload\":";
+        let start = text.find(marker).unwrap() + marker.len();
+        let payload = &text[start..text.len() - 1];
+        let evil = payload.replacen("{\"tasks\"", "{\"extra\":1,\"tasks\"", 1);
+        let doc = format!(
+            "{{\"schema\":\"{CHECKPOINT_SCHEMA}\",\"checksum\":\"{:016x}\",\"payload\":{evil}}}",
+            checksum(evil.as_bytes())
+        );
+        assert!(matches!(
+            Checkpoint::parse_json(&doc),
+            Err(CheckpointError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_lattice_shape_is_refused() {
+        let mut ckpt = sample();
+        // Claim a universe big enough that the packed-word count differs
+        // (4 tasks still fit one word, 7 need three); grow the history
+        // bitmap too so the hypothesis decode is reached.
+        ckpt.tasks = 7;
+        ckpt.ran_without = vec![false; 49];
+        let text = ckpt.to_json();
+        assert!(matches!(
+            Checkpoint::parse_json(&text),
+            Err(CheckpointError::Function {
+                error: FunctionDecodeError::WordCount { .. },
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn doctored_words_fail_the_fingerprint_check() {
+        let ckpt = sample();
+        let text = ckpt.to_json();
+        // Replace hypothesis 0's words with bottom's (valid shape, wrong
+        // fingerprint), re-stamping the checksum.
+        let bottom_word = format!(
+            "\"{:016x}\"",
+            DependencyFunction::bottom(3).packed_words()[0]
+        );
+        let own_word = format!("\"{:016x}\"", ckpt.hypotheses[0].packed_words()[0]);
+        let marker = "\"payload\":";
+        let start = text.find(marker).unwrap() + marker.len();
+        let payload = &text[start..text.len() - 1];
+        let evil = payload.replacen(own_word.as_str(), bottom_word.as_str(), 1);
+        assert_ne!(evil, payload);
+        let doc = format!(
+            "{{\"schema\":\"{CHECKPOINT_SCHEMA}\",\"checksum\":\"{:016x}\",\"payload\":{evil}}}",
+            checksum(evil.as_bytes())
+        );
+        assert!(matches!(
+            Checkpoint::parse_json(&doc),
+            Err(CheckpointError::FingerprintMismatch { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn antichain_fingerprint_is_order_sensitive() {
+        let ckpt = sample();
+        let mut swapped = ckpt.clone();
+        swapped.hypotheses.swap(0, 1);
+        assert_ne!(ckpt.fingerprint(), swapped.fingerprint());
+        assert_ne!(
+            antichain_fingerprint(&[]),
+            antichain_fingerprint(&ckpt.hypotheses)
+        );
+    }
+
+    #[test]
+    fn errors_display() {
+        let errors = [
+            CheckpointError::Schema { found: "x".into() },
+            CheckpointError::ChecksumMismatch {
+                stored: 1,
+                actual: 2,
+            },
+            CheckpointError::AntichainMismatch {
+                stored: 1,
+                actual: 2,
+            },
+            malformed("payload", "boom"),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -50,6 +50,23 @@ impl ExecutionHistory {
         self.ran_without[a.index() * self.tasks + b.index()]
     }
 
+    /// The raw `tasks × tasks` "ever ran without" bitmap, row-major (for
+    /// checkpoint serialization).
+    pub(crate) fn bits(&self) -> &[bool] {
+        &self.ran_without
+    }
+
+    /// Rebuilds a history from a checkpointed bitmap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bitmap length is not `tasks × tasks` — callers
+    /// validate lengths before decoding.
+    pub(crate) fn from_bits(tasks: usize, ran_without: Vec<bool>) -> Self {
+        assert_eq!(ran_without.len(), tasks * tasks, "history bitmap length");
+        ExecutionHistory { tasks, ran_without }
+    }
+
     /// The minimal admissible forward value for assuming a message
     /// `sender → receiver`: `→`, or `→?` if history already contradicts the
     /// unconditional claim.

@@ -1,0 +1,611 @@
+//! The incremental learning engine: push periods one at a time, snapshot
+//! to a [`Checkpoint`] at any boundary, resume later — byte-identically.
+//!
+//! [`IncrementalLearner`] is the crash-safe successor to feeding a whole
+//! [`Trace`](bbmg_trace::Trace) through [`learn`](crate::learn): the same
+//! degradation policy as [`RobustLearner`](crate::RobustLearner)
+//! (quarantine, exact→bounded fallback, budget early-stop), but with state
+//! that is *checkpointable* in `O(hypotheses)` rather than `O(trace)`.
+//! The classic robust learner keeps every accepted period so a fallback
+//! can replay them into a fresh bounded learner; that history is exactly
+//! what a checkpoint must not carry. Here a fallback instead **seeds** the
+//! bounded learner with the current exact antichain and re-observes only
+//! the period that tripped the limit. This is sound — the exact antichain
+//! is a complete summary of everything accepted so far (Theorem 2), and
+//! bounded-mode merging only ever generalizes — and it makes the learner's
+//! full state equal to (antichain, history bitmap, options, stats,
+//! counters): precisely what [`Checkpoint`] captures.
+//!
+//! The defining invariant, enforced by the `checkpoint_roundtrip` proptest
+//! and the kill-and-resume chaos test:
+//!
+//! > For any split point k: `push(p_1..p_k); resume(checkpoint());
+//! > push(p_k+1..p_n)` produces the same hypotheses, the same stats, and
+//! > the same observer event stream as `push(p_1..p_n)` uninterrupted.
+
+use std::num::NonZeroUsize;
+
+use bbmg_lattice::DependencyFunction;
+use bbmg_obs::{Event, NoopObserver, Observer};
+use bbmg_trace::Period;
+
+use crate::checkpoint::{Checkpoint, CheckpointError};
+use crate::error::LearnError;
+use crate::history::ExecutionHistory;
+use crate::learner::{LearnResult, Learner};
+use crate::options::{LearnOptions, OnInconsistent};
+use crate::robust::{Observed, DEFAULT_FALLBACK_BOUND};
+use crate::stats::{LearnStats, SkipCause, SkippedPeriod};
+
+/// A checkpointable period-at-a-time learner with graceful degradation.
+///
+/// # Example — checkpoint mid-stream, resume, finish
+///
+/// ```
+/// use bbmg_core::{Checkpoint, IncrementalLearner, LearnOptions};
+/// use bbmg_trace::{Timestamp, TraceBuilder};
+/// use bbmg_lattice::TaskUniverse;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut universe = TaskUniverse::new();
+/// let t1 = universe.intern("t1");
+/// let t2 = universe.intern("t2");
+/// let mut builder = TraceBuilder::new(universe);
+/// for base in [0u64, 100] {
+///     builder.begin_period();
+///     builder.task(t1, Timestamp::new(base), Timestamp::new(base + 10))?;
+///     builder.message(Timestamp::new(base + 11), Timestamp::new(base + 13))?;
+///     builder.task(t2, Timestamp::new(base + 15), Timestamp::new(base + 25))?;
+///     builder.end_period()?;
+/// }
+/// let trace = builder.finish();
+///
+/// let mut learner = IncrementalLearner::new(2, LearnOptions::exact());
+/// learner.push_period(&trace.periods()[0])?;
+/// let saved = learner.checkpoint().to_json();
+///
+/// // ... the process dies here; later, a new one picks up:
+/// let restored = Checkpoint::parse_json(&saved)?;
+/// let mut learner = IncrementalLearner::resume(restored)?;
+/// assert_eq!(learner.pushed_periods(), 1);
+/// learner.push_period(&trace.periods()[1])?;
+/// assert!(learner.finish().converged());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalLearner {
+    learner: Learner,
+    tasks: usize,
+    fallback_bound: NonZeroUsize,
+    /// Periods consumed (accepted + quarantined): the stream position at
+    /// which a resumed run continues.
+    pushed_periods: usize,
+}
+
+impl IncrementalLearner {
+    /// Creates an incremental learner over a universe of `tasks` tasks.
+    #[must_use]
+    pub fn new(tasks: usize, options: LearnOptions) -> Self {
+        IncrementalLearner {
+            learner: Learner::new(tasks, options),
+            tasks,
+            fallback_bound: NonZeroUsize::new(DEFAULT_FALLBACK_BOUND)
+                .expect("default bound is nonzero"),
+            pushed_periods: 0,
+        }
+    }
+
+    /// Returns `self` with a different bound for the exact-to-bounded
+    /// fallback (default [`DEFAULT_FALLBACK_BOUND`]).
+    #[must_use]
+    pub fn with_fallback_bound(mut self, bound: NonZeroUsize) -> Self {
+        self.fallback_bound = bound;
+        self
+    }
+
+    /// Task-universe size.
+    #[must_use]
+    pub fn tasks(&self) -> usize {
+        self.tasks
+    }
+
+    /// Periods consumed so far (accepted + quarantined).
+    #[must_use]
+    pub fn pushed_periods(&self) -> usize {
+        self.pushed_periods
+    }
+
+    /// The wrapped learner's options (reflects the fallback once engaged).
+    #[must_use]
+    pub fn options(&self) -> &LearnOptions {
+        self.learner.options()
+    }
+
+    /// Statistics so far, including skips and fallbacks.
+    #[must_use]
+    pub fn stats(&self) -> &LearnStats {
+        self.learner.stats()
+    }
+
+    /// Number of hypotheses currently maintained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.learner.len()
+    }
+
+    /// Whether the hypothesis set is empty (never after a skip).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.learner.is_empty()
+    }
+
+    /// Whether the learner has converged to a unique hypothesis.
+    #[must_use]
+    pub fn converged(&self) -> bool {
+        self.learner.converged()
+    }
+
+    /// The current hypothesis set (see [`Learner::hypotheses`]).
+    #[must_use]
+    pub fn hypotheses(&self) -> Vec<&DependencyFunction> {
+        self.learner.hypotheses()
+    }
+
+    /// The current antichain fingerprint (the identity stamped into
+    /// checkpoints and `checkpoint` events).
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let functions: Vec<DependencyFunction> =
+            self.learner.hypotheses().into_iter().cloned().collect();
+        crate::checkpoint::antichain_fingerprint(&functions)
+    }
+
+    /// Processes one period under the degradation policy (see
+    /// [`RobustLearner::observe`](crate::RobustLearner::observe) for the
+    /// ladder; the fallback rung seeds the bounded learner from the
+    /// current antichain instead of replaying the trace).
+    ///
+    /// The call is transactional: on any `Err` the learner is exactly as
+    /// it was before the period, so a supervisor can keep serving the last
+    /// good model after a failure.
+    ///
+    /// # Errors
+    ///
+    /// [`LearnError::Inconsistent`] only under [`OnInconsistent::Abort`];
+    /// [`LearnError::UniverseMismatch`] always propagates.
+    pub fn push_period(&mut self, period: &Period) -> Result<Observed, LearnError> {
+        self.push_inner(period, true, &mut NoopObserver)
+    }
+
+    /// [`push_period`](Self::push_period) with instrumentation: besides
+    /// the wrapped learner's events, quarantines and fallbacks are
+    /// reported to `observer`.
+    ///
+    /// # Errors
+    ///
+    /// As [`push_period`](Self::push_period).
+    pub fn push_period_with<O: Observer + ?Sized>(
+        &mut self,
+        period: &Period,
+        observer: &mut O,
+    ) -> Result<Observed, LearnError> {
+        self.push_inner(period, true, observer)
+    }
+
+    /// Records `period` as unprocessed due to budget exhaustion without
+    /// touching the learner (bookkeeping after
+    /// [`Observed::BudgetStopped`] — no silent data loss).
+    pub fn mark_unprocessed(&mut self, period: usize) {
+        let skip = SkippedPeriod {
+            period,
+            cause: SkipCause::BudgetExhausted,
+        };
+        self.learner.stats_mut().skipped_periods.push(skip);
+    }
+
+    /// Forces the exact→bounded degradation now (used by the serve layer
+    /// when a shard crosses its memory watermark). Returns `false` — and
+    /// does nothing — if the learner is already bounded.
+    pub fn degrade(&mut self) -> bool {
+        self.degrade_with(&mut NoopObserver)
+    }
+
+    /// [`degrade`](Self::degrade), reporting the fallback to `observer`.
+    pub fn degrade_with<O: Observer + ?Sized>(&mut self, observer: &mut O) -> bool {
+        if self.learner.options().bound.is_some() {
+            return false;
+        }
+        self.fall_back(observer);
+        true
+    }
+
+    /// Snapshots the complete learner state. Only meaningful at a period
+    /// boundary (which is the only time callers can run, since
+    /// [`push_period`](Self::push_period) takes `&mut self`).
+    #[must_use]
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            tasks: self.tasks,
+            pushed_periods: self.pushed_periods,
+            options: *self.learner.options(),
+            fallback_bound: self.fallback_bound,
+            elapsed: self.learner.budget_elapsed(),
+            hypotheses: self.learner.hypotheses().into_iter().cloned().collect(),
+            ran_without: self.learner.history().bits().to_vec(),
+            stats: self.learner.stats().clone(),
+        }
+    }
+
+    /// Reconstructs a learner from a checkpoint, continuing exactly where
+    /// [`checkpoint`](Self::checkpoint) left off. Checkpoints that came
+    /// through [`Checkpoint::parse_json`] are already fully validated;
+    /// hand-built ones are re-checked for shape here.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Malformed`] if the history bitmap or any
+    /// hypothesis disagrees with the claimed task count — resuming onto a
+    /// mismatched lattice shape is refused, never coerced.
+    pub fn resume(checkpoint: Checkpoint) -> Result<Self, CheckpointError> {
+        let Checkpoint {
+            tasks,
+            pushed_periods,
+            options,
+            fallback_bound,
+            elapsed,
+            hypotheses,
+            ran_without,
+            stats,
+        } = checkpoint;
+        if ran_without.len() != tasks * tasks {
+            return Err(CheckpointError::Malformed {
+                context: "checkpoint",
+                message: format!(
+                    "history bitmap has {} bits, expected {} for {tasks} tasks",
+                    ran_without.len(),
+                    tasks * tasks
+                ),
+            });
+        }
+        if let Some(f) = hypotheses.iter().find(|f| f.task_count() != tasks) {
+            return Err(CheckpointError::Malformed {
+                context: "checkpoint",
+                message: format!(
+                    "hypothesis is over {} tasks, checkpoint claims {tasks}",
+                    f.task_count()
+                ),
+            });
+        }
+        let history = ExecutionHistory::from_bits(tasks, ran_without);
+        let learner = Learner::from_state(tasks, options, hypotheses, history, stats, elapsed);
+        Ok(IncrementalLearner {
+            learner,
+            tasks,
+            fallback_bound,
+            pushed_periods,
+        })
+    }
+
+    /// Finishes the run, producing a [`LearnResult`] whose stats carry the
+    /// quarantine and fallback record.
+    #[must_use]
+    pub fn finish(self) -> LearnResult {
+        self.learner.into_result()
+    }
+
+    fn push_inner<O: Observer + ?Sized>(
+        &mut self,
+        period: &Period,
+        allow_fallback: bool,
+        observer: &mut O,
+    ) -> Result<Observed, LearnError> {
+        let snapshot = self.learner.clone();
+        match self.learner.observe_with(period, observer) {
+            Ok(()) => {
+                self.pushed_periods += 1;
+                Ok(Observed::Accepted)
+            }
+            Err(LearnError::Inconsistent { period: p, message })
+                if self.learner.options().on_inconsistent == OnInconsistent::SkipPeriod =>
+            {
+                self.learner = snapshot;
+                let skip = SkippedPeriod {
+                    period: p,
+                    cause: SkipCause::Inconsistent { message },
+                };
+                self.learner.stats_mut().skipped_periods.push(skip.clone());
+                observer.quarantine(p, skip.cause.to_string());
+                self.pushed_periods += 1;
+                Ok(Observed::Skipped(skip))
+            }
+            Err(LearnError::SetLimitExceeded { .. } | LearnError::BudgetExhausted { .. })
+                if allow_fallback && self.learner.options().bound.is_none() =>
+            {
+                self.learner = snapshot;
+                self.fall_back(observer);
+                self.push_inner(period, false, observer)
+            }
+            Err(LearnError::BudgetExhausted { period: p, .. }) => {
+                // The sampled budget guard can trip mid-period; roll back
+                // so the partial result only reflects full periods.
+                self.learner = snapshot;
+                Ok(Observed::BudgetStopped { period: p })
+            }
+            Err(err) => {
+                // Keep `push_period` transactional: even a propagated error
+                // leaves the learner exactly as it was before the period.
+                self.learner = snapshot;
+                Err(err)
+            }
+        }
+    }
+
+    /// Switches to the bounded heuristic *in place*: the bounded learner
+    /// starts from the current exact antichain (a complete summary of all
+    /// accepted periods) rather than replaying the trace. Counter
+    /// statistics, history, quarantine records and the budget clock all
+    /// carry over — the engine changed, the run did not restart.
+    fn fall_back<O: Observer + ?Sized>(&mut self, observer: &mut O) {
+        let mut options = *self.learner.options();
+        options.bound = Some(self.fallback_bound);
+        options.set_limit = None;
+        let mut stats = self.learner.stats().clone();
+        stats.fallbacks += 1;
+        let functions: Vec<DependencyFunction> =
+            self.learner.hypotheses().into_iter().cloned().collect();
+        let history = self.learner.history().clone();
+        let elapsed = self.learner.budget_elapsed();
+        self.learner = Learner::from_state(self.tasks, options, functions, history, stats, elapsed);
+        observer.record(Event::Fallback {
+            bound: self.fallback_bound.get(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use bbmg_lattice::TaskUniverse;
+    use bbmg_trace::{EventKind, Timestamp, Trace, TraceBuilder};
+
+    use super::*;
+    use crate::options::Budget;
+
+    fn universe3() -> TaskUniverse {
+        TaskUniverse::from_names(["a", "b", "c"])
+    }
+
+    fn consistent_period(builder: &mut TraceBuilder, base: u64, messages: usize) {
+        let u = universe3();
+        let a = u.lookup("a").unwrap();
+        let b = u.lookup("b").unwrap();
+        let c = u.lookup("c").unwrap();
+        builder.begin_period();
+        builder
+            .event(Timestamp::new(base), EventKind::TaskStart(a))
+            .unwrap();
+        builder
+            .event(Timestamp::new(base + 1), EventKind::TaskStart(b))
+            .unwrap();
+        builder
+            .event(Timestamp::new(base + 10), EventKind::TaskEnd(a))
+            .unwrap();
+        builder
+            .event(Timestamp::new(base + 11), EventKind::TaskEnd(b))
+            .unwrap();
+        for m in 0..messages {
+            let at = base + 20 + 2 * m as u64;
+            builder
+                .message(Timestamp::new(at), Timestamp::new(at + 1))
+                .unwrap();
+        }
+        builder
+            .task(c, Timestamp::new(base + 60), Timestamp::new(base + 70))
+            .unwrap();
+        builder.end_period().unwrap();
+    }
+
+    fn inconsistent_period(builder: &mut TraceBuilder, base: u64) {
+        let u = universe3();
+        let c = u.lookup("c").unwrap();
+        builder.begin_period();
+        builder
+            .message(Timestamp::new(base + 1), Timestamp::new(base + 2))
+            .unwrap();
+        builder
+            .task(c, Timestamp::new(base + 10), Timestamp::new(base + 20))
+            .unwrap();
+        builder.end_period().unwrap();
+    }
+
+    fn trace(periods: usize) -> Trace {
+        let mut builder = TraceBuilder::new(universe3());
+        for p in 0..periods {
+            consistent_period(&mut builder, p as u64 * 1000, 1 + p % 2);
+        }
+        builder.finish()
+    }
+
+    fn run_all(learner: &mut IncrementalLearner, trace: &Trace, from: usize) {
+        for period in &trace.periods()[from..] {
+            learner.push_period(period).unwrap();
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_uninterrupted_run_at_every_split() {
+        let trace = trace(5);
+        let options = LearnOptions::exact();
+
+        let mut straight = IncrementalLearner::new(3, options);
+        run_all(&mut straight, &trace, 0);
+        let expected = straight.finish();
+
+        for split in 0..=trace.periods().len() {
+            let mut prefix = IncrementalLearner::new(3, options);
+            for period in &trace.periods()[..split] {
+                prefix.push_period(period).unwrap();
+            }
+            let saved = prefix.checkpoint();
+            let json = saved.to_json();
+            let restored = Checkpoint::parse_json(&json).unwrap();
+            // The serialized budget clock is microsecond-granular.
+            let mut expected_ckpt = saved.clone();
+            expected_ckpt.elapsed =
+                std::time::Duration::from_micros(u64::try_from(saved.elapsed.as_micros()).unwrap());
+            assert_eq!(restored, expected_ckpt, "split {split}");
+            let mut resumed = IncrementalLearner::resume(restored).unwrap();
+            assert_eq!(resumed.pushed_periods(), split);
+            run_all(&mut resumed, &trace, split);
+            let result = resumed.finish();
+            assert_eq!(result.hypotheses(), expected.hypotheses(), "split {split}");
+            assert_eq!(result.stats(), expected.stats(), "split {split}");
+        }
+    }
+
+    #[test]
+    fn quarantine_rolls_back_and_counts() {
+        let mut builder = TraceBuilder::new(universe3());
+        consistent_period(&mut builder, 0, 1);
+        inconsistent_period(&mut builder, 1000);
+        consistent_period(&mut builder, 2000, 1);
+        let trace = builder.finish();
+        let options = LearnOptions::exact().with_on_inconsistent(OnInconsistent::SkipPeriod);
+        let mut learner = IncrementalLearner::new(3, options);
+        assert_eq!(
+            learner.push_period(&trace.periods()[0]).unwrap(),
+            Observed::Accepted
+        );
+        let before = learner.fingerprint();
+        assert!(matches!(
+            learner.push_period(&trace.periods()[1]).unwrap(),
+            Observed::Skipped(_)
+        ));
+        assert_eq!(learner.fingerprint(), before, "skip restores state");
+        assert_eq!(learner.pushed_periods(), 2, "skips advance the stream");
+        learner.push_period(&trace.periods()[2]).unwrap();
+        let result = learner.finish();
+        assert_eq!(result.stats().periods, 2);
+        assert_eq!(result.stats().skipped_periods.len(), 1);
+    }
+
+    #[test]
+    fn set_limit_trip_falls_back_without_replay() {
+        let u = TaskUniverse::from_names(["a", "b", "c", "d", "e"]);
+        let senders = ["a", "b", "c"].map(|n| u.lookup(n).unwrap());
+        let receivers = ["d", "e"].map(|n| u.lookup(n).unwrap());
+        let mut builder = TraceBuilder::new(u);
+        for p in 0..3u64 {
+            let base = p * 1000;
+            builder.begin_period();
+            for (i, s) in senders.iter().enumerate() {
+                builder
+                    .event(Timestamp::new(base + i as u64), EventKind::TaskStart(*s))
+                    .unwrap();
+            }
+            for (i, s) in senders.iter().enumerate() {
+                builder
+                    .event(Timestamp::new(base + 10 + i as u64), EventKind::TaskEnd(*s))
+                    .unwrap();
+            }
+            builder
+                .message(Timestamp::new(base + 20), Timestamp::new(base + 21))
+                .unwrap();
+            builder
+                .message(Timestamp::new(base + 22), Timestamp::new(base + 23))
+                .unwrap();
+            for (i, r) in receivers.iter().enumerate() {
+                builder
+                    .event(
+                        Timestamp::new(base + 60 + i as u64),
+                        EventKind::TaskStart(*r),
+                    )
+                    .unwrap();
+            }
+            for (i, r) in receivers.iter().enumerate() {
+                builder
+                    .event(Timestamp::new(base + 70 + i as u64), EventKind::TaskEnd(*r))
+                    .unwrap();
+            }
+            builder.end_period().unwrap();
+        }
+        let trace = builder.finish();
+        let options = LearnOptions::exact().with_set_limit(2);
+        let mut learner = IncrementalLearner::new(5, options);
+        for period in trace.periods() {
+            learner.push_period(period).unwrap();
+        }
+        let result = learner.finish();
+        assert_eq!(result.stats().fallbacks, 1);
+        assert!(!result.hypotheses().is_empty());
+        // The fallback survives a checkpoint: the restored learner is
+        // still bounded and its options round-trip.
+        let mut learner = IncrementalLearner::new(5, options);
+        learner.push_period(&trace.periods()[0]).unwrap();
+        assert!(
+            learner.options().bound.is_some(),
+            "fell back during period 0"
+        );
+        let restored = IncrementalLearner::resume(
+            Checkpoint::parse_json(&learner.checkpoint().to_json()).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(restored.options(), learner.options());
+    }
+
+    #[test]
+    fn forced_degradation_switches_to_bounded_once() {
+        let trace = trace(2);
+        let mut learner = IncrementalLearner::new(3, LearnOptions::exact())
+            .with_fallback_bound(NonZeroUsize::new(8).unwrap());
+        learner.push_period(&trace.periods()[0]).unwrap();
+        assert!(learner.degrade());
+        assert_eq!(learner.options().bound.unwrap().get(), 8);
+        assert_eq!(learner.stats().fallbacks, 1);
+        assert!(!learner.degrade(), "already bounded");
+        learner.push_period(&trace.periods()[1]).unwrap();
+        assert!(!learner.finish().hypotheses().is_empty());
+    }
+
+    #[test]
+    fn budget_stop_keeps_partial_result_and_resumes() {
+        let trace = trace(4);
+        let options = LearnOptions::bounded(8).with_budget(Budget::unlimited().with_max_steps(3));
+        let mut learner = IncrementalLearner::new(3, options);
+        let mut stopped_at = None;
+        for period in trace.periods() {
+            match learner.push_period(period).unwrap() {
+                Observed::Accepted | Observed::Skipped(_) => {}
+                Observed::BudgetStopped { period: p } => {
+                    stopped_at = Some(p);
+                    break;
+                }
+            }
+        }
+        let p = stopped_at.expect("budget trips");
+        learner.mark_unprocessed(p);
+        let result = learner.finish();
+        assert!(!result.hypotheses().is_empty());
+        assert!(result
+            .stats()
+            .skipped_periods
+            .iter()
+            .any(|s| s.cause == SkipCause::BudgetExhausted));
+    }
+
+    #[test]
+    fn resume_refuses_mismatched_shapes() {
+        let mut ckpt = IncrementalLearner::new(3, LearnOptions::exact()).checkpoint();
+        ckpt.ran_without.push(true);
+        assert!(matches!(
+            IncrementalLearner::resume(ckpt),
+            Err(CheckpointError::Malformed { .. })
+        ));
+        let mut ckpt = IncrementalLearner::new(3, LearnOptions::exact()).checkpoint();
+        ckpt.hypotheses = vec![DependencyFunction::bottom(4)];
+        assert!(matches!(
+            IncrementalLearner::resume(ckpt),
+            Err(CheckpointError::Malformed { .. })
+        ));
+    }
+}

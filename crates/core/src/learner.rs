@@ -22,13 +22,20 @@ use crate::stats::LearnStats;
 /// off the per-hypothesis path.
 pub const BUDGET_SAMPLE_INTERVAL: usize = 1024;
 
-/// Minimum `hypotheses × candidates` product before exact-mode branching
-/// fans out to worker threads; below this the spawn cost dwarfs the work.
-/// Count-based (never timing-based), so the gate itself is deterministic.
-const PARALLEL_BRANCH_THRESHOLD: usize = 256;
+/// Minimum `hypotheses × candidates × packed words per matrix` product
+/// before exact-mode branching fans out to worker threads; below this the
+/// spawn cost dwarfs the work. Sized in packed *words* rather than raw
+/// pair counts so a small task universe (few words per matrix) must offer
+/// proportionally more pairs before threads pay off — `BENCH_learner.json`
+/// measured the old pair-count gate going 0.70× at 2 threads on the
+/// 16-task blow-up workload. Count-based (never timing-based), so the
+/// gate itself is deterministic.
+pub const PARALLEL_BRANCH_WORDS: usize = 128 * 1024;
 
-/// Minimum unique-hypothesis count before the redundancy scan fans out.
-const PARALLEL_SCAN_THRESHOLD: usize = 256;
+/// Minimum `unique hypotheses × packed words per matrix` product before
+/// the redundancy scan fans out, sized in words for the same reason as
+/// [`PARALLEL_BRANCH_WORDS`].
+const PARALLEL_SCAN_WORDS: usize = 8 * 1024;
 
 /// Minimum hypothesis count before negative-example matching fans out
 /// (each `matches_period` call does backtracking, so items are coarse).
@@ -145,6 +152,40 @@ impl Learner {
     /// and fallbacks without re-deriving counters).
     pub(crate) fn stats_mut(&mut self) -> &mut LearnStats {
         &mut self.stats
+    }
+
+    /// The execution history accumulated so far (for checkpointing).
+    pub(crate) fn history(&self) -> &ExecutionHistory {
+        &self.history
+    }
+
+    /// Wall-clock time consumed so far against the budget (for
+    /// checkpointing — `Instant` itself cannot be serialized).
+    pub(crate) fn budget_elapsed(&self) -> std::time::Duration {
+        self.started.elapsed()
+    }
+
+    /// Rebuilds a learner from checkpointed state. Only meaningful at a
+    /// period boundary, where hypotheses carry no assumptions. The budget
+    /// clock resumes from `elapsed`: a restored learner has already spent
+    /// that much of its wall-clock budget.
+    pub(crate) fn from_state(
+        tasks: usize,
+        options: LearnOptions,
+        functions: Vec<DependencyFunction>,
+        history: ExecutionHistory,
+        stats: LearnStats,
+        elapsed: std::time::Duration,
+    ) -> Self {
+        let now = std::time::Instant::now();
+        Learner {
+            options,
+            tasks,
+            hypotheses: functions.into_iter().map(Hypothesis::new).collect(),
+            history,
+            stats,
+            started: now.checked_sub(elapsed).unwrap_or(now),
+        }
     }
 
     /// Checks the step/wall-clock budget. `Err` leaves all state intact.
@@ -344,9 +385,15 @@ impl Learner {
         let mut next: Vec<Hypothesis> = Vec::new();
         let mut dedup = FingerprintDedup::default();
         let threads = self.options.parallelism.get();
+        let words = DependencyFunction::words_per_function(self.tasks);
         let fan_out = threads > 1
             && self.hypotheses.len() >= 2
-            && self.hypotheses.len() * candidates.len() >= PARALLEL_BRANCH_THRESHOLD;
+            && self
+                .hypotheses
+                .len()
+                .saturating_mul(candidates.len())
+                .saturating_mul(words)
+                >= PARALLEL_BRANCH_WORDS;
         if fan_out {
             let hypotheses = &self.hypotheses;
             let chunks = pool::chunk_map(threads, hypotheses.len(), |range| {
@@ -611,7 +658,10 @@ impl Learner {
                 .any(|other| other.function().leq(entries[i].function()))
         };
         let threads = self.options.parallelism.get();
-        let keep: Vec<bool> = if threads > 1 && unique.len() >= PARALLEL_SCAN_THRESHOLD {
+        let scan_words = unique
+            .len()
+            .saturating_mul(DependencyFunction::words_per_function(self.tasks));
+        let keep: Vec<bool> = if threads > 1 && scan_words >= PARALLEL_SCAN_WORDS {
             pool::chunk_map(threads, unique.len(), |range| {
                 range.map(keep_entry).collect::<Vec<bool>>()
             })

@@ -49,10 +49,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod convergence;
 mod error;
 mod history;
 mod hypothesis;
+mod incremental;
 mod learner;
 mod matching;
 mod options;
@@ -61,10 +63,14 @@ mod robust;
 mod stats;
 mod witness;
 
+pub use checkpoint::{antichain_fingerprint, Checkpoint, CheckpointError, CHECKPOINT_SCHEMA};
 pub use convergence::{convergence_timeline, convergence_timeline_with, ConvergencePoint};
 pub use error::LearnError;
 pub use hypothesis::Hypothesis;
-pub use learner::{learn, learn_with, LearnResult, Learner, BUDGET_SAMPLE_INTERVAL};
+pub use incremental::IncrementalLearner;
+pub use learner::{
+    learn, learn_with, LearnResult, Learner, BUDGET_SAMPLE_INTERVAL, PARALLEL_BRANCH_WORDS,
+};
 pub use matching::{
     execution_consistent, matches_period, matches_period_relaxed, matches_period_with,
     matches_trace, matches_trace_parallel, matches_trace_relaxed, matches_trace_with,

@@ -58,6 +58,64 @@ fn words_for(tasks: usize) -> usize {
     (tasks * tasks).div_ceil(CELLS_PER_WORD)
 }
 
+/// Why a serialized packed store was rejected by
+/// [`DependencyFunction::from_words`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FunctionDecodeError {
+    /// The word vector has the wrong length for the claimed task count.
+    WordCount {
+        /// The claimed task count.
+        tasks: usize,
+        /// Words required for that task count.
+        expected: usize,
+        /// Words actually supplied.
+        actual: usize,
+    },
+    /// A cell holds the invalid cube code `100` (lone `Q` bit).
+    InvalidCell {
+        /// Flat row-major cell index.
+        index: usize,
+    },
+    /// A diagonal cell is not `‖`.
+    DiagonalNotParallel {
+        /// The task whose self-cell is wrong.
+        task: usize,
+    },
+    /// Bits outside the `n²` cells (trailing lanes or bit 63) are set —
+    /// the store was produced by a different lattice shape or corrupted.
+    DirtyPadding {
+        /// Index of the offending word.
+        word: usize,
+    },
+}
+
+impl fmt::Display for FunctionDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FunctionDecodeError::WordCount {
+                tasks,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "packed store has {actual} word(s); {tasks} task(s) need {expected}"
+            ),
+            FunctionDecodeError::InvalidCell { index } => {
+                write!(f, "cell {index} holds the invalid lattice code 100")
+            }
+            FunctionDecodeError::DiagonalNotParallel { task } => {
+                write!(f, "diagonal cell of task {task} is not `||`")
+            }
+            FunctionDecodeError::DirtyPadding { word } => {
+                write!(f, "word {word} has bits set outside the matrix cells")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FunctionDecodeError {}
+
 impl DependencyFunction {
     /// The globally most specific hypothesis `d⊥`: all pairs `‖`.
     #[must_use]
@@ -145,6 +203,64 @@ impl DependencyFunction {
     #[must_use]
     pub fn task_count(&self) -> usize {
         self.tasks
+    }
+
+    /// The packed words of an `n`-task matrix: the lattice shape a
+    /// checkpoint or parallel-gate sizing computation must agree on.
+    #[must_use]
+    pub fn words_per_function(tasks: usize) -> usize {
+        words_for(tasks)
+    }
+
+    /// The raw packed store, 21 cells per word in row-major cell order.
+    /// Together with [`task_count`](Self::task_count) this is a complete,
+    /// stable serialization of the function; feed it back through
+    /// [`from_words`](Self::from_words) to reconstruct it.
+    #[must_use]
+    pub fn packed_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Reconstructs a function from its serialized packed store,
+    /// re-validating every invariant: word count matches the task count,
+    /// every cell is one of the seven valid codes, the diagonal is `‖`,
+    /// and no padding bit is set. A store written for a different lattice
+    /// shape — or corrupted in transit — is refused, never reinterpreted.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FunctionDecodeError`] naming the first violated
+    /// invariant.
+    pub fn from_words(tasks: usize, words: Vec<u64>) -> Result<Self, FunctionDecodeError> {
+        let expected = words_for(tasks);
+        if words.len() != expected {
+            return Err(FunctionDecodeError::WordCount {
+                tasks,
+                expected,
+                actual: words.len(),
+            });
+        }
+        let candidate = DependencyFunction { tasks, words };
+        for idx in 0..tasks * tasks {
+            let word = candidate.words[idx / CELLS_PER_WORD];
+            let code = (word >> (BITS_PER_CELL * (idx % CELLS_PER_WORD))) & CELL_MASK;
+            if code == 0b100 {
+                return Err(FunctionDecodeError::InvalidCell { index: idx });
+            }
+            if idx / tasks == idx % tasks && code != 0 {
+                return Err(FunctionDecodeError::DiagonalNotParallel { task: idx / tasks });
+            }
+        }
+        // Re-pack the decoded cells; any difference can only come from
+        // padding bits (trailing lanes past `n²` or bit 63).
+        let mut repacked = DependencyFunction::bottom(tasks);
+        for idx in 0..tasks * tasks {
+            repacked.set_cell(idx, candidate.cell(idx));
+        }
+        if let Some(word) = (0..expected).find(|&w| repacked.words[w] != candidate.words[w]) {
+            return Err(FunctionDecodeError::DirtyPadding { word });
+        }
+        Ok(candidate)
     }
 
     /// The value `d(t1, t2)`.
@@ -600,6 +716,75 @@ mod tests {
             DependencyFunction::bottom(3).fingerprint(),
             DependencyFunction::bottom(4).fingerprint()
         );
+    }
+
+    #[test]
+    fn words_round_trip_through_from_words() {
+        let mut d = DependencyFunction::bottom(5);
+        d.record_message(t(0), t(3));
+        d.join_value(t(2), t(4), V::MayDetermine);
+        let rebuilt =
+            DependencyFunction::from_words(5, d.packed_words().to_vec()).expect("valid store");
+        assert_eq!(rebuilt, d);
+        assert_eq!(rebuilt.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn from_words_refuses_wrong_shape() {
+        let d = DependencyFunction::bottom(5);
+        // 5 tasks need 2 words; claim 4 tasks (1 word) with the same store.
+        let err = DependencyFunction::from_words(4, d.packed_words().to_vec()).unwrap_err();
+        assert!(matches!(
+            err,
+            FunctionDecodeError::WordCount {
+                tasks: 4,
+                expected: 1,
+                actual: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn from_words_refuses_corruption() {
+        let mut d = DependencyFunction::bottom(3);
+        d.record_message(t(0), t(1));
+        let mut words = d.packed_words().to_vec();
+
+        // Invalid cube code 100 in an off-diagonal cell (cell 2).
+        words[0] |= 0b100 << (BITS_PER_CELL * 2);
+        assert!(matches!(
+            DependencyFunction::from_words(3, words.clone()).unwrap_err(),
+            FunctionDecodeError::InvalidCell { index: 2 }
+        ));
+
+        // Non-parallel diagonal (cell 4 is (1,1)).
+        let mut words = d.packed_words().to_vec();
+        words[0] |= 0b011 << (BITS_PER_CELL * 4);
+        assert!(matches!(
+            DependencyFunction::from_words(3, words.clone()).unwrap_err(),
+            FunctionDecodeError::DiagonalNotParallel { task: 1 }
+        ));
+
+        // Padding bit past the 9 cells of a 3-task matrix.
+        let mut words = d.packed_words().to_vec();
+        words[0] |= 1 << (BITS_PER_CELL * 10);
+        assert!(matches!(
+            DependencyFunction::from_words(3, words).unwrap_err(),
+            FunctionDecodeError::DirtyPadding { word: 0 }
+        ));
+    }
+
+    #[test]
+    fn decode_errors_display() {
+        let err = FunctionDecodeError::WordCount {
+            tasks: 4,
+            expected: 1,
+            actual: 2,
+        };
+        assert!(err.to_string().contains("4 task(s) need 1"));
+        assert!(FunctionDecodeError::InvalidCell { index: 7 }
+            .to_string()
+            .contains("cell 7"));
     }
 
     #[test]

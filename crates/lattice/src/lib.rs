@@ -42,7 +42,7 @@ mod task;
 mod taskset;
 mod value;
 
-pub use function::{DependencyFunction, PairIter};
+pub use function::{DependencyFunction, FunctionDecodeError, PairIter};
 pub use task::{TaskId, TaskUniverse};
 pub use taskset::TaskSet;
 pub use value::{DependencyValue, ValueParseError, ALL_VALUES};

@@ -98,6 +98,19 @@ pub fn chrome_trace(events: &[TimedEvent]) -> String {
                 push_escaped(&mut name, text);
                 raw_instant(ts, &name)
             }
+            Event::Checkpoint { period, .. } => {
+                instant(ts, "checkpoint", &[("period", *period as u64)])
+            }
+            Event::ShardHealth {
+                source,
+                state,
+                periods,
+                ..
+            } => instant(
+                ts,
+                &format!("shard {source}: {state}"),
+                &[("periods", *periods as u64)],
+            ),
         };
         if !first {
             out.push(',');

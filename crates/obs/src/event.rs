@@ -121,6 +121,25 @@ pub enum Event {
         /// The message.
         text: String,
     },
+    /// A checkpoint of the incremental learner's state was written.
+    Checkpoint {
+        /// Number of periods absorbed into the checkpointed state.
+        period: usize,
+        /// Fingerprint of the checkpointed hypothesis antichain.
+        fingerprint: u64,
+    },
+    /// A supervised stream shard changed state or reported vitals.
+    ShardHealth {
+        /// Source id the shard is keyed by.
+        source: String,
+        /// Shard lifecycle state, e.g. "exact", "degraded", "shedding",
+        /// "restarting", "stopped".
+        state: String,
+        /// Periods the shard has ingested so far.
+        periods: usize,
+        /// Human-readable detail (watermark crossing, restart cause, …).
+        detail: String,
+    },
 }
 
 impl Event {
@@ -142,6 +161,8 @@ impl Event {
             Event::MatchCheck { .. } => "match_check",
             Event::Convergence { .. } => "convergence",
             Event::Note { .. } => "note",
+            Event::Checkpoint { .. } => "checkpoint",
+            Event::ShardHealth { .. } => "shard_health",
         }
     }
 
@@ -158,8 +179,12 @@ impl Event {
             | Event::RepairAction { period, .. }
             | Event::FaultInjected { period, .. }
             | Event::MatchCheck { period, .. }
-            | Event::Convergence { period, .. } => Some(*period),
-            Event::BudgetTick { .. } | Event::Fallback { .. } | Event::Note { .. } => None,
+            | Event::Convergence { period, .. }
+            | Event::Checkpoint { period, .. } => Some(*period),
+            Event::BudgetTick { .. }
+            | Event::Fallback { .. }
+            | Event::Note { .. }
+            | Event::ShardHealth { .. } => None,
         }
     }
 
@@ -264,6 +289,31 @@ impl Event {
                 push_escaped(&mut out, text);
                 out.push('"');
             }
+            Event::Checkpoint {
+                period,
+                fingerprint,
+            } => {
+                field_u(&mut out, "period", *period as u64);
+                // Hex string: u64 fingerprints do not fit an f64-backed
+                // JSON number losslessly.
+                out.push_str(&format!(",\"fingerprint\":\"{fingerprint:016x}\""));
+            }
+            Event::ShardHealth {
+                source,
+                state,
+                periods,
+                detail,
+            } => {
+                out.push_str(",\"source\":\"");
+                push_escaped(&mut out, source);
+                out.push_str("\",\"state\":\"");
+                push_escaped(&mut out, state);
+                out.push('"');
+                field_u(&mut out, "periods", *periods as u64);
+                out.push_str(",\"detail\":\"");
+                push_escaped(&mut out, detail);
+                out.push('"');
+            }
         }
         out.push('}');
         out
@@ -280,6 +330,19 @@ impl fmt::Display for Event {
                 write!(f, "fell back to the bounded heuristic (bound {bound})")
             }
             Event::Note { text } => write!(f, "{text}"),
+            Event::Checkpoint {
+                period,
+                fingerprint,
+            } => write!(f, "checkpoint after period {period} ({fingerprint:016x})"),
+            Event::ShardHealth {
+                source,
+                state,
+                periods,
+                detail,
+            } => write!(
+                f,
+                "shard {source} [{state}] after {periods} period(s): {detail}"
+            ),
             other => write!(f, "{}", other.to_json(None)),
         }
     }
@@ -339,6 +402,16 @@ mod tests {
                 distance_to_final: 3,
             },
             Event::Note { text: "hi".into() },
+            Event::Checkpoint {
+                period: 6,
+                fingerprint: 0xDEAD_BEEF_0123_4567,
+            },
+            Event::ShardHealth {
+                source: "carA".into(),
+                state: "degraded".into(),
+                periods: 12,
+                detail: "watermark crossed".into(),
+            },
         ];
         for event in &events {
             let parsed = parse(&event.to_json(Some(12))).unwrap();

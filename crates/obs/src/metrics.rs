@@ -385,7 +385,13 @@ impl Observer for Metrics {
             Event::RepairAction { .. } => self.repairs += 1,
             Event::FaultInjected { .. } => self.faults += 1,
             Event::Fallback { .. } => self.fallbacks += 1,
-            Event::MatchCheck { .. } | Event::Convergence { .. } | Event::Note { .. } => {}
+            Event::MatchCheck { .. }
+            | Event::Convergence { .. }
+            | Event::Note { .. }
+            // Checkpoint/shard lifecycle events flow to the JSONL sinks;
+            // the bbmg-metrics/1 snapshot schema stays unchanged.
+            | Event::Checkpoint { .. }
+            | Event::ShardHealth { .. } => {}
         }
     }
 }

@@ -81,6 +81,24 @@ pub trait Observer {
     fn repair_action(&mut self, period: usize, action: String) {
         self.record(Event::RepairAction { period, action });
     }
+
+    /// The incremental learner wrote a checkpoint.
+    fn checkpoint(&mut self, period: usize, fingerprint: u64) {
+        self.record(Event::Checkpoint {
+            period,
+            fingerprint,
+        });
+    }
+
+    /// A stream shard changed state or reported vitals.
+    fn shard_health(&mut self, source: String, state: String, periods: usize, detail: String) {
+        self.record(Event::ShardHealth {
+            source,
+            state,
+            periods,
+            detail,
+        });
+    }
 }
 
 /// Forwarding impl so `&mut O` and `&mut dyn Observer` thread through

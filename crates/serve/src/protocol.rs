@@ -1,0 +1,264 @@
+//! The JSONL ingest protocol.
+//!
+//! One JSON object per line, three line types. `hello` opens a source and
+//! fixes its task universe; `event` carries one captured trace event tagged
+//! with its period index; `end` closes the source and finalizes its model.
+//! The protocol is transport-agnostic text — the CLI reads it from stdin or
+//! a file, tests from strings.
+
+use bbmg_obs::json::{self, escape, Json};
+
+use crate::ServeError;
+
+/// The event kind word on the wire. Subjects are task names for
+/// `start`/`end` and message occurrence ids (`"m3"` or `"3"`) for
+/// `rise`/`fall`; resolution against a shard's universe happens in
+/// [`StreamShard`](crate::StreamShard).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireKind {
+    /// A task began executing.
+    Start,
+    /// A task finished executing.
+    End,
+    /// Rising edge of a bus message.
+    Rise,
+    /// Falling edge of a bus message.
+    Fall,
+}
+
+impl WireKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            WireKind::Start => "start",
+            WireKind::End => "end",
+            WireKind::Rise => "rise",
+            WireKind::Fall => "fall",
+        }
+    }
+}
+
+/// One parsed protocol line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Line {
+    /// Opens a source: every later `event`/`end` for it refers to this
+    /// task universe (order defines task ids).
+    Hello {
+        /// Source id the shard will be keyed by.
+        source: String,
+        /// Task names, in interning order.
+        tasks: Vec<String>,
+    },
+    /// One captured event.
+    Event {
+        /// Source the event belongs to.
+        source: String,
+        /// Period index as captured (gaps allowed, backwards is a fault).
+        period: usize,
+        /// Timestamp in microseconds since the start of the capture.
+        time: u64,
+        /// What happened.
+        kind: WireKind,
+        /// Task name or message id, depending on `kind`.
+        subject: String,
+    },
+    /// Closes a source; its shard finalizes and reports a summary.
+    End {
+        /// Source id to close.
+        source: String,
+    },
+}
+
+impl Line {
+    /// Serializes the line back to its wire form (no trailing newline).
+    /// `parse_line(line.to_json())` round-trips.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        match self {
+            Line::Hello { source, tasks } => {
+                out.push_str("{\"type\":\"hello\",\"source\":");
+                out.push_str(&escape(source));
+                out.push_str(",\"tasks\":[");
+                for (i, task) in tasks.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&escape(task));
+                }
+                out.push_str("]}");
+            }
+            Line::Event {
+                source,
+                period,
+                time,
+                kind,
+                subject,
+            } => {
+                out.push_str("{\"type\":\"event\",\"source\":");
+                out.push_str(&escape(source));
+                out.push_str(&format!(",\"time\":{time},\"kind\":\"{}\",", kind.as_str()));
+                out.push_str("\"subject\":");
+                out.push_str(&escape(subject));
+                out.push_str(&format!(",\"period\":{period}}}"));
+            }
+            Line::End { source } => {
+                out.push_str("{\"type\":\"end\",\"source\":");
+                out.push_str(&escape(source));
+                out.push('}');
+            }
+        }
+        out
+    }
+}
+
+fn protocol(message: impl Into<String>) -> ServeError {
+    ServeError::Protocol {
+        message: message.into(),
+    }
+}
+
+fn str_field<'a>(value: &'a Json, name: &str) -> Result<&'a str, ServeError> {
+    value
+        .get(name)
+        .and_then(Json::as_str)
+        .ok_or_else(|| protocol(format!("missing or non-string `{name}` field")))
+}
+
+fn u64_field(value: &Json, name: &str) -> Result<u64, ServeError> {
+    value
+        .get(name)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| protocol(format!("missing or non-integer `{name}` field")))
+}
+
+/// Parses one protocol line. Unknown extra fields are tolerated (forward
+/// compatibility); missing or mistyped required fields are not.
+///
+/// # Errors
+///
+/// [`ServeError::Protocol`] describing what is malformed.
+pub fn parse_line(line: &str) -> Result<Line, ServeError> {
+    let value = json::parse(line).map_err(|e| protocol(format!("invalid JSON: {e}")))?;
+    if !matches!(value, Json::Object(_)) {
+        return Err(protocol("line is not a JSON object"));
+    }
+    match str_field(&value, "type")? {
+        "hello" => {
+            let source = str_field(&value, "source")?.to_string();
+            let Some(Json::Array(items)) = value.get("tasks") else {
+                return Err(protocol("missing or non-array `tasks` field"));
+            };
+            let tasks = items
+                .iter()
+                .map(|t| {
+                    t.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| protocol("`tasks` entries must be strings"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            if tasks.is_empty() {
+                return Err(protocol("`tasks` must not be empty"));
+            }
+            Ok(Line::Hello { source, tasks })
+        }
+        "event" => {
+            let source = str_field(&value, "source")?.to_string();
+            let time = u64_field(&value, "time")?;
+            let period = usize::try_from(u64_field(&value, "period")?)
+                .map_err(|_| protocol("`period` does not fit in usize"))?;
+            let kind = match str_field(&value, "kind")? {
+                "start" => WireKind::Start,
+                "end" => WireKind::End,
+                "rise" => WireKind::Rise,
+                "fall" => WireKind::Fall,
+                other => return Err(protocol(format!("unknown event kind `{other}`"))),
+            };
+            let subject = str_field(&value, "subject")?.to_string();
+            Ok(Line::Event {
+                source,
+                period,
+                time,
+                kind,
+                subject,
+            })
+        }
+        "end" => Ok(Line::End {
+            source: str_field(&value, "source")?.to_string(),
+        }),
+        other => Err(protocol(format!("unknown line type `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_round_trips() {
+        let line = Line::Hello {
+            source: "bus0".into(),
+            tasks: vec!["t1".into(), "t2".into()],
+        };
+        let wire = line.to_json();
+        assert_eq!(
+            wire,
+            r#"{"type":"hello","source":"bus0","tasks":["t1","t2"]}"#
+        );
+        assert_eq!(parse_line(&wire).unwrap(), line);
+    }
+
+    #[test]
+    fn event_round_trips() {
+        let line = Line::Event {
+            source: "bus0".into(),
+            period: 3,
+            time: 1200,
+            kind: WireKind::Rise,
+            subject: "m0".into(),
+        };
+        assert_eq!(parse_line(&line.to_json()).unwrap(), line);
+    }
+
+    #[test]
+    fn end_round_trips() {
+        let line = Line::End {
+            source: "a weird \"name\"".into(),
+        };
+        assert_eq!(parse_line(&line.to_json()).unwrap(), line);
+    }
+
+    #[test]
+    fn extra_fields_are_tolerated() {
+        let wire = r#"{"type":"end","source":"s","note":"ignored"}"#;
+        assert_eq!(parse_line(wire).unwrap(), Line::End { source: "s".into() });
+    }
+
+    #[test]
+    fn malformed_lines_are_diagnosed() {
+        for (input, needle) in [
+            ("not json", "invalid JSON"),
+            ("[1,2]", "not a JSON object"),
+            (r#"{"type":"warp","source":"s"}"#, "unknown line type"),
+            (
+                r#"{"type":"hello","source":"s","tasks":[]}"#,
+                "must not be empty",
+            ),
+            (
+                r#"{"type":"hello","source":"s","tasks":[1]}"#,
+                "must be strings",
+            ),
+            (r#"{"type":"event","source":"s"}"#, "`time`"),
+            (
+                r#"{"type":"event","source":"s","time":1,"kind":"hop","subject":"t","period":0}"#,
+                "unknown event kind",
+            ),
+            (r#"{"type":"end"}"#, "`source`"),
+        ] {
+            let err = parse_line(input).unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "{input}: {err} should mention {needle}"
+            );
+        }
+    }
+}

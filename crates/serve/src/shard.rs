@@ -1,0 +1,483 @@
+//! One supervised stream shard: sanitizer → incremental learner →
+//! watermark ladder → watchdog, for a single source.
+
+use std::fmt;
+
+use bbmg_core::{IncrementalLearner, LearnError, LearnResult, Observed};
+use bbmg_lattice::{DependencyFunction, TaskUniverse};
+use bbmg_obs::Observer;
+use bbmg_trace::{
+    Event, EventKind, MessageId, PeriodStream, RepairReport, StreamedPeriod, Timestamp,
+};
+
+use crate::protocol::WireKind;
+use crate::{ServeError, ServeOptions};
+
+/// Where a shard is on its lifecycle/degradation ladder.
+///
+/// ```text
+///            watermark            watermark │ budget
+///   exact ─────────────▶ degraded ─────────────────▶ shedding
+///     │                     │
+///     │ learner error       │ learner error
+///     ▼                     ▼
+///   backoff ──(events elapse)──▶ exact|degraded     (restart budget
+///     │                                              exhausted)
+///     └────────────────────────────────────────────▶ stopped
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardState {
+    /// Learning with the full exact antichain.
+    Exact,
+    /// Fell back to the bounded heuristic (watermark crossing or an
+    /// exact-mode resource trip inside the learner).
+    Degraded,
+    /// Checkpointed and now dropping further periods: the model is frozen
+    /// at its last consistent state, the shard stays alive and accounted.
+    Shedding,
+    /// Restarted by the watchdog; shedding events until the backoff
+    /// window elapses.
+    Backoff,
+    /// Restart budget exhausted; parked with its partial model.
+    Stopped,
+}
+
+impl fmt::Display for ShardState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ShardState::Exact => "exact",
+            ShardState::Degraded => "degraded",
+            ShardState::Shedding => "shedding",
+            ShardState::Backoff => "backoff",
+            ShardState::Stopped => "stopped",
+        })
+    }
+}
+
+/// The final account of one closed shard.
+#[derive(Debug, Clone)]
+pub struct ShardSummary {
+    /// Source id the shard was keyed by.
+    pub source: String,
+    /// State the shard finished in.
+    pub state: ShardState,
+    /// Periods absorbed into the final model.
+    pub periods: usize,
+    /// Ready periods dropped while shedding (watermark/budget/backoff).
+    pub shed_periods: usize,
+    /// Raw events dropped during backoff, after stopping, or because the
+    /// feed's period index went backwards.
+    pub shed_events: usize,
+    /// Watchdog restarts consumed.
+    pub restarts: usize,
+    /// Cumulative sanitizer record (repairs, quarantines, encoding fixups).
+    pub report: RepairReport,
+    /// Fingerprint of the final hypothesis antichain.
+    pub fingerprint: u64,
+    /// The learned model and its statistics.
+    pub result: LearnResult,
+}
+
+/// A supervised learner for one event source. See the crate docs for the
+/// full ladder; driven by [`Supervisor`](crate::Supervisor), usable alone
+/// in tests.
+#[derive(Debug)]
+pub struct StreamShard {
+    source: String,
+    options: ServeOptions,
+    stream: PeriodStream,
+    learner: IncrementalLearner,
+    state: ShardState,
+    restarts: usize,
+    backoff_remaining: usize,
+    next_backoff: usize,
+    shed_periods: usize,
+    shed_events: usize,
+    since_checkpoint: usize,
+    last_checkpoint: Option<bbmg_core::Checkpoint>,
+    /// After a watchdog restart, events for periods up to and including
+    /// this index are shed so the shard resumes at a clean period
+    /// boundary rather than mid-period.
+    resync_after: Option<usize>,
+}
+
+impl StreamShard {
+    /// A shard for `source` over `universe`, configured by `options`.
+    #[must_use]
+    pub fn new(source: impl Into<String>, universe: TaskUniverse, options: ServeOptions) -> Self {
+        let learner = IncrementalLearner::new(universe.len(), options.learn)
+            .with_fallback_bound(options.fallback_bound);
+        let state = if options.learn.bound.is_some() {
+            ShardState::Degraded
+        } else {
+            ShardState::Exact
+        };
+        let stream = PeriodStream::new(universe).with_options(options.repair);
+        StreamShard {
+            source: source.into(),
+            next_backoff: options.initial_backoff_events,
+            options,
+            stream,
+            learner,
+            state,
+            restarts: 0,
+            backoff_remaining: 0,
+            shed_periods: 0,
+            shed_events: 0,
+            since_checkpoint: 0,
+            last_checkpoint: None,
+            resync_after: None,
+        }
+    }
+
+    /// The source id this shard is keyed by.
+    #[must_use]
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Current lifecycle state.
+    #[must_use]
+    pub fn state(&self) -> ShardState {
+        self.state
+    }
+
+    /// Periods absorbed into the model so far.
+    #[must_use]
+    pub fn periods(&self) -> usize {
+        self.learner.pushed_periods()
+    }
+
+    /// Watchdog restarts consumed so far.
+    #[must_use]
+    pub fn restarts(&self) -> usize {
+        self.restarts
+    }
+
+    /// Ready periods dropped while shedding.
+    #[must_use]
+    pub fn shed_periods(&self) -> usize {
+        self.shed_periods
+    }
+
+    /// Packed lattice words currently retained by the hypothesis arena —
+    /// the quantity the watermark bounds.
+    #[must_use]
+    pub fn memory_words(&self) -> usize {
+        self.learner.len() * DependencyFunction::words_per_function(self.learner.tasks())
+    }
+
+    /// The last checkpoint taken (cadence or ladder), if any.
+    #[must_use]
+    pub fn last_checkpoint(&self) -> Option<&bbmg_core::Checkpoint> {
+        self.last_checkpoint.as_ref()
+    }
+
+    /// Feeds one wire event through sanitizer, learner, watermark ladder
+    /// and watchdog.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSubject`] for a subject outside the universe;
+    /// [`ServeError::Checkpoint`] if a configured checkpoint write fails;
+    /// [`ServeError::Learn`] only for caller bugs (universe mismatch) —
+    /// learner inconsistencies and resource trips are absorbed by the
+    /// ladder and the watchdog.
+    pub fn ingest<O: Observer + ?Sized>(
+        &mut self,
+        period: usize,
+        time: u64,
+        kind: WireKind,
+        subject: &str,
+        observer: &mut O,
+    ) -> Result<(), ServeError> {
+        match self.state {
+            ShardState::Stopped => {
+                self.shed_events += 1;
+                return Ok(());
+            }
+            ShardState::Backoff => {
+                self.shed_events += 1;
+                // A period we shed any part of must be shed entirely.
+                self.resync_after = Some(self.resync_after.map_or(period, |p| p.max(period)));
+                self.backoff_remaining -= 1;
+                if self.backoff_remaining == 0 {
+                    let resumed = self.mode_state();
+                    self.transition(resumed, "backoff elapsed; resuming".to_string(), observer);
+                }
+                return Ok(());
+            }
+            _ => {}
+        }
+        if let Some(resync) = self.resync_after {
+            if period <= resync {
+                self.shed_events += 1;
+                return Ok(());
+            }
+            self.resync_after = None;
+        }
+        let event = self.resolve(time, kind, subject)?;
+        match self.stream.push_event_with(period, event, observer) {
+            Ok(Some(done)) => self.consume(&done, observer),
+            Ok(None) => Ok(()),
+            Err(backwards) => {
+                self.shed_events += 1;
+                observer.shard_health(
+                    self.source.clone(),
+                    self.state.to_string(),
+                    self.periods(),
+                    format!("dropped event: {backwards}"),
+                );
+                Ok(())
+            }
+        }
+    }
+
+    /// Closes the shard: flushes the in-flight period, writes a final
+    /// checkpoint when a directory is configured, and finalizes the model.
+    ///
+    /// # Errors
+    ///
+    /// As [`ingest`](Self::ingest).
+    pub fn finish<O: Observer + ?Sized>(
+        mut self,
+        observer: &mut O,
+    ) -> Result<ShardSummary, ServeError> {
+        if !matches!(self.state, ShardState::Stopped | ShardState::Backoff) {
+            if let Some(done) = self.stream.flush_with(observer) {
+                self.consume(&done, observer)?;
+            }
+        }
+        if self.options.checkpoint_dir.is_some() && self.since_checkpoint > 0 {
+            self.take_checkpoint(observer)?;
+        }
+        let fingerprint = self.learner.fingerprint();
+        observer.shard_health(
+            self.source.clone(),
+            self.state.to_string(),
+            self.learner.pushed_periods(),
+            format!(
+                "closed: {} periods, {} shed, {} restarts",
+                self.learner.pushed_periods(),
+                self.shed_periods,
+                self.restarts
+            ),
+        );
+        Ok(ShardSummary {
+            source: self.source,
+            state: self.state,
+            periods: self.learner.pushed_periods(),
+            shed_periods: self.shed_periods,
+            shed_events: self.shed_events,
+            restarts: self.restarts,
+            report: self.stream.report().clone(),
+            fingerprint,
+            result: self.learner.finish(),
+        })
+    }
+
+    /// The non-faulted state matching the learner's current mode.
+    fn mode_state(&self) -> ShardState {
+        if self.learner.options().bound.is_some() {
+            ShardState::Degraded
+        } else {
+            ShardState::Exact
+        }
+    }
+
+    fn transition<O: Observer + ?Sized>(
+        &mut self,
+        state: ShardState,
+        detail: String,
+        observer: &mut O,
+    ) {
+        self.state = state;
+        observer.shard_health(
+            self.source.clone(),
+            state.to_string(),
+            self.periods(),
+            detail,
+        );
+    }
+
+    fn resolve(&self, time: u64, kind: WireKind, subject: &str) -> Result<Event, ServeError> {
+        let unknown = || ServeError::UnknownSubject {
+            source: self.source.clone(),
+            subject: subject.to_string(),
+        };
+        let kind = match kind {
+            WireKind::Start | WireKind::End => {
+                let task = self.stream.universe().lookup(subject).ok_or_else(unknown)?;
+                if kind == WireKind::Start {
+                    EventKind::TaskStart(task)
+                } else {
+                    EventKind::TaskEnd(task)
+                }
+            }
+            WireKind::Rise | WireKind::Fall => {
+                let digits = subject.strip_prefix('m').unwrap_or(subject);
+                let index: usize = digits.parse().map_err(|_| unknown())?;
+                let id = MessageId::from_index(index);
+                if kind == WireKind::Rise {
+                    EventKind::MessageRise(id)
+                } else {
+                    EventKind::MessageFall(id)
+                }
+            }
+        };
+        Ok(Event::new(Timestamp::new(time), kind))
+    }
+
+    fn consume<O: Observer + ?Sized>(
+        &mut self,
+        done: &StreamedPeriod,
+        observer: &mut O,
+    ) -> Result<(), ServeError> {
+        let StreamedPeriod::Ready(period) = done else {
+            // Quarantine was already reported through the sanitizer's own
+            // observer hooks and counted in the stream report.
+            return Ok(());
+        };
+        if matches!(self.state, ShardState::Shedding) {
+            self.shed_periods += 1;
+            return Ok(());
+        }
+        match self.learner.push_period_with(period, observer) {
+            Ok(Observed::Accepted | Observed::Skipped(_)) => {
+                self.since_checkpoint += 1;
+                // An exact-mode resource trip inside the learner falls back
+                // on its own; mirror it on the ladder.
+                if self.state == ShardState::Exact && self.learner.options().bound.is_some() {
+                    self.transition(
+                        ShardState::Degraded,
+                        "exact search tripped a resource guard; bounded fallback".to_string(),
+                        observer,
+                    );
+                }
+                if let Some(every) = self.options.checkpoint_every {
+                    if self.since_checkpoint >= every.get() {
+                        self.take_checkpoint(observer)?;
+                    }
+                }
+                self.enforce_watermark(observer)
+            }
+            Ok(Observed::BudgetStopped { .. }) => {
+                self.shed_periods += 1;
+                self.take_checkpoint(observer)?;
+                self.transition(
+                    ShardState::Shedding,
+                    "learning budget exhausted; checkpointed, shedding further periods".to_string(),
+                    observer,
+                );
+                Ok(())
+            }
+            Err(error @ LearnError::UniverseMismatch { .. }) => Err(ServeError::Learn(error)),
+            Err(error) => {
+                self.shed_periods += 1;
+                self.watchdog_restart(&error, observer)
+            }
+        }
+    }
+
+    fn enforce_watermark<O: Observer + ?Sized>(
+        &mut self,
+        observer: &mut O,
+    ) -> Result<(), ServeError> {
+        let words = self.memory_words();
+        if words <= self.options.watermark_words {
+            return Ok(());
+        }
+        match self.state {
+            ShardState::Exact => {
+                self.learner.degrade_with(observer);
+                self.transition(
+                    ShardState::Degraded,
+                    format!(
+                        "memory watermark crossed ({words} > {} words); bounded fallback",
+                        self.options.watermark_words
+                    ),
+                    observer,
+                );
+            }
+            ShardState::Degraded => {
+                self.take_checkpoint(observer)?;
+                self.transition(
+                    ShardState::Shedding,
+                    format!(
+                        "memory watermark crossed while bounded ({words} > {} words); \
+                         checkpointed, shedding further periods",
+                        self.options.watermark_words
+                    ),
+                    observer,
+                );
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// The watchdog: roll the learner back to its last checkpoint (or a
+    /// fresh start), spend one restart, and back off for an exponentially
+    /// growing number of events. Out of budget → park as stopped.
+    fn watchdog_restart<O: Observer + ?Sized>(
+        &mut self,
+        error: &LearnError,
+        observer: &mut O,
+    ) -> Result<(), ServeError> {
+        if self.restarts >= self.options.restart_budget {
+            self.transition(
+                ShardState::Stopped,
+                format!("restart budget exhausted; parked after: {error}"),
+                observer,
+            );
+            return Ok(());
+        }
+        self.restarts += 1;
+        self.learner = match &self.last_checkpoint {
+            Some(checkpoint) => IncrementalLearner::resume(checkpoint.clone())?,
+            None => IncrementalLearner::new(self.learner.tasks(), self.options.learn)
+                .with_fallback_bound(self.options.fallback_bound),
+        };
+        self.since_checkpoint = 0;
+        // The half-captured period in the stream buffer belongs to the
+        // failed epoch; resume at the next clean period boundary.
+        if let Some(pending) = self.stream.discard_pending() {
+            self.resync_after = Some(self.resync_after.map_or(pending, |p| p.max(pending)));
+        }
+        let backoff = self.next_backoff;
+        self.next_backoff = self.next_backoff.saturating_mul(2);
+        if backoff == 0 {
+            let resumed = self.mode_state();
+            self.transition(
+                resumed,
+                format!("watchdog restart {} after: {error}", self.restarts),
+                observer,
+            );
+        } else {
+            self.backoff_remaining = backoff;
+            self.transition(
+                ShardState::Backoff,
+                format!(
+                    "watchdog restart {} after: {error}; backing off {backoff} events",
+                    self.restarts
+                ),
+                observer,
+            );
+        }
+        Ok(())
+    }
+
+    fn take_checkpoint<O: Observer + ?Sized>(
+        &mut self,
+        observer: &mut O,
+    ) -> Result<(), ServeError> {
+        let checkpoint = self.learner.checkpoint();
+        observer.checkpoint(self.learner.pushed_periods(), checkpoint.fingerprint());
+        if let Some(dir) = &self.options.checkpoint_dir {
+            checkpoint.save(&dir.join(format!("{}.ckpt", self.source)))?;
+        }
+        self.last_checkpoint = Some(checkpoint);
+        self.since_checkpoint = 0;
+        Ok(())
+    }
+}

@@ -250,6 +250,13 @@ pub struct RawCsvParse {
     pub errors: Vec<ParseCsvError>,
     /// Total rows skipped (may exceed `errors.len()` once the cap is hit).
     pub skipped_rows: usize,
+    /// A UTF-8 byte-order mark was stripped before the header check.
+    pub bom_stripped: bool,
+    /// Number of CRLF line endings normalized to LF.
+    pub crlf_rows: usize,
+    /// The final line had no trailing newline and was not a parsable row
+    /// (a logger killed mid-write); it was dropped.
+    pub truncated_final_row: bool,
 }
 
 /// Result of [`parse_csv_lenient`]: a validated trace recovered from a
@@ -274,11 +281,27 @@ pub struct LenientParse {
 /// Periods may skip forward (a dropped period in the capture); a row whose
 /// period goes *backwards* is treated as malformed.
 ///
+/// Encoding quirks real exporters produce are accepted and *counted*
+/// rather than silently tolerated or fatally rejected: a UTF-8 byte-order
+/// mark before the header, CRLF line endings, and a truncated final line
+/// with no trailing newline (a logger killed mid-write).
+///
 /// # Errors
 ///
 /// Fails only when the header row is missing or wrong — without it the
 /// schema is unknown and nothing can be salvaged.
 pub fn parse_csv_raw(input: &str) -> Result<RawCsvParse, ParseCsvError> {
+    let (input, bom_stripped) = match input.strip_prefix('\u{feff}') {
+        Some(rest) => (rest, true),
+        None => (input, false),
+    };
+    let crlf_rows = input.matches("\r\n").count();
+    // A final line is "truncated" when the capture does not end in a
+    // newline: whatever is on it may have been cut mid-byte, so a parse
+    // failure there is classified as truncation, not a bad row.
+    let unterminated_final = !input.is_empty() && !input.ends_with('\n');
+    let line_count = input.lines().count();
+    let mut truncated_final_row = false;
     let header = input.lines().next().map(str::trim);
     if header != Some("time,kind,subject,period") {
         return Err(ParseCsvError::Syntax {
@@ -387,7 +410,12 @@ pub fn parse_csv_raw(input: &str) -> Result<RawCsvParse, ParseCsvError> {
             }
             Err(message) => {
                 skipped_rows += 1;
-                skip(row, message, &mut errors);
+                if row == line_count && unterminated_final {
+                    truncated_final_row = true;
+                    skip(row, format!("truncated final row: {message}"), &mut errors);
+                } else {
+                    skip(row, message, &mut errors);
+                }
             }
         }
     }
@@ -396,6 +424,9 @@ pub fn parse_csv_raw(input: &str) -> Result<RawCsvParse, ParseCsvError> {
         raw: RawTrace { universe, periods },
         errors,
         skipped_rows,
+        bom_stripped,
+        crlf_rows,
+        truncated_final_row,
     })
 }
 
@@ -413,11 +444,18 @@ pub fn parse_csv_lenient(input: &str) -> Result<LenientParse, ParseCsvError> {
         raw,
         errors,
         skipped_rows,
+        bom_stripped,
+        crlf_rows,
+        truncated_final_row,
     } = parse_csv_raw(input)?;
     let outcome = repair(&raw);
+    let mut report = outcome.report;
+    report.bom_stripped = bom_stripped;
+    report.crlf_rows = crlf_rows;
+    report.truncated_final_row = truncated_final_row;
     Ok(LenientParse {
         trace: outcome.trace,
-        report: outcome.report,
+        report,
         errors,
         skipped_rows,
     })
@@ -584,5 +622,61 @@ mod tests {
     fn lenient_parse_still_requires_header() {
         assert!(parse_csv_lenient("").is_err());
         assert!(parse_csv_lenient("0,start,t1,0\n").is_err());
+    }
+
+    #[test]
+    fn lenient_parse_strips_and_counts_a_bom() {
+        let input = "\u{feff}time,kind,subject,period\n0,start,t1,0\n10,end,t1,0\n";
+        let parsed = parse_csv_lenient(input).unwrap();
+        assert!(parsed.report.bom_stripped);
+        assert!(!parsed.report.is_clean(), "encoding fixups count");
+        assert!(parsed.report.to_string().contains("BOM stripped"));
+        assert_eq!(parsed.skipped_rows, 0);
+        assert_eq!(parsed.trace.periods().len(), 1);
+        // The strict parser still refuses it.
+        assert!(parse_csv(input).is_err());
+    }
+
+    #[test]
+    fn lenient_parse_counts_crlf_line_endings() {
+        let input = "time,kind,subject,period\r\n0,start,t1,0\r\n10,end,t1,0\r\n";
+        let parsed = parse_csv_lenient(input).unwrap();
+        assert_eq!(parsed.report.crlf_rows, 3);
+        assert!(!parsed.report.is_clean());
+        assert!(parsed.report.to_string().contains("3 CRLF"));
+        assert_eq!(parsed.skipped_rows, 0);
+        assert_eq!(parsed.trace.periods()[0].executed_tasks().len(), 1);
+    }
+
+    #[test]
+    fn lenient_parse_drops_and_counts_a_truncated_final_row() {
+        // The logger died mid-write: the last line is a partial row with
+        // no trailing newline.
+        let input = "time,kind,subject,period\n0,start,t1,0\n10,end,t1,0\n20,sta";
+        let parsed = parse_csv_lenient(input).unwrap();
+        assert!(parsed.report.truncated_final_row);
+        assert_eq!(parsed.skipped_rows, 1);
+        assert!(parsed.errors[0].to_string().contains("truncated final row"));
+        assert!(parsed.report.to_string().contains("truncated final row"));
+        assert_eq!(parsed.trace.periods().len(), 1);
+    }
+
+    #[test]
+    fn complete_final_row_without_newline_is_not_truncation() {
+        let input = "time,kind,subject,period\n0,start,t1,0\n10,end,t1,0";
+        let parsed = parse_csv_lenient(input).unwrap();
+        assert!(!parsed.report.truncated_final_row);
+        assert_eq!(parsed.skipped_rows, 0);
+        assert_eq!(parsed.trace.periods()[0].executed_tasks().len(), 1);
+    }
+
+    #[test]
+    fn all_three_encoding_fixups_compose() {
+        let input = "\u{feff}time,kind,subject,period\r\n0,start,t1,0\r\n10,end,t1,0\r\n20,ri";
+        let parsed = parse_csv_lenient(input).unwrap();
+        assert!(parsed.report.bom_stripped);
+        assert_eq!(parsed.report.crlf_rows, 3);
+        assert!(parsed.report.truncated_final_row);
+        assert_eq!(parsed.trace.periods().len(), 1);
     }
 }

@@ -45,6 +45,7 @@ mod period;
 mod raw;
 mod repair;
 mod stats;
+mod stream;
 mod trace;
 
 pub use builder::TraceBuilder;
@@ -61,4 +62,5 @@ pub use repair::{
     RepairOptions, RepairOutcome, RepairReport,
 };
 pub use stats::TraceStats;
+pub use stream::{PeriodStream, PeriodWentBackwards, StreamedPeriod};
 pub use trace::{Trace, TraceError};

@@ -214,14 +214,29 @@ pub struct RepairReport {
     pub actions: Vec<RepairAction>,
     /// Every period excluded, with its diagnosis.
     pub quarantined: Vec<QuarantinedPeriod>,
+    /// A UTF-8 byte-order mark was stripped from the front of the capture
+    /// (set by the lenient CSV reader; exporters on some platforms prepend
+    /// one).
+    pub bom_stripped: bool,
+    /// Number of CRLF line endings normalized to LF (set by the lenient
+    /// CSV reader).
+    pub crlf_rows: usize,
+    /// The capture ended in a truncated final line — no trailing newline
+    /// and not a parsable row — which was dropped (set by the lenient CSV
+    /// reader; the signature of a logger killed mid-write).
+    pub truncated_final_row: bool,
 }
 
 impl RepairReport {
-    /// `true` when the input was already valid: nothing repaired, nothing
-    /// quarantined.
+    /// `true` when the input was already valid as captured: nothing
+    /// repaired, nothing quarantined, no encoding fixups needed.
     #[must_use]
     pub fn is_clean(&self) -> bool {
-        self.actions.is_empty() && self.quarantined.is_empty()
+        self.actions.is_empty()
+            && self.quarantined.is_empty()
+            && !self.bom_stripped
+            && self.crlf_rows == 0
+            && !self.truncated_final_row
     }
 }
 
@@ -234,7 +249,17 @@ impl fmt::Display for RepairReport {
             self.total_periods,
             self.actions.len(),
             self.quarantined.len()
-        )
+        )?;
+        if self.bom_stripped {
+            write!(f, ", BOM stripped")?;
+        }
+        if self.crlf_rows > 0 {
+            write!(f, ", {} CRLF line ending(s)", self.crlf_rows)?;
+        }
+        if self.truncated_final_row {
+            write!(f, ", truncated final row dropped")?;
+        }
+        Ok(())
     }
 }
 

@@ -1,0 +1,388 @@
+//! Streaming period assembly: turn an unbounded event feed into validated
+//! [`Period`]s one at a time, with bounded memory.
+//!
+//! The batch pipeline (`parse_csv_lenient` → [`repair`](crate::repair) →
+//! [`Trace`](crate::Trace)) needs the whole capture in memory before the
+//! learner sees the first period. A live ingest front cannot afford that:
+//! a [`PeriodStream`] holds **only the period currently being captured**,
+//! and the moment the feed moves to a later period index it repairs and
+//! validates the finished one through the same sanitizer rules, emitting
+//! either a ready [`Period`] (re-indexed contiguously, as the learner
+//! expects) or a [`QuarantinedPeriod`] diagnosis. Memory is bounded by the
+//! largest single period, not the stream length — the property the serve
+//! layer's backpressure accounting is built on.
+
+use std::fmt;
+
+use bbmg_lattice::TaskUniverse;
+use bbmg_obs::{NoopObserver, Observer};
+
+use crate::event::Event;
+use crate::period::Period;
+use crate::raw::{RawPeriod, RawTrace};
+use crate::repair::{repair_observed, QuarantinedPeriod, RepairOptions, RepairReport};
+
+/// A period the stream finished with.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamedPeriod {
+    /// The period was repaired (if needed) and validated; its index is the
+    /// contiguous output index, not the captured one.
+    Ready(Period),
+    /// The period was too corrupt to trust and was excluded.
+    Quarantined(QuarantinedPeriod),
+}
+
+/// The one stream-level fault: the feed's period index moved backwards,
+/// which has no meaningful streaming interpretation (the earlier period
+/// was already emitted). The offending event is dropped; the stream stays
+/// usable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeriodWentBackwards {
+    /// The period currently being captured.
+    pub from: usize,
+    /// The (smaller) period index the event claimed.
+    pub to: usize,
+}
+
+impl fmt::Display for PeriodWentBackwards {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "stream period went backwards from {} to {}",
+            self.from, self.to
+        )
+    }
+}
+
+impl std::error::Error for PeriodWentBackwards {}
+
+/// Assembles validated periods from an event feed, one period in memory at
+/// a time. See the module docs.
+#[derive(Debug, Clone)]
+pub struct PeriodStream {
+    universe: TaskUniverse,
+    options: RepairOptions,
+    current: Option<RawPeriod>,
+    emitted: usize,
+    report: RepairReport,
+}
+
+impl PeriodStream {
+    /// A stream over `universe` with default repair options.
+    #[must_use]
+    pub fn new(universe: TaskUniverse) -> Self {
+        PeriodStream {
+            universe,
+            options: RepairOptions::default(),
+            current: None,
+            emitted: 0,
+            report: RepairReport::default(),
+        }
+    }
+
+    /// Returns `self` with the given sanitizer tuning.
+    #[must_use]
+    pub fn with_options(mut self, options: RepairOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The task universe events refer into.
+    #[must_use]
+    pub fn universe(&self) -> &TaskUniverse {
+        &self.universe
+    }
+
+    /// Number of periods emitted so far (ready, not quarantined).
+    #[must_use]
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// Events buffered for the period currently being captured.
+    #[must_use]
+    pub fn pending_events(&self) -> usize {
+        self.current.as_ref().map_or(0, |p| p.events.len())
+    }
+
+    /// The cumulative sanitizer record across all flushed periods.
+    #[must_use]
+    pub fn report(&self) -> &RepairReport {
+        &self.report
+    }
+
+    /// Feeds one captured event tagged with its period index. Returns the
+    /// previous period's outcome when `period_index` advances past it
+    /// (gaps are fine — a dropped period in the capture), `None` while the
+    /// current period is still accumulating.
+    ///
+    /// # Errors
+    ///
+    /// [`PeriodWentBackwards`] when `period_index` is smaller than the
+    /// period being captured; the event is dropped and the stream remains
+    /// usable.
+    pub fn push_event(
+        &mut self,
+        period_index: usize,
+        event: Event,
+    ) -> Result<Option<StreamedPeriod>, PeriodWentBackwards> {
+        self.push_event_with(period_index, event, &mut NoopObserver)
+    }
+
+    /// [`push_event`](Self::push_event) with instrumentation: repairs and
+    /// quarantines performed when a period is flushed are reported to
+    /// `observer`.
+    ///
+    /// # Errors
+    ///
+    /// As [`push_event`](Self::push_event).
+    pub fn push_event_with<O: Observer + ?Sized>(
+        &mut self,
+        period_index: usize,
+        event: Event,
+        observer: &mut O,
+    ) -> Result<Option<StreamedPeriod>, PeriodWentBackwards> {
+        let flushed = match &mut self.current {
+            Some(current) if current.index == period_index => {
+                current.events.push(event);
+                return Ok(None);
+            }
+            Some(current) if period_index < current.index => {
+                return Err(PeriodWentBackwards {
+                    from: current.index,
+                    to: period_index,
+                });
+            }
+            Some(_) => {
+                let done = self.flush_with(observer);
+                self.current = Some(RawPeriod {
+                    index: period_index,
+                    events: vec![event],
+                });
+                done
+            }
+            None => {
+                self.current = Some(RawPeriod {
+                    index: period_index,
+                    events: vec![event],
+                });
+                None
+            }
+        };
+        Ok(flushed)
+    }
+
+    /// Drops the period currently being captured without repairing or
+    /// emitting it — a supervisor resynchronizing after a fault wants the
+    /// next clean period boundary, not a half-captured period. Returns the
+    /// discarded period's capture index if anything was buffered.
+    pub fn discard_pending(&mut self) -> Option<usize> {
+        self.current.take().map(|p| p.index)
+    }
+
+    /// Finishes the period currently being captured (end of stream or an
+    /// explicit boundary), returning its outcome. `None` when nothing is
+    /// buffered.
+    pub fn flush(&mut self) -> Option<StreamedPeriod> {
+        self.flush_with(&mut NoopObserver)
+    }
+
+    /// [`flush`](Self::flush) with instrumentation.
+    pub fn flush_with<O: Observer + ?Sized>(&mut self, observer: &mut O) -> Option<StreamedPeriod> {
+        let raw = self.current.take()?;
+        let outcome = repair_observed(
+            &RawTrace {
+                universe: self.universe.clone(),
+                periods: vec![raw],
+            },
+            &self.options,
+            observer,
+        );
+        self.report.total_periods += outcome.report.total_periods;
+        self.report.kept_periods += outcome.report.kept_periods;
+        self.report.actions.extend(outcome.report.actions);
+        self.report.quarantined.extend(outcome.report.quarantined);
+        if let Some(diagnosis) = self.report.quarantined.last() {
+            if outcome.trace.periods().is_empty() {
+                return Some(StreamedPeriod::Quarantined(diagnosis.clone()));
+            }
+        }
+        let period = outcome.trace.periods().first()?;
+        // The sanitizer numbered it within its one-period mini-trace;
+        // re-index into the stream's contiguous output numbering.
+        let ready = Period::from_parts(self.emitted, period.universe(), period.events().to_vec());
+        self.emitted += 1;
+        Some(StreamedPeriod::Ready(ready))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use bbmg_lattice::TaskId;
+
+    use super::*;
+    use crate::builder::TraceBuilder;
+    use crate::event::{EventKind, Timestamp};
+
+    fn universe() -> TaskUniverse {
+        TaskUniverse::from_names(["t1", "t2"])
+    }
+
+    fn batch_trace(periods: u64) -> crate::trace::Trace {
+        let mut b = TraceBuilder::new(universe());
+        for p in 0..periods {
+            let base = p * 100;
+            b.begin_period();
+            b.task(
+                TaskId::from_index(0),
+                Timestamp::new(base),
+                Timestamp::new(base + 10),
+            )
+            .unwrap();
+            b.message(Timestamp::new(base + 12), Timestamp::new(base + 14))
+                .unwrap();
+            b.task(
+                TaskId::from_index(1),
+                Timestamp::new(base + 20),
+                Timestamp::new(base + 30),
+            )
+            .unwrap();
+            b.end_period().unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn streamed_periods_match_the_batch_pipeline() {
+        let trace = batch_trace(3);
+        let mut stream = PeriodStream::new(universe());
+        let mut out = Vec::new();
+        for period in trace.periods() {
+            for event in period.events() {
+                if let Some(done) = stream.push_event(period.index(), *event).unwrap() {
+                    out.push(done);
+                }
+            }
+        }
+        if let Some(done) = stream.flush() {
+            out.push(done);
+        }
+        assert_eq!(out.len(), 3);
+        for (streamed, batch) in out.iter().zip(trace.periods()) {
+            let StreamedPeriod::Ready(p) = streamed else {
+                panic!("clean input must not quarantine")
+            };
+            assert_eq!(p, batch);
+        }
+        assert!(stream.report().is_clean());
+        assert_eq!(stream.emitted(), 3);
+    }
+
+    #[test]
+    fn corrupt_period_is_repaired_in_flight() {
+        let mut stream = PeriodStream::new(universe());
+        // t1's end never arrives; flushing must synthesize it.
+        stream
+            .push_event(
+                0,
+                Event::new(
+                    Timestamp::new(0),
+                    EventKind::TaskStart(TaskId::from_index(0)),
+                ),
+            )
+            .unwrap();
+        let done = stream.flush().expect("one period buffered");
+        let StreamedPeriod::Ready(p) = done else {
+            panic!("repairable period")
+        };
+        assert_eq!(p.executed_tasks().len(), 1);
+        assert!(!stream.report().is_clean());
+        assert!(stream
+            .report()
+            .actions
+            .iter()
+            .any(|a| a.to_string().contains("synthesized end")));
+    }
+
+    #[test]
+    fn gaps_are_tolerated_and_output_reindexed() {
+        let mut stream = PeriodStream::new(universe());
+        let start = |t: u64| {
+            Event::new(
+                Timestamp::new(t),
+                EventKind::TaskStart(TaskId::from_index(0)),
+            )
+        };
+        let end = |t: u64| Event::new(Timestamp::new(t), EventKind::TaskEnd(TaskId::from_index(0)));
+        stream.push_event(0, start(0)).unwrap();
+        stream.push_event(0, end(10)).unwrap();
+        // Capture gap: period 1 was lost entirely.
+        let done = stream.push_event(5, start(500)).unwrap().unwrap();
+        let StreamedPeriod::Ready(p) = done else {
+            panic!("ready")
+        };
+        assert_eq!(p.index(), 0);
+        stream.push_event(5, end(510)).unwrap();
+        let StreamedPeriod::Ready(p) = stream.flush().unwrap() else {
+            panic!("ready")
+        };
+        assert_eq!(p.index(), 1, "output indices stay contiguous");
+    }
+
+    #[test]
+    fn backwards_period_is_an_error_but_not_fatal() {
+        let mut stream = PeriodStream::new(universe());
+        let start = |t: u64| {
+            Event::new(
+                Timestamp::new(t),
+                EventKind::TaskStart(TaskId::from_index(0)),
+            )
+        };
+        let end = |t: u64| Event::new(Timestamp::new(t), EventKind::TaskEnd(TaskId::from_index(0)));
+        stream.push_event(3, start(0)).unwrap();
+        let err = stream.push_event(1, start(5)).unwrap_err();
+        assert_eq!(err, PeriodWentBackwards { from: 3, to: 1 });
+        assert!(err.to_string().contains("backwards"));
+        // The stream is still usable.
+        stream.push_event(3, end(10)).unwrap();
+        assert!(matches!(stream.flush(), Some(StreamedPeriod::Ready(_))));
+    }
+
+    #[test]
+    fn too_corrupt_period_is_quarantined() {
+        let mut stream = PeriodStream::new(universe()).with_options(RepairOptions {
+            max_actions_per_period: Some(0),
+        });
+        stream
+            .push_event(
+                0,
+                Event::new(
+                    Timestamp::new(0),
+                    EventKind::TaskStart(TaskId::from_index(0)),
+                ),
+            )
+            .unwrap();
+        let done = stream.flush().expect("one period buffered");
+        assert!(matches!(done, StreamedPeriod::Quarantined(_)));
+        assert_eq!(stream.emitted(), 0);
+        assert_eq!(stream.report().quarantined.len(), 1);
+    }
+
+    #[test]
+    fn pending_events_tracks_the_buffered_period_only() {
+        let mut stream = PeriodStream::new(universe());
+        assert_eq!(stream.pending_events(), 0);
+        let start = |t: u64| {
+            Event::new(
+                Timestamp::new(t),
+                EventKind::TaskStart(TaskId::from_index(0)),
+            )
+        };
+        let end = |t: u64| Event::new(Timestamp::new(t), EventKind::TaskEnd(TaskId::from_index(0)));
+        stream.push_event(0, start(0)).unwrap();
+        stream.push_event(0, end(10)).unwrap();
+        assert_eq!(stream.pending_events(), 2);
+        stream.push_event(1, start(100)).unwrap();
+        assert_eq!(stream.pending_events(), 1, "flush drops the old buffer");
+    }
+}

@@ -357,6 +357,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
+    // Regression guard for the word-sized parallel gates: adding workers
+    // must never cost a meaningful workload much of its single-thread
+    // speed. The old pair-count gate measured 0.70x at 2 threads on
+    // exact_blowup; below 0.75x here means the gate stopped doing its job.
+    // Multi-thread rows are judged on their best iteration — a spawn-cost
+    // regression slows every iteration, while scheduler noise on a busy
+    // host only spikes some of them.
+    for workload in &workloads {
+        let base = median(&workload.rows[0].micros).max(1);
+        if base < 500 {
+            // Too quick to time reliably — and exactly the size class the
+            // word-count gate keeps sequential anyway.
+            continue;
+        }
+        for row in &workload.rows[1..] {
+            let best = row.micros.iter().copied().min().unwrap_or(1).max(1);
+            let speedup = base as f64 / best as f64;
+            assert!(
+                speedup >= 0.75,
+                "{} regressed with {} threads: {speedup:.2}x vs 1 thread (best of {iters})",
+                workload.name,
+                row.threads
+            );
+        }
+    }
+    println!("\nparallel regression guard passed (multi-thread >= 0.75x single-thread)");
+
     // Hand-rolled JSON: fixed keys and numbers only, nothing to escape.
     let mut json = String::from("{\"schema\":\"bbmg-bench-learner/1\",");
     write!(

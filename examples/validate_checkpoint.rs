@@ -1,0 +1,35 @@
+//! Validates a `bbmg learn --checkpoint` / `bbmg serve --checkpoint-dir`
+//! file against the strict `bbmg-ckpt/1` schema — a bad checksum, an
+//! unknown or out-of-order field, or a packed store that does not decode
+//! for the declared task count are all errors. CI runs this on a freshly
+//! checkpointed trace so the emitted documents can never drift from the
+//! schema unnoticed.
+//!
+//! Run with: `cargo run --example validate_checkpoint -- model.ckpt`
+
+use bbmg::core::Checkpoint;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let path = std::env::args()
+        .nth(1)
+        .ok_or("usage: validate_checkpoint <model.ckpt>")?;
+    let text = std::fs::read_to_string(&path)?;
+    let checkpoint = Checkpoint::parse_json(&text)
+        .map_err(|e| format!("{path} does not conform to bbmg-ckpt/1: {e}"))?;
+    // The document must also re-serialize to the identical bytes — the
+    // checksum covers the exact payload substring, so any asymmetry
+    // between writer and parser shows up here.
+    let rewritten = checkpoint.to_json();
+    if rewritten != text.trim_end() {
+        return Err(format!("{path}: parse → serialize is not the identity").into());
+    }
+    println!("{path}: valid bbmg-ckpt/1 checkpoint");
+    println!(
+        "tasks={} pushed_periods={} hypotheses={} fingerprint={:016x}",
+        checkpoint.tasks,
+        checkpoint.pushed_periods,
+        checkpoint.hypotheses.len(),
+        checkpoint.fingerprint()
+    );
+    Ok(())
+}

@@ -19,7 +19,8 @@
 //! | [`graph`] | `bbmg-graph` | small digraph utilities + DOT export |
 //! | [`moc`] | `bbmg-moc` | design models, firing semantics, behaviour enumeration |
 //! | [`sim`] | `bbmg-sim` | scheduler + CAN bus execution substrate |
-//! | [`core`] | `bbmg-core` | **the paper's learner**: exact + bounded-heuristic |
+//! | [`core`] | `bbmg-core` | **the paper's learner**: exact + bounded-heuristic, checkpoint/restore |
+//! | [`serve`] | `bbmg-serve` | supervised streaming ingest: per-source shards, watermarks, watchdog |
 //! | [`obs`] | `bbmg-obs` | observer trait, event taxonomy, metrics/JSONL/Chrome-trace sinks |
 //! | [`check`] | `bbmg-check` | safety-property language + white/black-box checkers |
 //! | [`analysis`] | `bbmg-analysis` | properties, latency, reachability, ground truth |
@@ -53,6 +54,7 @@ pub use bbmg_graph as graph;
 pub use bbmg_lattice as lattice;
 pub use bbmg_moc as moc;
 pub use bbmg_obs as obs;
+pub use bbmg_serve as serve;
 pub use bbmg_sim as sim;
 pub use bbmg_trace as trace;
 pub use bbmg_workloads as workloads;
