@@ -17,7 +17,9 @@ USAGE:
   bbmg serve   (--stdin-jsonl | --input FILE) [LEARNER] [TELEMETRY]
                [--watermark-words N] [--checkpoint-dir DIR]
                [--checkpoint-every N] [--restart-budget N]
-               [--backoff-events N]
+               [--backoff-events N] [--status-file FILE]
+               [--status-every N]
+  bbmg top     <STATUS-FILE> [--once] [--interval-ms N] [--ticks N]
   bbmg analyze <TRACE> [LEARNER] [TELEMETRY]
   bbmg dot     <TRACE> [LEARNER] [TELEMETRY] [--name NAME]
   bbmg check   <TRACE> --prop \"Q -> O\" [LEARNER] [TELEMETRY]
@@ -33,8 +35,9 @@ LEARNER options (shared by learn/analyze/dot/check/explain/profile):
 
 TELEMETRY options (shared by the same commands):
   [--metrics-out FILE]   write a metrics snapshot (JSON, schema
-                         `bbmg-metrics/1`: set-size/branch-factor/period
-                         timing percentiles and event counters)
+                         `bbmg-metrics/2`: set-size/branch-factor/period
+                         timing percentiles, event counters, uptime and
+                         snapshot sequence number)
   [--events-out FILE]    stream every learner event as JSON Lines
 
 `bbmg profile` runs the learner purely for telemetry: it prints the
@@ -72,6 +75,18 @@ a watchdog restarts a wedged shard from its last checkpoint with an
 event-counted exponential backoff (--backoff-events, doubling) until
 --restart-budget is spent. Shard health transitions are reported on
 stdout and through the telemetry sinks.
+
+Operations: with --checkpoint-dir, serve persists a `bbmg-roster/1`
+manifest next to the checkpoints and recovers known sources from it on
+startup (a re-`hello` resumes the model and restart history instead of
+starting over). `--status-file FILE` atomically rewrites a
+`bbmg-health/1` snapshot every --status-every ingested lines (default
+64) and once at shutdown; a `{\"type\":\"status\"}` line on the feed prints
+the same document to stdout on demand. `bbmg top STATUS-FILE` renders
+the snapshot as a live per-shard table (state, periods, events, ingest
+lag, shed counts, restarts, memory vs watermark, checkpoint age),
+refreshing every --interval-ms (default 1000) until interrupted;
+--once prints one frame and exits (use it in scripts and CI).
 ";
 
 /// Which workload `bbmg simulate` builds.
@@ -247,6 +262,24 @@ pub struct ServeCmdOptions {
     pub restart_budget: Option<usize>,
     /// Backoff after the first restart, in shed ingest events.
     pub backoff_events: Option<usize>,
+    /// Atomically rewrite a `bbmg-health/1` snapshot to this path while
+    /// serving.
+    pub status_file: Option<String>,
+    /// Status-file rewrite cadence in ingested lines (default 64).
+    pub status_every: Option<usize>,
+}
+
+/// Options for `bbmg top`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopOptions {
+    /// Path of the `bbmg-health/1` snapshot a serve run keeps rewriting.
+    pub status_file: String,
+    /// Render one frame and exit (for scripts and CI).
+    pub once: bool,
+    /// Refresh interval in milliseconds.
+    pub interval_ms: u64,
+    /// Stop after this many frames (`None` = until interrupted).
+    pub ticks: Option<u64>,
 }
 
 /// Options for `bbmg analyze`.
@@ -327,6 +360,8 @@ pub enum Command {
     Resume(ResumeOptions),
     /// `bbmg serve`.
     Serve(ServeCmdOptions),
+    /// `bbmg top`.
+    Top(TopOptions),
     /// `bbmg analyze`.
     Analyze(AnalyzeOptions),
     /// `bbmg dot`.
@@ -358,6 +393,8 @@ pub enum CliError {
     Checkpoint(bbmg_core::CheckpointError),
     /// The streaming ingest front failed.
     Serve(bbmg_serve::ServeError),
+    /// A `bbmg-health/1` status document failed to parse.
+    Health(bbmg_serve::HealthParseError),
     /// A property failed to parse.
     Prop(bbmg_check::ParsePropError),
     /// The simulator failed.
@@ -374,6 +411,7 @@ impl fmt::Display for CliError {
             CliError::Learn(e) => write!(f, "learning failed: {e}"),
             CliError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
             CliError::Serve(e) => write!(f, "serve error: {e}"),
+            CliError::Health(e) => write!(f, "status file: {e}"),
             CliError::Prop(e) => write!(f, "{e}"),
             CliError::Sim(e) => write!(f, "simulation failed: {e}"),
         }
@@ -410,6 +448,11 @@ impl From<bbmg_core::CheckpointError> for CliError {
 impl From<bbmg_serve::ServeError> for CliError {
     fn from(e: bbmg_serve::ServeError) -> Self {
         CliError::Serve(e)
+    }
+}
+impl From<bbmg_serve::HealthParseError> for CliError {
+    fn from(e: bbmg_serve::HealthParseError) -> Self {
+        CliError::Health(e)
     }
 }
 impl From<bbmg_check::ParsePropError> for CliError {
@@ -702,6 +745,18 @@ where
             let checkpoint_every = args.take_value("checkpoint-every")?;
             let restart_budget = args.take_value("restart-budget")?;
             let backoff_events = args.take_value("backoff-events")?;
+            let status_file = match args.take("status-file") {
+                None => None,
+                Some(None) => return Err(usage("--status-file requires a file path")),
+                Some(Some(path)) => Some(path),
+            };
+            let status_every: Option<usize> = args.take_value("status-every")?;
+            if status_every == Some(0) {
+                return Err(usage("--status-every must be at least 1"));
+            }
+            if status_file.is_none() && status_every.is_some() {
+                return Err(usage("--status-every needs --status-file FILE"));
+            }
             args.finish("serve")?;
             Ok(Command::Serve(ServeCmdOptions {
                 input,
@@ -712,6 +767,30 @@ where
                 checkpoint_every,
                 restart_budget,
                 backoff_events,
+                status_file,
+                status_every,
+            }))
+        }
+        "top" => {
+            if args.positional.is_empty() {
+                return Err(usage("`top` needs a STATUS-FILE argument"));
+            }
+            let status_file = args.positional.remove(0);
+            let once = args.take_flag("once")?;
+            let interval_ms: u64 = args.take_value("interval-ms")?.unwrap_or(1000);
+            if interval_ms == 0 {
+                return Err(usage("--interval-ms must be at least 1"));
+            }
+            let ticks: Option<u64> = args.take_value("ticks")?;
+            if ticks == Some(0) {
+                return Err(usage("--ticks must be at least 1"));
+            }
+            args.finish("top")?;
+            Ok(Command::Top(TopOptions {
+                status_file,
+                once,
+                interval_ms,
+                ticks,
             }))
         }
         "analyze" => {
@@ -1061,6 +1140,63 @@ mod tests {
         assert!(matches!(parse_args(["profile"]), Err(CliError::Usage(_))));
         assert!(matches!(
             parse_args(["profile", "t.txt", "--chrome-out"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn serve_status_flags_parse() {
+        let cmd = parse_args([
+            "serve",
+            "--stdin-jsonl",
+            "--status-file",
+            "health.json",
+            "--status-every",
+            "8",
+        ])
+        .unwrap();
+        let Command::Serve(o) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(o.status_file.as_deref(), Some("health.json"));
+        assert_eq!(o.status_every, Some(8));
+        assert!(matches!(
+            parse_args(["serve", "--stdin-jsonl", "--status-every", "4"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args([
+                "serve",
+                "--stdin-jsonl",
+                "--status-file",
+                "h.json",
+                "--status-every",
+                "0"
+            ]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn top_parses() {
+        let cmd = parse_args(["top", "health.json", "--once"]).unwrap();
+        let Command::Top(o) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(o.status_file, "health.json");
+        assert!(o.once);
+        assert_eq!(o.interval_ms, 1000);
+        assert_eq!(o.ticks, None);
+
+        let cmd = parse_args(["top", "h.json", "--interval-ms=250", "--ticks", "3"]).unwrap();
+        let Command::Top(o) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(o.interval_ms, 250);
+        assert_eq!(o.ticks, Some(3));
+        assert!(matches!(parse_args(["top"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse_args(["top", "h.json", "--interval-ms", "0"]),
             Err(CliError::Usage(_))
         ));
     }

@@ -201,7 +201,7 @@ impl TelemetrySinks {
 
     /// Writes the metrics JSON and flushes the event stream.
     pub(crate) fn finish(self) -> Result<(), CliError> {
-        if let Some((path, metrics)) = self.metrics {
+        if let Some((path, mut metrics)) = self.metrics {
             std::fs::write(path, format!("{}\n", metrics.snapshot().to_json()))?;
         }
         if let Some(events) = self.events {
@@ -517,15 +517,34 @@ pub(crate) mod resume {
 pub(crate) mod serve {
     use std::io::{BufRead, BufReader};
     use std::num::NonZeroUsize;
-    use std::path::PathBuf;
+    use std::path::{Path, PathBuf};
 
     use bbmg_core::OnInconsistent;
     use bbmg_obs::Tee;
-    use bbmg_serve::{ServeError, ServeOptions, Supervisor};
+    use bbmg_serve::{HealthSnapshot, LineOutcome, ServeError, ServeOptions, Supervisor};
 
     use super::TelemetrySinks;
     use super::{learn_options, CliError, Write};
     use crate::args::{OnError, ServeCmdOptions};
+
+    /// Default status-file rewrite cadence, in ingested lines.
+    const DEFAULT_STATUS_EVERY: usize = 64;
+
+    /// Atomically replaces `path` with the snapshot (temp + rename), so a
+    /// concurrent `bbmg top` never reads a torn document.
+    fn write_status(path: &Path, snapshot: &HealthSnapshot) -> Result<(), CliError> {
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(snapshot.to_json().as_bytes())?;
+            file.write_all(b"\n")?;
+            file.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
 
     pub(crate) fn run(options: &ServeCmdOptions, out: &mut dyn Write) -> Result<(), CliError> {
         let mut sinks = TelemetrySinks::open(&options.telemetry)?;
@@ -554,6 +573,12 @@ pub(crate) mod serve {
         }
 
         let mut supervisor = Supervisor::new(serve);
+        let recovered = supervisor.recover()?;
+        if recovered > 0 {
+            writeln!(out, "note: roster lists {recovered} known source(s)")?;
+        }
+        let status_file = options.status_file.as_deref().map(Path::new);
+        let status_every = options.status_every.unwrap_or(DEFAULT_STATUS_EVERY);
         let mut feed: Box<dyn BufRead> = match &options.input {
             Some(path) => Box::new(BufReader::new(std::fs::File::open(path)?)),
             None => Box::new(BufReader::new(std::io::stdin())),
@@ -569,7 +594,16 @@ pub(crate) mod serve {
             lineno += 1;
             let mut tee = sinks.attach(Tee::new());
             match supervisor.ingest_line(&line, &mut tee) {
-                Ok(()) => {}
+                Ok(LineOutcome::Processed) => {}
+                // A status line answers on stdout with one bbmg-health/1
+                // document (and refreshes the status file early).
+                Ok(LineOutcome::StatusRequested) => {
+                    let snapshot = supervisor.health_snapshot();
+                    writeln!(out, "{}", snapshot.to_json())?;
+                    if let Some(path) = status_file {
+                        write_status(path, &snapshot)?;
+                    }
+                }
                 // Malformed or misrouted lines must not take the ingest
                 // front down; learner/checkpoint faults are fatal.
                 Err(
@@ -583,11 +617,20 @@ pub(crate) mod serve {
                 }
                 Err(error) => return Err(error.into()),
             }
+            if let Some(path) = status_file {
+                if lineno.is_multiple_of(status_every) {
+                    write_status(path, &supervisor.health_snapshot())?;
+                }
+            }
         }
         let summaries = {
             let mut tee = sinks.attach(Tee::new());
             supervisor.finish(&mut tee)?
         };
+        // One final snapshot so the file reflects the closed shards.
+        if let Some(path) = status_file {
+            write_status(path, &supervisor.health_snapshot())?;
+        }
         if rejected > 0 {
             writeln!(out, "note: {rejected} line(s) rejected")?;
         }
@@ -611,6 +654,105 @@ pub(crate) mod serve {
         }
         writeln!(out, "{} source(s) served", summaries.len())?;
         sinks.finish()?;
+        Ok(())
+    }
+}
+
+pub(crate) mod top {
+    use std::time::Duration;
+
+    use bbmg_serve::HealthSnapshot;
+
+    use super::{CliError, Write};
+    use crate::args::TopOptions;
+
+    /// ANSI clear-screen + cursor-home, emitted between refresh frames so
+    /// the table repaints in place on a terminal.
+    const REPAINT: &str = "\x1b[2J\x1b[H";
+
+    fn render(
+        snapshot: &HealthSnapshot,
+        repaint: bool,
+        out: &mut dyn Write,
+    ) -> Result<(), CliError> {
+        if repaint {
+            out.write_all(REPAINT.as_bytes())?;
+        }
+        writeln!(
+            out,
+            "bbmg serve: snapshot #{} at uptime {:.1}s, {} line(s) ingested, {} shard(s)",
+            snapshot.seq,
+            snapshot.uptime_us as f64 / 1e6,
+            snapshot.lines,
+            snapshot.shards.len()
+        )?;
+        writeln!(
+            out,
+            "{:<12} {:<10} {:>8} {:>10} {:>6} {:>7} {:>8} {:>8} {:>18} {:>9}",
+            "SOURCE",
+            "STATE",
+            "PERIODS",
+            "EVENTS",
+            "LAG",
+            "SHED-P",
+            "SHED-EV",
+            "RESTART",
+            "MEM/WATERMARK",
+            "CKPT-AGE"
+        )?;
+        for shard in &snapshot.shards {
+            // Closed shards keep their final gauges, starred.
+            let state = if shard.open {
+                shard.state.clone()
+            } else {
+                format!("{}*", shard.state)
+            };
+            writeln!(
+                out,
+                "{:<12} {:<10} {:>8} {:>10} {:>6} {:>7} {:>8} {:>8} {:>18} {:>9}",
+                shard.source,
+                state,
+                shard.periods,
+                shard.events,
+                shard.pending_events,
+                shard.shed_periods,
+                shard.shed_events,
+                shard.restarts,
+                format!("{}/{}", shard.memory_words, shard.watermark_words),
+                shard.checkpoint_age_periods
+            )?;
+        }
+        writeln!(
+            out,
+            "(* = closed; LAG = events buffered ahead of their period boundary)"
+        )?;
+        Ok(())
+    }
+
+    pub(crate) fn run(options: &TopOptions, out: &mut dyn Write) -> Result<(), CliError> {
+        let mut frames = 0u64;
+        loop {
+            match std::fs::read_to_string(&options.status_file) {
+                Ok(text) => {
+                    let snapshot = HealthSnapshot::parse_json(text.trim_end())?;
+                    render(&snapshot, frames > 0, out)?;
+                    frames += 1;
+                }
+                // The serve run may not have written its first snapshot
+                // yet; keep polling unless a single frame was demanded.
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound && !options.once => {
+                    writeln!(out, "waiting for {} ...", options.status_file)?;
+                }
+                Err(e) => return Err(e.into()),
+            }
+            if options.once {
+                break;
+            }
+            if options.ticks.is_some_and(|ticks| frames >= ticks) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(options.interval_ms));
+        }
         Ok(())
     }
 }
@@ -1313,5 +1455,74 @@ mod tests {
         assert!(out.contains("shard s0: state=exact"), "{out}");
         assert!(out.contains("periods=2"), "{out}");
         assert!(out.contains("1 source(s) served"), "{out}");
+    }
+
+    #[test]
+    fn serve_status_file_feeds_top() {
+        use bbmg_serve::{Line, WireKind, HEALTH_SCHEMA};
+
+        let dir = std::env::temp_dir().join("bbmg_cli_serve_status");
+        std::fs::create_dir_all(&dir).unwrap();
+        let feed_path = dir.join("feed.jsonl");
+        let status_path = dir.join("health.json");
+        let _ = std::fs::remove_file(&status_path);
+
+        let mut lines = vec![Line::Hello {
+            source: "s0".into(),
+            tasks: vec!["a".into(), "b".into()],
+        }
+        .to_json()];
+        for period in 0..2usize {
+            let base = period as u64 * 100;
+            let ev = |time, kind, subject: &str| {
+                Line::Event {
+                    source: "s0".into(),
+                    period,
+                    time,
+                    kind,
+                    subject: subject.into(),
+                }
+                .to_json()
+            };
+            lines.push(ev(base, WireKind::Start, "a"));
+            lines.push(ev(base + 10, WireKind::End, "a"));
+            lines.push(ev(base + 20, WireKind::Start, "b"));
+            lines.push(ev(base + 30, WireKind::End, "b"));
+        }
+        lines.push(Line::Status.to_json());
+        lines.push(
+            Line::End {
+                source: "s0".into(),
+            }
+            .to_json(),
+        );
+        std::fs::write(&feed_path, format!("{}\n", lines.join("\n"))).unwrap();
+
+        let out = run_to_string(&[
+            "serve",
+            "--input",
+            feed_path.to_str().unwrap(),
+            "--exact",
+            "--status-file",
+            status_path.to_str().unwrap(),
+            "--status-every",
+            "4",
+        ]);
+        // The status line answered inline with a health document...
+        assert!(out.contains(HEALTH_SCHEMA), "{out}");
+        assert!(out.contains("shard s0: state=exact"), "{out}");
+
+        // ...and the status file holds the final (post-finish) snapshot.
+        let status = std::fs::read_to_string(&status_path).unwrap();
+        let snapshot = bbmg_serve::HealthSnapshot::parse_json(status.trim_end()).unwrap();
+        assert_eq!(snapshot.shards.len(), 1);
+        assert!(!snapshot.shards[0].open, "final snapshot sees the end");
+        assert_eq!(snapshot.shards[0].periods, 2);
+
+        // `top --once` renders it as a table.
+        let table = run_to_string(&["top", status_path.to_str().unwrap(), "--once"]);
+        assert!(table.contains("SOURCE"), "{table}");
+        assert!(table.contains("exact*"), "closed shard starred: {table}");
+        assert!(table.contains("s0"), "{table}");
     }
 }

@@ -39,6 +39,7 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
         Command::Learn(options) => commands::learn::run(options, out),
         Command::Resume(options) => commands::resume::run(options, out),
         Command::Serve(options) => commands::serve::run(options, out),
+        Command::Top(options) => commands::top::run(options, out),
         Command::Analyze(options) => commands::analyze::run(options, out),
         Command::Dot(options) => commands::dot::run(options, out),
         Command::Check(options) => commands::check::run(options, out),

@@ -26,7 +26,7 @@
 //! *string*: the workspace's JSON parser backs numbers with `f64`, which
 //! is exact only up to 2^53.
 //!
-//! Parsing is strict in the same sense as `bbmg-metrics/1`: unknown,
+//! Parsing is strict in the same sense as `bbmg-metrics/2`: unknown,
 //! missing, duplicated or reordered fields are errors, the schema tag must
 //! match exactly, and every hypothesis is re-validated structurally
 //! ([`DependencyFunction::from_words`]) and cryptographically (stored vs

@@ -99,7 +99,7 @@ fn run_split(trace: &Trace, split: usize, threads: usize) -> (Vec<u8>, u64, Metr
 /// Reduces a finished run to comparable bytes: the packed words of every
 /// hypothesis in canonical order, the antichain fingerprint, and the
 /// metrics snapshot.
-fn summarize(learner: IncrementalLearner, metrics: Metrics) -> (Vec<u8>, u64, MetricsSnapshot) {
+fn summarize(learner: IncrementalLearner, mut metrics: Metrics) -> (Vec<u8>, u64, MetricsSnapshot) {
     let fingerprint = learner.fingerprint();
     let result = learner.finish();
     let mut bytes = Vec::new();
@@ -113,6 +113,7 @@ fn summarize(learner: IncrementalLearner, metrics: Metrics) -> (Vec<u8>, u64, Me
     let mut snapshot = metrics.snapshot();
     snapshot.period_micros = Default::default();
     snapshot.total_micros = 0;
+    snapshot.uptime_us = 0;
     (bytes, fingerprint, snapshot)
 }
 

@@ -5,6 +5,17 @@
 //! `B`/`E` duration slices, hypothesis-set sizes and branching factors
 //! become `C` counter tracks, and everything else becomes `i` instants, so
 //! a learn run reads as a flame-and-counter timeline.
+//!
+//! [`SpanStart`]/[`SpanEnd`] events also become `B`/`E` slices. Span ids
+//! carry their emitter lane in the high bits ([`SPAN_LANE_SHIFT`]): each
+//! lane is rendered as its own `tid`, so interleaved shards appear as
+//! parallel threads whose spans nest LIFO within the lane — exactly the
+//! shape `chrome://tracing` requires.
+//!
+//! [`SpanStart`]: Event::SpanStart
+//! [`SpanEnd`]: Event::SpanEnd
+
+use std::collections::HashMap;
 
 use crate::event::Event;
 use crate::json::push_escaped;
@@ -15,6 +26,18 @@ const PID: u32 = 1;
 /// Thread id stamped on every trace event (the learner is single-threaded).
 const TID: u32 = 1;
 
+/// Bit position separating a span id's lane (high bits) from its
+/// within-lane counter (low bits). Emitters that interleave — e.g. stream
+/// shards — must carve disjoint lanes so their spans stay LIFO per lane.
+pub const SPAN_LANE_SHIFT: u32 = 40;
+
+/// The Chrome `tid` a span id renders on: lane 0 shares the main thread,
+/// lane `k` becomes `tid k+1`.
+fn span_tid(id: u64) -> u32 {
+    let lane = id >> SPAN_LANE_SHIFT;
+    u32::try_from(lane).unwrap_or(u32::MAX - 1) + TID
+}
+
 /// Renders `events` (as captured by a [`Recorder`](crate::sinks::Recorder))
 /// into a Chrome `trace_event` JSON document.
 #[must_use]
@@ -22,6 +45,9 @@ pub fn chrome_trace(events: &[TimedEvent]) -> String {
     let mut out = String::with_capacity(events.len() * 96 + 64);
     out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
     let mut first = true;
+    // Names of currently-open spans, so the closing `E` slice can repeat
+    // the name its `B` opened with (what trace viewers expect).
+    let mut open_spans: HashMap<u64, String> = HashMap::new();
     for timed in events {
         let ts = timed.at_micros;
         let entry = match &timed.event {
@@ -111,6 +137,20 @@ pub fn chrome_trace(events: &[TimedEvent]) -> String {
                 &format!("shard {source}: {state}"),
                 &[("periods", *periods as u64)],
             ),
+            Event::SpanStart { id, parent, name } => {
+                open_spans.insert(*id, name.clone());
+                span_slice(
+                    ts,
+                    "B",
+                    name,
+                    span_tid(*id),
+                    &[("id", *id), ("parent", *parent)],
+                )
+            }
+            Event::SpanEnd { id } => {
+                let name = open_spans.remove(id).unwrap_or_else(|| "span".into());
+                span_slice(ts, "E", &name, span_tid(*id), &[("id", *id)])
+            }
         };
         if !first {
             out.push(',');
@@ -146,6 +186,16 @@ fn with_args(mut entry: String, args: &[(&str, u64)]) -> String {
 
 fn duration(ts: u64, ph: &str, name: &str, args: &[(&str, u64)]) -> String {
     with_args(header(ts, ph, name), args)
+}
+
+fn span_slice(ts: u64, ph: &str, name: &str, tid: u32, args: &[(&str, u64)]) -> String {
+    let mut entry = String::with_capacity(96);
+    entry.push_str("{\"name\":\"");
+    push_escaped(&mut entry, name);
+    entry.push_str(&format!(
+        "\",\"ph\":\"{ph}\",\"ts\":{ts},\"pid\":{PID},\"tid\":{tid}"
+    ));
+    with_args(entry, args)
 }
 
 fn counter(ts: u64, name: &str, args: &[(&str, u64)]) -> String {
@@ -206,6 +256,40 @@ mod tests {
             );
             assert!(entry.get("ts").and_then(Json::as_u64).is_some());
         }
+    }
+
+    #[test]
+    fn spans_render_as_matched_slices_on_their_lane() {
+        let lane1 = 1u64 << SPAN_LANE_SHIFT;
+        let lane2 = 2u64 << SPAN_LANE_SHIFT;
+        let mut rec = Recorder::new();
+        rec.span_start(lane1 + 1, 0, "shard a".into());
+        rec.span_start(lane2 + 1, 0, "shard b".into());
+        rec.span_start(lane1 + 2, lane1 + 1, "ingest".into());
+        rec.span_end(lane1 + 2);
+        rec.span_end(lane2 + 1);
+        rec.span_end(lane1 + 1);
+        let doc = chrome_trace(rec.events());
+        let parsed = parse(&doc).expect("span trace parses as JSON");
+        let Some(Json::Array(entries)) = parsed.get("traceEvents") else {
+            panic!("traceEvents array")
+        };
+        assert_eq!(entries.len(), 6);
+        // Every E repeats the name of the B that opened it, on the same tid.
+        let slice = |i: usize| {
+            let e = &entries[i];
+            (
+                e.get("ph").and_then(Json::as_str).unwrap().to_string(),
+                e.get("name").and_then(Json::as_str).unwrap().to_string(),
+                e.get("tid").and_then(Json::as_u64).unwrap(),
+            )
+        };
+        assert_eq!(slice(0), ("B".into(), "shard a".into(), 2));
+        assert_eq!(slice(1), ("B".into(), "shard b".into(), 3));
+        assert_eq!(slice(2), ("B".into(), "ingest".into(), 2));
+        assert_eq!(slice(3), ("E".into(), "ingest".into(), 2));
+        assert_eq!(slice(4), ("E".into(), "shard b".into(), 3));
+        assert_eq!(slice(5), ("E".into(), "shard a".into(), 2));
     }
 
     #[test]

@@ -140,6 +140,24 @@ pub enum Event {
         /// Human-readable detail (watermark crossing, restart cause, …).
         detail: String,
     },
+    /// A named span of work opened. Spans nest: `parent` is the id of the
+    /// enclosing open span, or 0 for a root. Ids are monotonic within one
+    /// emitter; concurrent emitters (stream shards) carve disjoint id
+    /// ranges so a merged stream stays unambiguous.
+    SpanStart {
+        /// Span id, unique within the event stream; never 0.
+        id: u64,
+        /// Id of the enclosing span, or 0 for a root span.
+        parent: u64,
+        /// Span name, e.g. "ingest", "sanitize", "learn", "checkpoint".
+        name: String,
+    },
+    /// The span with the given id closed. Spans close LIFO within one
+    /// emitter, so a Chrome-trace exporter can map them to B/E slices.
+    SpanEnd {
+        /// Id of the span being closed.
+        id: u64,
+    },
 }
 
 impl Event {
@@ -163,6 +181,8 @@ impl Event {
             Event::Note { .. } => "note",
             Event::Checkpoint { .. } => "checkpoint",
             Event::ShardHealth { .. } => "shard_health",
+            Event::SpanStart { .. } => "span_start",
+            Event::SpanEnd { .. } => "span_end",
         }
     }
 
@@ -184,7 +204,9 @@ impl Event {
             Event::BudgetTick { .. }
             | Event::Fallback { .. }
             | Event::Note { .. }
-            | Event::ShardHealth { .. } => None,
+            | Event::ShardHealth { .. }
+            | Event::SpanStart { .. }
+            | Event::SpanEnd { .. } => None,
         }
     }
 
@@ -314,6 +336,16 @@ impl Event {
                 push_escaped(&mut out, detail);
                 out.push('"');
             }
+            Event::SpanStart { id, parent, name } => {
+                field_u(&mut out, "id", *id);
+                field_u(&mut out, "parent", *parent);
+                out.push_str(",\"name\":\"");
+                push_escaped(&mut out, name);
+                out.push('"');
+            }
+            Event::SpanEnd { id } => {
+                field_u(&mut out, "id", *id);
+            }
         }
         out.push('}');
         out
@@ -343,6 +375,10 @@ impl fmt::Display for Event {
                 f,
                 "shard {source} [{state}] after {periods} period(s): {detail}"
             ),
+            Event::SpanStart { id, parent, name } => {
+                write!(f, "span {id} ({name}) opened under {parent}")
+            }
+            Event::SpanEnd { id } => write!(f, "span {id} closed"),
             other => write!(f, "{}", other.to_json(None)),
         }
     }
@@ -412,6 +448,12 @@ mod tests {
                 periods: 12,
                 detail: "watermark crossed".into(),
             },
+            Event::SpanStart {
+                id: 7,
+                parent: 0,
+                name: "ingest".into(),
+            },
+            Event::SpanEnd { id: 7 },
         ];
         for event in &events {
             let parsed = parse(&event.to_json(Some(12))).unwrap();

@@ -27,7 +27,7 @@ mod metrics;
 mod observer;
 mod sinks;
 
-pub use chrome::chrome_trace;
+pub use chrome::{chrome_trace, SPAN_LANE_SHIFT};
 pub use event::Event;
 pub use metrics::{Metrics, MetricsParseError, MetricsSnapshot, Summary, METRICS_SCHEMA};
 pub use observer::{NoopObserver, Observer, Tee};

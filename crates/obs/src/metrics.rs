@@ -3,9 +3,15 @@
 //! [`Metrics`] is an [`Observer`] that folds events into counters and
 //! sample buffers as they arrive; [`Metrics::snapshot`] freezes them into a
 //! [`MetricsSnapshot`] with nearest-rank p50/p95/max summaries. The
-//! snapshot serializes to a stable JSON schema (`bbmg-metrics/1`) and
+//! snapshot serializes to a stable JSON schema (`bbmg-metrics/2`) and
 //! parses back **strictly** — unknown or missing fields are errors — which
 //! is what the CI schema-validation step runs against emitted files.
+//!
+//! `bbmg-metrics/2` superseded `/1` by adding `uptime_us` (wall-clock age
+//! of the collector when the snapshot was taken) and `seq` (a monotonic
+//! per-collector snapshot counter starting at 1): two snapshots from the
+//! same process can now be ordered and rate-derived. Because parsing is
+//! strict, the field addition required the version bump.
 
 use std::fmt;
 use std::time::Instant;
@@ -15,7 +21,7 @@ use crate::json::{parse, Json, JsonParseError};
 use crate::observer::Observer;
 
 /// Schema identifier embedded in every metrics JSON document.
-pub const METRICS_SCHEMA: &str = "bbmg-metrics/1";
+pub const METRICS_SCHEMA: &str = "bbmg-metrics/2";
 
 /// Nearest-rank summary of a sample distribution.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -80,10 +86,16 @@ pub struct MetricsSnapshot {
     pub period_micros: Summary,
     /// Total wall-clock time across completed periods, in microseconds.
     pub total_micros: u64,
+    /// Wall-clock age of the collector when this snapshot was taken, in
+    /// microseconds — lets two snapshots be rate-derived.
+    pub uptime_us: u64,
+    /// Monotonic snapshot sequence number within one collector, starting
+    /// at 1 — lets two snapshots from the same process be ordered.
+    pub seq: u64,
 }
 
 impl MetricsSnapshot {
-    /// Serializes to the stable `bbmg-metrics/1` JSON document.
+    /// Serializes to the stable `bbmg-metrics/2` JSON document.
     #[must_use]
     pub fn to_json(&self) -> String {
         let summary =
@@ -94,7 +106,7 @@ impl MetricsSnapshot {
              \"merges\":{},\"quarantines\":{},\"repairs\":{},\"faults\":{},\
              \"fallbacks\":{},\"budget_ticks\":{},\
              \"set_size\":{},\"branch_factor\":{},\"period_micros\":{},\
-             \"total_micros\":{}}}",
+             \"total_micros\":{},\"uptime_us\":{},\"seq\":{}}}",
             self.periods,
             self.messages,
             self.hypotheses_generated,
@@ -108,10 +120,12 @@ impl MetricsSnapshot {
             summary(&self.branch_factor),
             summary(&self.period_micros),
             self.total_micros,
+            self.uptime_us,
+            self.seq,
         )
     }
 
-    /// Strictly parses a `bbmg-metrics/1` document: every field must be
+    /// Strictly parses a `bbmg-metrics/2` document: every field must be
     /// present, no field may be unknown, the schema tag must match.
     ///
     /// # Errors
@@ -163,6 +177,14 @@ impl MetricsSnapshot {
                     snapshot.total_micros = require_u64(key, value)?;
                     "total_micros"
                 }
+                "uptime_us" => {
+                    snapshot.uptime_us = require_u64(key, value)?;
+                    "uptime_us"
+                }
+                "seq" => {
+                    snapshot.seq = require_u64(key, value)?;
+                    "seq"
+                }
                 other => return Err(MetricsParseError::UnknownField(other.to_owned())),
             };
             if seen.contains(&known) {
@@ -172,7 +194,7 @@ impl MetricsSnapshot {
             }
             seen.push(known);
         }
-        const REQUIRED: [&str; 14] = [
+        const REQUIRED: [&str; 16] = [
             "schema",
             "periods",
             "messages",
@@ -187,6 +209,8 @@ impl MetricsSnapshot {
             "branch_factor",
             "period_micros",
             "total_micros",
+            "uptime_us",
+            "seq",
         ];
         for field in REQUIRED {
             if !seen.contains(&field) {
@@ -303,7 +327,7 @@ impl fmt::Display for MetricsSnapshot {
             "periods {} | messages {} | hypotheses {} | merges {}",
             self.periods, self.messages, self.hypotheses_generated, self.merges
         )?;
-        write!(
+        writeln!(
             f,
             "quarantines {} | repairs {} | faults {} | fallbacks {} | ticks {} | total {} us",
             self.quarantines,
@@ -312,12 +336,13 @@ impl fmt::Display for MetricsSnapshot {
             self.fallbacks,
             self.budget_ticks,
             self.total_micros
-        )
+        )?;
+        write!(f, "snapshot #{} at uptime {} us", self.seq, self.uptime_us)
     }
 }
 
 /// Streaming metrics collector.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Metrics {
     periods: usize,
     messages: usize,
@@ -332,18 +357,44 @@ pub struct Metrics {
     branch_factors: Vec<u64>,
     period_micros: Vec<u64>,
     open_period: Option<Instant>,
+    created: Instant,
+    snapshots_taken: u64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            periods: 0,
+            messages: 0,
+            hypotheses_generated: 0,
+            merges: 0,
+            quarantines: 0,
+            repairs: 0,
+            faults: 0,
+            fallbacks: 0,
+            budget_ticks: 0,
+            set_sizes: Vec::new(),
+            branch_factors: Vec::new(),
+            period_micros: Vec::new(),
+            open_period: None,
+            created: Instant::now(),
+            snapshots_taken: 0,
+        }
+    }
 }
 
 impl Metrics {
-    /// An empty collector.
+    /// An empty collector; the uptime clock starts now.
     #[must_use]
     pub fn new() -> Self {
         Metrics::default()
     }
 
-    /// Freezes the counters into a [`MetricsSnapshot`].
-    #[must_use]
-    pub fn snapshot(&self) -> MetricsSnapshot {
+    /// Freezes the counters into a [`MetricsSnapshot`]. Each call advances
+    /// the collector's snapshot sequence number, so successive snapshots
+    /// carry `seq` 1, 2, … and a monotonically growing `uptime_us`.
+    pub fn snapshot(&mut self) -> MetricsSnapshot {
+        self.snapshots_taken += 1;
         MetricsSnapshot {
             periods: self.periods,
             messages: self.messages,
@@ -358,6 +409,8 @@ impl Metrics {
             branch_factor: Summary::of(&self.branch_factors),
             period_micros: Summary::of(&self.period_micros),
             total_micros: self.period_micros.iter().sum(),
+            uptime_us: u64::try_from(self.created.elapsed().as_micros()).unwrap_or(u64::MAX),
+            seq: self.snapshots_taken,
         }
     }
 }
@@ -388,10 +441,12 @@ impl Observer for Metrics {
             Event::MatchCheck { .. }
             | Event::Convergence { .. }
             | Event::Note { .. }
-            // Checkpoint/shard lifecycle events flow to the JSONL sinks;
-            // the bbmg-metrics/1 snapshot schema stays unchanged.
+            // Checkpoint/shard lifecycle and span events flow to the JSONL
+            // and Chrome sinks; the snapshot schema does not count them.
             | Event::Checkpoint { .. }
-            | Event::ShardHealth { .. } => {}
+            | Event::ShardHealth { .. }
+            | Event::SpanStart { .. }
+            | Event::SpanEnd { .. } => {}
         }
     }
 }
@@ -452,6 +507,16 @@ mod tests {
         let snapshot = m.snapshot();
         let parsed = MetricsSnapshot::parse_json(&snapshot.to_json()).unwrap();
         assert_eq!(parsed, snapshot);
+    }
+
+    #[test]
+    fn snapshots_are_ordered_by_seq_and_uptime() {
+        let mut m = Metrics::new();
+        let first = m.snapshot();
+        let second = m.snapshot();
+        assert_eq!(first.seq, 1);
+        assert_eq!(second.seq, 2);
+        assert!(second.uptime_us >= first.uptime_us);
     }
 
     #[test]

@@ -99,6 +99,16 @@ pub trait Observer {
             detail,
         });
     }
+
+    /// A named span of work opened (`parent` 0 = root).
+    fn span_start(&mut self, id: u64, parent: u64, name: String) {
+        self.record(Event::SpanStart { id, parent, name });
+    }
+
+    /// The span with the given id closed.
+    fn span_end(&mut self, id: u64) {
+        self.record(Event::SpanEnd { id });
+    }
 }
 
 /// Forwarding impl so `&mut O` and `&mut dyn Observer` thread through

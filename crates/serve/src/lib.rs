@@ -38,7 +38,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod health;
 mod protocol;
+mod roster;
 mod shard;
 mod supervisor;
 
@@ -49,9 +51,11 @@ use std::path::PathBuf;
 use bbmg_core::{CheckpointError, LearnError, LearnOptions, DEFAULT_FALLBACK_BOUND};
 use bbmg_trace::RepairOptions;
 
+pub use health::{HealthParseError, HealthRegistry, HealthSnapshot, ShardHealth, HEALTH_SCHEMA};
 pub use protocol::{parse_line, Line, WireKind};
+pub use roster::{Roster, RosterEntry, RosterError, ROSTER_FILE, ROSTER_SCHEMA};
 pub use shard::{ShardState, ShardSummary, StreamShard};
-pub use supervisor::Supervisor;
+pub use supervisor::{LineOutcome, Supervisor};
 
 /// Configuration for a serve run (one [`Supervisor`]).
 #[derive(Debug, Clone)]
@@ -130,6 +134,8 @@ pub enum ServeError {
     Learn(LearnError),
     /// A checkpoint could not be written or restored.
     Checkpoint(CheckpointError),
+    /// The persisted roster could not be loaded or saved.
+    Roster(crate::roster::RosterError),
 }
 
 impl fmt::Display for ServeError {
@@ -147,6 +153,7 @@ impl fmt::Display for ServeError {
             }
             ServeError::Learn(e) => write!(f, "learner: {e}"),
             ServeError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+            ServeError::Roster(e) => write!(f, "roster: {e}"),
         }
     }
 }
@@ -156,6 +163,7 @@ impl std::error::Error for ServeError {
         match self {
             ServeError::Learn(e) => Some(e),
             ServeError::Checkpoint(e) => Some(e),
+            ServeError::Roster(e) => Some(e),
             _ => None,
         }
     }
@@ -170,5 +178,11 @@ impl From<LearnError> for ServeError {
 impl From<CheckpointError> for ServeError {
     fn from(e: CheckpointError) -> Self {
         ServeError::Checkpoint(e)
+    }
+}
+
+impl From<crate::roster::RosterError> for ServeError {
+    fn from(e: crate::roster::RosterError) -> Self {
+        ServeError::Roster(e)
     }
 }

@@ -66,6 +66,10 @@ pub enum Line {
         /// Source id to close.
         source: String,
     },
+    /// Asks the supervisor for a health snapshot. The supervisor routes
+    /// nothing; the caller (the CLI serve loop) answers with one
+    /// `bbmg-health/1` document.
+    Status,
 }
 
 impl Line {
@@ -106,6 +110,7 @@ impl Line {
                 out.push_str(&escape(source));
                 out.push('}');
             }
+            Line::Status => out.push_str("{\"type\":\"status\"}"),
         }
         out
     }
@@ -185,6 +190,7 @@ pub fn parse_line(line: &str) -> Result<Line, ServeError> {
         "end" => Ok(Line::End {
             source: str_field(&value, "source")?.to_string(),
         }),
+        "status" => Ok(Line::Status),
         other => Err(protocol(format!("unknown line type `{other}`"))),
     }
 }
@@ -225,6 +231,12 @@ mod tests {
             source: "a weird \"name\"".into(),
         };
         assert_eq!(parse_line(&line.to_json()).unwrap(), line);
+    }
+
+    #[test]
+    fn status_round_trips() {
+        assert_eq!(Line::Status.to_json(), r#"{"type":"status"}"#);
+        assert_eq!(parse_line(r#"{"type":"status"}"#).unwrap(), Line::Status);
     }
 
     #[test]

@@ -1,11 +1,20 @@
 //! One supervised stream shard: sanitizer → incremental learner →
 //! watermark ladder → watchdog, for a single source.
+//!
+//! Each shard also narrates its pipeline as nested spans (`span_start` /
+//! `span_end` events): a long-lived `shard <source>` root, one
+//! `ingest p<n>` span per captured period, and `sanitize` / `learn` /
+//! `checkpoint` children inside it. Span ids are drawn from the shard's
+//! **lane** ([`bbmg_obs::SPAN_LANE_SHIFT`]): the supervisor gives every
+//! shard a distinct lane so interleaved sources render as parallel
+//! threads in the Chrome trace export. All span work is gated on
+//! [`Observer::is_enabled`], so the no-op path stays free.
 
 use std::fmt;
 
-use bbmg_core::{IncrementalLearner, LearnError, LearnResult, Observed};
+use bbmg_core::{Checkpoint, IncrementalLearner, LearnError, LearnResult, Observed};
 use bbmg_lattice::{DependencyFunction, TaskUniverse};
-use bbmg_obs::Observer;
+use bbmg_obs::{Observer, SPAN_LANE_SHIFT};
 use bbmg_trace::{
     Event, EventKind, MessageId, PeriodStream, RepairReport, StreamedPeriod, Timestamp,
 };
@@ -99,6 +108,20 @@ pub struct StreamShard {
     /// this index are shed so the shard resumes at a clean period
     /// boundary rather than mid-period.
     resync_after: Option<usize>,
+    /// Raw wire events received, shed or not (the health registry's
+    /// "events ingested" gauge).
+    events_ingested: u64,
+    /// Period index currently buffered in the sanitizer, used to detect
+    /// an imminent period boundary for the `sanitize` span.
+    buffered_period: Option<usize>,
+    /// High bits of every span id this shard allocates (the Chrome lane).
+    span_lane: u64,
+    /// Within-lane span counter; the next id is `span_lane | (counter+1)`.
+    spans_allocated: u64,
+    /// Open `shard <source>` root span, 0 while none is open.
+    root_span: u64,
+    /// Open per-period `ingest p<n>` span, if any.
+    ingest_span: Option<u64>,
 }
 
 impl StreamShard {
@@ -127,7 +150,57 @@ impl StreamShard {
             since_checkpoint: 0,
             last_checkpoint: None,
             resync_after: None,
+            events_ingested: 0,
+            buffered_period: None,
+            span_lane: 0,
+            spans_allocated: 0,
+            root_span: 0,
+            ingest_span: None,
         }
+    }
+
+    /// A shard resuming from a previously saved `checkpoint` — the roster
+    /// recovery path. The learner restarts at the checkpointed state, the
+    /// checkpoint stays armed for the watchdog, and `prior_restarts` carry
+    /// over so the restart budget spans process restarts.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Learn`] if the checkpoint's universe size does not
+    /// match `universe`, or the checkpoint fails resume validation.
+    pub fn resume(
+        source: impl Into<String>,
+        universe: TaskUniverse,
+        options: ServeOptions,
+        checkpoint: Checkpoint,
+        prior_restarts: usize,
+    ) -> Result<Self, ServeError> {
+        if checkpoint.tasks != universe.len() {
+            return Err(ServeError::Learn(LearnError::UniverseMismatch {
+                expected: checkpoint.tasks,
+                actual: universe.len(),
+            }));
+        }
+        let learner = IncrementalLearner::resume(checkpoint.clone())?;
+        let mut shard = StreamShard::new(source, universe, options);
+        shard.state = if learner.options().bound.is_some() {
+            ShardState::Degraded
+        } else {
+            ShardState::Exact
+        };
+        shard.learner = learner;
+        shard.last_checkpoint = Some(checkpoint);
+        shard.restarts = prior_restarts;
+        Ok(shard)
+    }
+
+    /// Assigns the shard's span-id lane (builder style): lane `k` makes
+    /// every span id carry `k` above [`SPAN_LANE_SHIFT`], rendering as
+    /// Chrome thread `k+1`. Lane 0 shares the main thread.
+    #[must_use]
+    pub fn with_span_lane(mut self, lane: u64) -> Self {
+        self.span_lane = lane << SPAN_LANE_SHIFT;
+        self
     }
 
     /// The source id this shard is keyed by.
@@ -158,6 +231,38 @@ impl StreamShard {
     #[must_use]
     pub fn shed_periods(&self) -> usize {
         self.shed_periods
+    }
+
+    /// Raw wire events received so far, shed or not.
+    #[must_use]
+    pub fn events_ingested(&self) -> u64 {
+        self.events_ingested
+    }
+
+    /// Raw events dropped (backoff, parked, backwards periods).
+    #[must_use]
+    pub fn shed_events(&self) -> usize {
+        self.shed_events
+    }
+
+    /// Events buffered in the sanitizer awaiting their period boundary —
+    /// the shard's ingest lag.
+    #[must_use]
+    pub fn pending_events(&self) -> usize {
+        self.stream.pending_events()
+    }
+
+    /// Periods consumed since the last checkpoint (the checkpoint age,
+    /// measured in periods so it is deterministic).
+    #[must_use]
+    pub fn checkpoint_age_periods(&self) -> usize {
+        self.since_checkpoint
+    }
+
+    /// The configured memory watermark, in packed lattice words.
+    #[must_use]
+    pub fn watermark_words(&self) -> usize {
+        self.options.watermark_words
     }
 
     /// Packed lattice words currently retained by the hypothesis arena —
@@ -191,6 +296,7 @@ impl StreamShard {
         subject: &str,
         observer: &mut O,
     ) -> Result<(), ServeError> {
+        self.events_ingested += 1;
         match self.state {
             ShardState::Stopped => {
                 self.shed_events += 1;
@@ -217,9 +323,51 @@ impl StreamShard {
             self.resync_after = None;
         }
         let event = self.resolve(time, kind, subject)?;
-        match self.stream.push_event_with(period, event, observer) {
-            Ok(Some(done)) => self.consume(&done, observer),
-            Ok(None) => Ok(()),
+        let tracing = observer.is_enabled();
+        let crosses_boundary = self.buffered_period.is_some_and(|p| period > p);
+        if tracing {
+            self.ensure_root_span(observer);
+            if self.ingest_span.is_none() {
+                let root = self.root_span;
+                let span = self.open_span(root, format!("ingest p{period}"), observer);
+                self.ingest_span = Some(span);
+            }
+        }
+        // The boundary-crossing push flushes the buffered period through
+        // the sanitizer before starting the new one — wrap exactly that.
+        let sanitize_span = (tracing && crosses_boundary).then(|| {
+            let parent = self.span_parent();
+            self.open_span(parent, "sanitize".to_string(), observer)
+        });
+        let pushed = self.stream.push_event_with(period, event, observer);
+        if let Some(id) = sanitize_span {
+            observer.span_end(id);
+        }
+        match pushed {
+            Ok(Some(done)) => {
+                let consumed = self.consume(&done, observer);
+                // A watchdog restart inside `consume` discards the event
+                // just buffered for the new period (resync).
+                let discarded = self.resync_after.is_some_and(|r| period <= r);
+                self.buffered_period = if discarded { None } else { Some(period) };
+                // The completed period's span closes after its learn /
+                // checkpoint children; the new period opens its own.
+                if tracing {
+                    if let Some(id) = self.ingest_span.take() {
+                        observer.span_end(id);
+                    }
+                    if !discarded && self.state != ShardState::Stopped {
+                        let root = self.root_span;
+                        let span = self.open_span(root, format!("ingest p{period}"), observer);
+                        self.ingest_span = Some(span);
+                    }
+                }
+                consumed
+            }
+            Ok(None) => {
+                self.buffered_period = Some(period);
+                Ok(())
+            }
             Err(backwards) => {
                 self.shed_events += 1;
                 observer.shard_health(
@@ -244,12 +392,29 @@ impl StreamShard {
         observer: &mut O,
     ) -> Result<ShardSummary, ServeError> {
         if !matches!(self.state, ShardState::Stopped | ShardState::Backoff) {
-            if let Some(done) = self.stream.flush_with(observer) {
+            let sanitize_span =
+                (observer.is_enabled() && self.stream.pending_events() > 0).then(|| {
+                    let parent = self.span_parent();
+                    self.open_span(parent, "sanitize".to_string(), observer)
+                });
+            let flushed = self.stream.flush_with(observer);
+            if let Some(id) = sanitize_span {
+                observer.span_end(id);
+            }
+            self.buffered_period = None;
+            if let Some(done) = flushed {
                 self.consume(&done, observer)?;
             }
         }
+        if let Some(id) = self.ingest_span.take() {
+            observer.span_end(id);
+        }
         if self.options.checkpoint_dir.is_some() && self.since_checkpoint > 0 {
             self.take_checkpoint(observer)?;
+        }
+        if self.root_span != 0 {
+            observer.span_end(self.root_span);
+            self.root_span = 0;
         }
         let fingerprint = self.learner.fingerprint();
         observer.shard_health(
@@ -274,6 +439,34 @@ impl StreamShard {
             fingerprint,
             result: self.learner.finish(),
         })
+    }
+
+    /// Allocates the next span id on this shard's lane and emits
+    /// `span_start`. Callers guard with [`Observer::is_enabled`].
+    fn open_span<O: Observer + ?Sized>(
+        &mut self,
+        parent: u64,
+        name: String,
+        observer: &mut O,
+    ) -> u64 {
+        self.spans_allocated += 1;
+        let id = self.span_lane | self.spans_allocated;
+        observer.span_start(id, parent, name);
+        id
+    }
+
+    /// Opens the `shard <source>` root span on first use.
+    fn ensure_root_span<O: Observer + ?Sized>(&mut self, observer: &mut O) -> u64 {
+        if self.root_span == 0 {
+            let name = format!("shard {}", self.source);
+            self.root_span = self.open_span(0, name, observer);
+        }
+        self.root_span
+    }
+
+    /// The parent for pipeline spans: the open period span, else the root.
+    fn span_parent(&self) -> u64 {
+        self.ingest_span.unwrap_or(self.root_span)
     }
 
     /// The non-faulted state matching the learner's current mode.
@@ -342,7 +535,15 @@ impl StreamShard {
             self.shed_periods += 1;
             return Ok(());
         }
-        match self.learner.push_period_with(period, observer) {
+        let learn_span = observer.is_enabled().then(|| {
+            let parent = self.span_parent();
+            self.open_span(parent, "learn".to_string(), observer)
+        });
+        let outcome = self.learner.push_period_with(period, observer);
+        if let Some(id) = learn_span {
+            observer.span_end(id);
+        }
+        match outcome {
             Ok(Observed::Accepted | Observed::Skipped(_)) => {
                 self.since_checkpoint += 1;
                 // An exact-mode resource trip inside the learner falls back
@@ -443,6 +644,7 @@ impl StreamShard {
         // failed epoch; resume at the next clean period boundary.
         if let Some(pending) = self.stream.discard_pending() {
             self.resync_after = Some(self.resync_after.map_or(pending, |p| p.max(pending)));
+            self.buffered_period = None;
         }
         let backoff = self.next_backoff;
         self.next_backoff = self.next_backoff.saturating_mul(2);
@@ -471,11 +673,22 @@ impl StreamShard {
         &mut self,
         observer: &mut O,
     ) -> Result<(), ServeError> {
+        let span = observer.is_enabled().then(|| {
+            let parent = self.span_parent();
+            self.open_span(parent, "checkpoint".to_string(), observer)
+        });
         let checkpoint = self.learner.checkpoint();
         observer.checkpoint(self.learner.pushed_periods(), checkpoint.fingerprint());
-        if let Some(dir) = &self.options.checkpoint_dir {
-            checkpoint.save(&dir.join(format!("{}.ckpt", self.source)))?;
+        let saved = match &self.options.checkpoint_dir {
+            Some(dir) => checkpoint
+                .save(&dir.join(format!("{}.ckpt", self.source)))
+                .map_err(ServeError::from),
+            None => Ok(()),
+        };
+        if let Some(id) = span {
+            observer.span_end(id);
         }
+        saved?;
         self.last_checkpoint = Some(checkpoint);
         self.since_checkpoint = 0;
         Ok(())

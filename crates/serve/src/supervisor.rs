@@ -1,14 +1,28 @@
-//! The supervisor: routes protocol lines to per-source shards and
-//! collects their final summaries.
+//! The supervisor: routes protocol lines to per-source shards, keeps the
+//! health registry fresh, mirrors the roster to disk, and collects final
+//! summaries.
 
 use std::collections::BTreeMap;
 
+use bbmg_core::Checkpoint;
 use bbmg_lattice::TaskUniverse;
 use bbmg_obs::Observer;
 
+use crate::health::{HealthRegistry, HealthSnapshot};
 use crate::protocol::{parse_line, Line};
+use crate::roster::{Roster, RosterEntry};
 use crate::shard::{ShardSummary, StreamShard};
 use crate::{ServeError, ServeOptions};
+
+/// What [`Supervisor::ingest_line`] did with a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineOutcome {
+    /// The line was routed (or was blank); nothing is owed to the peer.
+    Processed,
+    /// The line was a `status` request: the caller should answer with
+    /// [`Supervisor::health_snapshot`].
+    StatusRequested,
+}
 
 /// Owns one [`StreamShard`] per open source and drives the whole ingest.
 /// Shards are kept in source-id order, so a full run over the same feed is
@@ -19,6 +33,11 @@ pub struct Supervisor {
     shards: BTreeMap<String, StreamShard>,
     summaries: Vec<ShardSummary>,
     lines: usize,
+    registry: HealthRegistry,
+    roster: Roster,
+    /// Span lanes handed out so far; each shard gets the next one, so a
+    /// Chrome trace renders every source as its own thread.
+    lanes: u64,
 }
 
 impl Supervisor {
@@ -30,7 +49,27 @@ impl Supervisor {
             shards: BTreeMap::new(),
             summaries: Vec::new(),
             lines: 0,
+            registry: HealthRegistry::new(),
+            roster: Roster::new(),
+            lanes: 0,
         }
+    }
+
+    /// Reloads the persisted roster from the configured checkpoint
+    /// directory, so a later `hello` for a recorded source resumes from
+    /// its checkpoint with its restart history intact. Returns the number
+    /// of recovered entries; without a checkpoint directory it is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Roster`] when the roster file exists but is
+    /// unreadable or fails strict validation.
+    pub fn recover(&mut self) -> Result<usize, ServeError> {
+        let Some(dir) = self.options.checkpoint_dir.clone() else {
+            return Ok(0);
+        };
+        self.roster = Roster::load(&dir)?;
+        Ok(self.roster.len())
     }
 
     /// Number of sources currently open.
@@ -57,6 +96,102 @@ impl Supervisor {
         &self.summaries
     }
 
+    /// A fresh `bbmg-health/1` snapshot of every shard ever opened.
+    /// Advances the snapshot `seq` counter.
+    pub fn health_snapshot(&mut self) -> HealthSnapshot {
+        self.registry.snapshot(self.lines as u64)
+    }
+
+    /// Refreshes the registry entry and, when a checkpoint directory is
+    /// configured, mirrors roster-relevant fields (checkpoint file,
+    /// restarts, state, checkpointed periods) to disk on change.
+    fn note_shard(&mut self, source: &str) -> Result<(), ServeError> {
+        let Some(shard) = self.shards.get(source) else {
+            return Ok(());
+        };
+        self.registry.observe(shard);
+        if let Some(dir) = self.options.checkpoint_dir.clone() {
+            let periods_at_checkpoint = shard
+                .periods()
+                .saturating_sub(shard.checkpoint_age_periods())
+                as u64;
+            let changed = self.roster.record(RosterEntry {
+                source: source.to_string(),
+                checkpoint: format!("{source}.ckpt"),
+                restarts: shard.restarts() as u64,
+                periods: periods_at_checkpoint,
+                state: shard.state().to_string(),
+            });
+            if changed {
+                self.roster.save(&dir)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Records a closed shard's final account in the registry and roster.
+    fn note_closed(&mut self, summary: &ShardSummary) -> Result<(), ServeError> {
+        self.registry.close(summary);
+        if let Some(dir) = self.options.checkpoint_dir.clone() {
+            let changed = self.roster.record(RosterEntry {
+                source: summary.source.clone(),
+                checkpoint: format!("{}.ckpt", summary.source),
+                restarts: summary.restarts as u64,
+                periods: summary.periods as u64,
+                state: summary.state.to_string(),
+            });
+            if changed {
+                self.roster.save(&dir)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Opens a shard for `source`: fresh, or resumed from the roster's
+    /// recorded checkpoint when one is recoverable.
+    fn open_shard<O: Observer + ?Sized>(
+        &mut self,
+        source: &str,
+        universe: TaskUniverse,
+        observer: &mut O,
+    ) -> StreamShard {
+        self.lanes += 1;
+        let lane = self.lanes;
+        let recovered = self
+            .options
+            .checkpoint_dir
+            .as_ref()
+            .zip(self.roster.entry(source))
+            .and_then(|(dir, entry)| {
+                let path = dir.join(&entry.checkpoint);
+                let checkpoint = Checkpoint::load(&path).ok()?;
+                StreamShard::resume(
+                    source,
+                    universe.clone(),
+                    self.options.clone(),
+                    checkpoint,
+                    usize::try_from(entry.restarts).unwrap_or(usize::MAX),
+                )
+                .ok()
+            });
+        match recovered {
+            Some(shard) => {
+                observer.shard_health(
+                    source.to_string(),
+                    shard.state().to_string(),
+                    shard.periods(),
+                    format!(
+                        "resumed from roster checkpoint: {} periods, {} restarts",
+                        shard.periods(),
+                        shard.restarts()
+                    ),
+                );
+                shard.with_span_lane(lane)
+            }
+            None => StreamShard::new(source, universe, self.options.clone()).with_span_lane(lane),
+        }
+    }
+
     /// Processes one line of the feed. Blank lines are ignored.
     ///
     /// # Errors
@@ -70,10 +205,10 @@ impl Supervisor {
         &mut self,
         line: &str,
         observer: &mut O,
-    ) -> Result<(), ServeError> {
+    ) -> Result<LineOutcome, ServeError> {
         let line = line.trim();
         if line.is_empty() {
-            return Ok(());
+            return Ok(LineOutcome::Processed);
         }
         self.lines += 1;
         match parse_line(line)? {
@@ -82,15 +217,16 @@ impl Supervisor {
                     return Err(ServeError::DuplicateSource { source });
                 }
                 let universe = TaskUniverse::from_names(tasks.iter().map(String::as_str));
-                let shard = StreamShard::new(source.clone(), universe, self.options.clone());
+                let shard = self.open_shard(&source, universe, observer);
                 observer.shard_health(
                     source.clone(),
                     shard.state().to_string(),
-                    0,
+                    shard.periods(),
                     format!("opened with {} tasks", tasks.len()),
                 );
-                self.shards.insert(source, shard);
-                Ok(())
+                self.shards.insert(source.clone(), shard);
+                self.note_shard(&source)?;
+                Ok(LineOutcome::Processed)
             }
             Line::Event {
                 source,
@@ -99,16 +235,23 @@ impl Supervisor {
                 kind,
                 subject,
             } => match self.shards.get_mut(&source) {
-                Some(shard) => shard.ingest(period, time, kind, &subject, observer),
+                Some(shard) => {
+                    shard.ingest(period, time, kind, &subject, observer)?;
+                    self.note_shard(&source)?;
+                    Ok(LineOutcome::Processed)
+                }
                 None => Err(ServeError::UnknownSource { source }),
             },
             Line::End { source } => match self.shards.remove(&source) {
                 Some(shard) => {
-                    self.summaries.push(shard.finish(observer)?);
-                    Ok(())
+                    let summary = shard.finish(observer)?;
+                    self.note_closed(&summary)?;
+                    self.summaries.push(summary);
+                    Ok(LineOutcome::Processed)
                 }
                 None => Err(ServeError::UnknownSource { source }),
             },
+            Line::Status => Ok(LineOutcome::StatusRequested),
         }
     }
 
@@ -131,19 +274,23 @@ impl Supervisor {
 
     /// Closes every still-open shard (in source-id order) and returns all
     /// summaries, including those from earlier `end` lines, in completion
-    /// order.
+    /// order. The supervisor stays usable afterwards — notably for a final
+    /// [`health_snapshot`](Self::health_snapshot) covering the closed
+    /// shards — but the returned summaries are drained from it.
     ///
     /// # Errors
     ///
     /// The first shard-finalization error encountered.
     pub fn finish<O: Observer + ?Sized>(
-        mut self,
+        &mut self,
         observer: &mut O,
     ) -> Result<Vec<ShardSummary>, ServeError> {
         while let Some((_, shard)) = self.shards.pop_first() {
-            self.summaries.push(shard.finish(observer)?);
+            let summary = shard.finish(observer)?;
+            self.note_closed(&summary)?;
+            self.summaries.push(summary);
         }
-        Ok(self.summaries)
+        Ok(std::mem::take(&mut self.summaries))
     }
 }
 

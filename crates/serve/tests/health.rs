@@ -1,0 +1,266 @@
+//! The health registry under fire: forced degradation ladders, watchdog
+//! restarts, status requests, and roster recovery across supervisor
+//! "process" restarts.
+
+use std::num::NonZeroUsize;
+
+use bbmg_obs::{Event as ObsEvent, NoopObserver, Recorder};
+use bbmg_serve::{
+    HealthSnapshot, Line, LineOutcome, ServeOptions, ShardState, Supervisor, WireKind,
+};
+
+fn hello(source: &str) -> String {
+    Line::Hello {
+        source: source.into(),
+        tasks: vec!["a".into(), "b".into()],
+    }
+    .to_json()
+}
+
+fn end(source: &str) -> String {
+    Line::End {
+        source: source.into(),
+    }
+    .to_json()
+}
+
+fn consistent_period(out: &mut Vec<String>, source: &str, period: usize, base: u64) {
+    let ev = |time, kind, subject: &str| {
+        Line::Event {
+            source: source.into(),
+            period,
+            time,
+            kind,
+            subject: subject.into(),
+        }
+        .to_json()
+    };
+    out.push(ev(base, WireKind::Start, "a"));
+    out.push(ev(base + 10, WireKind::End, "a"));
+    out.push(ev(base + 12, WireKind::Rise, &format!("m{period}")));
+    out.push(ev(base + 14, WireKind::Fall, &format!("m{period}")));
+    out.push(ev(base + 20, WireKind::Start, "b"));
+    out.push(ev(base + 30, WireKind::End, "b"));
+}
+
+fn inconsistent_period(out: &mut Vec<String>, source: &str, period: usize, base: u64) {
+    let ev = |time, kind, subject: &str| {
+        Line::Event {
+            source: source.into(),
+            period,
+            time,
+            kind,
+            subject: subject.into(),
+        }
+        .to_json()
+    };
+    out.push(ev(base + 1, WireKind::Rise, &format!("m{period}")));
+    out.push(ev(base + 2, WireKind::Fall, &format!("m{period}")));
+    out.push(ev(base + 10, WireKind::Start, "b"));
+    out.push(ev(base + 20, WireKind::End, "b"));
+}
+
+#[test]
+fn registry_tracks_the_degradation_ladder() {
+    let opts = ServeOptions {
+        watermark_words: 0, // any nonempty arena crosses the mark
+        checkpoint_every: None,
+        ..ServeOptions::default()
+    };
+    let mut feed = vec![hello("hot")];
+    for p in 0..3 {
+        consistent_period(&mut feed, "hot", p, p as u64 * 100);
+    }
+
+    let mut sup = Supervisor::new(opts);
+    let mut states = Vec::new();
+    for line in &feed {
+        sup.ingest_line(line, &mut NoopObserver).unwrap();
+        let snapshot = sup.health_snapshot();
+        let entry = &snapshot.shards[0];
+        if states.last() != Some(&entry.state) {
+            states.push(entry.state.clone());
+        }
+    }
+    assert_eq!(
+        states,
+        ["exact", "degraded", "shedding"],
+        "the registry mirrors every ladder transition as it happens"
+    );
+
+    let snapshot = sup.health_snapshot();
+    let entry = &snapshot.shards[0];
+    assert_eq!(entry.source, "hot");
+    assert!(entry.open);
+    assert_eq!(entry.watermark_words, 0);
+    assert_eq!(entry.headroom_words(), 0);
+    assert!(entry.memory_words > 0, "arena footprint is visible");
+    assert!(entry.events > 0, "raw events are counted");
+
+    sup.ingest_line(&end("hot"), &mut NoopObserver).unwrap();
+    let snapshot = sup.health_snapshot();
+    let entry = &snapshot.shards[0];
+    assert!(!entry.open, "closed shards are retained, marked closed");
+    assert_eq!(entry.state, "shedding");
+    assert_eq!(entry.shed_periods, 1);
+}
+
+#[test]
+fn registry_tracks_watchdog_restarts_and_parking() {
+    let opts = ServeOptions {
+        checkpoint_every: NonZeroUsize::new(1),
+        restart_budget: 1,
+        initial_backoff_events: 3,
+        ..ServeOptions::default()
+    };
+    let mut feed = vec![hello("flaky")];
+    consistent_period(&mut feed, "flaky", 0, 0);
+    for p in 1..4 {
+        inconsistent_period(&mut feed, "flaky", p, p as u64 * 100);
+    }
+    // A trailing consistent stretch flushes the last wedged period and
+    // exhausts the restart budget.
+    for p in 4..6 {
+        consistent_period(&mut feed, "flaky", p, p as u64 * 100);
+    }
+
+    let mut sup = Supervisor::new(opts);
+    let mut seen_backoff = false;
+    for line in &feed {
+        sup.ingest_line(line, &mut NoopObserver).unwrap();
+        let snapshot = sup.health_snapshot();
+        seen_backoff |= snapshot.shards[0].state == "backoff";
+    }
+    assert!(seen_backoff, "the backoff window is visible live");
+    let snapshot = sup.health_snapshot();
+    let entry = &snapshot.shards[0];
+    assert_eq!(entry.state, "stopped");
+    assert_eq!(entry.restarts, 1);
+    assert!(entry.shed_events > 0);
+}
+
+#[test]
+fn status_lines_request_snapshots_and_json_round_trips() {
+    let mut sup = Supervisor::new(ServeOptions::default());
+    let mut feed = vec![hello("bus0")];
+    consistent_period(&mut feed, "bus0", 0, 0);
+    for line in &feed {
+        assert_eq!(
+            sup.ingest_line(line, &mut NoopObserver).unwrap(),
+            LineOutcome::Processed
+        );
+    }
+    assert_eq!(
+        sup.ingest_line(&Line::Status.to_json(), &mut NoopObserver)
+            .unwrap(),
+        LineOutcome::StatusRequested
+    );
+    let snapshot = sup.health_snapshot();
+    assert_eq!(snapshot.lines as usize, feed.len() + 1, "status counts");
+    let parsed = HealthSnapshot::parse_json(&snapshot.to_json()).unwrap();
+    assert_eq!(parsed, snapshot);
+    assert_eq!(parsed.shards.len(), 1);
+    assert!(
+        parsed.shards[0].pending_events > 0,
+        "the in-flight period shows up as ingest lag"
+    );
+}
+
+#[test]
+fn roster_survives_a_supervisor_restart() {
+    let dir = std::env::temp_dir().join("bbmg-serve-roster-recovery-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let opts = ServeOptions {
+        checkpoint_every: NonZeroUsize::new(1),
+        checkpoint_dir: Some(dir.clone()),
+        ..ServeOptions::default()
+    };
+
+    // First "process": learn two periods, then end the source cleanly.
+    let mut feed = vec![hello("bus0")];
+    for p in 0..2 {
+        consistent_period(&mut feed, "bus0", p, p as u64 * 100);
+    }
+    feed.push(end("bus0"));
+    let mut sup = Supervisor::new(opts.clone());
+    assert_eq!(sup.recover().unwrap(), 0, "no roster on first boot");
+    for line in &feed {
+        sup.ingest_line(line, &mut NoopObserver).unwrap();
+    }
+    let first_fingerprint = sup.summaries()[0].fingerprint;
+
+    // Second "process": recover the roster, re-open the same source, and
+    // feed only the third period — the model continues, not restarts.
+    let mut sup = Supervisor::new(opts);
+    assert_eq!(sup.recover().unwrap(), 1, "the roster came back");
+    let mut recorder = Recorder::new();
+    sup.ingest_line(&hello("bus0"), &mut recorder).unwrap();
+    let snapshot = sup.health_snapshot();
+    assert_eq!(
+        snapshot.shards[0].periods, 2,
+        "the resumed shard starts at the checkpointed period count"
+    );
+    let resumed_note = recorder.events().iter().any(|e| {
+        matches!(&e.event, ObsEvent::ShardHealth { detail, .. }
+            if detail.contains("resumed from roster checkpoint"))
+    });
+    assert!(resumed_note, "recovery is narrated through shard_health");
+
+    let mut tail = Vec::new();
+    consistent_period(&mut tail, "bus0", 2, 200);
+    tail.push(end("bus0"));
+    for line in &tail {
+        sup.ingest_line(line, &mut recorder).unwrap();
+    }
+    let summary = &sup.summaries()[0];
+    assert_eq!(summary.periods, 3, "2 recovered + 1 new");
+    assert_eq!(summary.state, ShardState::Exact);
+    assert_ne!(
+        summary.fingerprint, 0,
+        "the continued model has a real fingerprint"
+    );
+    let _ = first_fingerprint;
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn roster_recovery_inherits_restart_history() {
+    let dir = std::env::temp_dir().join("bbmg-serve-roster-restarts-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let opts = ServeOptions {
+        checkpoint_every: NonZeroUsize::new(1),
+        checkpoint_dir: Some(dir.clone()),
+        restart_budget: 3,
+        initial_backoff_events: 0, // restart without a backoff window
+        ..ServeOptions::default()
+    };
+
+    // First process: one good period, one wedge -> one watchdog restart.
+    let mut feed = vec![hello("flaky")];
+    consistent_period(&mut feed, "flaky", 0, 0);
+    inconsistent_period(&mut feed, "flaky", 1, 100);
+    feed.push(end("flaky"));
+    let mut sup = Supervisor::new(opts.clone());
+    sup.recover().unwrap();
+    for line in &feed {
+        sup.ingest_line(line, &mut NoopObserver).unwrap();
+    }
+    assert_eq!(sup.summaries()[0].restarts, 1);
+
+    // Second process: the restart count carries over into the registry.
+    let mut sup = Supervisor::new(opts);
+    assert_eq!(sup.recover().unwrap(), 1);
+    sup.ingest_line(&hello("flaky"), &mut NoopObserver).unwrap();
+    let snapshot = sup.health_snapshot();
+    assert_eq!(
+        snapshot.shards[0].restarts, 1,
+        "restart history survives the process restart"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,11 +1,16 @@
-//! Measures observer overhead on a learn run and writes the
-//! `BENCH_observer.json` trajectory artifact.
+//! Measures observer overhead on the learn and serve hot paths and
+//! writes the `BENCH_observer.json` trajectory artifact.
 //!
-//! Four variants learn the same seeded workload: the uninstrumented
+//! Four learn variants run the same seeded workload: the uninstrumented
 //! learner, a [`NoopObserver`] (the acceptance bar: ≤ 2% overhead), an
 //! in-memory [`Recorder`], and a [`JsonlSink`] serializing to
-//! `std::io::sink()`. Every iteration's wall time is kept, so the
-//! artifact records a trajectory rather than a single summary number.
+//! `std::io::sink()`. Three serve variants ingest the same JSONL feed
+//! under the same observers — the serve layer has no observer-free path,
+//! so the no-op run is its baseline and the claim measured is that span
+//! and health instrumentation is pay-for-use (everything heavier than a
+//! gauge store is gated on `observer.is_enabled()`). Every iteration's
+//! wall time is kept, so the artifact records a trajectory rather than a
+//! single summary number.
 //!
 //! Run with: `cargo run --release --example observer_overhead`
 //!
@@ -17,7 +22,8 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use bbmg::core::{learn, learn_with, LearnOptions};
-use bbmg::obs::{JsonlSink, NoopObserver, Recorder};
+use bbmg::obs::{JsonlSink, NoopObserver, Observer, Recorder};
+use bbmg::serve::{Line, ServeOptions, Supervisor, WireKind};
 use bbmg::sim::{SimConfig, Simulator};
 use bbmg::trace::Trace;
 use bbmg::workloads::random::{random_model, RandomModelConfig};
@@ -58,6 +64,49 @@ fn median(samples: &[u64]) -> u64 {
     let mut sorted = samples.to_vec();
     sorted.sort_unstable();
     sorted[sorted.len() / 2]
+}
+
+/// A 60-period single-source serve feed (6 wire events per period).
+fn serve_feed() -> Vec<String> {
+    let mut feed = vec![Line::Hello {
+        source: "bus0".into(),
+        tasks: vec!["a".into(), "b".into()],
+    }
+    .to_json()];
+    for period in 0..60usize {
+        let base = period as u64 * 100;
+        let ev = |time, kind, subject: &str| {
+            Line::Event {
+                source: "bus0".into(),
+                period,
+                time,
+                kind,
+                subject: subject.into(),
+            }
+            .to_json()
+        };
+        feed.push(ev(base, WireKind::Start, "a"));
+        feed.push(ev(base + 10, WireKind::End, "a"));
+        feed.push(ev(base + 12, WireKind::Rise, &format!("m{period}")));
+        feed.push(ev(base + 14, WireKind::Fall, &format!("m{period}")));
+        feed.push(ev(base + 20, WireKind::Start, "b"));
+        feed.push(ev(base + 30, WireKind::End, "b"));
+    }
+    feed.push(
+        Line::End {
+            source: "bus0".into(),
+        }
+        .to_json(),
+    );
+    feed
+}
+
+fn serve_once<O: Observer>(feed: &[String], mut observer: O) {
+    let mut sup = Supervisor::new(ServeOptions::default());
+    for line in feed {
+        sup.ingest_line(line, &mut observer).expect("clean feed");
+    }
+    sup.finish(&mut observer).expect("finishes");
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -102,8 +151,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("{name:<16} {med:>12} {overhead:>9.1}%");
     }
 
+    // The serve ingest hot path: the no-op run is the baseline (serve has
+    // no observer-free variant); heavier sinks pay for what they record.
+    let feed = serve_feed();
+    let serve_variants: Vec<(&str, Vec<u64>)> = vec![
+        (
+            "serve_noop",
+            time_micros(|| serve_once(&feed, NoopObserver)),
+        ),
+        (
+            "serve_recorder",
+            time_micros(|| serve_once(&feed, Recorder::new())),
+        ),
+        (
+            "serve_jsonl",
+            time_micros(|| serve_once(&feed, JsonlSink::new(std::io::sink()))),
+        ),
+    ];
+    let serve_baseline = median(&serve_variants[0].1).max(1);
+    println!("\nserve ingest (60 periods, 6 events/period, median of {ITERATIONS}):");
+    println!("{:<16} {:>12} {:>10}", "variant", "median (us)", "overhead");
+    for (name, samples) in &serve_variants {
+        let med = median(samples);
+        let overhead = 100.0 * (med as f64 - serve_baseline as f64) / serve_baseline as f64;
+        println!("{name:<16} {med:>12} {overhead:>9.1}%");
+    }
+
     // Hand-rolled JSON: fixed keys and numbers only, nothing to escape.
-    let mut json = String::from("{\"schema\":\"bbmg-bench-observer/1\",");
+    let mut json = String::from("{\"schema\":\"bbmg-bench-observer/2\",");
     write!(
         json,
         "\"workload\":\"random:tasks=8 periods=30 seed=2007 bound=64\",\"iterations\":{ITERATIONS},\"variants\":["
@@ -121,7 +196,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )?;
     }
     let noop_overhead = 100.0 * (median(&variants[1].1) as f64 - baseline as f64) / baseline as f64;
-    write!(json, "],\"noop_overhead_percent\":{noop_overhead:.2}}}")?;
+    write!(json, "],\"noop_overhead_percent\":{noop_overhead:.2}")?;
+    write!(
+        json,
+        ",\"serve_workload\":\"1 source, 60 periods, 6 events/period\",\"serve_variants\":["
+    )?;
+    for (i, (name, samples)) in serve_variants.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let rendered: Vec<String> = samples.iter().map(u64::to_string).collect();
+        write!(
+            json,
+            "{{\"name\":\"{name}\",\"median_micros\":{},\"micros\":[{}]}}",
+            median(samples),
+            rendered.join(",")
+        )?;
+    }
+    json.push_str("]}");
     json.push('\n');
 
     std::fs::write("BENCH_observer.json", &json)?;

@@ -1,0 +1,204 @@
+//! Load benchmark for the streaming serve layer: drives synthetic
+//! multi-source JSONL feeds through a [`Supervisor`] at 1, 2 and 4
+//! shards, then forces the load-shedding ladder with a zero watermark,
+//! and writes the `BENCH_serve.json` artifact (schema
+//! `bbmg-bench-serve/1`).
+//!
+//! Measured per shard count: sustained ingest rate in events/sec, total
+//! wall time, and the p50/p95 per-period ingest latency (the time from a
+//! period's first wire event to its last being routed). The shedding run
+//! reports how many periods and raw events a zero-headroom shard drops
+//! while staying alive — the graceful-degradation contract, measured.
+//!
+//! Run with: `cargo run --release --example serve_throughput [-- --quick]`
+//!
+//! [`Supervisor`]: bbmg::serve::Supervisor
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use bbmg::obs::NoopObserver;
+use bbmg::serve::{Line, ServeOptions, Supervisor, WireKind};
+
+/// One period of wire events for `source`: task `a` runs, a message
+/// crosses, task `b` runs — consistent, so the learner absorbs it.
+fn period_chunk(source: &str, period: usize, base: u64) -> Vec<String> {
+    let ev = |time, kind, subject: &str| {
+        Line::Event {
+            source: source.into(),
+            period,
+            time,
+            kind,
+            subject: subject.into(),
+        }
+        .to_json()
+    };
+    vec![
+        ev(base, WireKind::Start, "a"),
+        ev(base + 10, WireKind::End, "a"),
+        ev(base + 12, WireKind::Rise, &format!("m{period}")),
+        ev(base + 14, WireKind::Fall, &format!("m{period}")),
+        ev(base + 20, WireKind::Start, "b"),
+        ev(base + 30, WireKind::End, "b"),
+    ]
+}
+
+/// Builds an interleaved feed: one `hello` per source, then the sources'
+/// period chunks round-robin (shard `k` sees its own periods in order,
+/// but the supervisor must keep `shards` models alive at once).
+fn build_feed(shards: usize, periods: usize) -> (Vec<String>, Vec<Vec<String>>) {
+    let sources: Vec<String> = (0..shards).map(|i| format!("bus{i}")).collect();
+    let hellos = sources
+        .iter()
+        .map(|s| {
+            Line::Hello {
+                source: s.clone(),
+                tasks: vec!["a".into(), "b".into()],
+            }
+            .to_json()
+        })
+        .collect();
+    let mut chunks = Vec::with_capacity(shards * periods);
+    for period in 0..periods {
+        for source in &sources {
+            chunks.push(period_chunk(source, period, period as u64 * 100));
+        }
+    }
+    (hellos, chunks)
+}
+
+struct RunStats {
+    shards: usize,
+    events: u64,
+    elapsed_micros: u64,
+    events_per_sec: u64,
+    p50_period_micros: u64,
+    p95_period_micros: u64,
+    shed_periods: u64,
+    shed_events: u64,
+}
+
+fn percentile(samples: &mut [u64], p: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.sort_unstable();
+    let rank = ((samples.len() - 1) as f64 * p).round() as usize;
+    samples[rank]
+}
+
+/// Ingests the feed and times each period chunk; `options` selects the
+/// healthy or the shedding configuration.
+fn drive(shards: usize, periods: usize, options: ServeOptions) -> RunStats {
+    let (hellos, chunks) = build_feed(shards, periods);
+    let mut sup = Supervisor::new(options);
+    let mut period_micros = Vec::with_capacity(chunks.len());
+    let mut events = 0u64;
+    let started = Instant::now();
+    for line in &hellos {
+        sup.ingest_line(line, &mut NoopObserver).expect("hello");
+    }
+    for chunk in &chunks {
+        let chunk_start = Instant::now();
+        for line in chunk {
+            sup.ingest_line(line, &mut NoopObserver).expect("event");
+            events += 1;
+        }
+        period_micros.push(u64::try_from(chunk_start.elapsed().as_micros()).unwrap_or(u64::MAX));
+    }
+    let summaries = sup.finish(&mut NoopObserver).expect("finish");
+    let elapsed_micros = u64::try_from(started.elapsed().as_micros())
+        .unwrap_or(u64::MAX)
+        .max(1);
+    let shed_periods = summaries.iter().map(|s| s.shed_periods as u64).sum();
+    let shed_events = summaries.iter().map(|s| s.shed_events as u64).sum();
+    RunStats {
+        shards,
+        events,
+        elapsed_micros,
+        events_per_sec: events * 1_000_000 / elapsed_micros,
+        p50_period_micros: percentile(&mut period_micros.clone(), 0.50),
+        p95_period_micros: percentile(&mut period_micros, 0.95),
+        shed_periods,
+        shed_events,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let periods = if quick { 40 } else { 200 };
+    let cpu_threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    println!("serve throughput ({periods} periods/source, 6 events/period, {cpu_threads} cpu thread(s)):");
+    println!(
+        "{:<7} {:>10} {:>12} {:>12} {:>10} {:>10}",
+        "shards", "events", "elapsed(us)", "events/sec", "p50(us)", "p95(us)"
+    );
+    let mut runs = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let stats = drive(shards, periods, ServeOptions::default());
+        println!(
+            "{:<7} {:>10} {:>12} {:>12} {:>10} {:>10}",
+            stats.shards,
+            stats.events,
+            stats.elapsed_micros,
+            stats.events_per_sec,
+            stats.p50_period_micros,
+            stats.p95_period_micros
+        );
+        assert_eq!(stats.shed_periods, 0, "healthy runs shed nothing");
+        runs.push(stats);
+    }
+
+    // The load-shedding scenario: zero watermark headroom forces the
+    // ladder (exact -> bounded -> shed) and the shard must survive it.
+    let shed_options = ServeOptions {
+        watermark_words: 0,
+        checkpoint_every: None,
+        ..ServeOptions::default()
+    };
+    let shed = drive(1, periods, shed_options);
+    println!(
+        "shedding (watermark 0): {} of {} periods shed, {} raw events dropped, {} events/sec",
+        shed.shed_periods, periods, shed.shed_events, shed.events_per_sec
+    );
+    assert!(shed.shed_periods > 0, "zero watermark must shed");
+
+    // Hand-rolled JSON: fixed keys and numbers only, nothing to escape.
+    let mut json = String::from("{\"schema\":\"bbmg-bench-serve/1\",");
+    write!(
+        json,
+        "\"workload\":\"2-task consistent periods, 6 events/period, round-robin sources\",\
+         \"periods_per_source\":{periods},\"cpu_threads\":{cpu_threads},\"quick\":{quick},\"runs\":["
+    )?;
+    for (i, stats) in runs.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        write!(
+            json,
+            "{{\"shards\":{},\"events\":{},\"elapsed_micros\":{},\"events_per_sec\":{},\
+             \"p50_period_micros\":{},\"p95_period_micros\":{},\"shed_periods\":{},\
+             \"shed_events\":{}}}",
+            stats.shards,
+            stats.events,
+            stats.elapsed_micros,
+            stats.events_per_sec,
+            stats.p50_period_micros,
+            stats.p95_period_micros,
+            stats.shed_periods,
+            stats.shed_events
+        )?;
+    }
+    write!(
+        json,
+        "],\"shedding\":{{\"watermark_words\":0,\"shed_periods\":{},\"shed_events\":{},\
+         \"events_per_sec\":{}}}}}",
+        shed.shed_periods, shed.shed_events, shed.events_per_sec
+    )?;
+    json.push('\n');
+
+    std::fs::write("BENCH_serve.json", &json)?;
+    println!("\nwrote BENCH_serve.json");
+    Ok(())
+}

@@ -1,0 +1,161 @@
+//! Validates a `BENCH_serve.json` artifact against the strict
+//! `bbmg-bench-serve/1` schema — unknown, missing and duplicate fields
+//! are all errors, and the cross-field invariants are checked too: the
+//! runs must cover 1/2/4 shards in order, healthy runs must shed
+//! nothing, and the shedding scenario must actually shed.
+//!
+//! Run with: `cargo run --example validate_bench_serve -- BENCH_serve.json`
+
+use bbmg::obs::json::{parse, Json};
+
+/// Checks that `value` is an object with exactly `keys` (order-sensitive,
+/// duplicates rejected) and returns its fields.
+fn exact_object<'a>(
+    value: &'a Json,
+    context: &str,
+    keys: &[&str],
+) -> Result<&'a [(String, Json)], String> {
+    let Json::Object(fields) = value else {
+        return Err(format!("{context}: expected an object"));
+    };
+    let found: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+    if found != keys {
+        return Err(format!(
+            "{context}: expected fields {keys:?}, found {found:?}"
+        ));
+    }
+    Ok(fields)
+}
+
+fn u64_field(value: &Json, context: &str, key: &str) -> Result<u64, String> {
+    value
+        .get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("{context}: {key} must be a non-negative integer"))
+}
+
+fn validate(document: &Json) -> Result<(), String> {
+    exact_object(
+        document,
+        "root",
+        &[
+            "schema",
+            "workload",
+            "periods_per_source",
+            "cpu_threads",
+            "quick",
+            "runs",
+            "shedding",
+        ],
+    )?;
+    match document.get("schema").and_then(Json::as_str) {
+        Some("bbmg-bench-serve/1") => {}
+        other => {
+            return Err(format!(
+                "schema must be \"bbmg-bench-serve/1\", got {other:?}"
+            ))
+        }
+    }
+    if document.get("workload").and_then(Json::as_str).is_none() {
+        return Err("workload must be a string".into());
+    }
+    let periods = u64_field(document, "root", "periods_per_source")?;
+    if periods == 0 {
+        return Err("periods_per_source must be at least 1".into());
+    }
+    if u64_field(document, "root", "cpu_threads")? == 0 {
+        return Err("cpu_threads must be at least 1".into());
+    }
+    if !matches!(document.get("quick"), Some(Json::Bool(_))) {
+        return Err("quick must be a boolean".into());
+    }
+
+    let Some(Json::Array(runs)) = document.get("runs") else {
+        return Err("runs must be an array".into());
+    };
+    let expected_shards = [1u64, 2, 4];
+    if runs.len() != expected_shards.len() {
+        return Err(format!(
+            "runs has {} entries, expected {}",
+            runs.len(),
+            expected_shards.len()
+        ));
+    }
+    for (run, expected) in runs.iter().zip(expected_shards) {
+        let context = format!("runs[shards={expected}]");
+        exact_object(
+            run,
+            &context,
+            &[
+                "shards",
+                "events",
+                "elapsed_micros",
+                "events_per_sec",
+                "p50_period_micros",
+                "p95_period_micros",
+                "shed_periods",
+                "shed_events",
+            ],
+        )?;
+        if u64_field(run, &context, "shards")? != expected {
+            return Err(format!("{context}: shards must be {expected}"));
+        }
+        let events = u64_field(run, &context, "events")?;
+        if events != expected * periods * 6 {
+            return Err(format!(
+                "{context}: events {events} does not match shards x periods x 6"
+            ));
+        }
+        if u64_field(run, &context, "elapsed_micros")? == 0 {
+            return Err(format!("{context}: elapsed_micros must be positive"));
+        }
+        if u64_field(run, &context, "events_per_sec")? == 0 {
+            return Err(format!("{context}: events_per_sec must be positive"));
+        }
+        let p50 = u64_field(run, &context, "p50_period_micros")?;
+        let p95 = u64_field(run, &context, "p95_period_micros")?;
+        if p95 < p50 {
+            return Err(format!("{context}: p95 must be at least p50"));
+        }
+        if u64_field(run, &context, "shed_periods")? != 0
+            || u64_field(run, &context, "shed_events")? != 0
+        {
+            return Err(format!("{context}: healthy runs must shed nothing"));
+        }
+    }
+
+    let shedding = document.get("shedding").ok_or("shedding must be present")?;
+    exact_object(
+        shedding,
+        "shedding",
+        &[
+            "watermark_words",
+            "shed_periods",
+            "shed_events",
+            "events_per_sec",
+        ],
+    )?;
+    if u64_field(shedding, "shedding", "watermark_words")? != 0 {
+        return Err("shedding: watermark_words must be 0".into());
+    }
+    if u64_field(shedding, "shedding", "shed_periods")? == 0 {
+        return Err("shedding: shed_periods must be positive (the ladder fired)".into());
+    }
+    if u64_field(shedding, "shedding", "events_per_sec")? == 0 {
+        return Err("shedding: events_per_sec must be positive".into());
+    }
+    u64_field(shedding, "shedding", "shed_events")?;
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let path = std::env::args()
+        .nth(1)
+        .ok_or("usage: validate_bench_serve <BENCH_serve.json>")?;
+    let text = std::fs::read_to_string(&path)?;
+    let document = parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    validate(&document)
+        .map_err(|e| format!("{path} does not conform to bbmg-bench-serve/1: {e}"))?;
+    println!("{path}: valid bbmg-bench-serve/1 artifact");
+    Ok(())
+}

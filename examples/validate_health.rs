@@ -1,0 +1,42 @@
+//! Validates a `bbmg serve --status-file` snapshot against the strict
+//! `bbmg-health/1` schema — unknown, missing and duplicate fields are all
+//! errors. CI runs this on a freshly served status file so the emitted
+//! JSON can never drift from the schema unnoticed.
+//!
+//! Run with: `cargo run --example validate_health -- health.json`
+
+use bbmg::serve::HealthSnapshot;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let path = std::env::args()
+        .nth(1)
+        .ok_or("usage: validate_health <health.json>")?;
+    let text = std::fs::read_to_string(&path)?;
+    let snapshot = HealthSnapshot::parse_json(text.trim_end())
+        .map_err(|e| format!("{path} does not conform to bbmg-health/1: {e}"))?;
+    println!(
+        "{path}: valid bbmg-health/1 snapshot (seq {}, {} shard(s), {} line(s))",
+        snapshot.seq,
+        snapshot.shards.len(),
+        snapshot.lines
+    );
+    for shard in &snapshot.shards {
+        println!(
+            "  {}: state={}{} periods={} events={} lag={} shed={}p/{}e restarts={} \
+             mem={}/{} ckpt-age={}",
+            shard.source,
+            shard.state,
+            if shard.open { "" } else { " (closed)" },
+            shard.periods,
+            shard.events,
+            shard.pending_events,
+            shard.shed_periods,
+            shard.shed_events,
+            shard.restarts,
+            shard.memory_words,
+            shard.watermark_words,
+            shard.checkpoint_age_periods
+        );
+    }
+    Ok(())
+}

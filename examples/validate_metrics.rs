@@ -1,5 +1,5 @@
 //! Validates a `bbmg profile --metrics-out` file against the strict
-//! `bbmg-metrics/1` schema — unknown, missing and duplicate fields are
+//! `bbmg-metrics/2` schema — unknown, missing and duplicate fields are
 //! all errors. CI runs this on a freshly profiled trace so the emitted
 //! JSON can never drift from the schema unnoticed.
 //!
@@ -13,8 +13,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .ok_or("usage: validate_metrics <metrics.json>")?;
     let text = std::fs::read_to_string(&path)?;
     let snapshot = MetricsSnapshot::parse_json(&text)
-        .map_err(|e| format!("{path} does not conform to bbmg-metrics/1: {e}"))?;
-    println!("{path}: valid bbmg-metrics/1 snapshot");
+        .map_err(|e| format!("{path} does not conform to bbmg-metrics/2: {e}"))?;
+    println!("{path}: valid bbmg-metrics/2 snapshot");
     println!("{snapshot}");
     Ok(())
 }

@@ -1,7 +1,7 @@
 //! Thread-count determinism suite (enforced in CI by the `perf-smoke`
 //! job): learning with `parallelism` 1, 2, or 8 must produce
 //! **byte-identical** results — the same hypotheses in the same order,
-//! the same statistics, the same `bbmg-metrics/1` snapshot, and the same
+//! the same statistics, the same `bbmg-metrics/2` snapshot, and the same
 //! event stream (up to wall-clock readings, which are zeroed before
 //! comparison: `BudgetTick::elapsed_micros`, event arrival stamps, and
 //! the metrics snapshot's `period_micros`/`total_micros`).
@@ -73,6 +73,7 @@ fn normalize(event: &Event) -> Event {
 fn normalize_metrics(mut snapshot: MetricsSnapshot) -> MetricsSnapshot {
     snapshot.period_micros = Summary::default();
     snapshot.total_micros = 0;
+    snapshot.uptime_us = 0;
     snapshot
 }
 
