@@ -1,0 +1,335 @@
+//! The diagnostic model: stable codes, severities, and findings.
+//!
+//! Codes are rustc-style and **stable**: once a `BBMG0xx` id has shipped
+//! it keeps its meaning forever, so operators can grep logs, suppress
+//! known classes, and write runbooks against them. The catalog lives in
+//! [`codes`]; DESIGN.md §14 mirrors it.
+
+use std::fmt;
+
+use bbmg_obs::json::push_escaped;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but not proven fatal; fails the audit only under
+    /// `--deny warnings`.
+    Warning,
+    /// The artifact is corrupt, inconsistent, or untrustworthy.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One entry of the stable diagnostic catalog.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Code {
+    /// Stable id, e.g. `BBMG012`.
+    pub id: &'static str,
+    /// One-line description of the defect class.
+    pub title: &'static str,
+    /// Default suggested fix, shown when a finding has no sharper one.
+    pub fix: &'static str,
+}
+
+/// The diagnostic catalog. Ids are grouped by pass: `00x` artifact
+/// intake, `01x` checkpoint deep-verify, `02x` antichain, `03x` roster
+/// cross-document, `04x` health/metrics, `05x` replay.
+pub mod codes {
+    use super::Code;
+
+    /// The artifact file could not be read.
+    pub const UNREADABLE: Code = Code {
+        id: "BBMG001",
+        title: "artifact is unreadable",
+        fix: "check that the path exists and is readable",
+    };
+    /// The file is not a recognizable bbmg artifact.
+    pub const UNRECOGNIZED: Code = Code {
+        id: "BBMG002",
+        title: "not a recognized bbmg artifact",
+        fix: "expected a document carrying a bbmg-* schema tag",
+    };
+    /// The file is not valid JSON.
+    pub const NOT_JSON: Code = Code {
+        id: "BBMG003",
+        title: "artifact is not valid JSON",
+        fix: "the file is truncated or torn; restore it from a backup or regenerate it",
+    };
+    /// The schema tag names a version this analyzer does not support.
+    pub const SCHEMA_VERSION: Code = Code {
+        id: "BBMG004",
+        title: "unsupported schema version",
+        fix: "regenerate the artifact with this toolchain, or upgrade the toolchain",
+    };
+    /// Stored checksum disagrees with the payload bytes.
+    pub const CHECKSUM: Code = Code {
+        id: "BBMG010",
+        title: "checkpoint checksum mismatch",
+        fix: "the payload was altered after sealing; discard this checkpoint",
+    };
+    /// The document parses as JSON but violates its schema's shape.
+    pub const MALFORMED: Code = Code {
+        id: "BBMG011",
+        title: "document violates its schema",
+        fix: "regenerate the artifact; hand edits must preserve field order and types",
+    };
+    /// A packed matrix cell holds the invalid cube code `100`.
+    pub const INVALID_CELL: Code = Code {
+        id: "BBMG012",
+        title: "invalid 3-bit lattice cell",
+        fix: "the packed store is corrupt; discard this checkpoint",
+    };
+    /// Padding bits of a packed word are not zero.
+    pub const DIRTY_PADDING: Code = Code {
+        id: "BBMG013",
+        title: "dirty padding bits in packed store",
+        fix: "fingerprints over this store are not canonical; discard this checkpoint",
+    };
+    /// Packed word count disagrees with the declared universe.
+    pub const WORD_COUNT: Code = Code {
+        id: "BBMG014",
+        title: "packed store shape disagrees with the declared universe",
+        fix: "the store was written for a different task count; discard this checkpoint",
+    };
+    /// A diagonal cell is not `‖`.
+    pub const DIAGONAL: Code = Code {
+        id: "BBMG015",
+        title: "diagonal cell is not parallel",
+        fix: "a task cannot depend on itself; discard this checkpoint",
+    };
+    /// A hypothesis's stored fingerprint disagrees with its words.
+    pub const FINGERPRINT: Code = Code {
+        id: "BBMG016",
+        title: "hypothesis fingerprint mismatch",
+        fix: "words or fingerprint were altered independently; discard this checkpoint",
+    };
+    /// The antichain fingerprint disagrees with the member hypotheses.
+    pub const ANTICHAIN_FINGERPRINT: Code = Code {
+        id: "BBMG017",
+        title: "antichain fingerprint mismatch",
+        fix: "the hypothesis list was reordered or edited; discard this checkpoint",
+    };
+    /// Canonical re-encode differs from the stored bytes.
+    pub const NOT_CANONICAL: Code = Code {
+        id: "BBMG018",
+        title: "document is not in canonical encoding",
+        fix: "re-save the artifact with this toolchain to restore byte-stable form",
+    };
+    /// Period bookkeeping disagrees between counters.
+    pub const BOOKKEEPING: Code = Code {
+        id: "BBMG019",
+        title: "period bookkeeping disagreement",
+        fix: "pushed_periods should equal accepted periods plus quarantined periods",
+    };
+    /// Two hypotheses are comparable — the set is not an antichain.
+    pub const DOMINATED: Code = Code {
+        id: "BBMG020",
+        title: "hypothesis set is not an antichain",
+        fix: "a comparable pair carries redundant state; re-learn or drop the dominated member",
+    };
+    /// Two hypotheses are identical.
+    pub const DUPLICATE: Code = Code {
+        id: "BBMG021",
+        title: "duplicate hypothesis",
+        fix: "the learner never emits duplicates; this checkpoint was not produced by it",
+    };
+    /// A roster entry points at a checkpoint file that does not exist.
+    pub const ROSTER_MISSING: Code = Code {
+        id: "BBMG030",
+        title: "roster references a missing checkpoint",
+        fix: "restore the checkpoint file or remove the stale roster entry",
+    };
+    /// A roster entry points at a checkpoint that fails its own audit.
+    pub const ROSTER_UNPARSEABLE: Code = Code {
+        id: "BBMG031",
+        title: "roster references an unparseable checkpoint",
+        fix: "the referenced checkpoint cannot be restored from; recovery will fail",
+    };
+    /// Roster and checkpoint disagree about absorbed periods.
+    pub const ROSTER_PERIODS: Code = Code {
+        id: "BBMG032",
+        title: "roster and checkpoint disagree on absorbed periods",
+        fix: "the roster claims more periods than the checkpoint holds; recovery loses data",
+    };
+    /// A lifecycle state word is not one the serve layer emits.
+    pub const UNKNOWN_STATE: Code = Code {
+        id: "BBMG033",
+        title: "unknown shard lifecycle state",
+        fix: "expected one of exact, degraded, shedding, backoff, stopped",
+    };
+    /// A health snapshot lists the same source twice.
+    pub const DUPLICATE_SHARD: Code = Code {
+        id: "BBMG040",
+        title: "duplicate shard entry in health snapshot",
+        fix: "the registry keys shards by source; this snapshot was not produced by it",
+    };
+    /// Snapshot sequence numbers are not strictly monotone.
+    pub const SEQ_NOT_MONOTONE: Code = Code {
+        id: "BBMG041",
+        title: "snapshot seq not strictly monotone",
+        fix: "snapshots from one run must carry strictly increasing seq values",
+    };
+    /// Uptime went backwards while seq advanced.
+    pub const UPTIME_REGRESSED: Code = Code {
+        id: "BBMG042",
+        title: "uptime regressed across snapshots",
+        fix: "later snapshots of one run cannot be younger; files may be from different runs",
+    };
+    /// Re-learning the trace prefix produced a different model.
+    pub const REPLAY_MISMATCH: Code = Code {
+        id: "BBMG050",
+        title: "replay diverged from the checkpointed model",
+        fix: "feed the exact trace (post-repair, if the run repaired) the checkpoint was learned from",
+    };
+    /// Replay could not be performed meaningfully.
+    pub const REPLAY_INCONCLUSIVE: Code = Code {
+        id: "BBMG051",
+        title: "replay inconclusive",
+        fix: "this checkpoint/trace pair cannot be verified by deterministic replay",
+    };
+}
+
+/// One finding: a code bound to a concrete artifact and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Catalog entry this finding instantiates.
+    pub code: &'static Code,
+    /// Severity of this instance.
+    pub severity: Severity,
+    /// Path of the artifact the finding is against.
+    pub artifact: String,
+    /// Location within the artifact (e.g. `payload.hypotheses[2]`,
+    /// `shard bus0`); empty when the whole document is implicated.
+    pub location: String,
+    /// Human-readable diagnosis with the concrete values involved.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a finding against a whole artifact.
+    pub fn new(
+        code: &'static Code,
+        severity: Severity,
+        artifact: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            code,
+            severity,
+            artifact: artifact.into(),
+            location: String::new(),
+            message: message.into(),
+        }
+    }
+
+    /// Returns `self` with a location within the artifact.
+    #[must_use]
+    pub fn at(mut self, location: impl Into<String>) -> Self {
+        self.location = location.into();
+        self
+    }
+
+    /// Serializes the finding as one strict-JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(160);
+        out.push_str(&format!(
+            "{{\"code\":\"{}\",\"severity\":\"{}\",\"artifact\":\"",
+            self.code.id, self.severity
+        ));
+        push_escaped(&mut out, &self.artifact);
+        out.push_str("\",\"location\":\"");
+        push_escaped(&mut out, &self.location);
+        out.push_str("\",\"message\":\"");
+        push_escaped(&mut out, &self.message);
+        out.push_str("\",\"fix\":\"");
+        push_escaped(&mut out, self.code.fix);
+        out.push_str("\"}");
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}] {}", self.code.id, self.severity, self.artifact)?;
+        if !self.location.is_empty() {
+            write!(f, " ({})", self.location)?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_and_displays() {
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!(Severity::Error.to_string(), "error");
+    }
+
+    #[test]
+    fn diagnostic_renders_json_and_text() {
+        let d = Diagnostic::new(
+            &codes::INVALID_CELL,
+            Severity::Error,
+            "model.ckpt",
+            "cell 2 holds code \"100\"",
+        )
+        .at("payload.hypotheses[0]");
+        let json = d.to_json();
+        assert!(json.contains("\"code\":\"BBMG012\""));
+        assert!(json.contains("\\\"100\\\""));
+        let text = d.to_string();
+        assert!(text.contains("BBMG012 [error] model.ckpt (payload.hypotheses[0])"));
+    }
+
+    #[test]
+    fn catalog_ids_are_unique() {
+        let all = [
+            &codes::UNREADABLE,
+            &codes::UNRECOGNIZED,
+            &codes::NOT_JSON,
+            &codes::SCHEMA_VERSION,
+            &codes::CHECKSUM,
+            &codes::MALFORMED,
+            &codes::INVALID_CELL,
+            &codes::DIRTY_PADDING,
+            &codes::WORD_COUNT,
+            &codes::DIAGONAL,
+            &codes::FINGERPRINT,
+            &codes::ANTICHAIN_FINGERPRINT,
+            &codes::NOT_CANONICAL,
+            &codes::BOOKKEEPING,
+            &codes::DOMINATED,
+            &codes::DUPLICATE,
+            &codes::ROSTER_MISSING,
+            &codes::ROSTER_UNPARSEABLE,
+            &codes::ROSTER_PERIODS,
+            &codes::UNKNOWN_STATE,
+            &codes::DUPLICATE_SHARD,
+            &codes::SEQ_NOT_MONOTONE,
+            &codes::UPTIME_REGRESSED,
+            &codes::REPLAY_MISMATCH,
+            &codes::REPLAY_INCONCLUSIVE,
+        ];
+        let mut ids: Vec<&str> = all.iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "duplicate diagnostic ids");
+        for c in all {
+            assert!(c.id.starts_with("BBMG") && c.id.len() == 7, "{}", c.id);
+            assert!(!c.title.is_empty() && !c.fix.is_empty());
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Aggregated audit results: the human table and the strict-JSON report.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::AUDIT_SCHEMA;
+
+/// Everything one `bbmg audit` invocation found.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// Every finding, in pass order (per-document first, then
+    /// cross-document, then replay).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of artifacts the analyzer examined (documents audited plus
+    /// files that could not be read). Files skipped by the directory walk
+    /// as not-ours are not counted.
+    pub files_audited: usize,
+}
+
+impl AuditReport {
+    /// Number of error-severity findings.
+    #[must_use]
+    pub fn errors(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    #[must_use]
+    pub fn warnings(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// Whether this run should exit zero: no errors, and no warnings
+    /// either when `deny_warnings` is set.
+    #[must_use]
+    pub fn is_clean(&self, deny_warnings: bool) -> bool {
+        self.errors() == 0 && (!deny_warnings || self.warnings() == 0)
+    }
+
+    /// The human-readable report: one block per finding plus a summary
+    /// line. Empty findings render just the summary.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        for diag in &self.diagnostics {
+            out.push_str(&format!("{diag}\n"));
+            out.push_str(&format!("         fix: {}\n", diag.code.fix));
+        }
+        out.push_str(&format!(
+            "audited {} artifact(s): {} error(s), {} warning(s)\n",
+            self.files_audited,
+            self.errors(),
+            self.warnings()
+        ));
+        out
+    }
+
+    /// The machine-readable report (`bbmg-audit/1`), one JSON object on
+    /// one line.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128 + self.diagnostics.len() * 160);
+        out.push_str(&format!(
+            "{{\"schema\":\"{AUDIT_SCHEMA}\",\"files\":{},\"errors\":{},\"warnings\":{},\"diagnostics\":[",
+            self.files_audited,
+            self.errors(),
+            self.warnings()
+        ));
+        for (i, diag) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&diag.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::codes;
+
+    fn report() -> AuditReport {
+        AuditReport {
+            diagnostics: vec![
+                Diagnostic::new(&codes::CHECKSUM, Severity::Error, "m.ckpt", "bad sum"),
+                Diagnostic::new(
+                    &codes::BOOKKEEPING,
+                    Severity::Warning,
+                    "m.ckpt",
+                    "off by one",
+                ),
+            ],
+            files_audited: 3,
+        }
+    }
+
+    #[test]
+    fn counts_and_exit_policy() {
+        let r = report();
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.warnings(), 1);
+        assert!(!r.is_clean(false));
+        let clean = AuditReport {
+            diagnostics: vec![Diagnostic::new(
+                &codes::BOOKKEEPING,
+                Severity::Warning,
+                "m.ckpt",
+                "off by one",
+            )],
+            files_audited: 1,
+        };
+        assert!(clean.is_clean(false));
+        assert!(!clean.is_clean(true));
+        assert!(AuditReport::default().is_clean(true));
+    }
+
+    #[test]
+    fn table_mentions_every_code_and_summary() {
+        let table = report().render_table();
+        assert!(table.contains("BBMG010"));
+        assert!(table.contains("BBMG019"));
+        assert!(table.contains("fix:"));
+        assert!(table.contains("audited 3 artifact(s): 1 error(s), 1 warning(s)"));
+    }
+
+    #[test]
+    fn json_report_is_tagged_and_counts() {
+        let json = report().to_json();
+        assert!(json.starts_with(&format!("{{\"schema\":\"{AUDIT_SCHEMA}\"")));
+        assert!(json.contains("\"errors\":1"));
+        assert!(json.contains("\"warnings\":1"));
+        assert!(json.contains("\"code\":\"BBMG010\""));
+    }
+}

@@ -13,6 +13,19 @@ use bbmg_trace::Trace;
 use bbmg_workloads::gm;
 use bbmg_workloads::random::{random_model, RandomModelConfig};
 
+/// Schema tag of the learner-throughput benchmark artifact
+/// (`BENCH_learner.json`), the single definition every generator and
+/// validator must reference (enforced by `examples/tidy.rs`).
+pub const BENCH_LEARNER_SCHEMA: &str = "bbmg-bench-learner/1";
+
+/// Schema tag of the serve-throughput benchmark artifact
+/// (`BENCH_serve.json`).
+pub const BENCH_SERVE_SCHEMA: &str = "bbmg-bench-serve/1";
+
+/// Schema tag of the observer-overhead benchmark artifact
+/// (`BENCH_observer.json`).
+pub const BENCH_OBSERVER_SCHEMA: &str = "bbmg-bench-observer/2";
+
 /// The bound column of the paper's §3.4 runtime table.
 pub const PAPER_BOUNDS: [usize; 8] = [1, 4, 16, 32, 64, 100, 120, 150];
 

@@ -25,6 +25,8 @@ USAGE:
   bbmg check   <TRACE> --prop \"Q -> O\" [LEARNER] [TELEMETRY]
   bbmg explain <TRACE> --pair SENDER,RECEIVER [LEARNER] [TELEMETRY]
   bbmg profile <TRACE> [LEARNER] [TELEMETRY] [--chrome-out FILE]
+  bbmg audit   <PATHS...> [--json] [--deny warnings] [--replay TRACE]
+               [TELEMETRY]
   bbmg help
 
 LEARNER options (shared by learn/analyze/dot/check/explain/profile):
@@ -87,6 +89,18 @@ the snapshot as a live per-shard table (state, periods, events, ingest
 lag, shed counts, restarts, memory vs watermark, checkpoint age),
 refreshing every --interval-ms (default 1000) until interrupted;
 --once prints one frame and exits (use it in scripts and CI).
+
+Auditing: `bbmg audit PATHS...` statically analyzes model artifacts —
+checkpoints, rosters, health/metrics snapshots, bench reports — without
+resuming from them: packed-lattice cell validity, antichain invariants,
+checksums, canonical re-encoding, roster->checkpoint references and
+snapshot sequence monotonicity. Directories are walked recursively
+(.ckpt/.json). `--replay TRACE` additionally re-learns each checkpoint's
+absorbed prefix and diffs antichain fingerprints. Findings carry stable
+BBMG0xx codes; `--json` emits the machine-readable `bbmg-audit/1`
+report; exit status is 0 only when clean (`--deny warnings` makes
+warnings fatal too). `--events-out FILE` streams each finding as an
+`audit_finding` event.
 ";
 
 /// Which workload `bbmg simulate` builds.
@@ -347,6 +361,23 @@ pub struct ProfileOptions {
     pub chrome_out: Option<String>,
 }
 
+/// Options for `bbmg audit`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditCmdOptions {
+    /// Files and directories to analyze (directories walk recursively).
+    pub paths: Vec<String>,
+    /// Emit the machine-readable `bbmg-audit/1` report instead of the
+    /// human table.
+    pub json: bool,
+    /// Treat warnings as fatal for the exit status (`--deny warnings`).
+    pub deny_warnings: bool,
+    /// Trace to replay checkpoints against.
+    pub replay: Option<String>,
+    /// Telemetry outputs (each finding streams as an `audit_finding`
+    /// event).
+    pub telemetry: Telemetry,
+}
+
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -372,6 +403,8 @@ pub enum Command {
     Explain(ExplainOptions),
     /// `bbmg profile`.
     Profile(ProfileOptions),
+    /// `bbmg audit`.
+    Audit(AuditCmdOptions),
     /// `bbmg help`.
     Help,
 }
@@ -399,6 +432,13 @@ pub enum CliError {
     Prop(bbmg_check::ParsePropError),
     /// The simulator failed.
     Sim(bbmg_sim::SimError),
+    /// `bbmg audit` found problems (the report was already printed).
+    Audit {
+        /// Error-severity findings.
+        errors: usize,
+        /// Warning-severity findings (fatal under `--deny warnings`).
+        warnings: usize,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -414,6 +454,9 @@ impl fmt::Display for CliError {
             CliError::Health(e) => write!(f, "status file: {e}"),
             CliError::Prop(e) => write!(f, "{e}"),
             CliError::Sim(e) => write!(f, "simulation failed: {e}"),
+            CliError::Audit { errors, warnings } => {
+                write!(f, "audit failed: {errors} error(s), {warnings} warning(s)")
+            }
         }
     }
 }
@@ -872,6 +915,37 @@ where
                 chrome_out,
             }))
         }
+        "audit" => {
+            let json = args.take_flag("json")?;
+            let deny: Option<String> = args.take_value("deny")?;
+            let deny_warnings = match deny.as_deref() {
+                None => false,
+                Some("warnings") => true,
+                Some(other) => {
+                    return Err(usage(format!(
+                        "--deny only understands `warnings`, got `{other}`"
+                    )))
+                }
+            };
+            let replay = match args.take("replay") {
+                None => None,
+                Some(None) => return Err(usage("--replay requires a trace file path")),
+                Some(Some(path)) => Some(path),
+            };
+            let telemetry = args.telemetry()?;
+            if args.positional.is_empty() {
+                return Err(usage("`audit` needs at least one file or directory"));
+            }
+            let paths = std::mem::take(&mut args.positional);
+            args.finish("audit")?;
+            Ok(Command::Audit(AuditCmdOptions {
+                paths,
+                json,
+                deny_warnings,
+                replay,
+                telemetry,
+            }))
+        }
         other => Err(usage(format!("unknown command `{other}`"))),
     }
 }
@@ -1197,6 +1271,47 @@ mod tests {
         assert!(matches!(parse_args(["top"]), Err(CliError::Usage(_))));
         assert!(matches!(
             parse_args(["top", "h.json", "--interval-ms", "0"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn audit_parses() {
+        let cmd = parse_args([
+            "audit",
+            "model.ckpt",
+            "ckpts",
+            "--json",
+            "--deny",
+            "warnings",
+            "--replay",
+            "t.txt",
+        ])
+        .unwrap();
+        let Command::Audit(o) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(o.paths, vec!["model.ckpt".to_owned(), "ckpts".to_owned()]);
+        assert!(o.json);
+        assert!(o.deny_warnings);
+        assert_eq!(o.replay.as_deref(), Some("t.txt"));
+
+        let cmd = parse_args(["audit", "m.ckpt"]).unwrap();
+        let Command::Audit(o) = cmd else {
+            panic!("wrong command")
+        };
+        assert!(!o.json);
+        assert!(!o.deny_warnings);
+        assert_eq!(o.replay, None);
+        assert!(o.telemetry.is_empty());
+
+        assert!(matches!(parse_args(["audit"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse_args(["audit", "m.ckpt", "--deny", "everything"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["audit", "m.ckpt", "--replay"]),
             Err(CliError::Usage(_))
         ));
     }

@@ -1056,6 +1056,46 @@ pub(crate) mod profile {
     }
 }
 
+pub(crate) mod audit {
+    use std::path::PathBuf;
+
+    use bbmg_audit::{audit_paths_with, AuditOptions};
+    use bbmg_obs::Tee;
+
+    use super::TelemetrySinks;
+    use super::{CliError, Write};
+    use crate::args::AuditCmdOptions;
+
+    pub(crate) fn run(options: &AuditCmdOptions, out: &mut dyn Write) -> Result<(), CliError> {
+        let mut sinks = TelemetrySinks::open(&options.telemetry)?;
+        let audit_options = AuditOptions {
+            replay: options.replay.as_ref().map(PathBuf::from),
+            deny_warnings: options.deny_warnings,
+        };
+        let paths: Vec<PathBuf> = options.paths.iter().map(PathBuf::from).collect();
+        let report = {
+            let mut observer = sinks.attach(Tee::new());
+            audit_paths_with(&paths, &audit_options, &mut observer)
+        };
+        sinks.finish()?;
+        if options.json {
+            writeln!(out, "{}", report.to_json())?;
+        } else {
+            out.write_all(report.render_table().as_bytes())?;
+        }
+        if report.is_clean(options.deny_warnings) {
+            Ok(())
+        } else {
+            // The findings were already printed; the error only carries
+            // the exit status.
+            Err(CliError::Audit {
+                errors: report.errors(),
+                warnings: report.warnings(),
+            })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use crate::args::parse_args;

@@ -45,6 +45,7 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
         Command::Check(options) => commands::check::run(options, out),
         Command::Explain(options) => commands::explain::run(options, out),
         Command::Profile(options) => commands::profile::run(options, out),
+        Command::Audit(options) => commands::audit::run(options, out),
         Command::Help => {
             out.write_all(args::USAGE.as_bytes())?;
             Ok(())

@@ -6,6 +6,12 @@ fn main() -> ExitCode {
     let mut stdout = std::io::stdout().lock();
     match bbmg_cli::run(std::env::args().skip(1), &mut stdout) {
         Ok(()) => ExitCode::SUCCESS,
+        // Audit findings were already printed as the report; usage
+        // errors get a distinct exit status for scripts.
+        Err(error @ bbmg_cli::CliError::Usage(_)) => {
+            eprintln!("bbmg: {error}");
+            ExitCode::from(2)
+        }
         Err(error) => {
             eprintln!("bbmg: {error}");
             ExitCode::FAILURE

@@ -86,6 +86,28 @@ fn checksum(bytes: &[u8]) -> u64 {
     h ^ (h >> 31)
 }
 
+/// The checksum a `bbmg-ckpt/1` envelope stamps over a payload's exact
+/// bytes. Exposed so tooling that constructs or mutates documents by hand
+/// — `bbmg-audit`'s mutation corpus, external fuzzers — can compute the
+/// sum the parser will verify.
+#[must_use]
+pub fn payload_checksum(payload: &[u8]) -> u64 {
+    checksum(payload)
+}
+
+/// Wraps a raw payload value into a complete `bbmg-ckpt/1` document with
+/// a freshly computed checksum. The payload is stamped byte-exactly —
+/// whitespace and field order are preserved — so a doctored payload sails
+/// through the checksum gate and exercises the *semantic* validators
+/// behind it, which is exactly what a mutation corpus needs.
+#[must_use]
+pub fn seal_document(payload: &str) -> String {
+    format!(
+        "{{\"schema\":\"{CHECKPOINT_SCHEMA}\",\"checksum\":\"{:016x}\",\"payload\":{payload}}}",
+        checksum(payload.as_bytes())
+    )
+}
+
 /// Why a checkpoint could not be written, read, or trusted.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]

@@ -220,6 +220,50 @@ impl IncrementalLearner {
         true
     }
 
+    /// Verifies the learner's structural invariants in-process using the
+    /// same pass kernels `bbmg-audit` runs offline
+    /// ([`bbmg_lattice::invariant`]): every hypothesis's packed store is
+    /// canonical for this universe, the hypothesis set is an antichain,
+    /// and the history bitmap has the right shape. Compiled to a no-op
+    /// unless the `debug-invariants` cargo feature is enabled; with it on,
+    /// the learner calls this itself at `push_period`/`finish`/`resume`
+    /// boundaries and a violation panics naming `context`.
+    ///
+    /// # Panics
+    ///
+    /// With `debug-invariants` enabled, panics on the first violated
+    /// invariant.
+    #[inline]
+    pub fn debug_validate(&self, context: &str) {
+        #[cfg(not(feature = "debug-invariants"))]
+        let _ = context;
+        #[cfg(feature = "debug-invariants")]
+        {
+            use bbmg_lattice::invariant;
+            let hypotheses = self.learner.hypotheses();
+            for (i, h) in hypotheses.iter().enumerate() {
+                assert_eq!(
+                    h.task_count(),
+                    self.tasks,
+                    "debug-invariants[{context}]: hypothesis {i} is over {} tasks, learner over {}",
+                    h.task_count(),
+                    self.tasks
+                );
+                if let Err(err) = invariant::check_function(h) {
+                    panic!("debug-invariants[{context}]: hypothesis {i} packed store: {err}");
+                }
+            }
+            if let Some(violation) = invariant::antichain_violation(&hypotheses) {
+                panic!("debug-invariants[{context}]: {violation}");
+            }
+            assert_eq!(
+                self.learner.history().bits().len(),
+                self.tasks * self.tasks,
+                "debug-invariants[{context}]: history bitmap shape"
+            );
+        }
+    }
+
     /// Snapshots the complete learner state. Only meaningful at a period
     /// boundary (which is the only time callers can run, since
     /// [`push_period`](Self::push_period) takes `&mut self`).
@@ -279,18 +323,21 @@ impl IncrementalLearner {
         }
         let history = ExecutionHistory::from_bits(tasks, ran_without);
         let learner = Learner::from_state(tasks, options, hypotheses, history, stats, elapsed);
-        Ok(IncrementalLearner {
+        let learner = IncrementalLearner {
             learner,
             tasks,
             fallback_bound,
             pushed_periods,
-        })
+        };
+        learner.debug_validate("resume");
+        Ok(learner)
     }
 
     /// Finishes the run, producing a [`LearnResult`] whose stats carry the
     /// quarantine and fallback record.
     #[must_use]
     pub fn finish(self) -> LearnResult {
+        self.debug_validate("finish");
         self.learner.into_result()
     }
 
@@ -304,6 +351,7 @@ impl IncrementalLearner {
         match self.learner.observe_with(period, observer) {
             Ok(()) => {
                 self.pushed_periods += 1;
+                self.debug_validate("push_period");
                 Ok(Observed::Accepted)
             }
             Err(LearnError::Inconsistent { period: p, message })

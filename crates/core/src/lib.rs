@@ -63,7 +63,10 @@ mod robust;
 mod stats;
 mod witness;
 
-pub use checkpoint::{antichain_fingerprint, Checkpoint, CheckpointError, CHECKPOINT_SCHEMA};
+pub use checkpoint::{
+    antichain_fingerprint, payload_checksum, seal_document, Checkpoint, CheckpointError,
+    CHECKPOINT_SCHEMA,
+};
 pub use convergence::{convergence_timeline, convergence_timeline_with, ConvergencePoint};
 pub use error::LearnError;
 pub use hypothesis::Hypothesis;

@@ -232,35 +232,8 @@ impl DependencyFunction {
     /// Returns a [`FunctionDecodeError`] naming the first violated
     /// invariant.
     pub fn from_words(tasks: usize, words: Vec<u64>) -> Result<Self, FunctionDecodeError> {
-        let expected = words_for(tasks);
-        if words.len() != expected {
-            return Err(FunctionDecodeError::WordCount {
-                tasks,
-                expected,
-                actual: words.len(),
-            });
-        }
-        let candidate = DependencyFunction { tasks, words };
-        for idx in 0..tasks * tasks {
-            let word = candidate.words[idx / CELLS_PER_WORD];
-            let code = (word >> (BITS_PER_CELL * (idx % CELLS_PER_WORD))) & CELL_MASK;
-            if code == 0b100 {
-                return Err(FunctionDecodeError::InvalidCell { index: idx });
-            }
-            if idx / tasks == idx % tasks && code != 0 {
-                return Err(FunctionDecodeError::DiagonalNotParallel { task: idx / tasks });
-            }
-        }
-        // Re-pack the decoded cells; any difference can only come from
-        // padding bits (trailing lanes past `n²` or bit 63).
-        let mut repacked = DependencyFunction::bottom(tasks);
-        for idx in 0..tasks * tasks {
-            repacked.set_cell(idx, candidate.cell(idx));
-        }
-        if let Some(word) = (0..expected).find(|&w| repacked.words[w] != candidate.words[w]) {
-            return Err(FunctionDecodeError::DirtyPadding { word });
-        }
-        Ok(candidate)
+        crate::invariant::check_packed_store(tasks, &words)?;
+        Ok(DependencyFunction { tasks, words })
     }
 
     /// The value `d(t1, t2)`.

@@ -37,12 +37,14 @@
 #![warn(missing_docs)]
 
 mod function;
+pub mod invariant;
 pub mod packed;
 mod task;
 mod taskset;
 mod value;
 
 pub use function::{DependencyFunction, FunctionDecodeError, PairIter};
+pub use invariant::AntichainViolation;
 pub use task::{TaskId, TaskUniverse};
 pub use taskset::TaskSet;
 pub use value::{DependencyValue, ValueParseError, ALL_VALUES};

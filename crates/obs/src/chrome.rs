@@ -151,6 +151,16 @@ pub fn chrome_trace(events: &[TimedEvent]) -> String {
                 let name = open_spans.remove(id).unwrap_or_else(|| "span".into());
                 span_slice(ts, "E", &name, span_tid(*id), &[("id", *id)])
             }
+            Event::AuditFinding {
+                code,
+                severity,
+                artifact,
+                ..
+            } => {
+                let mut name = String::new();
+                push_escaped(&mut name, &format!("{code} [{severity}] {artifact}"));
+                raw_instant(ts, &name)
+            }
         };
         if !first {
             out.push(',');

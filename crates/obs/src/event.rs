@@ -158,6 +158,17 @@ pub enum Event {
         /// Id of the span being closed.
         id: u64,
     },
+    /// A static-analysis diagnostic from `bbmg-audit` (one per finding).
+    AuditFinding {
+        /// Stable diagnostic code, e.g. "BBMG012".
+        code: String,
+        /// Severity: "error" or "warning".
+        severity: String,
+        /// Path of the artifact the finding is against.
+        artifact: String,
+        /// Human-readable diagnosis.
+        message: String,
+    },
 }
 
 impl Event {
@@ -183,6 +194,7 @@ impl Event {
             Event::ShardHealth { .. } => "shard_health",
             Event::SpanStart { .. } => "span_start",
             Event::SpanEnd { .. } => "span_end",
+            Event::AuditFinding { .. } => "audit_finding",
         }
     }
 
@@ -206,7 +218,8 @@ impl Event {
             | Event::Note { .. }
             | Event::ShardHealth { .. }
             | Event::SpanStart { .. }
-            | Event::SpanEnd { .. } => None,
+            | Event::SpanEnd { .. }
+            | Event::AuditFinding { .. } => None,
         }
     }
 
@@ -346,6 +359,22 @@ impl Event {
             Event::SpanEnd { id } => {
                 field_u(&mut out, "id", *id);
             }
+            Event::AuditFinding {
+                code,
+                severity,
+                artifact,
+                message,
+            } => {
+                out.push_str(",\"code\":\"");
+                push_escaped(&mut out, code);
+                out.push_str("\",\"severity\":\"");
+                push_escaped(&mut out, severity);
+                out.push_str("\",\"artifact\":\"");
+                push_escaped(&mut out, artifact);
+                out.push_str("\",\"message\":\"");
+                push_escaped(&mut out, message);
+                out.push('"');
+            }
         }
         out.push('}');
         out
@@ -379,6 +408,12 @@ impl fmt::Display for Event {
                 write!(f, "span {id} ({name}) opened under {parent}")
             }
             Event::SpanEnd { id } => write!(f, "span {id} closed"),
+            Event::AuditFinding {
+                code,
+                severity,
+                artifact,
+                message,
+            } => write!(f, "{code} [{severity}] {artifact}: {message}"),
             other => write!(f, "{}", other.to_json(None)),
         }
     }
@@ -454,6 +489,12 @@ mod tests {
                 name: "ingest".into(),
             },
             Event::SpanEnd { id: 7 },
+            Event::AuditFinding {
+                code: "BBMG012".into(),
+                severity: "error".into(),
+                artifact: "model.ckpt".into(),
+                message: "cell 2 holds the invalid lattice code 100".into(),
+            },
         ];
         for event in &events {
             let parsed = parse(&event.to_json(Some(12))).unwrap();

@@ -446,7 +446,10 @@ impl Observer for Metrics {
             | Event::Checkpoint { .. }
             | Event::ShardHealth { .. }
             | Event::SpanStart { .. }
-            | Event::SpanEnd { .. } => {}
+            | Event::SpanEnd { .. }
+            // Audit findings are a report stream of their own; the
+            // snapshot schema does not count them either.
+            | Event::AuditFinding { .. } => {}
         }
     }
 }

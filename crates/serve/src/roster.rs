@@ -135,6 +135,11 @@ impl Roster {
         self.entries.get(source)
     }
 
+    /// Iterates the recorded entries in source-id order.
+    pub fn iter(&self) -> impl Iterator<Item = &RosterEntry> {
+        self.entries.values()
+    }
+
     /// Number of recorded sources.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -182,6 +182,7 @@ impl StreamShard {
             }));
         }
         let learner = IncrementalLearner::resume(checkpoint.clone())?;
+        learner.debug_validate("shard resume");
         let mut shard = StreamShard::new(source, universe, options);
         shard.state = if learner.options().bound.is_some() {
             ShardState::Degraded
@@ -635,7 +636,11 @@ impl StreamShard {
         }
         self.restarts += 1;
         self.learner = match &self.last_checkpoint {
-            Some(checkpoint) => IncrementalLearner::resume(checkpoint.clone())?,
+            Some(checkpoint) => {
+                let learner = IncrementalLearner::resume(checkpoint.clone())?;
+                learner.debug_validate("watchdog restore");
+                learner
+            }
             None => IncrementalLearner::new(self.learner.tasks(), self.options.learn)
                 .with_fallback_bound(self.options.fallback_bound),
         };

@@ -385,7 +385,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nparallel regression guard passed (multi-thread >= 0.75x single-thread)");
 
     // Hand-rolled JSON: fixed keys and numbers only, nothing to escape.
-    let mut json = String::from("{\"schema\":\"bbmg-bench-learner/1\",");
+    let mut json = format!("{{\"schema\":\"{}\",", bbmg_bench::BENCH_LEARNER_SCHEMA);
     write!(
         json,
         "\"cpu_threads\":{cpu_threads},\"iterations\":{iters},\"quick\":{quick},\"kernels\":["

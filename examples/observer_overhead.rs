@@ -178,7 +178,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Hand-rolled JSON: fixed keys and numbers only, nothing to escape.
-    let mut json = String::from("{\"schema\":\"bbmg-bench-observer/2\",");
+    let mut json = format!("{{\"schema\":\"{}\",", bbmg_bench::BENCH_OBSERVER_SCHEMA);
     write!(
         json,
         "\"workload\":\"random:tasks=8 periods=30 seed=2007 bound=64\",\"iterations\":{ITERATIONS},\"variants\":["

@@ -165,7 +165,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(shed.shed_periods > 0, "zero watermark must shed");
 
     // Hand-rolled JSON: fixed keys and numbers only, nothing to escape.
-    let mut json = String::from("{\"schema\":\"bbmg-bench-serve/1\",");
+    let mut json = format!("{{\"schema\":\"{}\",", bbmg_bench::BENCH_SERVE_SCHEMA);
     write!(
         json,
         "\"workload\":\"2-task consistent periods, 6 events/period, round-robin sources\",\

@@ -75,10 +75,11 @@ fn validate(document: &Json) -> Result<(), String> {
         ],
     )?;
     match document.get("schema").and_then(Json::as_str) {
-        Some("bbmg-bench-learner/1") => {}
+        Some(tag) if tag == bbmg_bench::BENCH_LEARNER_SCHEMA => {}
         other => {
             return Err(format!(
-                "schema must be \"bbmg-bench-learner/1\", got {other:?}"
+                "schema must be \"{}\", got {other:?}",
+                bbmg_bench::BENCH_LEARNER_SCHEMA
             ))
         }
     }
@@ -189,8 +190,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .ok_or("usage: validate_bench_learner <BENCH_learner.json>")?;
     let text = std::fs::read_to_string(&path)?;
     let document = parse(&text).map_err(|e| format!("{path}: {e}"))?;
-    validate(&document)
-        .map_err(|e| format!("{path} does not conform to bbmg-bench-learner/1: {e}"))?;
-    println!("{path}: valid bbmg-bench-learner/1 artifact");
+    validate(&document).map_err(|e| {
+        format!(
+            "{path} does not conform to {}: {e}",
+            bbmg_bench::BENCH_LEARNER_SCHEMA
+        )
+    })?;
+    println!(
+        "{path}: valid {} artifact",
+        bbmg_bench::BENCH_LEARNER_SCHEMA
+    );
     Ok(())
 }

@@ -49,10 +49,11 @@ fn validate(document: &Json) -> Result<(), String> {
         ],
     )?;
     match document.get("schema").and_then(Json::as_str) {
-        Some("bbmg-bench-serve/1") => {}
+        Some(tag) if tag == bbmg_bench::BENCH_SERVE_SCHEMA => {}
         other => {
             return Err(format!(
-                "schema must be \"bbmg-bench-serve/1\", got {other:?}"
+                "schema must be \"{}\", got {other:?}",
+                bbmg_bench::BENCH_SERVE_SCHEMA
             ))
         }
     }
@@ -154,8 +155,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .ok_or("usage: validate_bench_serve <BENCH_serve.json>")?;
     let text = std::fs::read_to_string(&path)?;
     let document = parse(&text).map_err(|e| format!("{path}: {e}"))?;
-    validate(&document)
-        .map_err(|e| format!("{path} does not conform to bbmg-bench-serve/1: {e}"))?;
-    println!("{path}: valid bbmg-bench-serve/1 artifact");
+    validate(&document).map_err(|e| {
+        format!(
+            "{path} does not conform to {}: {e}",
+            bbmg_bench::BENCH_SERVE_SCHEMA
+        )
+    })?;
+    println!("{path}: valid {} artifact", bbmg_bench::BENCH_SERVE_SCHEMA);
     Ok(())
 }

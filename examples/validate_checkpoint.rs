@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --example validate_checkpoint -- model.ckpt`
 
-use bbmg::core::Checkpoint;
+use bbmg::core::{Checkpoint, CHECKPOINT_SCHEMA};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let path = std::env::args()
@@ -15,7 +15,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .ok_or("usage: validate_checkpoint <model.ckpt>")?;
     let text = std::fs::read_to_string(&path)?;
     let checkpoint = Checkpoint::parse_json(&text)
-        .map_err(|e| format!("{path} does not conform to bbmg-ckpt/1: {e}"))?;
+        .map_err(|e| format!("{path} does not conform to {CHECKPOINT_SCHEMA}: {e}"))?;
     // The document must also re-serialize to the identical bytes — the
     // checksum covers the exact payload substring, so any asymmetry
     // between writer and parser shows up here.
@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if rewritten != text.trim_end() {
         return Err(format!("{path}: parse → serialize is not the identity").into());
     }
-    println!("{path}: valid bbmg-ckpt/1 checkpoint");
+    println!("{path}: valid {CHECKPOINT_SCHEMA} checkpoint");
     println!(
         "tasks={} pushed_periods={} hypotheses={} fingerprint={:016x}",
         checkpoint.tasks,

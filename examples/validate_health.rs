@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --example validate_health -- health.json`
 
-use bbmg::serve::HealthSnapshot;
+use bbmg::serve::{HealthSnapshot, HEALTH_SCHEMA};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let path = std::env::args()
@@ -13,9 +13,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .ok_or("usage: validate_health <health.json>")?;
     let text = std::fs::read_to_string(&path)?;
     let snapshot = HealthSnapshot::parse_json(text.trim_end())
-        .map_err(|e| format!("{path} does not conform to bbmg-health/1: {e}"))?;
+        .map_err(|e| format!("{path} does not conform to {HEALTH_SCHEMA}: {e}"))?;
     println!(
-        "{path}: valid bbmg-health/1 snapshot (seq {}, {} shard(s), {} line(s))",
+        "{path}: valid {HEALTH_SCHEMA} snapshot (seq {}, {} shard(s), {} line(s))",
         snapshot.seq,
         snapshot.shards.len(),
         snapshot.lines

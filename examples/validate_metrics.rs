@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --example validate_metrics -- metrics.json`
 
-use bbmg::obs::MetricsSnapshot;
+use bbmg::obs::{MetricsSnapshot, METRICS_SCHEMA};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let path = std::env::args()
@@ -13,8 +13,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .ok_or("usage: validate_metrics <metrics.json>")?;
     let text = std::fs::read_to_string(&path)?;
     let snapshot = MetricsSnapshot::parse_json(&text)
-        .map_err(|e| format!("{path} does not conform to bbmg-metrics/2: {e}"))?;
-    println!("{path}: valid bbmg-metrics/2 snapshot");
+        .map_err(|e| format!("{path} does not conform to {METRICS_SCHEMA}: {e}"))?;
+    println!("{path}: valid {METRICS_SCHEMA} snapshot");
     println!("{snapshot}");
     Ok(())
 }

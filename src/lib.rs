@@ -22,6 +22,7 @@
 //! | [`core`] | `bbmg-core` | **the paper's learner**: exact + bounded-heuristic, checkpoint/restore |
 //! | [`serve`] | `bbmg-serve` | supervised streaming ingest: per-source shards, watermarks, watchdog |
 //! | [`obs`] | `bbmg-obs` | observer trait, event taxonomy, metrics/JSONL/Chrome-trace sinks |
+//! | [`audit`] | `bbmg-audit` | multi-pass static analyzer for artifacts and lattice invariants |
 //! | [`check`] | `bbmg-check` | safety-property language + white/black-box checkers |
 //! | [`analysis`] | `bbmg-analysis` | properties, latency, reachability, ground truth |
 //! | [`workloads`] | `bbmg-workloads` | paper case studies and random models |
@@ -48,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub use bbmg_analysis as analysis;
+pub use bbmg_audit as audit;
 pub use bbmg_check as check;
 pub use bbmg_core as core;
 pub use bbmg_graph as graph;
