@@ -16,7 +16,15 @@ use bbmg_workloads::random::{random_model, RandomModelConfig};
 /// Schema tag of the learner-throughput benchmark artifact
 /// (`BENCH_learner.json`), the single definition every generator and
 /// validator must reference (enforced by `examples/tidy.rs`).
-pub const BENCH_LEARNER_SCHEMA: &str = "bbmg-bench-learner/1";
+///
+/// `/2` extends `/1` with per-kernel batched-arena columns
+/// (`batched_median_micros`/`batched_speedup`: the [`FunctionArena`]
+/// set sweep versus the per-function packed loop it replaced) and a
+/// `pool` object comparing a cold worker-pool spin-up against a warm
+/// dispatch to already-parked workers.
+///
+/// [`FunctionArena`]: bbmg_lattice::FunctionArena
+pub const BENCH_LEARNER_SCHEMA: &str = "bbmg-bench-learner/2";
 
 /// Schema tag of the serve-throughput benchmark artifact
 /// (`BENCH_serve.json`).

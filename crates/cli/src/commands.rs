@@ -100,7 +100,29 @@ pub(crate) fn load_trace<O: Observer + ?Sized>(
 }
 
 /// Builds [`LearnOptions`] from the command-line choice.
+///
+/// `--threads 0` auto-detection resolves to one worker per CPU core.
+/// Callers that already hold the trace should prefer
+/// [`learn_options_for_trace`], which additionally clamps the detected
+/// count by the workload's packed-word volume so small inputs never
+/// provision workers they cannot feed.
 pub(crate) fn learn_options(choice: LearnerChoice) -> Result<LearnOptions, CliError> {
+    learn_options_sized(choice, None)
+}
+
+/// [`learn_options`] with `--threads 0` auto-detection clamped by the
+/// workload size of `trace` (see [`workload_words`]).
+pub(crate) fn learn_options_for_trace(
+    choice: LearnerChoice,
+    trace: &Trace,
+) -> Result<LearnOptions, CliError> {
+    learn_options_sized(choice, Some(workload_words(trace)))
+}
+
+fn learn_options_sized(
+    choice: LearnerChoice,
+    workload: Option<usize>,
+) -> Result<LearnOptions, CliError> {
     let mut options = match choice.bound {
         Some(bound) => LearnOptions::try_bounded(bound)
             .ok_or_else(|| CliError::Usage("--bound must be at least 1".into()))?,
@@ -111,10 +133,16 @@ pub(crate) fn learn_options(choice: LearnerChoice) -> Result<LearnOptions, CliEr
             .try_with_set_limit(limit)
             .ok_or_else(|| CliError::Usage("--set-limit must be at least 1".into()))?;
     }
-    // `--threads 0` means "one worker per CPU core"; detection failure
-    // degrades to sequential rather than erroring.
+    // `--threads 0` means "one worker per CPU core, but no more than the
+    // workload can feed"; detection failure degrades to sequential rather
+    // than erroring. Unknown workloads (streaming serve) clamp on cores
+    // alone.
     let threads = if choice.threads == 0 {
-        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        match workload {
+            Some(words) => bbmg_core::pool::auto_threads(cores, words),
+            None => cores,
+        }
     } else {
         choice.threads
     };
@@ -122,6 +150,23 @@ pub(crate) fn learn_options(choice: LearnerChoice) -> Result<LearnOptions, CliEr
         .try_with_parallelism(threads)
         .expect("resolved thread count is nonzero");
     Ok(options)
+}
+
+/// Deterministic workload-size proxy for `--threads 0` auto-detection:
+/// packed words per dependency matrix × total messages × the candidate
+/// upper bound (`tasks²` ordered pairs per message). Branching work
+/// scales with hypotheses × candidates × words per matrix; the
+/// hypothesis count is unknowable upfront, so the proxy substitutes the
+/// per-message candidate ceiling — deliberately coarse, but monotone in
+/// every dimension that makes parallelism pay, and cheap enough to run
+/// on every invocation.
+fn workload_words(trace: &Trace) -> usize {
+    let tasks = trace.task_count();
+    let words = bbmg_lattice::DependencyFunction::words_per_function(tasks);
+    let messages: usize = trace.periods().iter().map(|p| p.messages().len()).sum();
+    words
+        .saturating_mul(messages)
+        .saturating_mul(tasks.saturating_mul(tasks))
 }
 
 /// Runs the learner per the command-line choice — the plain learner for
@@ -132,7 +177,7 @@ pub(crate) fn run_learner<O: Observer + ?Sized>(
     choice: LearnerChoice,
     observer: &mut O,
 ) -> Result<LearnResult, CliError> {
-    let options = learn_options(choice)?;
+    let options = learn_options_for_trace(choice, trace)?;
     match choice.on_error {
         OnError::Abort => Ok(learn_with(trace, options, observer)?),
         OnError::Skip | OnError::Repair => Ok(robust_learn_with(
@@ -412,8 +457,8 @@ pub(crate) mod learn {
 
     use super::TelemetrySinks;
     use super::{
-        ckpt, learn_options, load_trace, print_model, report_degradation, run_learner, CliError,
-        NoteSink, Write,
+        ckpt, learn_options_for_trace, load_trace, print_model, report_degradation, run_learner,
+        CliError, NoteSink, Write,
     };
     use crate::args::{LearnCmdOptions, OnError};
 
@@ -431,7 +476,7 @@ pub(crate) mod learn {
                 // Checkpointed runs go through the incremental engine so a
                 // crash mid-trace can be resumed with `bbmg resume`.
                 Some(path) => {
-                    let mut learn = learn_options(options.learner)?;
+                    let mut learn = learn_options_for_trace(options.learner, trace)?;
                     if options.learner.on_error != OnError::Abort {
                         learn = learn.with_on_inconsistent(OnInconsistent::SkipPeriod);
                     }
@@ -989,7 +1034,9 @@ pub(crate) mod profile {
     use bbmg_obs::{chrome_trace, Metrics, Recorder, Tee};
 
     use super::TelemetrySinks;
-    use super::{learn_options, load_trace, report_degradation, CliError, NoteSink, Write};
+    use super::{
+        learn_options_for_trace, load_trace, report_degradation, CliError, NoteSink, Write,
+    };
     use crate::args::{OnError, ProfileOptions};
 
     pub(crate) fn run(options: &ProfileOptions, out: &mut dyn Write) -> Result<(), CliError> {
@@ -1009,7 +1056,7 @@ pub(crate) mod profile {
             load_trace(&options.trace, options.learner.on_error, &mut tee)?
         };
 
-        let mut learn_opts = learn_options(options.learner)?;
+        let mut learn_opts = learn_options_for_trace(options.learner, &loaded.trace)?;
         if options.learner.on_error != OnError::Abort {
             learn_opts = learn_opts.with_on_inconsistent(OnInconsistent::SkipPeriod);
         }
@@ -1105,6 +1152,85 @@ mod tests {
         let mut out = Vec::new();
         run(argv.iter().copied(), &mut out).expect("command succeeds");
         String::from_utf8(out).expect("utf8 output")
+    }
+
+    mod auto_threads {
+        use bbmg_trace::{Timestamp, Trace, TraceBuilder};
+
+        use super::super::{learn_options_for_trace, workload_words};
+        use crate::args::LearnerChoice;
+
+        /// A tiny 2-task, 1-message trace: far below the auto-threading
+        /// word floor on any hardware.
+        fn tiny_trace() -> Trace {
+            let u = bbmg_lattice::TaskUniverse::from_names(["a", "b"]);
+            let a = u.lookup("a").unwrap();
+            let b_id = u.lookup("b").unwrap();
+            let mut b = TraceBuilder::new(u);
+            b.begin_period();
+            b.task(a, Timestamp::new(0), Timestamp::new(10)).unwrap();
+            b.message(Timestamp::new(11), Timestamp::new(13)).unwrap();
+            b.task(b_id, Timestamp::new(15), Timestamp::new(25))
+                .unwrap();
+            b.end_period().unwrap();
+            b.finish()
+        }
+
+        #[test]
+        fn workload_proxy_is_monotone_in_messages_and_tasks() {
+            let tiny = workload_words(&tiny_trace());
+            assert!(tiny > 0);
+            // Same universe, more messages => strictly more estimated work.
+            let u = bbmg_lattice::TaskUniverse::from_names(["a", "b"]);
+            let a = u.lookup("a").unwrap();
+            let b_id = u.lookup("b").unwrap();
+            let mut b = TraceBuilder::new(u);
+            for p in 0..4u64 {
+                let base = p * 100;
+                b.begin_period();
+                b.task(a, Timestamp::new(base), Timestamp::new(base + 10))
+                    .unwrap();
+                b.message(Timestamp::new(base + 11), Timestamp::new(base + 13))
+                    .unwrap();
+                b.task(b_id, Timestamp::new(base + 15), Timestamp::new(base + 25))
+                    .unwrap();
+                b.end_period().unwrap();
+            }
+            assert!(workload_words(&b.finish()) > tiny);
+        }
+
+        #[test]
+        fn threads_zero_clamps_to_one_on_tiny_workloads() {
+            // Regardless of how many cores the host has, a workload far
+            // below AUTO_THREAD_WORDS must resolve --threads 0 to 1.
+            let choice = LearnerChoice {
+                threads: 0,
+                ..LearnerChoice::default()
+            };
+            let options = learn_options_for_trace(choice, &tiny_trace()).unwrap();
+            assert_eq!(options.parallelism.get(), 1);
+        }
+
+        #[test]
+        fn threads_zero_without_a_trace_uses_detected_cores() {
+            let choice = LearnerChoice {
+                threads: 0,
+                ..LearnerChoice::default()
+            };
+            let options = super::super::learn_options(choice).unwrap();
+            let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+            assert_eq!(options.parallelism.get(), cores);
+        }
+
+        #[test]
+        fn explicit_threads_are_never_clamped_by_the_workload() {
+            let choice = LearnerChoice {
+                threads: 6,
+                ..LearnerChoice::default()
+            };
+            let options = learn_options_for_trace(choice, &tiny_trace()).unwrap();
+            assert_eq!(options.parallelism.get(), 6);
+        }
     }
 
     #[test]

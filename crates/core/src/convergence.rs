@@ -84,23 +84,34 @@ pub fn convergence_timeline_with<O: Observer + ?Sized>(
     // The per-snapshot weight/distance computations are independent
     // word-kernel sweeps; fan them out in chunk order (the timeline order
     // is the snapshot order either way) once the timeline is long enough
-    // to amortize the spawns.
-    let threads = options.parallelism.get();
-    let timeline: Vec<ConvergencePoint> = if threads > 1 && snapshots.len() >= 64 {
-        let snapshots = &snapshots;
-        let final_lub = &final_lub;
-        crate::pool::chunk_map(threads, snapshots.len(), |range| {
-            snapshots[range]
-                .iter()
-                .map(|(period, hypotheses, lub)| ConvergencePoint {
-                    period: *period,
-                    hypotheses: *hypotheses,
-                    lub_weight: lub.weight(),
-                    distance_to_final: lub.lattice_distance(final_lub),
-                })
-                .collect::<Vec<ConvergencePoint>>()
-        })
-        .concat()
+    // to amortize a dispatch to the persistent pool.
+    let threads = if options.parallelism.get() > 1 && snapshots.len() >= 64 {
+        crate::pool::WorkerPool::global().provision(options.parallelism.get())
+    } else {
+        1
+    };
+    let timeline: Vec<ConvergencePoint> = if threads > 1 {
+        let snapshots = std::sync::Arc::new(snapshots);
+        let final_lub = std::sync::Arc::new(final_lub);
+        let jobs: Vec<_> = crate::pool::chunk_ranges(threads, snapshots.len())
+            .into_iter()
+            .map(|range| {
+                let snapshots = std::sync::Arc::clone(&snapshots);
+                let final_lub = std::sync::Arc::clone(&final_lub);
+                move || {
+                    snapshots[range]
+                        .iter()
+                        .map(|(period, hypotheses, lub)| ConvergencePoint {
+                            period: *period,
+                            hypotheses: *hypotheses,
+                            lub_weight: lub.weight(),
+                            distance_to_final: lub.lattice_distance(&final_lub),
+                        })
+                        .collect::<Vec<ConvergencePoint>>()
+                }
+            })
+            .collect();
+        crate::pool::WorkerPool::global().scatter(jobs).concat()
     } else {
         snapshots
             .into_iter()
@@ -126,8 +137,12 @@ pub fn convergence_timeline_with<O: Observer + ?Sized>(
 /// Least upper bound of the learner's current hypothesis set.
 fn lub_of(learner: &RobustLearner) -> Option<DependencyFunction> {
     let mut hypotheses = learner.hypotheses().into_iter();
-    let first = hypotheses.next()?.clone();
-    Some(hypotheses.fold(first, |acc, d| acc.join(d)))
+    let mut acc = hypotheses.next()?.clone();
+    for d in hypotheses {
+        // One accumulator allocation per snapshot, not one per join.
+        acc.join_in_place(d);
+    }
+    Some(acc)
 }
 
 #[cfg(test)]

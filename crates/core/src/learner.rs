@@ -1,8 +1,9 @@
 //! The incremental generalization engine (paper §3.1–§3.2).
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
-use bbmg_lattice::{DependencyFunction, DependencyValue, TaskId};
+use bbmg_lattice::{DependencyFunction, DependencyValue, FunctionArena, TaskId};
 use bbmg_obs::{NoopObserver, Observer};
 use bbmg_trace::{Period, Trace};
 
@@ -10,7 +11,7 @@ use crate::error::LearnError;
 use crate::history::ExecutionHistory;
 use crate::hypothesis::Hypothesis;
 use crate::options::{LearnOptions, MergeAssumptions};
-use crate::pool;
+use crate::pool::{self, WorkerPool};
 use crate::stats::LearnStats;
 
 /// How many generated hypotheses pass between mid-period budget checks.
@@ -34,8 +35,21 @@ pub const PARALLEL_BRANCH_WORDS: usize = 128 * 1024;
 
 /// Minimum `unique hypotheses × packed words per matrix` product before
 /// the redundancy scan fans out, sized in words for the same reason as
-/// [`PARALLEL_BRANCH_WORDS`].
-const PARALLEL_SCAN_WORDS: usize = 8 * 1024;
+/// [`PARALLEL_BRANCH_WORDS`]. Higher than the branch gate's per-item
+/// cost profile suggests because the batched arena scan (contiguous
+/// `leq` sweeps over cached-weight prefixes) is so much cheaper per
+/// word than child generation that small sets finish before a dispatch
+/// round-trip completes — the old 8 Ki gate measured 0.88× at 2
+/// threads on the blow-up workload's scans.
+pub const PARALLEL_SCAN_WORDS: usize = 32 * 1024;
+
+/// Minimum `hypotheses × candidates × packed words per matrix` product
+/// before bounded-mode child *generation* fans out. Lower than
+/// [`PARALLEL_BRANCH_WORDS`]: bounded-mode children also carry an eager
+/// weight computation into the workers (the reduce needs weights for
+/// merge ordering anyway), so each generated child amortizes more
+/// parallel work.
+pub const BOUNDED_BRANCH_WORDS: usize = 64 * 1024;
 
 /// Minimum hypothesis count before negative-example matching fans out
 /// (each `matches_period` call does backtracking, so items are coarse).
@@ -69,6 +83,37 @@ impl FingerprintDedup {
     }
 }
 
+/// Per-message reduce state for bounded-mode branching (§3.2): children
+/// live in an arena (they stay there even after a merge consumes them —
+/// dedup is defined over *generated* children, and merged results were
+/// never dedup keys), the working list is a weight-ordered `VecDeque` of
+/// `(weight, arena index)` handles, ascending by weight, FIFO among
+/// equals.
+struct BoundedBranch {
+    bound: usize,
+    union: bool,
+    arena: Vec<Option<Hypothesis>>,
+    dedup: FingerprintDedup,
+    working: VecDeque<(u64, usize)>,
+}
+
+impl BoundedBranch {
+    fn new(bound: usize, union: bool) -> Self {
+        BoundedBranch {
+            bound,
+            union,
+            arena: Vec::new(),
+            dedup: FingerprintDedup::default(),
+            working: VecDeque::new(),
+        }
+    }
+
+    fn insert_working(&mut self, weight: u64, idx: usize) {
+        let pos = self.working.partition_point(|&(w, _)| w <= weight);
+        self.working.insert(pos, (weight, idx));
+    }
+}
+
 /// The incremental learner: feed it periods with [`observe`], read the
 /// current most-specific hypothesis set at any time.
 ///
@@ -98,8 +143,14 @@ pub struct Learner {
 
 impl Learner {
     /// Creates a learner over a universe of `tasks` tasks.
+    ///
+    /// If `options.parallelism > 1` this also warms the process-wide
+    /// [`WorkerPool`], so the first period that crosses a fan-out gate
+    /// dispatches to already-parked workers instead of paying thread
+    /// spawns on the hot path.
     #[must_use]
     pub fn new(tasks: usize, options: LearnOptions) -> Self {
+        pool::warm_up(options.parallelism.get());
         Learner {
             options,
             tasks,
@@ -177,6 +228,7 @@ impl Learner {
         stats: LearnStats,
         elapsed: std::time::Duration,
     ) -> Self {
+        pool::warm_up(options.parallelism.get());
         let now = std::time::Instant::now();
         Learner {
             options,
@@ -301,33 +353,38 @@ impl Learner {
 
         // Step 2: message-guided generalization.
         for message in period.messages() {
-            let candidates: Vec<(TaskId, TaskId)> = if self.options.timing_filter {
+            // `Arc` so the branch paths can hand read-only clones to the
+            // persistent worker pool without copying the vectors; the
+            // sequential paths index straight through the `Arc`.
+            let candidates: Arc<Vec<(TaskId, TaskId)>> = Arc::new(if self.options.timing_filter {
                 period.candidate_pairs(message)
             } else {
                 all_executed_pairs(period)
-            };
+            });
             self.stats.candidate_pairs_total += candidates.len();
             self.stats.messages += 1;
 
             // The minimal generalization values per candidate pair are
             // hypothesis-independent: look them up once per message, not
             // once per (hypothesis, candidate).
-            let joins: Vec<(DependencyValue, DependencyValue)> = candidates
-                .iter()
-                .map(|&(s, r)| {
-                    if self.options.history_aware {
-                        (
-                            self.history.forward_value(s, r),
-                            self.history.backward_value(s, r),
-                        )
-                    } else {
-                        // Ablation: the naive join that only respects the
-                        // current instance (violates the version-space
-                        // invariant; see LearnOptions::history_aware).
-                        (DependencyValue::Determines, DependencyValue::DependsOn)
-                    }
-                })
-                .collect();
+            let joins: Arc<Vec<(DependencyValue, DependencyValue)>> = Arc::new(
+                candidates
+                    .iter()
+                    .map(|&(s, r)| {
+                        if self.options.history_aware {
+                            (
+                                self.history.forward_value(s, r),
+                                self.history.backward_value(s, r),
+                            )
+                        } else {
+                            // Ablation: the naive join that only respects the
+                            // current instance (violates the version-space
+                            // invariant; see LearnOptions::history_aware).
+                            (DependencyValue::Determines, DependencyValue::DependsOn)
+                        }
+                    })
+                    .collect(),
+            );
 
             let generated_before = self.stats.hypotheses_generated;
             let next = if self.options.bound.is_some() {
@@ -365,11 +422,79 @@ impl Learner {
         Ok(())
     }
 
+    /// How many workers to fan a branching step out over: 1 unless the
+    /// workload crosses `gate_words` and the options ask for parallelism,
+    /// in which case the persistent pool is provisioned (lazily growing
+    /// it up to the hardware limit) and the request is clamped to the
+    /// workers actually available. The clamp only changes *partitioning*,
+    /// never results: ordered chunk concatenation reproduces the
+    /// sequential sequence at every chunk count.
+    fn branch_threads(&self, items: usize, candidates: usize, gate_words: usize) -> usize {
+        if self.options.parallelism.get() <= 1 || items < 2 {
+            return 1;
+        }
+        let words = DependencyFunction::words_per_function(self.tasks);
+        let volume = items.saturating_mul(candidates).saturating_mul(words);
+        if volume < gate_words {
+            return 1;
+        }
+        WorkerPool::global().provision(self.options.parallelism.get())
+    }
+
+    /// Generates every (hypothesis, candidate) child for one message in
+    /// (hypothesis-major, candidate-minor) order, fanned out over the
+    /// persistent pool in contiguous hypothesis chunks. `map` runs inside
+    /// the workers on each freshly generated child (fingerprinting, eager
+    /// weights — anything side-effect-free); the ordered concatenation of
+    /// chunk outputs is exactly the sequential generation sequence.
+    ///
+    /// The hypothesis set is moved into an `Arc` for the duration (jobs on
+    /// a persistent pool must be `'static`) and restored afterwards; by the
+    /// time `scatter` returns every worker has dropped its clone, so the
+    /// restore is a move, not a copy.
+    fn generate_children_parallel<T: Send + 'static>(
+        &mut self,
+        threads: usize,
+        candidates: &Arc<Vec<(TaskId, TaskId)>>,
+        joins: &Arc<Vec<(DependencyValue, DependencyValue)>>,
+        map: fn(Hypothesis) -> T,
+    ) -> Vec<T> {
+        let hypotheses = Arc::new(std::mem::take(&mut self.hypotheses));
+        let jobs: Vec<_> = pool::chunk_ranges(threads, hypotheses.len())
+            .into_iter()
+            .map(|range| {
+                let hypotheses = Arc::clone(&hypotheses);
+                let candidates = Arc::clone(candidates);
+                let joins = Arc::clone(joins);
+                move || {
+                    let mut out: Vec<T> = Vec::new();
+                    for h in &hypotheses[range] {
+                        for (ci, &(s, r)) in candidates.iter().enumerate() {
+                            if h.assumes(s, r) {
+                                continue;
+                            }
+                            let (forward, backward) = joins[ci];
+                            out.push(map(h.assume_message(s, r, forward, backward)));
+                        }
+                    }
+                    out
+                }
+            })
+            .collect();
+        let chunks = WorkerPool::global().scatter(jobs);
+        self.hypotheses = Arc::try_unwrap(hypotheses).unwrap_or_else(|shared| (*shared).clone());
+        let mut children = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
+        for chunk in chunks {
+            children.extend(chunk);
+        }
+        children
+    }
+
     /// Exact-mode branching for one message: every (hypothesis, candidate)
     /// pair spawns a child, deduplicated fingerprint-first.
     ///
     /// With `parallelism > 1` and enough work, child *generation* fans out
-    /// to scoped worker threads in contiguous hypothesis chunks; the
+    /// to the persistent worker pool in contiguous hypothesis chunks; the
     /// *reduce* — dedup, statistics, budget sampling, set-limit checks and
     /// observer events — always runs on this thread, consuming chunks in
     /// order. Since workers only map over disjoint read-only slices, the
@@ -379,38 +504,21 @@ impl Learner {
         &mut self,
         period: usize,
         observer: &mut O,
-        candidates: &[(TaskId, TaskId)],
-        joins: &[(DependencyValue, DependencyValue)],
+        candidates: &Arc<Vec<(TaskId, TaskId)>>,
+        joins: &Arc<Vec<(DependencyValue, DependencyValue)>>,
     ) -> Result<Vec<Hypothesis>, LearnError> {
         let mut next: Vec<Hypothesis> = Vec::new();
         let mut dedup = FingerprintDedup::default();
-        let threads = self.options.parallelism.get();
-        let words = DependencyFunction::words_per_function(self.tasks);
-        let fan_out = threads > 1
-            && self.hypotheses.len() >= 2
-            && self
-                .hypotheses
-                .len()
-                .saturating_mul(candidates.len())
-                .saturating_mul(words)
-                >= PARALLEL_BRANCH_WORDS;
-        if fan_out {
-            let hypotheses = &self.hypotheses;
-            let chunks = pool::chunk_map(threads, hypotheses.len(), |range| {
-                let mut out: Vec<(u64, Hypothesis)> = Vec::new();
-                for h in &hypotheses[range] {
-                    for (ci, &(s, r)) in candidates.iter().enumerate() {
-                        if h.assumes(s, r) {
-                            continue;
-                        }
-                        let (forward, backward) = joins[ci];
-                        let child = h.assume_message(s, r, forward, backward);
-                        out.push((child.fingerprint(), child));
-                    }
-                }
-                out
+        let threads = self.branch_threads(
+            self.hypotheses.len(),
+            candidates.len(),
+            PARALLEL_BRANCH_WORDS,
+        );
+        if threads > 1 {
+            let children = self.generate_children_parallel(threads, candidates, joins, |child| {
+                (child.fingerprint(), child)
             });
-            for (fingerprint, child) in chunks.into_iter().flatten() {
+            for (fingerprint, child) in children {
                 self.admit_exact_child(
                     period,
                     observer,
@@ -485,87 +593,150 @@ impl Learner {
         Ok(())
     }
 
-    /// Bounded-mode branching for one message (§3.2). Stays sequential on
-    /// purpose: each overflow merges the two currently lowest-weight
-    /// hypotheses, so the result depends on the exact interleaving of
-    /// insertions and merges — Theorem 4's convergence argument is about
-    /// precisely this order. The win here is structural instead: children
-    /// live in an arena and the working list is a weight-ordered
-    /// `VecDeque` of `(weight, index)` handles, so overflow extraction is
-    /// two O(1) `pop_front`s (previously two `Vec::remove(0)` memmoves),
-    /// insertion binary-searches cached weights (previously recomputed
-    /// `weight()` per probe), and dedup is fingerprint-first against the
-    /// arena (previously a clone of every child into a `HashSet`).
+    /// Bounded-mode branching for one message (§3.2).
+    ///
+    /// The *reduce* — dedup, statistics, budget sampling, overflow merges —
+    /// is inherently sequential: each overflow merges the two currently
+    /// lowest-weight hypotheses, so the result depends on the exact
+    /// interleaving of insertions and merges (Theorem 4's convergence
+    /// argument is about precisely this order), and it always runs on this
+    /// thread in generation order. Child *generation*, however, only reads
+    /// the period-start hypothesis snapshot — merged results never spawn
+    /// children within a message — so with enough work it fans out to the
+    /// persistent pool, with each worker eagerly computing the weight its
+    /// child will need for merge ordering anyway. The admitted child
+    /// sequence (and hence every merge, stat and event) is byte-identical
+    /// to the sequential loop's at any thread count.
+    ///
+    /// Structural wins over the pre-arena implementation: children live in
+    /// an arena and the working list is a weight-ordered `VecDeque` of
+    /// `(weight, index)` handles, so overflow extraction is two O(1)
+    /// `pop_front`s (previously two `Vec::remove(0)` memmoves), insertion
+    /// binary-searches cached weights (previously recomputed `weight()`
+    /// per probe), and dedup is fingerprint-first against the arena
+    /// (previously a clone of every child into a `HashSet`).
     fn branch_bounded<O: Observer + ?Sized>(
         &mut self,
         period: usize,
         observer: &mut O,
-        candidates: &[(TaskId, TaskId)],
-        joins: &[(DependencyValue, DependencyValue)],
+        candidates: &Arc<Vec<(TaskId, TaskId)>>,
+        joins: &Arc<Vec<(DependencyValue, DependencyValue)>>,
     ) -> Result<Vec<Hypothesis>, LearnError> {
-        let bound = self.options.bound.expect("bounded mode").get();
-        let union = self.options.merge_assumptions == MergeAssumptions::Union;
-        // Children stay in the arena even after a merge consumes them:
-        // dedup is defined over *generated* children (merged results were
-        // never dedup keys), matching the previous `seen` set's contents
-        // without cloning.
-        let mut arena: Vec<Option<Hypothesis>> = Vec::new();
-        let mut dedup = FingerprintDedup::default();
-        // (weight, arena index), ascending by weight, FIFO among equals.
-        let mut working: VecDeque<(u64, usize)> = VecDeque::new();
-        let insert = |working: &mut VecDeque<(u64, usize)>, w: u64, idx: usize| {
-            let pos = working.partition_point(|&(x, _)| x <= w);
-            working.insert(pos, (w, idx));
-        };
-        for hi in 0..self.hypotheses.len() {
-            for (ci, &(s, r)) in candidates.iter().enumerate() {
-                let h = &self.hypotheses[hi];
-                if h.assumes(s, r) {
-                    continue;
-                }
-                let (forward, backward) = joins[ci];
-                let child = h.assume_message(s, r, forward, backward);
-                let fingerprint = child.fingerprint();
-                if !dedup.insert(fingerprint, arena.len(), &child, &arena, |slot| {
-                    slot.as_ref().expect("dedup only indexes live children")
-                }) {
-                    continue;
-                }
-                self.stats.hypotheses_generated += 1;
-                if self
-                    .stats
-                    .hypotheses_generated
-                    .is_multiple_of(BUDGET_SAMPLE_INTERVAL)
-                {
-                    self.sampled_budget_check(period, observer)?;
-                }
-                let weight = child.weight();
-                let idx = arena.len();
-                arena.push(Some(child));
-                insert(&mut working, weight, idx);
-                if working.len() > bound {
-                    // Replace the two lowest-weight hypotheses by their
-                    // least upper bound (§3.2).
-                    let (wa, ia) = working.pop_front().expect("overflow implies nonempty");
-                    let (wb, ib) = working.pop_front().expect("bound >= 1");
-                    let merged = {
-                        let a = arena[ia].as_ref().expect("working entries are live");
-                        let b = arena[ib].as_ref().expect("working entries are live");
-                        a.merge(b, union)
-                    };
-                    observer.merge(period, (wa, wb), merged.weight());
-                    let mw = merged.weight();
-                    let midx = arena.len();
-                    arena.push(Some(merged));
-                    insert(&mut working, mw, midx);
-                    self.stats.merges += 1;
+        let mut state = BoundedBranch::new(
+            self.options.bound.expect("bounded mode").get(),
+            self.options.merge_assumptions == MergeAssumptions::Union,
+        );
+        let threads = self.branch_threads(
+            self.hypotheses.len(),
+            candidates.len(),
+            BOUNDED_BRANCH_WORDS,
+        );
+        if threads > 1 {
+            let children = self.generate_children_parallel(threads, candidates, joins, |child| {
+                // Fingerprint and weight are pure functions of the child;
+                // hoisting them into the workers is the whole point of
+                // parallel bounded generation.
+                (child.fingerprint(), child.weight(), child)
+            });
+            for (fingerprint, weight, child) in children {
+                self.admit_bounded_child(
+                    period,
+                    observer,
+                    &mut state,
+                    fingerprint,
+                    Some(weight),
+                    child,
+                )?;
+            }
+        } else {
+            for hi in 0..self.hypotheses.len() {
+                for (ci, &(s, r)) in candidates.iter().enumerate() {
+                    let h = &self.hypotheses[hi];
+                    if h.assumes(s, r) {
+                        continue;
+                    }
+                    let (forward, backward) = joins[ci];
+                    let child = h.assume_message(s, r, forward, backward);
+                    let fingerprint = child.fingerprint();
+                    // Weight deferred until the child survives dedup: the
+                    // sequential path should not pay for duplicates.
+                    self.admit_bounded_child(
+                        period,
+                        observer,
+                        &mut state,
+                        fingerprint,
+                        None,
+                        child,
+                    )?;
                 }
             }
         }
+        let BoundedBranch {
+            mut arena, working, ..
+        } = state;
         Ok(working
             .iter()
             .map(|&(_, idx)| arena[idx].take().expect("survivors are live and unique"))
             .collect())
+    }
+
+    /// The bounded-mode per-child reduce step, shared verbatim by the
+    /// sequential loop and the parallel ordered reduce: dedup → count →
+    /// sampled budget check → weight → insert → overflow merge, in exactly
+    /// the order the sequential implementation uses. `weight` is `Some`
+    /// when a worker already computed it (side-effect-free, so eagerness
+    /// cannot change results), `None` to compute it lazily after dedup.
+    fn admit_bounded_child<O: Observer + ?Sized>(
+        &mut self,
+        period: usize,
+        observer: &mut O,
+        state: &mut BoundedBranch,
+        fingerprint: u64,
+        weight: Option<u64>,
+        child: Hypothesis,
+    ) -> Result<(), LearnError> {
+        if !state.dedup.insert(
+            fingerprint,
+            state.arena.len(),
+            &child,
+            &state.arena,
+            |slot| slot.as_ref().expect("dedup only indexes live children"),
+        ) {
+            return Ok(());
+        }
+        self.stats.hypotheses_generated += 1;
+        if self
+            .stats
+            .hypotheses_generated
+            .is_multiple_of(BUDGET_SAMPLE_INTERVAL)
+        {
+            self.sampled_budget_check(period, observer)?;
+        }
+        let weight = weight.unwrap_or_else(|| child.weight());
+        let idx = state.arena.len();
+        state.arena.push(Some(child));
+        state.insert_working(weight, idx);
+        if state.working.len() > state.bound {
+            // Replace the two lowest-weight hypotheses by their least
+            // upper bound (§3.2).
+            let (wa, ia) = state
+                .working
+                .pop_front()
+                .expect("overflow implies nonempty");
+            let (wb, ib) = state.working.pop_front().expect("bound >= 1");
+            let merged = {
+                let a = state.arena[ia].as_ref().expect("working entries are live");
+                let b = state.arena[ib].as_ref().expect("working entries are live");
+                a.merge(b, state.union)
+            };
+            observer.merge(period, (wa, wb), merged.weight());
+            let mw = merged.weight();
+            let midx = state.arena.len();
+            state.arena.push(Some(merged));
+            state.insert_working(mw, midx);
+            self.stats.merges += 1;
+        }
+        Ok(())
     }
 
     /// Processes a *negative* instance: a period known to be infeasible
@@ -597,17 +768,36 @@ impl Learner {
             });
         }
         let before = self.hypotheses.len();
-        let threads = self.options.parallelism.get();
-        if threads > 1 && before >= PARALLEL_MATCH_THRESHOLD {
+        let threads = if self.options.parallelism.get() > 1 && before >= PARALLEL_MATCH_THRESHOLD {
+            WorkerPool::global().provision(self.options.parallelism.get())
+        } else {
+            1
+        };
+        if threads > 1 {
             // Each matches_period call runs an independent backtracking
-            // search; fan the reads out, keep the retain order here.
-            let hypotheses = &self.hypotheses;
-            let keep: Vec<bool> = pool::chunk_map(threads, before, |range| {
-                range
-                    .map(|i| !crate::matching::matches_period(hypotheses[i].function(), period))
-                    .collect::<Vec<bool>>()
-            })
-            .concat();
+            // search; fan the reads out, keep the retain order here. The
+            // hypothesis set and one period clone move into `Arc`s so the
+            // jobs are `'static`; the set is restored (a move, not a
+            // copy — see `generate_children_parallel`) before the retain.
+            let hypotheses = Arc::new(std::mem::take(&mut self.hypotheses));
+            let shared_period = Arc::new(period.clone());
+            let jobs: Vec<_> = pool::chunk_ranges(threads, before)
+                .into_iter()
+                .map(|range| {
+                    let hypotheses = Arc::clone(&hypotheses);
+                    let period = Arc::clone(&shared_period);
+                    move || {
+                        range
+                            .map(|i| {
+                                !crate::matching::matches_period(hypotheses[i].function(), &period)
+                            })
+                            .collect::<Vec<bool>>()
+                    }
+                })
+                .collect();
+            let keep: Vec<bool> = WorkerPool::global().scatter(jobs).concat();
+            self.hypotheses =
+                Arc::try_unwrap(hypotheses).unwrap_or_else(|shared| (*shared).clone());
             let mut flags = keep.into_iter();
             self.hypotheses
                 .retain(|_| flags.next().expect("one flag per hypothesis"));
@@ -627,14 +817,21 @@ impl Learner {
     /// Unifies equal hypotheses and removes dominated ones: `d` is
     /// redundant iff some other `d'` satisfies `d' ⊑ d`, `d' ≠ d`.
     ///
-    /// Dedup is fingerprint-first (full equality only on collision), and
-    /// the domination scan exploits weight sorting: a strict dominator is
+    /// Dedup is fingerprint-first (full equality only on collision). The
+    /// domination scan runs over a [`FunctionArena`] snapshot of the
+    /// weight-sorted survivors: one contiguous word buffer plus a cached
+    /// weight column, so each probe is a `partition_point` over adjacent
+    /// weights followed by a batched `leq` sweep of adjacent rows —
+    /// `O(Σᵢ prefix(i))` streaming word compares instead of all-pairs
+    /// full-matrix compares over pointer-chased hypotheses. Weight
+    /// sorting makes the prefix sufficient: a strict dominator is
     /// strictly more specific and weight is strictly monotone on the
     /// order, so only the strictly-lower-weight prefix can dominate an
-    /// entry — the scan is `O(Σᵢ prefix(i))` packed-word `leq`s instead of
-    /// all-pairs full-matrix compares, and fans out across threads when
-    /// the set is large. Output (membership *and* order — weight-sorted,
-    /// ties in first-seen order) is identical to the old all-pairs scan.
+    /// entry. The scan fans out over the persistent pool when the arena
+    /// is large (the `Arc`'d arena is the only shared state, so chunking
+    /// cannot change the flags). Output (membership *and* order —
+    /// weight-sorted, ties in first-seen order) is identical to the old
+    /// all-pairs scan.
     fn remove_redundant(&mut self) {
         let mut unique: Vec<Hypothesis> = Vec::with_capacity(self.hypotheses.len());
         let mut dedup = FingerprintDedup::default();
@@ -645,29 +842,31 @@ impl Learner {
             }
         }
         unique.sort_by_key(Hypothesis::weight);
-        let weights: Vec<u64> = unique.iter().map(Hypothesis::weight).collect();
-        let entries = &unique;
-        let keep_entry = |i: usize| {
-            // Entries of equal weight cannot dominate each other (strict
-            // domination strictly lowers weight), so scan only the
-            // strictly-lighter prefix; `⊑` with a strictly lower weight
-            // already implies inequality.
-            let prefix = weights.partition_point(|&w| w < weights[i]);
-            !entries[..prefix]
-                .iter()
-                .any(|other| other.function().leq(entries[i].function()))
-        };
-        let threads = self.options.parallelism.get();
-        let scan_words = unique
-            .len()
-            .saturating_mul(DependencyFunction::words_per_function(self.tasks));
-        let keep: Vec<bool> = if threads > 1 && scan_words >= PARALLEL_SCAN_WORDS {
-            pool::chunk_map(threads, unique.len(), |range| {
-                range.map(keep_entry).collect::<Vec<bool>>()
-            })
-            .concat()
+        let arena = Arc::new(FunctionArena::from_functions(
+            self.tasks,
+            unique.iter().map(Hypothesis::function),
+        ));
+        fn keeps(arena: &FunctionArena, i: usize) -> bool {
+            let prefix = arena.weights().partition_point(|&w| w < arena.weight(i));
+            !arena.dominated_in_prefix(i, prefix)
+        }
+        let threads =
+            if self.options.parallelism.get() > 1 && arena.total_words() >= PARALLEL_SCAN_WORDS {
+                WorkerPool::global().provision(self.options.parallelism.get())
+            } else {
+                1
+            };
+        let keep: Vec<bool> = if threads > 1 {
+            let jobs: Vec<_> = pool::chunk_ranges(threads, unique.len())
+                .into_iter()
+                .map(|range| {
+                    let arena = Arc::clone(&arena);
+                    move || range.map(|i| keeps(&arena, i)).collect::<Vec<bool>>()
+                })
+                .collect();
+            WorkerPool::global().scatter(jobs).concat()
         } else {
-            (0..unique.len()).map(keep_entry).collect()
+            (0..unique.len()).map(|i| keeps(&arena, i)).collect()
         };
         self.hypotheses = unique
             .into_iter()
@@ -731,8 +930,13 @@ impl LearnResult {
     #[must_use]
     pub fn lub(&self) -> Option<DependencyFunction> {
         let mut iter = self.hypotheses.iter();
-        let first = iter.next()?.clone();
-        Some(iter.fold(first, |acc, d| acc.join(d)))
+        let mut acc = iter.next()?.clone();
+        for d in iter {
+            // In-place word joins: one accumulator allocation for the
+            // whole fold instead of one fresh matrix per hypothesis.
+            acc.join_in_place(d);
+        }
+        Some(acc)
     }
 
     /// Run statistics.

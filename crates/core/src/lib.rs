@@ -58,7 +58,7 @@ mod incremental;
 mod learner;
 mod matching;
 mod options;
-mod pool;
+pub mod pool;
 mod robust;
 mod stats;
 mod witness;
@@ -72,7 +72,8 @@ pub use error::LearnError;
 pub use hypothesis::Hypothesis;
 pub use incremental::IncrementalLearner;
 pub use learner::{
-    learn, learn_with, LearnResult, Learner, BUDGET_SAMPLE_INTERVAL, PARALLEL_BRANCH_WORDS,
+    learn, learn_with, LearnResult, Learner, BOUNDED_BRANCH_WORDS, BUDGET_SAMPLE_INTERVAL,
+    PARALLEL_BRANCH_WORDS, PARALLEL_SCAN_WORDS,
 };
 pub use matching::{
     execution_consistent, matches_period, matches_period_relaxed, matches_period_with,

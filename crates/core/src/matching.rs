@@ -154,24 +154,39 @@ pub fn matches_trace_with<O: Observer + ?Sized>(
         .fold(true, |acc, p| matches_period_with(d, p, observer) && acc)
 }
 
-/// [`matches_trace`] with the per-period checks fanned out over `threads`
-/// scoped worker threads (contiguous period chunks; see
-/// `bbmg_core`'s pool). Each period's verdict is independent, so the
-/// result is identical to [`matches_trace`] at every thread count —
-/// parallelism only trades the sequential short-circuit for concurrency,
-/// which pays off on long traces whose periods each need a backtracking
-/// explainability search.
+/// [`matches_trace`] with the per-period checks fanned out over the
+/// persistent [`WorkerPool`](crate::pool::WorkerPool) in contiguous
+/// period chunks. Each period's verdict is independent, so the result is
+/// identical to [`matches_trace`] at every thread count — parallelism
+/// only trades the sequential short-circuit for concurrency, which pays
+/// off on long traces whose periods each need a backtracking
+/// explainability search. `threads` is a request: it is clamped to the
+/// workers the pool can actually provision on this hardware.
 #[must_use]
 pub fn matches_trace_parallel(d: &DependencyFunction, trace: &Trace, threads: usize) -> bool {
     let periods = trace.periods();
     if threads <= 1 || periods.len() < 2 {
         return matches_trace(d, trace);
     }
-    crate::pool::chunk_map(threads, periods.len(), |range| {
-        periods[range].iter().all(|p| matches_period(d, p))
-    })
-    .into_iter()
-    .all(|ok| ok)
+    let threads = crate::pool::WorkerPool::global().provision(threads);
+    if threads <= 1 {
+        return matches_trace(d, trace);
+    }
+    // Jobs on the persistent pool are `'static`: share the function via
+    // an `Arc`, hand each worker its own copy of a period chunk.
+    let shared = std::sync::Arc::new(d.clone());
+    let jobs: Vec<_> = crate::pool::chunk_ranges(threads, periods.len())
+        .into_iter()
+        .map(|range| {
+            let d = std::sync::Arc::clone(&shared);
+            let chunk: Vec<Period> = periods[range].to_vec();
+            move || chunk.iter().all(|p| matches_period(&d, p))
+        })
+        .collect();
+    crate::pool::WorkerPool::global()
+        .scatter(jobs)
+        .into_iter()
+        .all(|ok| ok)
 }
 
 /// Relaxed [`matches_trace`]; see [`matches_period_relaxed`].

@@ -325,6 +325,21 @@ impl DependencyFunction {
         }
     }
 
+    /// Pointwise least upper bound folded into `self` in place — the
+    /// allocation-free form of [`join`](Self::join) for accumulator
+    /// loops (`d_LUB` summaries, convergence sweeps, arena folds) that
+    /// would otherwise allocate a fresh word vector per step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the functions are over different task universes.
+    pub fn join_in_place(&mut self, other: &DependencyFunction) {
+        assert_eq!(self.tasks, other.tasks, "mismatched task universes");
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a = word_join(*a, b);
+        }
+    }
+
     /// Pointwise greatest lower bound `self ⊓ other`.
     #[must_use]
     pub fn meet(&self, other: &DependencyFunction) -> DependencyFunction {

@@ -13,6 +13,10 @@
 //!   pointwise order on dependency functions is itself a lattice.
 //! * [`TaskId`] / [`TaskUniverse`] — a compact interner for task names, so
 //!   dependency functions are dense matrices indexed by small integers.
+//! * [`FunctionArena`] — a structure-of-arrays store packing whole *sets*
+//!   of dependency functions into one contiguous word buffer (plus cached
+//!   weight/fingerprint columns), so set-level sweeps run as batched
+//!   kernels over adjacent words.
 //!
 //! # Example
 //!
@@ -36,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 mod function;
 pub mod invariant;
 pub mod packed;
@@ -43,6 +48,7 @@ mod task;
 mod taskset;
 mod value;
 
+pub use arena::FunctionArena;
 pub use function::{DependencyFunction, FunctionDecodeError, PairIter};
 pub use invariant::AntichainViolation;
 pub use task::{TaskId, TaskUniverse};

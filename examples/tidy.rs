@@ -29,7 +29,9 @@ const EXPECT_ALLOWLIST: &[&str] = &[
     "crates/core/src/incremental.rs",
     "crates/core/src/learner.rs",
     "crates/core/src/options.rs",
+    "crates/core/src/pool.rs",
     "crates/core/src/robust.rs",
+    "crates/lattice/src/arena.rs",
     "crates/lattice/src/task.rs",
     "crates/moc/src/model.rs",
     "crates/obs/src/json.rs",

@@ -1,9 +1,21 @@
 //! Validates a `BENCH_learner.json` artifact against the strict
-//! `bbmg-bench-learner/1` schema — unknown, missing and duplicate fields
+//! `bbmg-bench-learner/2` schema — unknown, missing and duplicate fields
 //! are all errors, and the cross-field invariants (median is a member of
 //! its sample list, speedups are positive) are checked too. CI runs this
 //! on a freshly generated artifact so the benchmark JSON can never drift
 //! from the schema unnoticed.
+//!
+//! Beyond shape, the validator enforces the performance floors the host
+//! can actually witness. Rows whose thread count fits within
+//! `cpu_threads` must hold ≥ 0.75x of the 1-thread median whenever the
+//! baseline is slow enough to time (≥ 500 us) — the word-volume gates'
+//! contract, with margin for median-vs-median noise on shared runners
+//! (the generator separately asserts ≥ 0.95x on best-of-iterations).
+//! When the host offers ≥ 4 CPU threads and the artifact is a full
+//! (non-`--quick`) run, the `bounded_random` 4-thread row must reach
+//! ≥ 3.0x. Oversubscribed rows (threads beyond `cpu_threads`) carry no
+//! floor: the pool's `provision` clamp makes them near-sequential by
+//! design.
 //!
 //! Run with: `cargo run --example validate_bench_learner -- BENCH_learner.json`
 
@@ -71,6 +83,7 @@ fn validate(document: &Json) -> Result<(), String> {
             "iterations",
             "quick",
             "kernels",
+            "pool",
             "workloads",
         ],
     )?;
@@ -91,9 +104,10 @@ fn validate(document: &Json) -> Result<(), String> {
     if iterations == 0 {
         return Err("iterations must be at least 1".into());
     }
-    if !matches!(document.get("quick"), Some(Json::Bool(_))) {
+    let Some(Json::Bool(quick)) = document.get("quick") else {
         return Err("quick must be a boolean".into());
-    }
+    };
+    let quick = *quick;
 
     let Some(Json::Array(kernels)) = document.get("kernels") else {
         return Err("kernels must be an array".into());
@@ -116,6 +130,9 @@ fn validate(document: &Json) -> Result<(), String> {
                 "scalar_median_micros",
                 "packed_median_micros",
                 "speedup",
+                "per_function_median_micros",
+                "batched_median_micros",
+                "batched_speedup",
             ],
         )?;
         if kernel.get("name").and_then(Json::as_str) != Some(expected_name) {
@@ -126,6 +143,37 @@ fn validate(document: &Json) -> Result<(), String> {
         if f64_field(kernel, &context, "speedup")? <= 0.0 {
             return Err(format!("{context}: speedup must be positive"));
         }
+        u64_field(kernel, &context, "per_function_median_micros")?;
+        u64_field(kernel, &context, "batched_median_micros")?;
+        if f64_field(kernel, &context, "batched_speedup")? <= 0.0 {
+            return Err(format!("{context}: batched_speedup must be positive"));
+        }
+    }
+
+    let pool = document
+        .get("pool")
+        .ok_or_else(|| "pool must be present".to_string())?;
+    exact_object(
+        pool,
+        "pool",
+        &[
+            "workers",
+            "dispatches",
+            "cold_spawn_micros",
+            "warm_dispatch_micros",
+            "speedup",
+        ],
+    )?;
+    if u64_field(pool, "pool", "workers")? == 0 {
+        return Err("pool: workers must be at least 1".into());
+    }
+    if u64_field(pool, "pool", "dispatches")? == 0 {
+        return Err("pool: dispatches must be at least 1".into());
+    }
+    u64_field(pool, "pool", "cold_spawn_micros")?;
+    u64_field(pool, "pool", "warm_dispatch_micros")?;
+    if f64_field(pool, "pool", "speedup")? <= 0.0 {
+        return Err("pool: speedup must be positive".into());
     }
 
     let Some(Json::Array(workloads)) = document.get("workloads") else {
@@ -151,7 +199,7 @@ fn validate(document: &Json) -> Result<(), String> {
         if rows.is_empty() {
             return Err(format!("{context}: threads must not be empty"));
         }
-        let mut first = true;
+        let mut base_median = None;
         for row in rows {
             let threads = u64_field(row, &context, "threads")?;
             let row_context = format!("{context}.threads[{threads}]");
@@ -163,21 +211,42 @@ fn validate(document: &Json) -> Result<(), String> {
             if threads == 0 {
                 return Err(format!("{row_context}: threads must be at least 1"));
             }
-            if first && threads != 1 {
+            if base_median.is_none() && threads != 1 {
                 return Err(format!(
                     "{context}: first row must be the 1-thread baseline"
                 ));
             }
-            first = false;
             let median = u64_field(row, &row_context, "median_micros")?;
+            let base = *base_median.get_or_insert(median);
             let samples = micros_list(row, &row_context, iterations)?;
             if !samples.contains(&median) {
                 return Err(format!(
                     "{row_context}: median_micros {median} is not one of the samples"
                 ));
             }
-            if f64_field(row, &row_context, "speedup_vs_1")? <= 0.0 {
+            let speedup = f64_field(row, &row_context, "speedup_vs_1")?;
+            if speedup <= 0.0 {
                 return Err(format!("{row_context}: speedup_vs_1 must be positive"));
+            }
+            // Performance floors, only where the host could witness them:
+            // the thread count must fit in the machine and the baseline
+            // must be long enough to time.
+            let witnessed = threads <= cpu_threads && base >= 500;
+            if witnessed && speedup < 0.75 {
+                return Err(format!(
+                    "{row_context}: speedup_vs_1 {speedup:.2} is below the 0.75 no-regression floor"
+                ));
+            }
+            if witnessed
+                && !quick
+                && expected_name == "bounded_random"
+                && threads == 4
+                && speedup < 3.0
+            {
+                return Err(format!(
+                    "{row_context}: speedup_vs_1 {speedup:.2} is below the 3.0x scaling floor \
+                     for bounded_random at 4 threads on a >=4-thread host"
+                ));
             }
         }
     }

@@ -7,10 +7,17 @@
 //! the metrics snapshot's `period_micros`/`total_micros`).
 //!
 //! The workloads are chosen so the parallel code paths actually run: the
-//! blow-up trace crosses the learner's fan-out threshold
-//! (hypotheses × candidates ≥ 256) and the budget sample window, while
-//! the small worked example stays below it — both must agree with the
-//! sequential baseline.
+//! wide blow-up trace crosses the learner's word-volume fan-out gates
+//! ([`bbmg::core::PARALLEL_BRANCH_WORDS`] and friends) and the budget
+//! sample window, while the small worked example stays below them — both
+//! must agree with the sequential baseline.
+//!
+//! Dispatch goes through the process-wide persistent
+//! [`WorkerPool`](bbmg::core::pool::WorkerPool), whose `provision` clamp
+//! would keep everything sequential on a single-core host — so tests
+//! that need the parallel paths to *actually execute* force real parked
+//! workers with `ensure_workers` first (results must be identical either
+//! way; forcing merely makes the assertion non-vacuous).
 
 use bbmg::core::{learn, learn_with, matches_trace, matches_trace_parallel, Budget, LearnOptions};
 use bbmg::lattice::TaskId;
@@ -55,6 +62,55 @@ fn blowup_trace() -> Trace {
     }
     b.end_period().unwrap();
     b.finish()
+}
+
+/// A wider variant — 10 possible senders × 10 possible receivers over a
+/// 20-task universe (20 packed words per matrix) — sized so the second
+/// message's branch volume (100 hypotheses × 100 candidates × 20 words =
+/// 200 Ki words) crosses `PARALLEL_BRANCH_WORDS`, the post-period scan
+/// crosses `PARALLEL_SCAN_WORDS`, and a bound-64 run crosses
+/// `BOUNDED_BRANCH_WORDS`: every parallel learner path runs for real.
+fn wide_blowup_trace() -> Trace {
+    let width = 10usize;
+    let names: Vec<String> = (0..width)
+        .map(|i| format!("s{i}"))
+        .chain((0..width).map(|i| format!("r{i}")))
+        .collect();
+    let u = bbmg::lattice::TaskUniverse::from_names(names);
+    let senders: Vec<TaskId> = (0..width)
+        .map(|i| u.lookup(&format!("s{i}")).unwrap())
+        .collect();
+    let receivers: Vec<TaskId> = (0..width)
+        .map(|i| u.lookup(&format!("r{i}")).unwrap())
+        .collect();
+    let mut b = TraceBuilder::new(u);
+    b.begin_period();
+    for (i, s) in senders.iter().enumerate() {
+        b.event(Timestamp::new(i as u64), EventKind::TaskStart(*s))
+            .unwrap();
+    }
+    for (i, s) in senders.iter().enumerate() {
+        b.event(Timestamp::new(10 + i as u64), EventKind::TaskEnd(*s))
+            .unwrap();
+    }
+    b.message(Timestamp::new(30), Timestamp::new(31)).unwrap();
+    b.message(Timestamp::new(32), Timestamp::new(33)).unwrap();
+    for (i, r) in receivers.iter().enumerate() {
+        b.event(Timestamp::new(60 + i as u64), EventKind::TaskStart(*r))
+            .unwrap();
+    }
+    for (i, r) in receivers.iter().enumerate() {
+        b.event(Timestamp::new(70 + i as u64), EventKind::TaskEnd(*r))
+            .unwrap();
+    }
+    b.end_period().unwrap();
+    b.finish()
+}
+
+/// Grows the process-wide pool past the single-core `provision` clamp so
+/// the fan-out paths genuinely dispatch to parked worker threads.
+fn force_real_workers() {
+    bbmg::core::pool::WorkerPool::global().ensure_workers(3);
 }
 
 /// Strips wall-clock content from an event so streams are comparable
@@ -117,6 +173,7 @@ fn instrumented_run(
 
 #[test]
 fn exact_blowup_is_byte_identical_across_thread_counts() {
+    force_real_workers();
     let trace = blowup_trace();
     let baseline = instrumented_run(&trace, LearnOptions::exact());
     for threads in [2usize, 8] {
@@ -126,6 +183,94 @@ fn exact_blowup_is_byte_identical_across_thread_counts() {
         assert_eq!(baseline.2, run.2, "events differ at {threads} threads");
         assert_eq!(baseline.3, run.3, "metrics differ at {threads} threads");
     }
+}
+
+#[test]
+fn wide_exact_blowup_crosses_every_gate_and_stays_identical() {
+    force_real_workers();
+    let trace = wide_blowup_trace();
+    let baseline = instrumented_run(&trace, LearnOptions::exact());
+    assert!(
+        baseline.1.hypotheses_generated >= 1024,
+        "workload must cross the sample window, generated {}",
+        baseline.1.hypotheses_generated
+    );
+    for threads in [2usize, 4, 8] {
+        let run = instrumented_run(&trace, LearnOptions::exact().with_parallelism(threads));
+        assert_eq!(baseline.0, run.0, "hypotheses differ at {threads} threads");
+        assert_eq!(baseline.1, run.1, "stats differ at {threads} threads");
+        assert_eq!(baseline.2, run.2, "events differ at {threads} threads");
+        assert_eq!(baseline.3, run.3, "metrics differ at {threads} threads");
+    }
+}
+
+#[test]
+fn bounded_parallel_generation_is_byte_identical() {
+    // Bounded-mode *merging* stays sequential by design (§3.2 order
+    // dependence), but child generation fans out past
+    // BOUNDED_BRANCH_WORDS — merges, stats and events must still come
+    // out byte-identical because the reduce consumes children in
+    // generation order.
+    force_real_workers();
+    let trace = wide_blowup_trace();
+    let baseline = instrumented_run(&trace, LearnOptions::bounded(64));
+    assert!(baseline.1.merges > 0, "the bound must actually overflow");
+    for threads in [2usize, 8] {
+        let run = instrumented_run(&trace, LearnOptions::bounded(64).with_parallelism(threads));
+        assert_eq!(baseline.0, run.0, "hypotheses differ at {threads} threads");
+        assert_eq!(baseline.1, run.1, "stats differ at {threads} threads");
+        assert_eq!(baseline.2, run.2, "events differ at {threads} threads");
+        assert_eq!(baseline.3, run.3, "metrics differ at {threads} threads");
+    }
+}
+
+#[test]
+fn warm_pool_reuse_across_sequential_runs_is_stable() {
+    // The persistent pool is process-wide: back-to-back runs reuse the
+    // same parked workers. Every repeat must reproduce the first run
+    // bit for bit — a worker carrying state across dispatches would
+    // show up here.
+    force_real_workers();
+    let trace = wide_blowup_trace();
+    let options = LearnOptions::exact().with_parallelism(4);
+    let first = instrumented_run(&trace, options);
+    for repeat in 0..3 {
+        let again = instrumented_run(&trace, options);
+        assert_eq!(first, again, "run {repeat} diverged on a warm pool");
+    }
+}
+
+#[test]
+fn interleaved_shards_sharing_the_pool_match_isolated_runs() {
+    use bbmg::core::IncrementalLearner;
+
+    // Serve-style usage: several incremental learners alternate periods
+    // on the same process-wide pool. Interleaving dispatches from
+    // different learners must leave each learner's outcome exactly what
+    // an isolated run produces.
+    force_real_workers();
+    let wide = wide_blowup_trace();
+    let small = simple::figure_2_trace();
+    let options = LearnOptions::exact().with_parallelism(4);
+
+    let isolated_wide = learn(&wide, options).unwrap();
+    let isolated_small = learn(&small, options).unwrap();
+
+    let mut shard_a = IncrementalLearner::new(wide.task_count(), options);
+    let mut shard_b = IncrementalLearner::new(small.task_count(), options);
+    let max_len = wide.periods().len().max(small.periods().len());
+    for i in 0..max_len {
+        if let Some(p) = wide.periods().get(i) {
+            shard_a.push_period(p).unwrap();
+        }
+        if let Some(p) = small.periods().get(i) {
+            shard_b.push_period(p).unwrap();
+        }
+    }
+    let got_wide = shard_a.finish();
+    let got_small = shard_b.finish();
+    assert_eq!(isolated_wide.hypotheses(), got_wide.hypotheses());
+    assert_eq!(isolated_small.hypotheses(), got_small.hypotheses());
 }
 
 #[test]
