@@ -41,7 +41,8 @@ pub struct Code {
 
 /// The diagnostic catalog. Ids are grouped by pass: `00x` artifact
 /// intake, `01x` checkpoint deep-verify, `02x` antichain, `03x` roster
-/// cross-document, `04x` health/metrics, `05x` replay.
+/// cross-document, `04x` health/metrics, `05x` replay, `06x` binary
+/// traces, `07x` corpus reports.
 pub mod codes {
     use super::Code;
 
@@ -195,6 +196,42 @@ pub mod codes {
         title: "replay inconclusive",
         fix: "this checkpoint/trace pair cannot be verified by deterministic replay",
     };
+    /// A binary trace's header is missing or promises more than the file.
+    pub const BTRACE_HEADER: Code = Code {
+        id: "BBMG060",
+        title: "binary trace header malformed or truncated",
+        fix: "the file is not a complete binary trace document; re-export it with `bbmg convert`",
+    };
+    /// A binary trace's sealed checksum disagrees with its body.
+    pub const BTRACE_CHECKSUM: Code = Code {
+        id: "BBMG061",
+        title: "binary trace checksum mismatch",
+        fix: "the body was altered after sealing; discard this trace or re-export it",
+    };
+    /// A binary trace's body decodes to an impossible trace.
+    pub const BTRACE_BODY: Code = Code {
+        id: "BBMG062",
+        title: "binary trace body malformed",
+        fix: "the body was forged or written by a different tool; regenerate the trace",
+    };
+    /// A corpus report fails its checksum or violates its schema.
+    pub const CORPUS_MALFORMED: Code = Code {
+        id: "BBMG070",
+        title: "corpus report malformed",
+        fix: "regenerate the report with `bbmg corpus --report`; hand edits break the seal",
+    };
+    /// Corpus report counters disagree with each other.
+    pub const CORPUS_BOOKKEEPING: Code = Code {
+        id: "BBMG071",
+        title: "corpus report bookkeeping disagreement",
+        fix: "hit counts, entry rows, and the dedup ratio must describe the same run",
+    };
+    /// A cache-hit entry references a model no checkpoint on disk holds.
+    pub const CORPUS_UNRESOLVED: Code = Code {
+        id: "BBMG072",
+        title: "corpus cache hit references an unresolvable model",
+        fix: "the cache served a model whose checkpoint no longer verifies; clear the cache dir",
+    };
 }
 
 /// One finding: a code bound to a concrete artifact and message.
@@ -321,6 +358,12 @@ mod tests {
             &codes::UPTIME_REGRESSED,
             &codes::REPLAY_MISMATCH,
             &codes::REPLAY_INCONCLUSIVE,
+            &codes::BTRACE_HEADER,
+            &codes::BTRACE_CHECKSUM,
+            &codes::BTRACE_BODY,
+            &codes::CORPUS_MALFORMED,
+            &codes::CORPUS_BOOKKEEPING,
+            &codes::CORPUS_UNRESOLVED,
         ];
         let mut ids: Vec<&str> = all.iter().map(|c| c.id).collect();
         ids.sort_unstable();

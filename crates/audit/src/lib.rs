@@ -3,7 +3,8 @@
 //!
 //! Every durable artifact the toolchain writes — `bbmg-ckpt/1`
 //! checkpoints, `bbmg-roster/1` rosters, `bbmg-health/1` and
-//! `bbmg-metrics/2` snapshots, `bbmg-bench-*` reports — is a contract
+//! `bbmg-metrics/2` snapshots, `bbmg-btrace/1` binary traces,
+//! `bbmg-corpus/1` ingest reports, `bbmg-bench-*` reports — is a contract
 //! with a future process that will trust it blindly. This crate checks
 //! those contracts *offline*, before anything resumes from them:
 //!
@@ -39,7 +40,7 @@ use std::path::{Path, PathBuf};
 use bbmg_obs::json::{self, Json};
 use bbmg_obs::{Event, NoopObserver, Observer};
 use bbmg_serve::Roster;
-use bbmg_trace::{parse_csv, parse_trace, Trace};
+use bbmg_trace::{is_btrace, parse_csv, parse_trace, Trace};
 
 pub use diag::{codes, Code, Diagnostic, Severity};
 pub use report::AuditReport;
@@ -68,6 +69,7 @@ enum ArtifactKind {
     Health,
     Metrics,
     Bench,
+    Corpus,
 }
 
 /// Per-directory accumulator for the cross-document pass.
@@ -79,13 +81,15 @@ struct DirDocs {
     health: Vec<(String, u64, u64)>,
     /// `(artifact, seq, uptime_us)` of metrics snapshots, in path order.
     metrics: Vec<(String, u64, u64)>,
+    /// Cache-hit rows of corpus reports audited in this directory.
+    corpus: Vec<(String, Vec<passes::CorpusHit>)>,
 }
 
 /// Audits `paths` (files or directories, recursively) and returns the
-/// aggregated report. Directories contribute their `.ckpt` and `.json`
-/// files; JSON documents without a recognized `bbmg-*` schema tag are
-/// skipped in a walk and flagged [`codes::UNRECOGNIZED`] when named
-/// explicitly.
+/// aggregated report. Directories contribute their `.ckpt`, `.json`,
+/// and `.btrace` files; JSON documents without a recognized `bbmg-*`
+/// schema tag are skipped in a walk and flagged [`codes::UNRECOGNIZED`]
+/// when named explicitly.
 #[must_use]
 pub fn audit_paths(paths: &[PathBuf], options: &AuditOptions) -> AuditReport {
     audit_paths_with(paths, options, &mut NoopObserver)
@@ -132,6 +136,9 @@ pub fn audit_paths_with<O: Observer + ?Sized>(
         }
         passes::cross_check_snapshots(&docs.health, &mut diags);
         passes::cross_check_snapshots(&docs.metrics, &mut diags);
+        for (artifact, hits) in &docs.corpus {
+            passes::cross_check_corpus(artifact, dir, hits, &mut diags);
+        }
     }
 
     if observer.is_enabled() {
@@ -176,7 +183,7 @@ fn collect(
                 collect(&entry, false, out, diags, files_audited);
             } else {
                 let ext = entry.extension().and_then(|e| e.to_str()).unwrap_or("");
-                if ext == "ckpt" || ext == "json" {
+                if ext == "ckpt" || ext == "json" || ext == "btrace" {
                     out.push((entry, false));
                 }
             }
@@ -209,11 +216,28 @@ fn audit_candidate(
     files_audited: &mut usize,
 ) {
     let artifact = path.display().to_string();
-    let text = match fs::read_to_string(path) {
-        Ok(text) => text,
+    let bytes = match fs::read(path) {
+        Ok(bytes) => bytes,
         Err(err) => {
             *files_audited += 1;
             diags.push(unreadable(path, &err.to_string()));
+            return;
+        }
+    };
+    // Binary traces are sniffed on bytes, before any UTF-8 expectation:
+    // a `.btrace` extension claims the format even when the magic is
+    // gone, so damage inside the header is still our finding.
+    let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
+    if ext == "btrace" || is_btrace(&bytes) {
+        *files_audited += 1;
+        passes::audit_btrace(&artifact, &bytes, diags);
+        return;
+    }
+    let text = match String::from_utf8(bytes) {
+        Ok(text) => text,
+        Err(_) => {
+            *files_audited += 1;
+            diags.push(unreadable(path, "not valid UTF-8 (and not a binary trace)"));
             return;
         }
     };
@@ -255,6 +279,11 @@ fn audit_candidate(
                     .or_default()
                     .metrics
                     .push((artifact, seq, uptime));
+            }
+        }
+        ArtifactKind::Corpus => {
+            if let Some(hits) = passes::audit_corpus(&artifact, &text, diags) {
+                dirs.entry(dir).or_default().corpus.push((artifact, hits));
             }
         }
         // A bench report's contract is just its schema tag (validated
@@ -304,9 +333,11 @@ fn classify(
         Some(bbmg_serve::ROSTER_SCHEMA) => Some(ArtifactKind::Roster),
         Some(bbmg_serve::HEALTH_SCHEMA) => Some(ArtifactKind::Health),
         Some(bbmg_obs::METRICS_SCHEMA) => Some(ArtifactKind::Metrics),
+        Some(bbmg_core::CORPUS_SCHEMA) => Some(ArtifactKind::Corpus),
         Some(bbmg_bench::BENCH_LEARNER_SCHEMA)
         | Some(bbmg_bench::BENCH_SERVE_SCHEMA)
-        | Some(bbmg_bench::BENCH_OBSERVER_SCHEMA) => Some(ArtifactKind::Bench),
+        | Some(bbmg_bench::BENCH_OBSERVER_SCHEMA)
+        | Some(bbmg_bench::BENCH_CORPUS_SCHEMA) => Some(ArtifactKind::Bench),
         Some(found) if found.starts_with("bbmg-") => {
             *files_audited += 1;
             diags.push(Diagnostic::new(

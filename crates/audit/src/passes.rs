@@ -8,14 +8,17 @@
 //! `debug-invariants` runtime hooks run, so offline and in-process
 //! checking cannot drift.
 
+use std::collections::BTreeSet;
+use std::fs;
 use std::path::Path;
 
-use bbmg_core::{Checkpoint, CheckpointError, IncrementalLearner, Observed};
+use bbmg_core::{payload_checksum, Checkpoint, CheckpointError, IncrementalLearner, Observed};
 use bbmg_lattice::invariant::{self, AntichainViolation};
 use bbmg_lattice::FunctionDecodeError;
+use bbmg_obs::json::{self, Json};
 use bbmg_obs::{MetricsParseError, MetricsSnapshot};
 use bbmg_serve::{HealthParseError, HealthSnapshot, Roster, RosterError};
-use bbmg_trace::Trace;
+use bbmg_trace::{parse_btrace, ParseBtraceError, Trace};
 
 use crate::diag::{codes, Code, Diagnostic, Severity};
 
@@ -248,6 +251,251 @@ pub(crate) fn audit_metrics(
             };
             out.push(error(code, artifact, err.to_string()));
             None
+        }
+    }
+}
+
+/// Binary trace deep-verify: full decode through the same
+/// [`TraceBuilder`](bbmg_trace::TraceBuilder) validation the loaders run.
+/// Header problems (missing magic, promised-but-absent bytes) map to
+/// [`codes::BTRACE_HEADER`], seal violations to
+/// [`codes::BTRACE_CHECKSUM`], and everything past the seal — forged
+/// records that were re-checksummed — to [`codes::BTRACE_BODY`].
+pub(crate) fn audit_btrace(artifact: &str, bytes: &[u8], out: &mut Vec<Diagnostic>) {
+    if let Err(err) = parse_btrace(bytes) {
+        let code = match &err {
+            ParseBtraceError::Magic | ParseBtraceError::Truncated { .. } => &codes::BTRACE_HEADER,
+            ParseBtraceError::Checksum { .. } => &codes::BTRACE_CHECKSUM,
+            _ => &codes::BTRACE_BODY,
+        };
+        out.push(error(code, artifact, err.to_string()));
+    }
+}
+
+/// One cache-hit row of a corpus report, kept for the cross-document
+/// pass: a `full` or `prefix` hit promises that the model it served is
+/// still backed by a checkpoint the cache can restore.
+pub(crate) struct CorpusHit {
+    /// Zero-based index into `payload.entries`.
+    pub(crate) index: usize,
+    /// The trace file the row describes.
+    pub(crate) file: String,
+    /// The served model's antichain fingerprint.
+    pub(crate) fingerprint: u64,
+}
+
+/// Reads a `u64` field or records [`codes::CORPUS_MALFORMED`].
+fn corpus_u64(
+    artifact: &str,
+    node: &Json,
+    key: &str,
+    at: &str,
+    out: &mut Vec<Diagnostic>,
+) -> Option<u64> {
+    match node.get(key).and_then(Json::as_u64) {
+        Some(v) => Some(v),
+        None => {
+            out.push(
+                error(
+                    &codes::CORPUS_MALFORMED,
+                    artifact,
+                    format!("`{key}` is missing or not an unsigned integer"),
+                )
+                .at(at),
+            );
+            None
+        }
+    }
+}
+
+/// Corpus report deep-verify: seal recomputation, shape, and counter
+/// consistency. Returns the cache-hit rows for cross-document fingerprint
+/// resolution.
+pub(crate) fn audit_corpus(
+    artifact: &str,
+    text: &str,
+    out: &mut Vec<Diagnostic>,
+) -> Option<Vec<CorpusHit>> {
+    let malformed = |message: String| error(&codes::CORPUS_MALFORMED, artifact, message);
+
+    // Seal: the checksum covers the exact payload bytes, so recompute it
+    // over the raw substring rather than a re-encode.
+    let root = json::parse(text).ok()?;
+    let marker = "\"payload\":";
+    let Some(start) = text.find(marker).map(|i| i + marker.len()) else {
+        out.push(malformed("document has no `payload` member".into()));
+        return None;
+    };
+    let trimmed = text.trim_end();
+    let payload_bytes = &trimmed.as_bytes()[start..trimmed.len() - 1];
+    let stored = root
+        .get("checksum")
+        .and_then(Json::as_str)
+        .and_then(|s| u64::from_str_radix(s, 16).ok().filter(|_| s.len() == 16));
+    let Some(stored) = stored else {
+        out.push(malformed("`checksum` is not a 16-digit hex string".into()));
+        return None;
+    };
+    let computed = payload_checksum(payload_bytes);
+    if stored != computed {
+        out.push(malformed(format!(
+            "checksum mismatch: header says {stored:016x}, payload hashes to {computed:016x}"
+        )));
+        return None;
+    }
+
+    let Some(payload) = root.get("payload") else {
+        out.push(malformed("document has no `payload` member".into()));
+        return None;
+    };
+    let traces = corpus_u64(artifact, payload, "traces", "payload", out)?;
+    let full = corpus_u64(artifact, payload, "cache_full_hits", "payload", out)?;
+    let prefix = corpus_u64(artifact, payload, "cache_prefix_hits", "payload", out)?;
+    let misses = corpus_u64(artifact, payload, "cache_misses", "payload", out)?;
+    corpus_u64(artifact, payload, "elapsed_micros", "payload", out)?;
+    corpus_u64(artifact, payload, "threads", "payload", out)?;
+    let dedup_ratio = payload.get("dedup_ratio").and_then(Json::as_f64);
+    let (Some(dedup_ratio), Some(_)) = (
+        dedup_ratio,
+        payload.get("traces_per_sec").and_then(Json::as_f64),
+    ) else {
+        out.push(malformed(
+            "`dedup_ratio` / `traces_per_sec` are missing or not numbers".into(),
+        ));
+        return None;
+    };
+    let Some(Json::Array(entries)) = payload.get("entries") else {
+        out.push(malformed("`entries` is missing or not an array".into()));
+        return None;
+    };
+
+    let mut hits = Vec::new();
+    for (index, entry) in entries.iter().enumerate() {
+        let at = format!("payload.entries[{index}]");
+        let file = entry.get("file").and_then(Json::as_str);
+        let hit = entry.get("hit").and_then(Json::as_str);
+        let fingerprint = entry
+            .get("model_fingerprint")
+            .and_then(Json::as_str)
+            .and_then(|s| u64::from_str_radix(s, 16).ok().filter(|_| s.len() == 16));
+        let tasks = corpus_u64(artifact, entry, "tasks", &at, out)?;
+        let periods = corpus_u64(artifact, entry, "periods", &at, out)?;
+        let seeded = corpus_u64(artifact, entry, "seeded_periods", &at, out)?;
+        corpus_u64(artifact, entry, "hypotheses", &at, out)?;
+        let converged = matches!(entry.get("converged"), Some(Json::Bool(_)));
+        let (Some(file), Some(hit), Some(fingerprint), true) = (file, hit, fingerprint, converged)
+        else {
+            out.push(
+                malformed("entry is missing file/hit/model_fingerprint/converged".into()).at(at),
+            );
+            return None;
+        };
+        if !matches!(hit, "full" | "prefix" | "miss") {
+            out.push(malformed(format!("`hit` is `{hit}`, not full/prefix/miss")).at(at));
+            return None;
+        }
+        if tasks == 0 || seeded > periods {
+            out.push(
+                Diagnostic::new(
+                    &codes::CORPUS_BOOKKEEPING,
+                    Severity::Warning,
+                    artifact,
+                    format!("{tasks} task(s), {seeded} of {periods} period(s) seeded"),
+                )
+                .at(at),
+            );
+        }
+        if hit != "miss" {
+            hits.push(CorpusHit {
+                index,
+                file: file.to_string(),
+                fingerprint,
+            });
+        }
+    }
+
+    // Counter consistency: the aggregates must describe the entry rows.
+    if full + prefix + misses != traces || entries.len() as u64 != traces {
+        out.push(
+            warning(
+                &codes::CORPUS_BOOKKEEPING,
+                artifact,
+                format!(
+                    "{traces} trace(s) claimed, but {full} full + {prefix} prefix + {misses} \
+                     miss over {} entry row(s)",
+                    entries.len()
+                ),
+            )
+            .at("payload"),
+        );
+    } else if traces > 0 {
+        let expected = (traces - misses) as f64 / traces as f64;
+        if (dedup_ratio - expected).abs() > 1e-5 {
+            out.push(
+                warning(
+                    &codes::CORPUS_BOOKKEEPING,
+                    artifact,
+                    format!(
+                        "dedup_ratio is {dedup_ratio:.6} but the hit counts give {expected:.6}"
+                    ),
+                )
+                .at("payload.dedup_ratio"),
+            );
+        }
+    }
+    Some(hits)
+}
+
+/// Cross-document pass over one corpus report: every cache-hit row must
+/// name a model fingerprint some checkpoint under the report's directory
+/// (the cache dir lives there in a default run) still verifiably holds.
+/// A directory with no checkpoints at all — a report archived away from
+/// its run — has nothing to resolve against and is skipped.
+pub(crate) fn cross_check_corpus(
+    artifact: &str,
+    dir: &Path,
+    hits: &[CorpusHit],
+    out: &mut Vec<Diagnostic>,
+) {
+    if hits.is_empty() {
+        return;
+    }
+    let mut known: BTreeSet<u64> = BTreeSet::new();
+    let mut any = false;
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(current) = stack.pop() {
+        let Ok(iter) = fs::read_dir(&current) else {
+            continue;
+        };
+        for path in iter.filter_map(|e| e.ok().map(|e| e.path())) {
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "ckpt") {
+                any = true;
+                if let Ok(ckpt) = Checkpoint::load(&path) {
+                    known.insert(ckpt.fingerprint());
+                }
+            }
+        }
+    }
+    if !any {
+        return;
+    }
+    for hit in hits {
+        if !known.contains(&hit.fingerprint) {
+            out.push(
+                error(
+                    &codes::CORPUS_UNRESOLVED,
+                    artifact,
+                    format!(
+                        "`{}` was served model {:016x}, which no checkpoint under `{}` holds",
+                        hit.file,
+                        hit.fingerprint,
+                        dir.display()
+                    ),
+                )
+                .at(format!("payload.entries[{}]", hit.index)),
+            );
         }
     }
 }

@@ -7,8 +7,11 @@ use std::fs;
 use std::path::PathBuf;
 
 use bbmg_audit::{audit_paths, AuditOptions, AuditReport};
-use bbmg_core::{seal_document, Checkpoint, IncrementalLearner, LearnOptions};
+use bbmg_core::{
+    payload_checksum, seal_document, Checkpoint, IncrementalLearner, LearnOptions, CORPUS_SCHEMA,
+};
 use bbmg_lattice::DependencyFunction;
+use bbmg_trace::{btrace_checksum, write_btrace};
 use bbmg_workloads::simple;
 
 /// Learns the paper's 4-task worked example to completion and
@@ -36,13 +39,19 @@ fn reseal(doc: &str) -> String {
     format!("{}\n", seal_document(&trimmed[start..trimmed.len() - 1]))
 }
 
+/// Writes `bytes` at `rel` (a name with extension, optionally under a
+/// subdirectory) in the scratch directory and audits that one file.
+fn audit_file(rel: &str, bytes: &[u8]) -> AuditReport {
+    let dir = std::env::temp_dir().join(format!("bbmg-audit-mutation-{}", std::process::id()));
+    let path = dir.join(rel);
+    fs::create_dir_all(path.parent().expect("scratch dir")).expect("scratch dir");
+    fs::write(&path, bytes).expect("write artifact");
+    audit_paths(&[path], &AuditOptions::default())
+}
+
 /// Writes `text` as `<name>.ckpt` in a scratch directory and audits it.
 fn audit_text(name: &str, text: &str) -> AuditReport {
-    let dir = std::env::temp_dir().join(format!("bbmg-audit-mutation-{}", std::process::id()));
-    fs::create_dir_all(&dir).expect("scratch dir");
-    let path = dir.join(format!("{name}.ckpt"));
-    fs::write(&path, text).expect("write artifact");
-    audit_paths(&[path], &AuditOptions::default())
+    audit_file(&format!("{name}.ckpt"), text.as_bytes())
 }
 
 fn codes(report: &AuditReport) -> Vec<&'static str> {
@@ -227,6 +236,132 @@ fn rewritten_bookkeeping_is_flagged() {
     );
     assert_eq!(report.errors(), 0, "bookkeeping drift is a warning");
     assert!(!report.is_clean(true));
+}
+
+/// Serialized sample binary trace the btrace mutations start from.
+fn base_btrace() -> Vec<u8> {
+    write_btrace(&simple::figure_2_trace())
+}
+
+/// Re-seals a hand-mutated btrace body under the 22-byte header.
+fn reseal_btrace(body: &[u8]) -> Vec<u8> {
+    let mut out = base_btrace()[..14].to_vec();
+    out.extend_from_slice(&btrace_checksum(body).to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// A sealed single-entry corpus report document (with trailing newline).
+fn corpus_doc(counts: (usize, usize, usize, usize), dedup: f64, entry: &str) -> String {
+    let (traces, full, prefix, misses) = counts;
+    let payload = format!(
+        "{{\"traces\":{traces},\"cache_full_hits\":{full},\"cache_prefix_hits\":{prefix},\
+         \"cache_misses\":{misses},\"dedup_ratio\":{dedup:.6},\"elapsed_micros\":10,\
+         \"traces_per_sec\":1.000,\"threads\":1,\"entries\":[{entry}]}}"
+    );
+    format!(
+        "{{\"schema\":\"{CORPUS_SCHEMA}\",\"checksum\":\"{:016x}\",\"payload\":{payload}}}\n",
+        payload_checksum(payload.as_bytes())
+    )
+}
+
+/// One report row claiming `hit` with model fingerprint `fp`.
+fn corpus_entry(hit: &str, fp: u64) -> String {
+    format!(
+        "{{\"file\":\"a.csv\",\"tasks\":4,\"periods\":6,\"hit\":\"{hit}\",\"seeded_periods\":0,\
+         \"model_fingerprint\":\"{fp:016x}\",\"hypotheses\":5,\"converged\":false}}"
+    )
+}
+
+#[test]
+fn pristine_btrace_is_clean() {
+    let report = audit_file("pristine.btrace", &base_btrace());
+    assert!(codes(&report).is_empty(), "{:?}", report.diagnostics);
+    assert_eq!(report.files_audited, 1);
+}
+
+#[test]
+fn truncated_btrace_header_is_detected() {
+    let bytes = base_btrace();
+    let report = audit_file("truncated.btrace", &bytes[..15]);
+    assert_eq!(codes(&report), ["BBMG060"], "{:?}", report.diagnostics);
+}
+
+#[test]
+fn flipped_btrace_body_bit_is_checksum_mismatch() {
+    let mut bytes = base_btrace();
+    let at = bytes.len() - 3;
+    bytes[at] ^= 0x40;
+    let report = audit_file("flipped.btrace", &bytes);
+    assert_eq!(codes(&report), ["BBMG061"], "{:?}", report.diagnostics);
+}
+
+#[test]
+fn resealed_btrace_trailing_bytes_are_body_malformed() {
+    let mut body = base_btrace()[22..].to_vec();
+    body.push(0xAA);
+    let report = audit_file("trailing.btrace", &reseal_btrace(&body));
+    assert_eq!(codes(&report), ["BBMG062"], "{:?}", report.diagnostics);
+}
+
+#[test]
+fn sniffed_btrace_without_extension_is_still_audited() {
+    // A walked-in or renamed file keeps its magic; the sniff must route
+    // it to the btrace pass, not the UTF-8 document path.
+    let mut bytes = base_btrace();
+    let at = bytes.len() - 3;
+    bytes[at] ^= 0x40;
+    let report = audit_file("renamed.json", &bytes);
+    assert_eq!(codes(&report), ["BBMG061"], "{:?}", report.diagnostics);
+}
+
+#[test]
+fn pristine_corpus_report_is_clean() {
+    let doc = corpus_doc((1, 0, 0, 1), 0.0, &corpus_entry("miss", 0xDEAD));
+    let report = audit_file("corpus-clean/report.json", doc.as_bytes());
+    assert!(codes(&report).is_empty(), "{:?}", report.diagnostics);
+}
+
+#[test]
+fn torn_corpus_seal_is_malformed() {
+    let doc = corpus_doc((1, 0, 0, 1), 0.0, &corpus_entry("miss", 0xDEAD));
+    let marker = "\"checksum\":\"";
+    let at = doc.find(marker).expect("checksum field") + marker.len();
+    let original = doc.as_bytes()[at];
+    let flipped = if original == b'f' { b'0' } else { b'f' };
+    let mut bytes = doc.into_bytes();
+    bytes[at] = flipped;
+    let report = audit_file("corpus-torn/report.json", &bytes);
+    assert_eq!(codes(&report), ["BBMG070"], "{:?}", report.diagnostics);
+}
+
+#[test]
+fn corpus_count_drift_is_bookkeeping() {
+    // Two traces claimed, one entry row, and a hit sum of one.
+    let doc = corpus_doc((2, 0, 0, 1), 0.5, &corpus_entry("miss", 0xDEAD));
+    let report = audit_file("corpus-drift/report.json", doc.as_bytes());
+    assert_eq!(codes(&report), ["BBMG071"], "{:?}", report.diagnostics);
+    assert_eq!(report.errors(), 0, "count drift is a warning");
+    assert!(!report.is_clean(true));
+}
+
+#[test]
+fn resolvable_corpus_hit_is_clean() {
+    let ckpt = base_checkpoint();
+    let doc = corpus_doc((1, 1, 0, 0), 1.0, &corpus_entry("full", ckpt.fingerprint()));
+    audit_file("corpus-resolved/model.ckpt", base_doc().as_bytes());
+    let report = audit_file("corpus-resolved/report.json", doc.as_bytes());
+    assert!(codes(&report).is_empty(), "{:?}", report.diagnostics);
+}
+
+#[test]
+fn unresolvable_corpus_hit_is_detected() {
+    // A sibling checkpoint exists, so resolution runs — and fails for a
+    // fingerprint no checkpoint holds.
+    let doc = corpus_doc((1, 1, 0, 0), 1.0, &corpus_entry("full", 0xDEAD_BEEF));
+    audit_file("corpus-unresolved/model.ckpt", base_doc().as_bytes());
+    let report = audit_file("corpus-unresolved/report.json", doc.as_bytes());
+    assert_eq!(codes(&report), ["BBMG072"], "{:?}", report.diagnostics);
 }
 
 /// Volume backstop: any single bit flip inside the document body (the

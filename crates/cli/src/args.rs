@@ -27,6 +27,9 @@ USAGE:
   bbmg profile <TRACE> [LEARNER] [TELEMETRY] [--chrome-out FILE]
   bbmg audit   <PATHS...> [--json] [--deny warnings] [--replay TRACE]
                [TELEMETRY]
+  bbmg convert <IN> <OUT>
+  bbmg corpus  <DIR> [LEARNER] [--cache-dir DIR] [--cache-capacity N]
+               [--report FILE] [--checkpoint-dir DIR]
   bbmg help
 
 LEARNER options (shared by learn/analyze/dot/check/explain/profile):
@@ -48,9 +51,13 @@ and lattice distance to the final model), and `--chrome-out FILE`
 additionally writes a Chrome trace-event file (load it in
 chrome://tracing or https://ui.perfetto.dev).
 
-Traces use the line-oriented text format written by `bbmg simulate`, or
-the CSV interchange format (header `time,kind,subject,period`) — the
-format is sniffed from the first line. Learning defaults to the bounded
+Traces use the line-oriented text format written by `bbmg simulate`, the
+CSV interchange format (header `time,kind,subject,period`), or the sealed
+binary format (`bbmg-btrace/1`, extension `.btrace`) — the format is
+sniffed from the first bytes. `bbmg convert IN OUT` translates between
+them (the output format follows OUT's extension: `.btrace` is binary,
+anything else CSV); the lenient/repair path stays CSV-only, so convert a
+degraded capture only after `--on-error repair` accepts it. Learning defaults to the bounded
 heuristic with bound 64; `--exact` runs the exponential algorithm
 (consider --set-limit).
 
@@ -90,8 +97,22 @@ lag, shed counts, restarts, memory vs watermark, checkpoint age),
 refreshing every --interval-ms (default 1000) until interrupted;
 --once prints one frame and exits (use it in scripts and CI).
 
+Bulk corpora: `bbmg corpus DIR` walks DIR for `.csv`/`.btrace` trace
+files and learns a model from each, resolving every trace through a
+content-addressed model cache (--cache-dir, default DIR/.bbmg-cache;
+--cache-capacity entries, default 1024): an already-learned trace resumes
+its cached checkpoint instead of re-learning, and a trace extending a
+cached prefix seeds the learner at the divergence point. Parsing fans out
+across the worker pool (--threads, shared with the learner sweeps);
+results are byte-identical to cold learns and the report is deterministic
+for a given directory + cache state. The aggregate `bbmg-corpus/1` JSON
+report (per-trace model fingerprint and cache-hit class, dedup ratio,
+traces/sec) goes to --report FILE or stdout; --checkpoint-dir
+additionally saves one named checkpoint per trace.
+
 Auditing: `bbmg audit PATHS...` statically analyzes model artifacts —
-checkpoints, rosters, health/metrics snapshots, bench reports — without
+checkpoints, rosters, health/metrics snapshots, bench reports, binary
+traces and corpus reports — without
 resuming from them: packed-lattice cell validity, antichain invariants,
 checksums, canonical re-encoding, roster->checkpoint references and
 snapshot sequence monotonicity. Directories are walked recursively
@@ -378,6 +399,34 @@ pub struct AuditCmdOptions {
     pub telemetry: Telemetry,
 }
 
+/// Options for `bbmg convert`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConvertOptions {
+    /// Input trace path (text, CSV, or binary; sniffed).
+    pub input: String,
+    /// Output path; a `.btrace` extension selects the binary format,
+    /// anything else CSV.
+    pub output: String,
+}
+
+/// Options for `bbmg corpus`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusOptions {
+    /// Directory to walk for `.csv`/`.btrace` trace files.
+    pub dir: String,
+    /// Learner configuration shared by every trace.
+    pub learner: LearnerChoice,
+    /// Model-cache directory (default `<dir>/.bbmg-cache`).
+    pub cache_dir: Option<String>,
+    /// Maximum cached models kept on disk (LRU beyond this).
+    pub cache_capacity: usize,
+    /// Write the `bbmg-corpus/1` report here instead of stdout.
+    pub report: Option<String>,
+    /// Additionally save one named checkpoint per trace into this
+    /// directory.
+    pub checkpoint_dir: Option<String>,
+}
+
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -405,6 +454,10 @@ pub enum Command {
     Profile(ProfileOptions),
     /// `bbmg audit`.
     Audit(AuditCmdOptions),
+    /// `bbmg convert`.
+    Convert(ConvertOptions),
+    /// `bbmg corpus`.
+    Corpus(CorpusOptions),
     /// `bbmg help`.
     Help,
 }
@@ -420,6 +473,10 @@ pub enum CliError {
     Parse(bbmg_trace::ParseTraceError),
     /// A CSV trace file failed to parse.
     Csv(bbmg_trace::ParseCsvError),
+    /// A binary trace file failed to parse.
+    Btrace(bbmg_trace::ParseBtraceError),
+    /// The model cache failed.
+    Cache(bbmg_core::CacheError),
     /// The learner failed.
     Learn(bbmg_core::LearnError),
     /// A checkpoint failed to save, load, or validate.
@@ -448,6 +505,8 @@ impl fmt::Display for CliError {
             CliError::Io(e) => write!(f, "i/o error: {e}"),
             CliError::Parse(e) => write!(f, "trace parse error: {e}"),
             CliError::Csv(e) => write!(f, "csv trace parse error: {e}"),
+            CliError::Btrace(e) => write!(f, "binary trace parse error: {e}"),
+            CliError::Cache(e) => write!(f, "model cache error: {e}"),
             CliError::Learn(e) => write!(f, "learning failed: {e}"),
             CliError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
             CliError::Serve(e) => write!(f, "serve error: {e}"),
@@ -476,6 +535,16 @@ impl From<bbmg_trace::ParseTraceError> for CliError {
 impl From<bbmg_trace::ParseCsvError> for CliError {
     fn from(e: bbmg_trace::ParseCsvError) -> Self {
         CliError::Csv(e)
+    }
+}
+impl From<bbmg_trace::ParseBtraceError> for CliError {
+    fn from(e: bbmg_trace::ParseBtraceError) -> Self {
+        CliError::Btrace(e)
+    }
+}
+impl From<bbmg_core::CacheError> for CliError {
+    fn from(e: bbmg_core::CacheError) -> Self {
+        CliError::Cache(e)
     }
 }
 impl From<bbmg_core::LearnError> for CliError {
@@ -946,6 +1015,50 @@ where
                 telemetry,
             }))
         }
+        "convert" => {
+            if args.positional.len() < 2 {
+                return Err(usage("`convert` needs IN and OUT arguments"));
+            }
+            let input = args.positional.remove(0);
+            let output = args.positional.remove(0);
+            args.finish("convert")?;
+            Ok(Command::Convert(ConvertOptions { input, output }))
+        }
+        "corpus" => {
+            if args.positional.is_empty() {
+                return Err(usage("`corpus` needs a directory argument"));
+            }
+            let dir = args.positional.remove(0);
+            let learner = args.learner()?;
+            let cache_dir = match args.take("cache-dir") {
+                None => None,
+                Some(None) => return Err(usage("--cache-dir requires a directory path")),
+                Some(Some(path)) => Some(path),
+            };
+            let cache_capacity: usize = args.take_value("cache-capacity")?.unwrap_or(1024);
+            if cache_capacity == 0 {
+                return Err(usage("--cache-capacity must be at least 1"));
+            }
+            let report = match args.take("report") {
+                None => None,
+                Some(None) => return Err(usage("--report requires a file path")),
+                Some(Some(path)) => Some(path),
+            };
+            let checkpoint_dir = match args.take("checkpoint-dir") {
+                None => None,
+                Some(None) => return Err(usage("--checkpoint-dir requires a directory path")),
+                Some(Some(path)) => Some(path),
+            };
+            args.finish("corpus")?;
+            Ok(Command::Corpus(CorpusOptions {
+                dir,
+                learner,
+                cache_dir,
+                cache_capacity,
+                report,
+                checkpoint_dir,
+            }))
+        }
         other => Err(usage(format!("unknown command `{other}`"))),
     }
 }
@@ -1312,6 +1425,65 @@ mod tests {
         ));
         assert!(matches!(
             parse_args(["audit", "m.ckpt", "--replay"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn convert_parses() {
+        let cmd = parse_args(["convert", "in.csv", "out.btrace"]).unwrap();
+        let Command::Convert(o) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(o.input, "in.csv");
+        assert_eq!(o.output, "out.btrace");
+        assert!(matches!(
+            parse_args(["convert", "only.csv"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["convert", "a", "b", "--wat"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn corpus_parses() {
+        let cmd = parse_args([
+            "corpus",
+            "traces",
+            "--bound",
+            "8",
+            "--cache-dir",
+            "cache",
+            "--cache-capacity=16",
+            "--report",
+            "report.json",
+            "--checkpoint-dir",
+            "ckpts",
+        ])
+        .unwrap();
+        let Command::Corpus(o) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(o.dir, "traces");
+        assert_eq!(o.learner.bound, Some(8));
+        assert_eq!(o.cache_dir.as_deref(), Some("cache"));
+        assert_eq!(o.cache_capacity, 16);
+        assert_eq!(o.report.as_deref(), Some("report.json"));
+        assert_eq!(o.checkpoint_dir.as_deref(), Some("ckpts"));
+
+        let cmd = parse_args(["corpus", "traces"]).unwrap();
+        let Command::Corpus(o) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(o.cache_dir, None);
+        assert_eq!(o.cache_capacity, 1024);
+        assert_eq!(o.report, None);
+
+        assert!(matches!(parse_args(["corpus"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse_args(["corpus", "traces", "--cache-capacity", "0"]),
             Err(CliError::Usage(_))
         ));
     }

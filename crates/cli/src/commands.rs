@@ -36,9 +36,10 @@ fn row_error_notes(notes: &mut Vec<String>, errors: &[ParseCsvError], skipped_ro
     }
 }
 
-/// Reads the trace at `path`, sniffing the format from the first line:
-/// the native text format starts with `# bbmg trace`, the CSV
-/// interchange format with its fixed header.
+/// Reads the trace at `path`, sniffing the format from the first bytes:
+/// the sealed binary format starts with the `bbmg-btrace/1` magic, the
+/// native text format with `# bbmg trace`, and the CSV interchange format
+/// with its fixed header.
 ///
 /// CSV input degrades with the policy: [`OnError::Abort`] parses
 /// strictly, [`OnError::Skip`] drops malformed rows and quarantines
@@ -55,7 +56,23 @@ pub(crate) fn load_trace<O: Observer + ?Sized>(
     on_error: OnError,
     observer: &mut O,
 ) -> Result<LoadedTrace, CliError> {
-    let text = std::fs::read_to_string(path)?;
+    let bytes = std::fs::read(path)?;
+    if bbmg_trace::is_btrace(&bytes) {
+        // Binary traces are sealed and validated whole; the lenient and
+        // repair policies are CSV-only by design (a checksum-clean binary
+        // trace has nothing to repair, and a corrupt one is untrusted).
+        let trace = bbmg_trace::parse_btrace(&bytes)?;
+        return Ok(LoadedTrace {
+            trace,
+            notes: Vec::new(),
+        });
+    }
+    let text = String::from_utf8(bytes).map_err(|e| {
+        CliError::Io(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("{path}: not a binary trace and not UTF-8 text ({e})"),
+        ))
+    })?;
     // Sniff past a UTF-8 BOM and CRLF ending so lenient loads of
     // Windows-exported captures still route to the CSV parser.
     let first_line = text
@@ -1143,6 +1160,402 @@ pub(crate) mod audit {
     }
 }
 
+pub(crate) mod convert {
+    use bbmg_obs::NoopObserver;
+
+    use super::{load_trace, CliError, Write};
+    use crate::args::{ConvertOptions, OnError};
+
+    pub(crate) fn run(options: &ConvertOptions, out: &mut dyn Write) -> Result<(), CliError> {
+        // Strict load only: the binary format seals exactly what was
+        // captured, so a degraded CSV must go through `--on-error repair`
+        // on a learner command first, not get silently "fixed" here.
+        let trace = load_trace(&options.input, OnError::Abort, &mut NoopObserver)?.trace;
+        let binary = options.output.ends_with(".btrace");
+        let bytes = if binary {
+            bbmg_trace::write_btrace(&trace)
+        } else {
+            bbmg_trace::write_csv(&trace).into_bytes()
+        };
+        std::fs::write(&options.output, &bytes)?;
+        writeln!(
+            out,
+            "wrote {} ({}, {} tasks, {} periods, {} bytes)",
+            options.output,
+            if binary { "binary" } else { "csv" },
+            trace.task_count(),
+            trace.periods().len(),
+            bytes.len()
+        )?;
+        Ok(())
+    }
+}
+
+pub(crate) mod corpus {
+    use std::collections::HashMap;
+    use std::num::NonZeroUsize;
+    use std::path::{Path, PathBuf};
+    use std::time::Instant;
+
+    use bbmg_core::pool::WorkerPool;
+    use bbmg_core::{
+        payload_checksum, trace_fingerprints, Checkpoint, IncrementalLearner, ModelCache, Observed,
+        OnInconsistent, CORPUS_SCHEMA,
+    };
+    use bbmg_obs::json::escape;
+    use bbmg_obs::NoopObserver;
+    use bbmg_trace::Trace;
+
+    use super::{learn_options, load_trace, CliError, Write};
+    use crate::args::{CorpusOptions, OnError};
+
+    /// How one trace file resolves against the evolving cache.
+    enum Plan {
+        /// Learn (possibly seeded); `wave` orders in-run dependencies.
+        Rep {
+            wave: usize,
+            seed: Option<u64>,
+            seeded_periods: usize,
+            hit: &'static str,
+        },
+        /// Byte-equivalent to an earlier file this run; reuse its model.
+        Dup { of: usize },
+    }
+
+    /// One report row, in file order.
+    struct Entry {
+        file: String,
+        tasks: usize,
+        periods: usize,
+        hit: &'static str,
+        seeded_periods: usize,
+        fingerprint: u64,
+        hypotheses: usize,
+        converged: bool,
+    }
+
+    fn with_file(file: &str, e: CliError) -> CliError {
+        CliError::Io(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("{file}: {e}"),
+        ))
+    }
+
+    /// Collects `.csv`/`.btrace` files under `dir` (recursively), skipping
+    /// the cache directory, sorted by path for a deterministic report.
+    fn collect_traces(dir: &Path, cache_dir: &Path) -> Result<Vec<PathBuf>, CliError> {
+        let mut files = Vec::new();
+        let mut stack = vec![dir.to_path_buf()];
+        while let Some(current) = stack.pop() {
+            for entry in std::fs::read_dir(&current)? {
+                let path = entry?.path();
+                if path == cache_dir {
+                    continue;
+                }
+                if path.is_dir() {
+                    stack.push(path);
+                } else if path
+                    .extension()
+                    .is_some_and(|e| e == "csv" || e == "btrace")
+                {
+                    files.push(path);
+                }
+            }
+        }
+        files.sort();
+        Ok(files)
+    }
+
+    pub(crate) fn run(options: &CorpusOptions, out: &mut dyn Write) -> Result<(), CliError> {
+        let dir = PathBuf::from(&options.dir);
+        let cache_dir = options
+            .cache_dir
+            .as_ref()
+            .map_or_else(|| dir.join(".bbmg-cache"), PathBuf::from);
+        let files = collect_traces(&dir, &cache_dir)?;
+        if files.is_empty() {
+            return Err(CliError::Usage(format!(
+                "no .csv or .btrace trace files under `{}`",
+                dir.display()
+            )));
+        }
+        let mut learn = learn_options(options.learner)?;
+        if options.learner.on_error != OnError::Abort {
+            learn = learn.with_on_inconsistent(OnInconsistent::SkipPeriod);
+        }
+        let capacity =
+            NonZeroUsize::new(options.cache_capacity).expect("validated by the arg parser");
+        let mut cache = ModelCache::open(&cache_dir, capacity)?;
+        let pool = WorkerPool::global();
+        pool.provision(learn.parallelism.get());
+
+        let started = Instant::now();
+
+        // Stage 1 — parse every file across the pool, in file order.
+        let names: Vec<String> = files
+            .iter()
+            .map(|p| p.to_string_lossy().into_owned())
+            .collect();
+        let parse_jobs: Vec<_> = names
+            .iter()
+            .map(|name| {
+                let name = name.clone();
+                let on_error = options.learner.on_error;
+                move || load_trace(&name, on_error, &mut NoopObserver).map(|l| l.trace)
+            })
+            .collect();
+        let mut traces: Vec<Option<Trace>> = Vec::with_capacity(files.len());
+        for (name, parsed) in names.iter().zip(pool.scatter(parse_jobs)) {
+            traces.push(Some(parsed.map_err(|e| with_file(name, e))?));
+        }
+
+        // Stage 2 — plan sequentially in file order: dedup exact repeats,
+        // classify the rest against the cache index plus the models this
+        // run will produce (`pending`), and assign dependency waves so a
+        // prefix-seed never races the learn that feeds it.
+        let fingerprints: Vec<_> = traces
+            .iter()
+            .map(|t| trace_fingerprints(t.as_ref().expect("unplanned trace present"), &learn))
+            .collect();
+        let mut plans: Vec<Plan> = Vec::with_capacity(files.len());
+        let mut pending: HashMap<u64, (usize, usize)> = HashMap::new();
+        let mut seen_full: HashMap<u64, usize> = HashMap::new();
+        let mut waves = 0;
+        for (index, fps) in fingerprints.iter().enumerate() {
+            if let Some(&of) = seen_full.get(&fps.full()) {
+                plans.push(Plan::Dup { of });
+                continue;
+            }
+            let n = fps.periods();
+            let plan = if cache.entry_periods(fps.full()) == Some(n) {
+                Plan::Rep {
+                    wave: 0,
+                    seed: Some(fps.full()),
+                    seeded_periods: n,
+                    hit: "full",
+                }
+            } else {
+                let mut best: Option<(usize, usize)> = None; // (periods, wave)
+                for k in (1..n).rev() {
+                    if cache.entry_periods(fps.prefix(k)) == Some(k) {
+                        best = Some((k, 0));
+                        break;
+                    }
+                    if let Some(&(periods, wave)) = pending.get(&fps.prefix(k)) {
+                        if periods == k {
+                            best = Some((k, wave + 1));
+                            break;
+                        }
+                    }
+                }
+                match best {
+                    Some((k, wave)) => Plan::Rep {
+                        wave,
+                        seed: Some(fps.prefix(k)),
+                        seeded_periods: k,
+                        hit: "prefix",
+                    },
+                    None => Plan::Rep {
+                        wave: 0,
+                        seed: None,
+                        seeded_periods: 0,
+                        hit: "miss",
+                    },
+                }
+            };
+            if let Plan::Rep { wave, .. } = plan {
+                waves = waves.max(wave + 1);
+                pending.insert(fps.full(), (n, wave));
+                seen_full.insert(fps.full(), index);
+            }
+            plans.push(plan);
+        }
+
+        // Stage 3 — run each wave across the pool; checkpoints are loaded
+        // and inserted on this thread, in file order, so cache recency and
+        // eviction are deterministic. A learn is complete only if the
+        // budget never stopped it; incomplete models are reported but not
+        // cached (their state depends on timing, not just the trace).
+        let mut entries: Vec<Option<Entry>> = (0..files.len()).map(|_| None).collect();
+        let mut saved: Vec<Option<PathBuf>> = (0..files.len()).map(|_| None).collect();
+        if let Some(ckpt_dir) = &options.checkpoint_dir {
+            std::fs::create_dir_all(ckpt_dir)?;
+        }
+        for wave in 0..waves {
+            let members: Vec<usize> = plans
+                .iter()
+                .enumerate()
+                .filter_map(|(i, p)| match p {
+                    Plan::Rep { wave: w, .. } if *w == wave => Some(i),
+                    _ => None,
+                })
+                .collect();
+            let mut jobs = Vec::with_capacity(members.len());
+            let mut effective: Vec<(&'static str, usize)> = Vec::with_capacity(members.len());
+            for &index in &members {
+                let Plan::Rep {
+                    seed,
+                    seeded_periods,
+                    hit,
+                    ..
+                } = &plans[index]
+                else {
+                    unreachable!("members are representatives");
+                };
+                // A stale index entry (file vanished or no longer
+                // verifies) degrades the seed to a cold learn — reported
+                // honestly as a miss.
+                let checkpoint = seed.and_then(|fp| cache.take_checkpoint(fp));
+                effective.push(if checkpoint.is_some() {
+                    (*hit, *seeded_periods)
+                } else {
+                    ("miss", 0)
+                });
+                let trace = traces[index].take().expect("trace planned once");
+                jobs.push(move || -> Result<(Checkpoint, bool, bool), CliError> {
+                    let mut learner = match checkpoint {
+                        Some(c) => IncrementalLearner::resume(c)?,
+                        None => IncrementalLearner::new(trace.task_count(), learn),
+                    };
+                    let mut complete = true;
+                    let start = learner.pushed_periods();
+                    for period in &trace.periods()[start..] {
+                        if let Observed::BudgetStopped { .. } = learner.push_period(period)? {
+                            complete = false;
+                            break;
+                        }
+                    }
+                    let checkpoint = learner.checkpoint();
+                    let converged = learner.finish().converged();
+                    Ok((checkpoint, complete, converged))
+                });
+            }
+            for ((&index, (hit, seeded_periods)), outcome) in
+                members.iter().zip(effective).zip(pool.scatter(jobs))
+            {
+                let (checkpoint, complete, converged) =
+                    outcome.map_err(|e| with_file(&names[index], e))?;
+                let fps = &fingerprints[index];
+                if complete {
+                    cache.insert(fps.full(), &checkpoint)?;
+                }
+                if let Some(ckpt_dir) = &options.checkpoint_dir {
+                    let stem = names[index]
+                        .trim_start_matches(&format!("{}/", dir.display()))
+                        .replace(['/', '\\'], "__");
+                    let dest = Path::new(ckpt_dir).join(format!("{stem}.ckpt"));
+                    checkpoint.save(&dest)?;
+                    saved[index] = Some(dest);
+                }
+                entries[index] = Some(Entry {
+                    file: names[index].clone(),
+                    tasks: checkpoint.tasks,
+                    periods: fps.periods(),
+                    hit,
+                    seeded_periods,
+                    fingerprint: checkpoint.fingerprint(),
+                    hypotheses: checkpoint.hypotheses.len(),
+                    converged,
+                });
+            }
+        }
+
+        // Duplicates copy their representative's row (and checkpoint).
+        for index in 0..files.len() {
+            if let Plan::Dup { of } = plans[index] {
+                let rep = entries[of].as_ref().expect("representative resolved");
+                entries[index] = Some(Entry {
+                    file: names[index].clone(),
+                    tasks: rep.tasks,
+                    periods: rep.periods,
+                    hit: "full",
+                    seeded_periods: rep.periods,
+                    fingerprint: rep.fingerprint,
+                    hypotheses: rep.hypotheses,
+                    converged: rep.converged,
+                });
+                if let (Some(ckpt_dir), Some(src)) = (&options.checkpoint_dir, &saved[of]) {
+                    let stem = names[index]
+                        .trim_start_matches(&format!("{}/", dir.display()))
+                        .replace(['/', '\\'], "__");
+                    std::fs::copy(src, Path::new(ckpt_dir).join(format!("{stem}.ckpt")))?;
+                }
+            }
+        }
+        let entries: Vec<Entry> = entries
+            .into_iter()
+            .map(|e| e.expect("every file planned and resolved"))
+            .collect();
+        let elapsed = started.elapsed();
+
+        // Aggregate + sealed report document.
+        let traces_total = entries.len();
+        let full_hits = entries.iter().filter(|e| e.hit == "full").count();
+        let prefix_hits = entries.iter().filter(|e| e.hit == "prefix").count();
+        let misses = entries.iter().filter(|e| e.hit == "miss").count();
+        let dedup_ratio = (traces_total - misses) as f64 / traces_total as f64;
+        let elapsed_micros = elapsed.as_micros().max(1) as u64;
+        let traces_per_sec = traces_total as f64 * 1_000_000.0 / elapsed_micros as f64;
+
+        let mut payload = String::new();
+        payload.push_str(&format!(
+            "{{\"traces\":{traces_total},\"cache_full_hits\":{full_hits},\
+             \"cache_prefix_hits\":{prefix_hits},\"cache_misses\":{misses},\
+             \"dedup_ratio\":{dedup_ratio:.6},\"elapsed_micros\":{elapsed_micros},\
+             \"traces_per_sec\":{traces_per_sec:.3},\"threads\":{},\"entries\":[",
+            learn.parallelism.get()
+        ));
+        for (i, e) in entries.iter().enumerate() {
+            if i > 0 {
+                payload.push(',');
+            }
+            payload.push_str("{\"file\":");
+            payload.push_str(&escape(&e.file));
+            payload.push_str(&format!(
+                ",\"tasks\":{},\"periods\":{},\"hit\":\"{}\",\"seeded_periods\":{},\
+                 \"model_fingerprint\":\"{:016x}\",\"hypotheses\":{},\"converged\":{}}}",
+                e.tasks,
+                e.periods,
+                e.hit,
+                e.seeded_periods,
+                e.fingerprint,
+                e.hypotheses,
+                e.converged
+            ));
+        }
+        payload.push_str("]}");
+        let document = format!(
+            "{{\"schema\":\"{CORPUS_SCHEMA}\",\"checksum\":\"{:016x}\",\"payload\":{payload}}}",
+            payload_checksum(payload.as_bytes())
+        );
+
+        match &options.report {
+            Some(path) => {
+                std::fs::write(path, format!("{document}\n"))?;
+                writeln!(
+                    out,
+                    "corpus: {traces_total} trace(s), {full_hits} full / {prefix_hits} prefix \
+                     hit(s), {misses} cold learn(s)"
+                )?;
+                writeln!(
+                    out,
+                    "cache: {} of {} entries in {}",
+                    cache.len(),
+                    cache.capacity(),
+                    cache.dir().display()
+                )?;
+                writeln!(
+                    out,
+                    "throughput: {traces_per_sec:.1} traces/sec (dedup ratio {dedup_ratio:.2})"
+                )?;
+                writeln!(out, "report: {path}")?;
+            }
+            None => writeln!(out, "{document}")?,
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use crate::args::parse_args;
@@ -1690,5 +2103,100 @@ mod tests {
         assert!(table.contains("SOURCE"), "{table}");
         assert!(table.contains("exact*"), "closed shard starred: {table}");
         assert!(table.contains("s0"), "{table}");
+    }
+
+    #[test]
+    fn convert_round_trips_through_binary() {
+        let dir = std::env::temp_dir().join("bbmg_cli_convert");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let text = dir.join("simple.txt");
+        let csv = dir.join("a.csv");
+        let btrace = dir.join("b.btrace");
+        let back = dir.join("c.csv");
+        let _ = run_to_string(&[
+            "simulate",
+            "--workload",
+            "simple",
+            "-o",
+            text.to_str().unwrap(),
+        ]);
+
+        let to_csv = run_to_string(&["convert", text.to_str().unwrap(), csv.to_str().unwrap()]);
+        assert!(to_csv.contains("(csv, 4 tasks, 3 periods"), "{to_csv}");
+        let to_bin = run_to_string(&["convert", csv.to_str().unwrap(), btrace.to_str().unwrap()]);
+        assert!(to_bin.contains("(binary, 4 tasks, 3 periods"), "{to_bin}");
+        let _ = run_to_string(&["convert", btrace.to_str().unwrap(), back.to_str().unwrap()]);
+
+        // CSV → binary → CSV is byte-identical: the binary format loses
+        // nothing the canonical CSV form carries.
+        assert_eq!(
+            std::fs::read_to_string(&csv).unwrap(),
+            std::fs::read_to_string(&back).unwrap()
+        );
+        assert!(bbmg_trace::is_btrace(&std::fs::read(&btrace).unwrap()));
+
+        // `stats` sniffs the binary format from the bytes alone.
+        let stats = run_to_string(&["stats", btrace.to_str().unwrap()]);
+        assert!(stats.contains("3 periods"), "{stats}");
+    }
+
+    #[test]
+    fn corpus_classifies_hits_and_writes_a_sealed_report() {
+        let dir = std::env::temp_dir().join("bbmg_cli_corpus");
+        let _ = std::fs::remove_dir_all(&dir);
+        let traces = dir.join("traces");
+        std::fs::create_dir_all(&traces).unwrap();
+        let text = dir.join("simple.txt");
+        let _ = run_to_string(&[
+            "simulate",
+            "--workload",
+            "simple",
+            "-o",
+            text.to_str().unwrap(),
+        ]);
+        let csv = traces.join("t1.csv");
+        let _ = run_to_string(&["convert", text.to_str().unwrap(), csv.to_str().unwrap()]);
+        // t2 duplicates t1 byte-for-byte; t3 is the same capture in
+        // binary form — same fingerprint, so it dedups too.
+        std::fs::copy(&csv, traces.join("t2.csv")).unwrap();
+        let _ = run_to_string(&[
+            "convert",
+            csv.to_str().unwrap(),
+            traces.join("t3.btrace").to_str().unwrap(),
+        ]);
+
+        let report = dir.join("report.json");
+        let summary = run_to_string(&[
+            "corpus",
+            traces.to_str().unwrap(),
+            "--report",
+            report.to_str().unwrap(),
+        ]);
+        assert!(
+            summary.contains("3 trace(s), 2 full / 0 prefix hit(s), 1 cold learn(s)"),
+            "{summary}"
+        );
+
+        // The report is a sealed bbmg-corpus/1 document with one row per
+        // file and the duplicate rows marked as full hits.
+        let document = std::fs::read_to_string(&report).unwrap();
+        assert!(document.contains(bbmg_core::CORPUS_SCHEMA), "{document}");
+        assert!(document.contains("\"traces\":3"), "{document}");
+        assert!(document.contains("t2.csv"), "{document}");
+        assert_eq!(document.matches("\"hit\":\"full\"").count(), 2);
+        assert_eq!(document.matches("\"hit\":\"miss\"").count(), 1);
+
+        // A second run resolves everything from the populated cache.
+        let rerun = run_to_string(&[
+            "corpus",
+            traces.to_str().unwrap(),
+            "--report",
+            report.to_str().unwrap(),
+        ]);
+        assert!(
+            rerun.contains("3 trace(s), 3 full / 0 prefix hit(s), 0 cold learn(s)"),
+            "{rerun}"
+        );
     }
 }

@@ -46,6 +46,8 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CliError> {
         Command::Explain(options) => commands::explain::run(options, out),
         Command::Profile(options) => commands::profile::run(options, out),
         Command::Audit(options) => commands::audit::run(options, out),
+        Command::Convert(options) => commands::convert::run(options, out),
+        Command::Corpus(options) => commands::corpus::run(options, out),
         Command::Help => {
             out.write_all(args::USAGE.as_bytes())?;
             Ok(())

@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 mod checkpoint;
 mod convergence;
 mod error;
@@ -63,6 +64,10 @@ mod robust;
 mod stats;
 mod witness;
 
+pub use cache::{
+    trace_fingerprints, CacheError, CacheHit, CachedLearn, ModelCache, TraceFingerprints,
+    CORPUS_SCHEMA,
+};
 pub use checkpoint::{
     antichain_fingerprint, payload_checksum, seal_document, Checkpoint, CheckpointError,
     CHECKPOINT_SCHEMA,

@@ -1,0 +1,525 @@
+//! The compact binary trace format (`bbmg-btrace/1`).
+//!
+//! CSV stays the interchange format — human-diffable, exporter-friendly,
+//! and the only input the lenient/repair pipeline accepts. This format
+//! exists for the hot ingest path: corpus runs that chew through
+//! thousands of captures should not pay text splitting, integer
+//! re-parsing, or per-row allocation for traces that round-trip between
+//! bbmg processes.
+//!
+//! ## Layout
+//!
+//! All integers are little-endian; there is no padding or alignment.
+//!
+//! ```text
+//! magic     "bbmg-btrace/1" '\n'        14 bytes
+//! checksum  u64                          8 bytes, over every body byte
+//! body:
+//!   task_count    u32
+//!   tasks         task_count × { name_len u16, name bytes (UTF-8) }
+//!   period_count  u32
+//!   periods       period_count × {
+//!     event_count u32
+//!     events      event_count × { time u64, kind u8, subject u32 }
+//!   }
+//! ```
+//!
+//! `kind` is 0 = task start, 1 = task end, 2 = message rise, 3 = message
+//! fall; `subject` is the task index (interning order) or the message
+//! occurrence id. Period indices are implicit — records are stored in
+//! period order, so index `k` is the `k`-th period record.
+//!
+//! The header is *sealed*: the checksum (a length-seeded word-at-a-time
+//! multiply-xor chain, see [`btrace_checksum`]) covers every body byte,
+//! so truncation, bit rot, or tampering is caught before any event is
+//! decoded. Decoding routes events through [`TraceBuilder`], the same
+//! validator behind the text and CSV parsers, so a forged body cannot
+//! construct a [`Trace`] the rest of the system considers impossible.
+
+use std::fmt;
+
+use bbmg_lattice::TaskUniverse;
+
+use crate::builder::TraceBuilder;
+use crate::event::{EventKind, MessageId, Timestamp};
+use crate::trace::{Trace, TraceError};
+
+/// Schema tag identifying the binary trace format, on disk as the first
+/// line of the file.
+pub const BTRACE_SCHEMA: &str = "bbmg-btrace/1";
+
+/// Event-kind wire tags.
+const KIND_START: u8 = 0;
+const KIND_END: u8 = 1;
+const KIND_RISE: u8 = 2;
+const KIND_FALL: u8 = 3;
+
+/// Bytes per encoded event: u64 time + u8 kind + u32 subject.
+const EVENT_BYTES: usize = 13;
+
+/// Returns the 14-byte magic prefix (schema tag plus newline).
+fn magic() -> Vec<u8> {
+    let mut m = BTRACE_SCHEMA.as_bytes().to_vec();
+    m.push(b'\n');
+    m
+}
+
+/// Whether `bytes` start with the `bbmg-btrace/1` magic — the sniff used
+/// by loaders that accept both text and binary traces.
+#[must_use]
+pub fn is_btrace(bytes: &[u8]) -> bool {
+    bytes.starts_with(&magic())
+}
+
+/// The checksum sealed into a `bbmg-btrace/1` header: a length-seeded
+/// multiply-xor chain over the body taken as little-endian `u64` words
+/// (zero-padded tail), with the same splitmix-style finalizer
+/// `bbmg-ckpt/1` uses. Word-at-a-time — not byte-at-a-time FNV like the
+/// checkpoint payload sum — because this runs over every body byte on
+/// the corpus ingest hot path, and the per-byte loop was a measurable
+/// share of the whole parse. Exposed so tooling that builds or mutates
+/// documents by hand — audit's mutation corpus, external fuzzers — can
+/// compute the sum the parser will verify.
+#[must_use]
+pub fn btrace_checksum(body: &[u8]) -> u64 {
+    let mix = |h: u64, v: u64| {
+        let h = (h ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^ (h >> 29)
+    };
+    let mut h = 0xCBF2_9CE4_8422_2325u64 ^ body.len() as u64;
+    let mut chunks = body.chunks_exact(8);
+    for chunk in &mut chunks {
+        h = mix(h, u64::from_le_bytes(chunk.try_into().unwrap_or([0; 8])));
+    }
+    let rest = chunks.remainder();
+    if !rest.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rest.len()].copy_from_slice(rest);
+        h = mix(h, u64::from_le_bytes(tail));
+    }
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 31)
+}
+
+/// Error produced by [`parse_btrace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseBtraceError {
+    /// The input does not start with the `bbmg-btrace/1` magic line.
+    Magic,
+    /// The input ended before the structure it promised.
+    Truncated {
+        /// What was being decoded when the bytes ran out.
+        decoding: &'static str,
+    },
+    /// The sealed checksum does not match the body bytes.
+    Checksum {
+        /// Checksum recorded in the header.
+        stored: u64,
+        /// Checksum recomputed over the body.
+        computed: u64,
+    },
+    /// A task name is not valid UTF-8 or duplicates another.
+    Name {
+        /// Zero-based task index.
+        index: usize,
+    },
+    /// An event carries an unknown kind tag.
+    Kind {
+        /// Zero-based period index.
+        period: usize,
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// An event's subject is outside the task universe.
+    Subject {
+        /// Zero-based period index.
+        period: usize,
+        /// The offending subject index.
+        subject: u32,
+    },
+    /// Trailing bytes after the last promised period.
+    TrailingBytes {
+        /// Number of undecoded bytes.
+        extra: usize,
+    },
+    /// The events violated trace validity rules.
+    Invalid {
+        /// Zero-based period index.
+        period: usize,
+        /// Underlying validation error.
+        source: TraceError,
+    },
+}
+
+impl fmt::Display for ParseBtraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseBtraceError::Magic => {
+                write!(f, "not a {BTRACE_SCHEMA} file: magic line missing")
+            }
+            ParseBtraceError::Truncated { decoding } => {
+                write!(f, "truncated while decoding {decoding}")
+            }
+            ParseBtraceError::Checksum { stored, computed } => write!(
+                f,
+                "checksum mismatch: header says {stored:016x}, body hashes to {computed:016x}"
+            ),
+            ParseBtraceError::Name { index } => {
+                write!(f, "task {index}: name is not unique valid UTF-8")
+            }
+            ParseBtraceError::Kind { period, tag } => {
+                write!(f, "period {period}: unknown event kind tag {tag}")
+            }
+            ParseBtraceError::Subject { period, subject } => {
+                write!(f, "period {period}: task subject {subject} out of range")
+            }
+            ParseBtraceError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing byte(s) after the last period")
+            }
+            ParseBtraceError::Invalid { period, source } => {
+                write!(f, "period {period}: invalid trace: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseBtraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseBtraceError::Invalid { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Serializes `trace` into the sealed binary form.
+#[must_use]
+pub fn write_btrace(trace: &Trace) -> Vec<u8> {
+    let universe = trace.universe();
+    let events: usize = trace.periods().iter().map(|p| p.events().len()).sum();
+    let mut body = Vec::with_capacity(16 + universe.len() * 12 + events * EVENT_BYTES);
+    push_u32(&mut body, universe.len() as u32);
+    for (_, name) in universe.iter() {
+        // Names longer than u16::MAX cannot round-trip; the universe
+        // never produces them (CSV subjects are single fields), so
+        // truncation here would require a hand-built pathological trace.
+        push_u16(&mut body, name.len() as u16);
+        body.extend_from_slice(name.as_bytes());
+    }
+    push_u32(&mut body, trace.periods().len() as u32);
+    for period in trace.periods() {
+        push_u32(&mut body, period.events().len() as u32);
+        for event in period.events() {
+            let (tag, subject) = match event.kind {
+                EventKind::TaskStart(t) => (KIND_START, t.index() as u32),
+                EventKind::TaskEnd(t) => (KIND_END, t.index() as u32),
+                EventKind::MessageRise(m) => (KIND_RISE, m.index() as u32),
+                EventKind::MessageFall(m) => (KIND_FALL, m.index() as u32),
+            };
+            push_u64(&mut body, event.time.micros());
+            body.push(tag);
+            push_u32(&mut body, subject);
+        }
+    }
+    let mut out = magic();
+    push_u64(&mut out, btrace_checksum(&body));
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Parses a sealed binary trace.
+///
+/// The body is decoded zero-copy off the input slice — no per-event
+/// allocation, no text re-parsing; only the task names are copied (into
+/// the interned universe) and the event vectors themselves.
+///
+/// # Errors
+///
+/// Returns [`ParseBtraceError`] when the magic line is missing, the
+/// input is truncated, the sealed checksum disagrees with the body, a
+/// record is malformed, or the decoded events violate trace validity.
+pub fn parse_btrace(bytes: &[u8]) -> Result<Trace, ParseBtraceError> {
+    if !is_btrace(bytes) {
+        return Err(ParseBtraceError::Magic);
+    }
+    let after_magic = &bytes[magic().len()..];
+    let (stored, body) = take_u64(after_magic, "header checksum")?;
+    let computed = btrace_checksum(body);
+    if stored != computed {
+        return Err(ParseBtraceError::Checksum { stored, computed });
+    }
+
+    let mut cursor = body;
+    let (task_count, rest) = take_u32(cursor, "task count")?;
+    cursor = rest;
+    let mut universe = TaskUniverse::new();
+    for index in 0..task_count as usize {
+        let (len, rest) = take_u16(cursor, "task name length")?;
+        let (raw, rest) = take_bytes(rest, len as usize, "task name")?;
+        cursor = rest;
+        let name = std::str::from_utf8(raw).map_err(|_| ParseBtraceError::Name { index })?;
+        if universe.lookup(name).is_some() {
+            return Err(ParseBtraceError::Name { index });
+        }
+        universe.intern(name);
+    }
+
+    let (period_count, rest) = take_u32(cursor, "period count")?;
+    cursor = rest;
+    let tasks = task_count as usize;
+    let mut builder = TraceBuilder::new(universe);
+    for period in 0..period_count as usize {
+        let (event_count, rest) = take_u32(cursor, "event count")?;
+        cursor = rest;
+        builder.begin_period();
+        for _ in 0..event_count {
+            let (record, rest) = take_bytes(cursor, EVENT_BYTES, "event record")?;
+            cursor = rest;
+            let time = u64::from_le_bytes(record[..8].try_into().map_err(|_| {
+                ParseBtraceError::Truncated {
+                    decoding: "event record",
+                }
+            })?);
+            let tag = record[8];
+            let subject = u32::from_le_bytes(record[9..13].try_into().map_err(|_| {
+                ParseBtraceError::Truncated {
+                    decoding: "event record",
+                }
+            })?);
+            let kind = match tag {
+                KIND_START | KIND_END => {
+                    if subject as usize >= tasks {
+                        return Err(ParseBtraceError::Subject { period, subject });
+                    }
+                    let task = bbmg_lattice::TaskId::from_index(subject as usize);
+                    if tag == KIND_START {
+                        EventKind::TaskStart(task)
+                    } else {
+                        EventKind::TaskEnd(task)
+                    }
+                }
+                KIND_RISE => EventKind::MessageRise(MessageId::from_index(subject as usize)),
+                KIND_FALL => EventKind::MessageFall(MessageId::from_index(subject as usize)),
+                tag => return Err(ParseBtraceError::Kind { period, tag }),
+            };
+            builder
+                .event(Timestamp::new(time), kind)
+                .map_err(|source| ParseBtraceError::Invalid { period, source })?;
+        }
+        builder
+            .end_period()
+            .map_err(|source| ParseBtraceError::Invalid { period, source })?;
+    }
+    if !cursor.is_empty() {
+        return Err(ParseBtraceError::TrailingBytes {
+            extra: cursor.len(),
+        });
+    }
+    Ok(builder.finish())
+}
+
+fn push_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn take_bytes<'a>(
+    bytes: &'a [u8],
+    n: usize,
+    decoding: &'static str,
+) -> Result<(&'a [u8], &'a [u8]), ParseBtraceError> {
+    if bytes.len() < n {
+        return Err(ParseBtraceError::Truncated { decoding });
+    }
+    Ok(bytes.split_at(n))
+}
+
+fn take_u16<'a>(
+    bytes: &'a [u8],
+    decoding: &'static str,
+) -> Result<(u16, &'a [u8]), ParseBtraceError> {
+    let (raw, rest) = take_bytes(bytes, 2, decoding)?;
+    let v = u16::from_le_bytes(
+        raw.try_into()
+            .map_err(|_| ParseBtraceError::Truncated { decoding })?,
+    );
+    Ok((v, rest))
+}
+
+fn take_u32<'a>(
+    bytes: &'a [u8],
+    decoding: &'static str,
+) -> Result<(u32, &'a [u8]), ParseBtraceError> {
+    let (raw, rest) = take_bytes(bytes, 4, decoding)?;
+    let v = u32::from_le_bytes(
+        raw.try_into()
+            .map_err(|_| ParseBtraceError::Truncated { decoding })?,
+    );
+    Ok((v, rest))
+}
+
+fn take_u64<'a>(
+    bytes: &'a [u8],
+    decoding: &'static str,
+) -> Result<(u64, &'a [u8]), ParseBtraceError> {
+    let (raw, rest) = take_bytes(bytes, 8, decoding)?;
+    let v = u64::from_le_bytes(
+        raw.try_into()
+            .map_err(|_| ParseBtraceError::Truncated { decoding })?,
+    );
+    Ok((v, rest))
+}
+
+#[cfg(test)]
+mod tests {
+    use bbmg_lattice::TaskId;
+
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let u = TaskUniverse::from_names(["t1", "t2"]);
+        let mut b = TraceBuilder::new(u);
+        for p in 0..3u64 {
+            let base = p * 100;
+            b.begin_period();
+            b.task(
+                TaskId::from_index(0),
+                Timestamp::new(base),
+                Timestamp::new(base + 10),
+            )
+            .unwrap();
+            b.message(Timestamp::new(base + 12), Timestamp::new(base + 14))
+                .unwrap();
+            b.task(
+                TaskId::from_index(1),
+                Timestamp::new(base + 20),
+                Timestamp::new(base + 30),
+            )
+            .unwrap();
+            b.end_period().unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn round_trips_losslessly() {
+        let trace = sample_trace();
+        let bytes = write_btrace(&trace);
+        assert!(is_btrace(&bytes));
+        assert_eq!(parse_btrace(&bytes).unwrap(), trace);
+    }
+
+    #[test]
+    fn magic_is_required() {
+        assert_eq!(
+            parse_btrace(b"not a trace").unwrap_err(),
+            ParseBtraceError::Magic
+        );
+        assert_eq!(parse_btrace(b"").unwrap_err(), ParseBtraceError::Magic);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = write_btrace(&sample_trace());
+        for cut in [15, 21, 25, bytes.len() - 1] {
+            let err = parse_btrace(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    ParseBtraceError::Truncated { .. } | ParseBtraceError::Checksum { .. }
+                ),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn flipped_body_bit_fails_the_checksum() {
+        let mut bytes = write_btrace(&sample_trace());
+        let at = bytes.len() - 3;
+        bytes[at] ^= 0x40;
+        assert!(matches!(
+            parse_btrace(&bytes).unwrap_err(),
+            ParseBtraceError::Checksum { .. }
+        ));
+    }
+
+    #[test]
+    fn resealed_bad_kind_tag_is_rejected() {
+        let trace = sample_trace();
+        let bytes = write_btrace(&trace);
+        let header = 14 + 8;
+        let mut body = bytes[header..].to_vec();
+        // First event record sits right after task table + two u32 counts.
+        let tasks_len: usize = 4 + trace
+            .universe()
+            .iter()
+            .map(|(_, n)| 2 + n.len())
+            .sum::<usize>();
+        let kind_at = tasks_len + 4 + 4 + 8;
+        body[kind_at] = 9;
+        let mut forged = magic();
+        push_u64(&mut forged, btrace_checksum(&body));
+        forged.extend_from_slice(&body);
+        assert_eq!(
+            parse_btrace(&forged).unwrap_err(),
+            ParseBtraceError::Kind { period: 0, tag: 9 }
+        );
+    }
+
+    #[test]
+    fn resealed_out_of_range_subject_is_rejected() {
+        let trace = sample_trace();
+        let bytes = write_btrace(&trace);
+        let header = 14 + 8;
+        let mut body = bytes[header..].to_vec();
+        let tasks_len: usize = 4 + trace
+            .universe()
+            .iter()
+            .map(|(_, n)| 2 + n.len())
+            .sum::<usize>();
+        let subject_at = tasks_len + 4 + 4 + 8 + 1;
+        body[subject_at..subject_at + 4].copy_from_slice(&77u32.to_le_bytes());
+        let mut forged = magic();
+        push_u64(&mut forged, btrace_checksum(&body));
+        forged.extend_from_slice(&body);
+        assert_eq!(
+            parse_btrace(&forged).unwrap_err(),
+            ParseBtraceError::Subject {
+                period: 0,
+                subject: 77
+            }
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let bytes = write_btrace(&sample_trace());
+        let header = 14 + 8;
+        let mut body = bytes[header..].to_vec();
+        body.push(0xAA);
+        let mut forged = magic();
+        push_u64(&mut forged, btrace_checksum(&body));
+        forged.extend_from_slice(&body);
+        assert_eq!(
+            parse_btrace(&forged).unwrap_err(),
+            ParseBtraceError::TrailingBytes { extra: 1 }
+        );
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let trace = TraceBuilder::new(TaskUniverse::from_names(["a"])).finish();
+        let bytes = write_btrace(&trace);
+        assert_eq!(parse_btrace(&bytes).unwrap(), trace);
+    }
+}

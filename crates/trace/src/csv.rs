@@ -65,31 +65,153 @@ impl std::error::Error for ParseCsvError {
     }
 }
 
+/// Appends a base-10 rendering of `v` without going through `format!`
+/// (the serializers call this once per field — the formatting machinery
+/// was a measurable share of `write_csv` wall time).
+fn push_u64(out: &mut String, v: u64) {
+    let mut digits = [0u8; 20];
+    let mut at = digits.len();
+    let mut v = v;
+    loop {
+        at -= 1;
+        digits[at] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    // The buffer holds only ASCII digits.
+    out.push_str(std::str::from_utf8(&digits[at..]).unwrap_or("0"));
+}
+
+/// Writes one CSV event row without intermediate allocations.
+fn push_row(out: &mut String, time: u64, kind: &str, subject: &str, period: usize) {
+    push_u64(out, time);
+    out.push(',');
+    out.push_str(kind);
+    out.push(',');
+    out.push_str(subject);
+    out.push(',');
+    push_u64(out, period as u64);
+    out.push('\n');
+}
+
+/// Renders an event's kind word and subject column. Message subjects are
+/// written into `scratch` (one reusable buffer, not a fresh `String` per
+/// row).
+fn render_subject<'a>(
+    kind: &EventKind,
+    universe: &'a TaskUniverse,
+    scratch: &'a mut String,
+) -> (&'static str, &'a str) {
+    match kind {
+        EventKind::TaskStart(t) => ("start", universe.name(*t)),
+        EventKind::TaskEnd(t) => ("end", universe.name(*t)),
+        EventKind::MessageRise(m) | EventKind::MessageFall(m) => {
+            scratch.clear();
+            scratch.push('m');
+            push_u64(scratch, m.index() as u64);
+            let word = if matches!(kind, EventKind::MessageRise(_)) {
+                "rise"
+            } else {
+                "fall"
+            };
+            (word, scratch.as_str())
+        }
+    }
+}
+
 /// Serializes `trace` as CSV (see the module docs for the schema).
 #[must_use]
 pub fn write_csv(trace: &Trace) -> String {
-    let mut out = String::from("time,kind,subject,period\n");
+    let events: usize = trace.periods().iter().map(|p| p.events().len()).sum();
+    let mut out = String::with_capacity(32 + events * 24);
+    out.push_str("time,kind,subject,period\n");
+    let mut scratch = String::new();
     for period in trace.periods() {
         for event in period.events() {
-            let (kind, subject) = match event.kind {
-                EventKind::TaskStart(t) => ("start", trace.universe().name(t).to_owned()),
-                EventKind::TaskEnd(t) => ("end", trace.universe().name(t).to_owned()),
-                EventKind::MessageRise(m) => ("rise", m.to_string()),
-                EventKind::MessageFall(m) => ("fall", m.to_string()),
-            };
-            out.push_str(&format!(
-                "{},{},{},{}\n",
-                event.time.micros(),
-                kind,
-                subject,
-                period.index()
-            ));
+            let (kind, subject) = render_subject(&event.kind, trace.universe(), &mut scratch);
+            push_row(&mut out, event.time.micros(), kind, subject, period.index());
         }
     }
     out
 }
 
+/// Parses a base-10 `u64` from a byte slice without allocating. Rejects
+/// empty input, non-digits, and overflow — the same inputs
+/// `str::parse::<u64>` rejects.
+fn parse_u64_bytes(bytes: &[u8]) -> Option<u64> {
+    if bytes.is_empty() {
+        return None;
+    }
+    let mut v: u64 = 0;
+    for &b in bytes {
+        if !b.is_ascii_digit() {
+            return None;
+        }
+        v = v.checked_mul(10)?.checked_add(u64::from(b - b'0'))?;
+    }
+    Some(v)
+}
+
+/// Trims ASCII whitespace (what `str::trim` removes from this format's
+/// rows) off both ends of a byte slice.
+fn trim_bytes(mut bytes: &[u8]) -> &[u8] {
+    while let [first, rest @ ..] = bytes {
+        if first.is_ascii_whitespace() {
+            bytes = rest;
+        } else {
+            break;
+        }
+    }
+    while let [rest @ .., last] = bytes {
+        if last.is_ascii_whitespace() {
+            bytes = rest;
+        } else {
+            break;
+        }
+    }
+    bytes
+}
+
+/// Splits a trimmed row into its comma-separated columns. Returns the
+/// four column slices, or the actual column count when it is not four.
+fn split_columns(line: &[u8]) -> Result<[&[u8]; 4], usize> {
+    let mut cols = [&line[..0]; 4];
+    let mut count = 0usize;
+    let mut start = 0usize;
+    for (at, &b) in line.iter().enumerate() {
+        if b == b',' {
+            if count < 4 {
+                cols[count] = &line[start..at];
+            }
+            count += 1;
+            start = at + 1;
+        }
+    }
+    if count < 4 {
+        cols[count] = &line[start..];
+    }
+    count += 1;
+    if count == 4 {
+        Ok(cols)
+    } else {
+        Err(count)
+    }
+}
+
+/// Renders a column for an error message (lossy — the bytes came from a
+/// `&str`, so this is exact in practice).
+fn col_text(bytes: &[u8]) -> String {
+    String::from_utf8_lossy(bytes).into_owned()
+}
+
 /// Parses a CSV trace (see the module docs for the schema).
+///
+/// The hot path scans the input as raw bytes: columns are located by a
+/// single comma sweep per row (no per-row `Vec` or per-field `String`),
+/// and numbers parse straight off the byte slices. Allocation happens
+/// only when interning a task name or reporting an error.
 ///
 /// # Errors
 ///
@@ -101,34 +223,42 @@ pub fn parse_csv(input: &str) -> Result<Trace, ParseCsvError> {
 
     // First pass: intern tasks in order of first appearance.
     let mut universe = TaskUniverse::new();
-    for (index, line) in input.lines().enumerate().skip(1) {
-        let line = line.trim();
+    for line in input.as_bytes().split(|&b| b == b'\n').skip(1) {
+        let line = trim_bytes(line);
         if line.is_empty() {
             continue;
         }
-        let mut cols = line.split(',');
-        let (Some(_), Some(kind), Some(subject)) = (cols.next(), cols.next(), cols.next()) else {
+        let Ok([_, kind, subject, _]) = split_columns(line) else {
             continue; // Reported precisely in the second pass.
         };
-        let _ = index;
-        if kind == "start" && universe.lookup(subject).is_none() {
-            universe.intern(subject);
+        if kind == b"start" {
+            // Subjects of syntactically valid rows are valid UTF-8
+            // substrings of the input; a non-UTF-8 boundary would make
+            // the row fail in the second pass anyway.
+            if let Ok(name) = std::str::from_utf8(subject) {
+                if universe.lookup(name).is_none() {
+                    universe.intern(name);
+                }
+            }
         }
     }
 
-    if input.lines().next().is_none() {
+    if input.is_empty() {
         return Err(syntax(1, "empty input: missing CSV header".to_owned()));
     }
     let mut builder = TraceBuilder::new(universe.clone());
     let mut current_period: Option<usize> = None;
-    for (index, line) in input.lines().enumerate() {
+    for (index, line) in input.as_bytes().split(|&b| b == b'\n').enumerate() {
         let row = index + 1;
-        let line = line.trim();
+        let line = trim_bytes(line);
         if row == 1 {
-            if line != "time,kind,subject,period" {
+            if line != b"time,kind,subject,period" {
                 return Err(syntax(
                     row,
-                    format!("expected header `time,kind,subject,period`, got `{line}`"),
+                    format!(
+                        "expected header `time,kind,subject,period`, got `{}`",
+                        col_text(line)
+                    ),
                 ));
             }
             continue;
@@ -136,19 +266,17 @@ pub fn parse_csv(input: &str) -> Result<Trace, ParseCsvError> {
         if line.is_empty() {
             continue;
         }
-        let cols: Vec<&str> = line.split(',').collect();
-        let [time, kind, subject, period] = cols.as_slice() else {
-            return Err(syntax(
-                row,
-                format!("expected 4 columns, got {}", cols.len()),
-            ));
+        let [time, kind, subject, period] = match split_columns(line) {
+            Ok(cols) => cols,
+            Err(count) => {
+                return Err(syntax(row, format!("expected 4 columns, got {count}")));
+            }
         };
-        let time: u64 = time
-            .parse()
-            .map_err(|_| syntax(row, format!("bad time `{time}`")))?;
-        let period: usize = period
-            .parse()
-            .map_err(|_| syntax(row, format!("bad period `{period}`")))?;
+        let time = parse_u64_bytes(time)
+            .ok_or_else(|| syntax(row, format!("bad time `{}`", col_text(time))))?;
+        let period: usize = parse_u64_bytes(period)
+            .and_then(|p| usize::try_from(p).ok())
+            .ok_or_else(|| syntax(row, format!("bad period `{}`", col_text(period))))?;
         match current_period {
             Some(p) if p == period => {}
             Some(p) if period == p + 1 => {
@@ -169,29 +297,35 @@ pub fn parse_csv(input: &str) -> Result<Trace, ParseCsvError> {
                 current_period = Some(0);
             }
         }
-        let kind = match *kind {
-            "start" | "end" => {
-                let task = universe
-                    .lookup(subject)
-                    .ok_or_else(|| syntax(row, format!("unknown task `{subject}`")))?;
-                if *kind == "start" {
+        let kind = match kind {
+            b"start" | b"end" => {
+                let task = std::str::from_utf8(subject)
+                    .ok()
+                    .and_then(|name| universe.lookup(name))
+                    .ok_or_else(|| syntax(row, format!("unknown task `{}`", col_text(subject))))?;
+                if kind == b"start" {
                     EventKind::TaskStart(task)
                 } else {
                     EventKind::TaskEnd(task)
                 }
             }
-            "rise" | "fall" => {
-                let id: usize = subject
-                    .strip_prefix('m')
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| syntax(row, format!("bad message id `{subject}`")))?;
-                if *kind == "rise" {
+            b"rise" | b"fall" => {
+                let id = subject
+                    .strip_prefix(b"m")
+                    .and_then(parse_u64_bytes)
+                    .and_then(|id| usize::try_from(id).ok())
+                    .ok_or_else(|| {
+                        syntax(row, format!("bad message id `{}`", col_text(subject)))
+                    })?;
+                if kind == b"rise" {
                     EventKind::MessageRise(MessageId::from_index(id))
                 } else {
                     EventKind::MessageFall(MessageId::from_index(id))
                 }
             }
-            other => return Err(syntax(row, format!("unknown kind `{other}`"))),
+            other => {
+                return Err(syntax(row, format!("unknown kind `{}`", col_text(other))));
+            }
         };
         builder
             .event(Timestamp::new(time), kind)
@@ -215,21 +349,11 @@ pub fn parse_csv(input: &str) -> Result<Trace, ParseCsvError> {
 #[must_use]
 pub fn write_csv_raw(raw: &RawTrace) -> String {
     let mut out = String::from("time,kind,subject,period\n");
+    let mut scratch = String::new();
     for period in &raw.periods {
         for event in &period.events {
-            let (kind, subject) = match event.kind {
-                EventKind::TaskStart(t) => ("start", raw.universe.name(t).to_owned()),
-                EventKind::TaskEnd(t) => ("end", raw.universe.name(t).to_owned()),
-                EventKind::MessageRise(m) => ("rise", m.to_string()),
-                EventKind::MessageFall(m) => ("fall", m.to_string()),
-            };
-            out.push_str(&format!(
-                "{},{},{},{}\n",
-                event.time.micros(),
-                kind,
-                subject,
-                period.index
-            ));
+            let (kind, subject) = render_subject(&event.kind, &raw.universe, &mut scratch);
+            push_row(&mut out, event.time.micros(), kind, subject, period.index);
         }
     }
     out

@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod binary;
 mod builder;
 mod csv;
 mod event;
@@ -48,6 +49,9 @@ mod stats;
 mod stream;
 mod trace;
 
+pub use binary::{
+    btrace_checksum, is_btrace, parse_btrace, write_btrace, ParseBtraceError, BTRACE_SCHEMA,
+};
 pub use builder::TraceBuilder;
 pub use csv::{
     parse_csv, parse_csv_lenient, parse_csv_raw, write_csv, write_csv_raw, LenientParse,

@@ -60,9 +60,12 @@ fn schema_tags() -> Vec<(&'static str, &'static str)> {
         (bbmg::serve::HEALTH_SCHEMA, "crates/serve/src/health.rs"),
         (bbmg::obs::METRICS_SCHEMA, "crates/obs/src/metrics.rs"),
         (bbmg::audit::AUDIT_SCHEMA, "crates/audit/src/lib.rs"),
+        (bbmg::trace::BTRACE_SCHEMA, "crates/trace/src/binary.rs"),
+        (bbmg::core::CORPUS_SCHEMA, "crates/core/src/cache.rs"),
         (bbmg_bench::BENCH_LEARNER_SCHEMA, "crates/bench/src/lib.rs"),
         (bbmg_bench::BENCH_SERVE_SCHEMA, "crates/bench/src/lib.rs"),
         (bbmg_bench::BENCH_OBSERVER_SCHEMA, "crates/bench/src/lib.rs"),
+        (bbmg_bench::BENCH_CORPUS_SCHEMA, "crates/bench/src/lib.rs"),
     ]
 }
 
